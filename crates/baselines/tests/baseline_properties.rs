@@ -1,0 +1,109 @@
+//! Property-based tests of the SecAgg/SecAgg+ baselines: exact
+//! aggregate recovery under random graphs and random dropout patterns,
+//! or a clean error — never a silently wrong sum.
+
+use lsa_baselines::{run_secagg_round, CommunicationGraph, SecAggConfig};
+use lsa_field::{Field, Fp61};
+use lsa_protocol::DropoutSchedule;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn models(n: usize, d: usize, seed: u64) -> Vec<Vec<Fp61>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| lsa_field::ops::random_vector(d, &mut rng))
+        .collect()
+}
+
+fn sum_of(models: &[Vec<Fp61>], who: &[usize]) -> Vec<Fp61> {
+    let mut acc = vec![Fp61::ZERO; models[0].len()];
+    for &i in who {
+        lsa_field::ops::add_assign(&mut acc, &models[i]);
+    }
+    acc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// SecAgg over the complete graph recovers the exact sum of included
+    /// users for any dropout pattern within budget.
+    #[test]
+    fn secagg_exact_under_random_dropouts(
+        n in 4usize..9,
+        seed in any::<u64>(),
+    ) {
+        let t = 1usize;
+        let d = 1 + (seed % 7) as usize;
+        let cfg = SecAggConfig::secagg(n, t, d).unwrap();
+        let ms = models(n, d, seed);
+
+        // at most n − (t+1) total dropouts so every secret keeps a quorum
+        let max_drop = n - (t + 1);
+        let drop_count = (seed as usize / 3) % (max_drop + 1);
+        let mut ids: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = (seed as usize).wrapping_mul(i + 13) % (i + 1);
+            ids.swap(i, j);
+        }
+        let dropped = &ids[..drop_count];
+        let split = drop_count / 2;
+        let sched = DropoutSchedule {
+            before_upload: dropped[..split].to_vec(),
+            after_upload: dropped[split..].to_vec(),
+        };
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+        let out = run_secagg_round(&cfg, &ms, &sched, &mut rng).unwrap();
+        let want = sum_of(&ms, &out.included);
+        prop_assert_eq!(out.aggregate, want);
+        // included + dropped partitions [N]
+        prop_assert_eq!(out.included.len() + out.dropped.len(), n);
+    }
+
+    /// SecAgg+ over Harary graphs of any even degree recovers exactly
+    /// when nobody drops.
+    #[test]
+    fn secagg_plus_exact_no_dropout(
+        n in 6usize..14,
+        k in 2usize..6,
+        seed in any::<u64>(),
+    ) {
+        let graph = CommunicationGraph::harary(n, k);
+        let t = 1usize;
+        prop_assume!(t <= graph.degree());
+        let d = 3;
+        let cfg = SecAggConfig::with_graph(n, t, d, graph).unwrap();
+        let ms = models(n, d, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x1234);
+        let out = run_secagg_round(&cfg, &ms, &DropoutSchedule::none(), &mut rng).unwrap();
+        let all: Vec<usize> = (0..n).collect();
+        prop_assert_eq!(out.aggregate, sum_of(&ms, &all));
+        // no dropouts ⇒ zero pairwise reconstructions
+        prop_assert_eq!(out.stats.prg_expansions, n);
+    }
+
+    /// The server's measured PRG work always equals the Eq. (1)
+    /// accounting: |U₁| self masks + Σ_dropped |U₁ ∩ nbr(j)| pairwise.
+    #[test]
+    fn prg_accounting_matches_eq1(
+        n in 5usize..10,
+        seed in any::<u64>(),
+    ) {
+        let cfg = SecAggConfig::secagg(n, 1, 2).unwrap();
+        let ms = models(n, 2, seed);
+        let drop = (seed as usize % (n - 2)).min(n - 3);
+        let sched = DropoutSchedule::after_upload((0..drop).collect());
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x77);
+        let out = run_secagg_round(&cfg, &ms, &sched, &mut rng).unwrap();
+        let included = out.included.len();
+        prop_assert_eq!(
+            out.stats.prg_expansions,
+            included + out.dropped.len() * included
+        );
+        prop_assert_eq!(
+            out.stats.secrets_reconstructed,
+            included + out.dropped.len()
+        );
+    }
+}

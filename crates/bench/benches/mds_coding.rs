@@ -1,0 +1,63 @@
+//! Benchmarks of the MDS mask encoding/decoding that drive
+//! LightSecAgg's offline and one-shot recovery costs, including the
+//! U-ablation of §7.2 ("Impact of U").
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use lsa_field::Fp32;
+use lsa_coding::VandermondeCode;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(150))
+        .measurement_time(Duration::from_millis(700))
+}
+
+fn bench_mds(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let n = 100;
+    let d = 1 << 14;
+
+    // Ablation over U with T = N/2 fixed (the §7.2 trade-off: larger U
+    // means smaller segments but a costlier decode per segment).
+    let mut group = c.benchmark_group("mds_encode_per_user");
+    for u in [55usize, 70, 90] {
+        let t = 50;
+        let seg = d / (u - t);
+        let code = VandermondeCode::<Fp32>::new(n, u).unwrap();
+        let segments: Vec<Vec<Fp32>> = (0..u)
+            .map(|_| lsa_field::ops::random_vector(seg, &mut rng))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("u", u), &u, |b, _| {
+            b.iter(|| black_box(code.encode_all(black_box(&segments))))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("mds_decode_aggregate");
+    for u in [55usize, 70, 90] {
+        let t = 50;
+        let seg = d / (u - t);
+        let code = VandermondeCode::<Fp32>::new(n, u).unwrap();
+        let segments: Vec<Vec<Fp32>> = (0..u)
+            .map(|_| lsa_field::ops::random_vector(seg, &mut rng))
+            .collect();
+        let coded = code.encode_all(&segments);
+        let shares: Vec<(usize, Vec<Fp32>)> =
+            (0..u).map(|j| (j, coded[j].clone())).collect();
+        group.bench_with_input(BenchmarkId::new("u", u), &u, |b, _| {
+            b.iter(|| black_box(code.decode_prefix(black_box(&shares), u - t).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_mds
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! PRG expansion benchmarks — the server-side bottleneck of
+//! SecAgg/SecAgg+ (Table 1's `O(dN²)` / `O(dN log N)` rows is this
+//! kernel times the pair count).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use lsa_crypto::{FieldPrg, Seed};
+use lsa_field::{Fp32, Fp61};
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(150))
+        .measurement_time(Duration::from_millis(700))
+}
+
+fn bench_prg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prg_expand");
+    for log_d in [12u32, 16] {
+        let d = 1usize << log_d;
+        group.bench_with_input(BenchmarkId::new("fp32", d), &d, |b, &d| {
+            b.iter(|| {
+                let mut prg = FieldPrg::new(Seed::from_label(b"bench"));
+                black_box(prg.expand::<Fp32>(d))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("fp61", d), &d, |b, &d| {
+            b.iter(|| {
+                let mut prg = FieldPrg::new(Seed::from_label(b"bench"));
+                black_box(prg.expand::<Fp61>(d))
+            })
+        });
+    }
+    group.finish();
+
+    c.bench_function("sha256_seed_derive", |b| {
+        let seed = Seed::from_label(b"root");
+        b.iter(|| black_box(seed.derive(black_box(42))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_prg
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Quantization benchmarks: the only extra per-element work LightSecAgg
+//! adds to the training path (Remark 5).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use lsa_field::Fp61;
+use lsa_quantize::VectorQuantizer;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(150))
+        .measurement_time(Duration::from_millis(600))
+}
+
+fn bench_quantize(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let d = 1 << 14;
+    let xs: Vec<f64> = (0..d).map(|_| rng.gen_range(-2.0..2.0)).collect();
+
+    let mut group = c.benchmark_group("quantize_vector");
+    for bits in [8u32, 16, 24] {
+        let q = VectorQuantizer::new(1u64 << bits);
+        group.bench_with_input(BenchmarkId::new("bits", bits), &bits, |b, _| {
+            b.iter(|| black_box(q.quantize::<Fp61, _>(black_box(&xs), &mut rng)))
+        });
+    }
+    group.finish();
+
+    c.bench_function("dequantize_vector", |b| {
+        let q = VectorQuantizer::new(1 << 16);
+        let vs: Vec<Fp61> = q.quantize(&xs, &mut rng);
+        b.iter(|| black_box(q.dequantize(black_box(&vs))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_quantize
+}
+criterion_main!(benches);

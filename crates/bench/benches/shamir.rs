@@ -1,0 +1,47 @@
+//! Shamir sharing/reconstruction benchmarks — the seed-level work of
+//! the SecAgg baselines' recovery phase.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use lsa_coding::ShamirScheme;
+use lsa_field::{Field, Fp32};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(150))
+        .measurement_time(Duration::from_millis(600))
+}
+
+fn bench_shamir(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+
+    let mut group = c.benchmark_group("shamir_share");
+    for n in [20usize, 100, 200] {
+        let scheme = ShamirScheme::<Fp32>::new(n, n / 2).unwrap();
+        group.bench_with_input(BenchmarkId::new("n", n), &n, |b, _| {
+            b.iter(|| black_box(scheme.share(Fp32::from_u64(777), &mut rng)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("shamir_reconstruct");
+    for n in [20usize, 100, 200] {
+        let scheme = ShamirScheme::<Fp32>::new(n, n / 2).unwrap();
+        let shares = scheme.share(Fp32::from_u64(777), &mut rng);
+        let quorum = &shares[..n / 2 + 1];
+        group.bench_with_input(BenchmarkId::new("n", n), &n, |b, _| {
+            b.iter(|| black_box(scheme.reconstruct(black_box(quorum)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_shamir
+}
+criterion_main!(benches);

@@ -1,0 +1,10 @@
+//! Figure 10 (Appendix D): total running time vs number of users for
+//! EfficientNet-B0 on GLD-23K (d = 5,288,548).
+
+fn main() {
+    lsa_bench::run_running_time_figure(
+        "fig10",
+        lsa_fl::model_sizes::EFFICIENTNET_GLD23K,
+        "EfficientNet-B0/GLD-23K",
+    );
+}

@@ -1,0 +1,6 @@
+//! Figure 11 (Appendix F.5): asynchronous convergence of LightSecAgg vs
+//! FedBuff on both the MNIST-like and CIFAR-10-like datasets.
+
+fn main() {
+    lsa_bench::run_convergence_figure("fig11", &["mnist-like", "cifar-like"]);
+}

@@ -1,0 +1,47 @@
+//! Figure 12 (Appendix F.5): accuracy of asynchronous LightSecAgg under
+//! different quantization levels `c_l = 2^bits` over the 32-bit field:
+//! too-coarse levels lose to rounding error, too-fine levels wrap
+//! around; `c_l = 2^16` is the paper's sweet spot.
+
+use lsa_bench::{convergence_rounds, results_dir};
+use lsa_sim::experiments::quantization_sweep;
+use lsa_sim::report;
+
+fn main() {
+    let rounds = convergence_rounds();
+    let bits = [2u32, 8, 16, 24, 28];
+    let header = ["dataset", "series", "round", "accuracy"];
+    let mut rows = Vec::new();
+    let mut digest = Vec::new();
+    for kind in ["mnist-like", "cifar-like"] {
+        let series = quantization_sweep(kind, &bits, rounds, 7);
+        for s in &series {
+            for m in &s.metrics {
+                rows.push(vec![
+                    kind.to_string(),
+                    s.label.clone(),
+                    m.round.to_string(),
+                    format!("{:.4}", m.accuracy),
+                ]);
+            }
+            let last = s.metrics.last().expect("at least one round");
+            digest.push(vec![
+                kind.to_string(),
+                s.label.clone(),
+                last.round.to_string(),
+                format!("{:.4}", last.accuracy),
+            ]);
+        }
+    }
+    print!(
+        "{}",
+        report::render_table(
+            &format!("fig12: accuracy vs quantization level after {rounds} rounds"),
+            &header,
+            &digest
+        )
+    );
+    let path = results_dir().join("fig12.tsv");
+    report::write_tsv(&path, &header, &rows).expect("write TSV");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,7 @@
+//! Figure 6: total running time vs number of users for CNN/FEMNIST
+//! (d = 1,206,590), dropout rates 10/30/50%, non-overlapped and
+//! overlapped.
+
+fn main() {
+    lsa_bench::run_running_time_figure("fig6", lsa_fl::model_sizes::CNN_FEMNIST, "CNN/FEMNIST");
+}

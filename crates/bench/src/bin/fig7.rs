@@ -1,0 +1,7 @@
+//! Figure 7: asynchronous convergence of LightSecAgg vs FedBuff on the
+//! CIFAR-10 stand-in dataset, with Constant and Poly staleness
+//! compensation.
+
+fn main() {
+    lsa_bench::run_convergence_figure("fig7", &["cifar-like"]);
+}

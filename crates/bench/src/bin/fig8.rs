@@ -1,0 +1,6 @@
+//! Figure 8 (Appendix D): total running time vs number of users for
+//! logistic regression on MNIST (d = 7,850).
+
+fn main() {
+    lsa_bench::run_running_time_figure("fig8", lsa_fl::model_sizes::LOGISTIC_MNIST, "LogReg/MNIST");
+}

@@ -1,0 +1,10 @@
+//! Figure 9 (Appendix D): total running time vs number of users for
+//! MobileNetV3 on CIFAR-10 (d = 3,111,462).
+
+fn main() {
+    lsa_bench::run_running_time_figure(
+        "fig9",
+        lsa_fl::model_sizes::MOBILENETV3_CIFAR10,
+        "MobileNetV3/CIFAR-10",
+    );
+}

@@ -1,0 +1,87 @@
+//! Table 1: complexity comparison between SecAgg, SecAgg+ and
+//! LightSecAgg (`T = N/2`, `D = pN`, `U = (1−p)N`).
+//!
+//! Prints both the asymptotic expressions and the evaluated operation
+//! counts for the paper's headline setting.
+
+use lsa_bench::{n_users, results_dir};
+use lsa_sim::complexity::{self, ComplexityParams, Protocol};
+use lsa_sim::report;
+
+fn main() {
+    let n = n_users();
+    let d = lsa_fl::model_sizes::CNN_FEMNIST;
+    let p = ComplexityParams::paper_setting(n, d, 0.1);
+
+    let header = ["quantity", "SecAgg", "SecAgg+", "LightSecAgg"];
+    let asymptotic = vec![
+        vec![
+            "offline comm. (U)".into(),
+            "O(sN)".into(),
+            "O(s logN)".into(),
+            "O(d)".into(),
+        ],
+        vec![
+            "offline comp. (U)".into(),
+            "O(dN + sN^2)".into(),
+            "O(d logN + s log^2 N)".into(),
+            "O(d logN)".into(),
+        ],
+        vec![
+            "online comm. (U)".into(),
+            "O(d + sN)".into(),
+            "O(d + s logN)".into(),
+            "O(d)".into(),
+        ],
+        vec![
+            "online comm. (S)".into(),
+            "O(dN + sN^2)".into(),
+            "O(dN + sN logN)".into(),
+            "O(dN)".into(),
+        ],
+        vec![
+            "online comp. (U)".into(),
+            "O(d)".into(),
+            "O(d)".into(),
+            "O(d)".into(),
+        ],
+        vec![
+            "reconstruction (S)".into(),
+            "O(dN^2)".into(),
+            "O(dN logN)".into(),
+            "O(d logN)".into(),
+        ],
+    ];
+    print!("{}", report::render_table("Table 1 (asymptotic)", &header, &asymptotic));
+
+    type Entry = (&'static str, fn(&ComplexityParams, Protocol) -> f64);
+    let entries: [Entry; 6] = [
+        ("offline comm. (U)", complexity::offline_comm_per_user),
+        ("offline comp. (U)", complexity::offline_comp_per_user),
+        ("online comm. (U)", complexity::online_comm_per_user),
+        ("online comm. (S)", complexity::online_comm_server),
+        ("online comp. (U)", complexity::online_comp_per_user),
+        ("reconstruction (S)", complexity::reconstruction_server),
+    ];
+    let rows: Vec<Vec<String>> = entries
+        .iter()
+        .map(|(label, f)| {
+            let mut row = vec![label.to_string()];
+            for proto in Protocol::ALL {
+                row.push(format!("{:.3e}", f(&p, proto)));
+            }
+            row
+        })
+        .collect();
+    print!(
+        "{}",
+        report::render_table(
+            &format!("Table 1 evaluated (N={n}, d={d}, p=0.1, ops/elements)"),
+            &header,
+            &rows
+        )
+    );
+    report::write_tsv(results_dir().join("table1.tsv"), &header, &rows)
+        .expect("write results/table1.tsv");
+    println!("wrote results/table1.tsv");
+}

@@ -1,0 +1,46 @@
+//! Table 5 (Appendix C): the detailed complexity comparison, including
+//! storage, decoding and PRG rows that Table 1 folds together.
+
+use lsa_bench::{n_users, results_dir};
+use lsa_sim::complexity::{self, ComplexityParams, Protocol};
+use lsa_sim::report;
+
+fn main() {
+    let n = n_users();
+    let d = lsa_fl::model_sizes::CNN_FEMNIST;
+    let p = ComplexityParams::paper_setting(n, d, 0.1);
+
+    type Entry = (&'static str, fn(&ComplexityParams, Protocol) -> f64);
+    let entries: [Entry; 8] = [
+        ("offline storage per user", complexity::offline_storage_per_user),
+        ("offline communication per user", complexity::offline_comm_per_user),
+        ("offline computation per user", complexity::offline_comp_per_user),
+        ("online communication per user", complexity::online_comm_per_user),
+        ("online communication at server", complexity::online_comm_server),
+        ("online computation per user", complexity::online_comp_per_user),
+        ("decoding complexity at server", complexity::decoding_server),
+        ("PRG complexity at server", complexity::prg_server),
+    ];
+    let header = ["quantity", "SecAgg", "SecAgg+", "LightSecAgg"];
+    let rows: Vec<Vec<String>> = entries
+        .iter()
+        .map(|(label, f)| {
+            let mut row = vec![label.to_string()];
+            for proto in Protocol::ALL {
+                row.push(format!("{:.3e}", f(&p, proto)));
+            }
+            row
+        })
+        .collect();
+    print!(
+        "{}",
+        report::render_table(
+            &format!("Table 5 (N={n}, d={d}, p=0.1, ops/elements)"),
+            &header,
+            &rows
+        )
+    );
+    report::write_tsv(results_dir().join("table5.tsv"), &header, &rows)
+        .expect("write results/table5.tsv");
+    println!("wrote results/table5.tsv");
+}

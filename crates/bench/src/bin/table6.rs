@@ -1,0 +1,35 @@
+//! Table 6 (Appendix C): randomness generation and offline storage of
+//! LightSecAgg vs the trusted-third-party scheme of Zhao & Sun (2021),
+//! in `F_q^{d/(U−T)}` symbols. The TTP scheme grows exponentially in N.
+
+use lsa_bench::results_dir;
+use lsa_sim::complexity::{zhao_sun, ComplexityParams};
+use lsa_sim::report;
+
+fn main() {
+    let header = [
+        "N",
+        "randomness Zhao&Sun",
+        "randomness LightSecAgg",
+        "storage/user Zhao&Sun",
+        "storage/user LightSecAgg",
+    ];
+    let mut rows = Vec::new();
+    for n in [10usize, 20, 30, 50, 100] {
+        let p = ComplexityParams::paper_setting(n, 1_000, 0.2);
+        rows.push(vec![
+            n.to_string(),
+            format!("{:.3e}", zhao_sun::randomness_zhao_sun(&p)),
+            format!("{:.3e}", zhao_sun::randomness_lightsecagg(&p)),
+            format!("{:.3e}", zhao_sun::storage_zhao_sun(&p)),
+            format!("{:.3e}", zhao_sun::storage_lightsecagg(&p)),
+        ]);
+    }
+    print!(
+        "{}",
+        report::render_table("Table 6 (symbols of F_q^{d/(U-T)}, p=0.2, T=N/2)", &header, &rows)
+    );
+    report::write_tsv(results_dir().join("table6.tsv"), &header, &rows)
+        .expect("write results/table6.tsv");
+    println!("wrote results/table6.tsv");
+}

@@ -1,0 +1,108 @@
+//! Cross-validation of the fast Lagrange decoder against an independent
+//! generic linear-algebra decoder (generator-submatrix inversion).
+//!
+//! The two implementations share no code beyond the field, so agreement
+//! over random instances is strong evidence both are correct.
+
+use lsa_coding::VandermondeCode;
+use lsa_field::{Field, Fp32};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Decode by explicitly inverting the U×U generator submatrix — the
+/// textbook method the production decoder replaces.
+fn decode_via_matrix(
+    code: &VandermondeCode<Fp32>,
+    shares: &[(usize, Vec<Fp32>)],
+) -> Vec<Vec<Fp32>> {
+    let u = code.u();
+    let used = &shares[..u];
+    let gen = code.generator_matrix();
+    let cols: Vec<usize> = used.iter().map(|(j, _)| *j).collect();
+    let rows: Vec<usize> = (0..u).collect();
+    let sub = gen.submatrix(&rows, &cols); // u×u, coded = subᵀ · segments
+    let inv = sub.transpose().inverse().expect("MDS submatrix invertible");
+
+    let seg_len = used[0].1.len();
+    let mut out = vec![vec![Fp32::ZERO; seg_len]; u];
+    for e in 0..seg_len {
+        let y: Vec<Fp32> = used.iter().map(|(_, p)| p[e]).collect();
+        let x = inv.mul_vec(&y);
+        for (k, out_k) in out.iter_mut().enumerate() {
+            out_k[e] = x[k];
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn lagrange_decoder_matches_matrix_decoder(
+        n in 3usize..10,
+        seed in any::<u64>(),
+    ) {
+        let u = 2 + (seed as usize % (n - 1)).min(n - 2);
+        let m = 1 + (seed as usize % 4);
+        let code = VandermondeCode::<Fp32>::new(n, u).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let segments: Vec<Vec<Fp32>> = (0..u)
+            .map(|_| lsa_field::ops::random_vector(m, &mut rng))
+            .collect();
+        let coded = code.encode_all(&segments);
+
+        // random u-subset of shares
+        let mut idx: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = (seed as usize).wrapping_mul(i + 29) % (i + 1);
+            idx.swap(i, j);
+        }
+        let shares: Vec<(usize, Vec<Fp32>)> =
+            idx[..u].iter().map(|&j| (j, coded[j].clone())).collect();
+
+        let fast = code.decode_all(&shares).unwrap();
+        let slow = decode_via_matrix(&code, &shares);
+        prop_assert_eq!(fast, slow.clone());
+        prop_assert_eq!(slow, segments);
+    }
+}
+
+#[test]
+fn matrix_decoder_agrees_on_aggregated_shares() {
+    // the one-shot recovery path: decode a SUM of encodings
+    let n = 7;
+    let u = 4;
+    let code = VandermondeCode::<Fp32>::new(n, u).unwrap();
+    let mut rng = StdRng::seed_from_u64(99);
+    let users = 3;
+    let all_segments: Vec<Vec<Vec<Fp32>>> = (0..users)
+        .map(|_| {
+            (0..u)
+                .map(|_| lsa_field::ops::random_vector(5, &mut rng))
+                .collect()
+        })
+        .collect();
+    // aggregated coded share at each j
+    let shares: Vec<(usize, Vec<Fp32>)> = (0..u)
+        .map(|j| {
+            let mut acc = vec![Fp32::ZERO; 5];
+            for segs in &all_segments {
+                lsa_field::ops::add_assign(&mut acc, &code.encode_for(segs, j));
+            }
+            (j, acc)
+        })
+        .collect();
+    let fast = code.decode_all(&shares).unwrap();
+    let slow = decode_via_matrix(&code, &shares);
+    assert_eq!(fast, slow);
+    // equals the segment-wise sum
+    for k in 0..u {
+        let mut want = vec![Fp32::ZERO; 5];
+        for segs in &all_segments {
+            lsa_field::ops::add_assign(&mut want, &segs[k]);
+        }
+        assert_eq!(fast[k], want);
+    }
+}

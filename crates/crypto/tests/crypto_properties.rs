@@ -1,0 +1,77 @@
+//! Property-based tests of the cryptographic primitives.
+
+use lsa_crypto::dh::{self, KeyPair, SecretKey};
+use lsa_crypto::sha256::{digest, Sha256};
+use lsa_crypto::{FieldPrg, Seed};
+use lsa_field::{Field, Fp32, Fp61};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// DH agreement is symmetric for arbitrary secret exponents.
+    #[test]
+    fn dh_symmetry(a in 1u64..dh::Q, b in 1u64..dh::Q) {
+        let alice = KeyPair::from_secret(SecretKey::from_raw(a));
+        let bob = KeyPair::from_secret(SecretKey::from_raw(b));
+        prop_assert_eq!(alice.agree(&bob.public_key()), bob.agree(&alice.public_key()));
+    }
+
+    /// pow_mod matches naive repeated multiplication for small exponents.
+    #[test]
+    fn pow_mod_matches_naive(base in 1u64..dh::P, exp in 0u64..64) {
+        let fast = dh::pow_mod(base, exp);
+        let mut slow = 1u128;
+        for _ in 0..exp {
+            slow = slow * base as u128 % dh::P as u128;
+        }
+        prop_assert_eq!(fast as u128, slow);
+    }
+
+    /// SHA-256 incremental hashing is chunking-invariant.
+    #[test]
+    fn sha256_chunking_invariant(
+        data in proptest::collection::vec(any::<u8>(), 0..512),
+        cut in any::<usize>(),
+    ) {
+        let one_shot = digest(&data);
+        let cut = if data.is_empty() { 0 } else { cut % data.len() };
+        let mut h = Sha256::new();
+        h.update(&data[..cut]);
+        h.update(&data[cut..]);
+        prop_assert_eq!(h.finalize(), one_shot);
+    }
+
+    /// PRG expansion is prefix-consistent: expanding n then m more equals
+    /// expanding n+m at once.
+    #[test]
+    fn prg_prefix_consistency(n in 0usize..64, m in 0usize..64, label in any::<u64>()) {
+        let seed = Seed::from_label(&label.to_le_bytes());
+        let mut a = FieldPrg::new(seed);
+        let mut first: Vec<Fp61> = a.expand(n);
+        first.extend(a.expand::<Fp61>(m));
+        let mut b = FieldPrg::new(seed);
+        let full: Vec<Fp61> = b.expand(n + m);
+        prop_assert_eq!(first, full);
+    }
+
+    /// Every PRG output is a canonical field residue.
+    #[test]
+    fn prg_outputs_canonical(label in any::<u64>()) {
+        let seed = Seed::from_label(&label.to_le_bytes());
+        let xs: Vec<Fp32> = FieldPrg::new(seed).expand(64);
+        for x in xs {
+            prop_assert!(x.residue() < Fp32::MODULUS);
+        }
+    }
+
+    /// Derived sub-seeds never collide with the root or each other for
+    /// distinct domains (collision would break per-round mask freshness).
+    #[test]
+    fn seed_derivation_injective(label in any::<u64>(), d1 in any::<u64>(), d2 in any::<u64>()) {
+        prop_assume!(d1 != d2);
+        let root = Seed::from_label(&label.to_le_bytes());
+        prop_assert_ne!(root.derive(d1), root.derive(d2));
+        prop_assert_ne!(root.derive(d1), root);
+    }
+}

@@ -1,0 +1,217 @@
+//! `GF(2^32 − 5)` — the field used by the LightSecAgg paper
+//! (`q = 4294967291`, the largest prime below `2^32`; Appendix F.5).
+
+use crate::Field;
+use core::fmt;
+use core::iter::{Product, Sum};
+use core::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+use rand::Rng;
+
+/// The modulus `q = 2^32 − 5`.
+pub const P32: u64 = 4_294_967_291;
+
+/// An element of `GF(2^32 − 5)` stored as its canonical residue.
+///
+/// Products are computed in `u64`, so no intermediate overflow is possible.
+///
+/// # Example
+///
+/// ```
+/// use lsa_field::{Field, Fp32};
+/// let x = Fp32::from_u64(Fp32::MODULUS - 1); // −1
+/// assert_eq!(x + Fp32::ONE, Fp32::ZERO);
+/// ```
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fp32(u32);
+
+impl Fp32 {
+    /// Construct from a raw residue that is already `< q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `value >= q`.
+    #[inline]
+    pub fn from_canonical(value: u32) -> Self {
+        debug_assert!((value as u64) < P32);
+        Self(value)
+    }
+}
+
+impl Field for Fp32 {
+    const MODULUS: u64 = P32;
+    const ZERO: Self = Self(0);
+    const ONE: Self = Self(1);
+    const BITS: u32 = 32;
+
+    #[inline]
+    fn from_u64(value: u64) -> Self {
+        Self((value % P32) as u32)
+    }
+
+    #[inline]
+    fn residue(self) -> u64 {
+        self.0 as u64
+    }
+
+    fn inv(self) -> Option<Self> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(self.pow(P32 - 2))
+        }
+    }
+
+    #[inline]
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // Rejection sampling over u32: only 5 values out of 2^32 rejected.
+        loop {
+            let v = rng.gen::<u32>();
+            if (v as u64) < P32 {
+                return Self(v);
+            }
+        }
+    }
+}
+
+impl Add for Fp32 {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        let s = self.0 as u64 + rhs.0 as u64;
+        Self(if s >= P32 { (s - P32) as u32 } else { s as u32 })
+    }
+}
+
+impl Sub for Fp32 {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        let (d, borrow) = self.0.overflowing_sub(rhs.0);
+        Self(if borrow {
+            (d as u64).wrapping_add(P32) as u32
+        } else {
+            d
+        })
+    }
+}
+
+impl Mul for Fp32 {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        Self(((self.0 as u64 * rhs.0 as u64) % P32) as u32)
+    }
+}
+
+impl Neg for Fp32 {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        if self.0 == 0 {
+            self
+        } else {
+            Self((P32 - self.0 as u64) as u32)
+        }
+    }
+}
+
+impl AddAssign for Fp32 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Fp32 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Fp32 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl Sum for Fp32 {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::ZERO, |a, b| a + b)
+    }
+}
+
+impl Product for Fp32 {
+    fn product<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::ONE, |a, b| a * b)
+    }
+}
+
+impl fmt::Debug for Fp32 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fp32({})", self.0)
+    }
+}
+
+impl fmt::Display for Fp32 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for Fp32 {
+    fn from(value: u32) -> Self {
+        Self::from_u64(value as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modulus_is_prime_by_trial_division() {
+        // One-off sanity check of the constant (sqrt(q) ≈ 65536).
+        let q = P32;
+        assert!(q % 2 == 1);
+        let mut d = 3u64;
+        while d * d <= q {
+            assert_ne!(q % d, 0, "divisor {d}");
+            d += 2;
+        }
+    }
+
+    #[test]
+    fn add_wraps() {
+        let a = Fp32::from_u64(P32 - 1);
+        assert_eq!((a + Fp32::ONE).residue(), 0);
+        assert_eq!((a + a).residue(), P32 - 2);
+    }
+
+    #[test]
+    fn sub_wraps() {
+        let a = Fp32::ZERO;
+        assert_eq!((a - Fp32::ONE).residue(), P32 - 1);
+    }
+
+    #[test]
+    fn neg_zero_is_zero() {
+        assert_eq!(-Fp32::ZERO, Fp32::ZERO);
+    }
+
+    #[test]
+    fn inv_of_zero_is_none() {
+        assert!(Fp32::ZERO.inv().is_none());
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        let x = Fp32::from_u64(12345);
+        let mut acc = Fp32::ONE;
+        for e in 0..20u64 {
+            assert_eq!(x.pow(e), acc);
+            acc *= x;
+        }
+    }
+}

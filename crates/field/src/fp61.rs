@@ -1,0 +1,219 @@
+//! `GF(2^61 − 1)` — a Mersenne-prime field with fast reduction.
+//!
+//! Used to validate that the coding and protocol layers are field-generic,
+//! and as a larger field when aggregating many quantized updates would risk
+//! wrap-around in `GF(2^32 − 5)`.
+
+use crate::Field;
+use core::fmt;
+use core::iter::{Product, Sum};
+use core::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+use rand::Rng;
+
+/// The modulus `q = 2^61 − 1` (a Mersenne prime).
+pub const P61: u64 = (1u64 << 61) - 1;
+
+/// An element of `GF(2^61 − 1)` stored as its canonical residue.
+///
+/// Multiplication uses `u128` intermediates with Mersenne folding
+/// (`hi*2^61 + lo ≡ hi + lo (mod 2^61 − 1)`), which is branch-light and
+/// noticeably faster than a generic `%`.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fp61(u64);
+
+#[inline]
+fn reduce128(x: u128) -> u64 {
+    // Fold twice: after one fold the value is < 2^62, after the second
+    // it is < 2^61 + 1, so a single conditional subtraction finishes.
+    let lo = (x as u64) & P61;
+    let hi = (x >> 61) as u64;
+    let mut s = lo + hi;
+    if s >= P61 {
+        s -= P61;
+    }
+    s
+}
+
+impl Fp61 {
+    /// Construct from a raw residue that is already `< q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `value >= q`.
+    #[inline]
+    pub fn from_canonical(value: u64) -> Self {
+        debug_assert!(value < P61);
+        Self(value)
+    }
+}
+
+impl Field for Fp61 {
+    const MODULUS: u64 = P61;
+    const ZERO: Self = Self(0);
+    const ONE: Self = Self(1);
+    const BITS: u32 = 61;
+
+    #[inline]
+    fn from_u64(value: u64) -> Self {
+        // value < 2^64 = 8·(2^61) so two folds suffice.
+        let mut v = (value & P61) + (value >> 61);
+        if v >= P61 {
+            v -= P61;
+        }
+        Self(v)
+    }
+
+    #[inline]
+    fn residue(self) -> u64 {
+        self.0
+    }
+
+    fn inv(self) -> Option<Self> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(self.pow(P61 - 2))
+        }
+    }
+
+    #[inline]
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        loop {
+            let v = rng.gen::<u64>() >> 3; // 61 random bits
+            if v < P61 {
+                return Self(v);
+            }
+        }
+    }
+}
+
+impl Add for Fp61 {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        let mut s = self.0 + rhs.0; // < 2^62, no overflow
+        if s >= P61 {
+            s -= P61;
+        }
+        Self(s)
+    }
+}
+
+impl Sub for Fp61 {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        let (d, borrow) = self.0.overflowing_sub(rhs.0);
+        Self(if borrow { d.wrapping_add(P61) } else { d })
+    }
+}
+
+impl Mul for Fp61 {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        Self(reduce128(self.0 as u128 * rhs.0 as u128))
+    }
+}
+
+impl Neg for Fp61 {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        if self.0 == 0 {
+            self
+        } else {
+            Self(P61 - self.0)
+        }
+    }
+}
+
+impl AddAssign for Fp61 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Fp61 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Fp61 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl Sum for Fp61 {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::ZERO, |a, b| a + b)
+    }
+}
+
+impl Product for Fp61 {
+    fn product<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::ONE, |a, b| a * b)
+    }
+}
+
+impl fmt::Debug for Fp61 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fp61({})", self.0)
+    }
+}
+
+impl fmt::Display for Fp61 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for Fp61 {
+    fn from(value: u64) -> Self {
+        Self::from_u64(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduce128_handles_extremes() {
+        assert_eq!(reduce128(0), 0);
+        assert_eq!(reduce128(P61 as u128), 0);
+        assert_eq!(reduce128((P61 as u128) * (P61 as u128)), 0);
+        assert_eq!(reduce128(u128::from(u64::MAX)), u64::MAX % P61);
+    }
+
+    #[test]
+    fn square_of_modulus_is_zero() {
+        let q = Fp61::from_u64(P61);
+        assert_eq!(q, Fp61::ZERO);
+        assert_eq!(q * q, Fp61::ZERO);
+    }
+
+    #[test]
+    fn minus_one_squared() {
+        let m1 = -Fp61::ONE;
+        assert_eq!(m1 * m1, Fp61::ONE);
+    }
+
+    #[test]
+    fn from_u64_reduces_max() {
+        let x = Fp61::from_u64(u64::MAX);
+        assert!(x.residue() < P61);
+        assert_eq!(x.residue(), u64::MAX % P61);
+    }
+
+    #[test]
+    fn fermat_inverse() {
+        let x = Fp61::from_u64(987654321);
+        assert_eq!(x * x.inv().unwrap(), Fp61::ONE);
+    }
+}

@@ -1,0 +1,183 @@
+//! Prime-field arithmetic for the LightSecAgg reproduction.
+//!
+//! All secure-aggregation operations in the paper are carried out over a
+//! finite field `F_q`. The reference implementation uses `q = 2^32 − 5`
+//! (the largest 32-bit prime; see Appendix F.5 of the paper), which is
+//! provided here as [`Fp32`]. A second, larger field [`Fp61`]
+//! (`q = 2^61 − 1`, a Mersenne prime) is provided both to test genericity of
+//! the coding layer and to offer head-room against wrap-around when
+//! aggregating many quantized updates.
+//!
+//! The [`Field`] trait abstracts over both so the MDS coding, secret-sharing
+//! and protocol layers are field-agnostic.
+//!
+//! # Example
+//!
+//! ```
+//! use lsa_field::{Field, Fp32};
+//!
+//! let a = Fp32::from_u64(7);
+//! let b = Fp32::from_u64(11);
+//! assert_eq!((a * b).residue(), 77);
+//! // Every non-zero element is invertible.
+//! let inv = a.inv().expect("non-zero");
+//! assert_eq!(a * inv, Fp32::ONE);
+//! ```
+
+mod fp32;
+mod fp61;
+pub mod ops;
+
+pub use fp32::Fp32;
+pub use fp61::Fp61;
+
+use core::fmt::{Debug, Display};
+use core::hash::Hash;
+use core::iter::{Product, Sum};
+use core::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+use rand::Rng;
+
+/// A prime field element.
+///
+/// Implementors are `Copy` value types storing a canonical residue in
+/// `[0, MODULUS)`. All arithmetic is constant modular arithmetic; `inv`
+/// uses Fermat's little theorem (`a^(q-2)`), so it is `O(log q)`
+/// multiplications.
+///
+/// The trait is sealed in spirit (only the two in-crate fields implement
+/// it); downstream code should be generic over `F: Field`.
+pub trait Field:
+    Copy
+    + Clone
+    + Debug
+    + Display
+    + Default
+    + Eq
+    + PartialEq
+    + Hash
+    + Send
+    + Sync
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + Sum
+    + Product
+    + 'static
+{
+    /// The field modulus `q`.
+    const MODULUS: u64;
+
+    /// Additive identity.
+    const ZERO: Self;
+
+    /// Multiplicative identity.
+    const ONE: Self;
+
+    /// Number of bits needed to store a canonical residue.
+    const BITS: u32;
+
+    /// Construct an element from an unsigned integer, reducing mod `q`.
+    fn from_u64(value: u64) -> Self;
+
+    /// Construct an element from a signed integer: negative values map to
+    /// `q - |value| mod q`, i.e. the standard embedding of small signed
+    /// integers used by the two's-complement mapping `φ` of the paper
+    /// (Appendix F.3.2).
+    fn from_i64(value: i64) -> Self {
+        if value >= 0 {
+            Self::from_u64(value as u64)
+        } else {
+            let mag = Self::from_u64(value.unsigned_abs());
+            -mag
+        }
+    }
+
+    /// The canonical residue in `[0, q)`.
+    fn residue(self) -> u64;
+
+    /// Multiplicative inverse, or `None` for zero.
+    fn inv(self) -> Option<Self>;
+
+    /// Modular exponentiation by squaring.
+    fn pow(self, mut exp: u64) -> Self {
+        let mut base = self;
+        let mut acc = Self::ONE;
+        while exp != 0 {
+            if exp & 1 == 1 {
+                acc *= base;
+            }
+            base *= base;
+            exp >>= 1;
+        }
+        acc
+    }
+
+    /// Uniformly random field element (rejection sampling, unbiased).
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self;
+
+    /// `true` iff this is the additive identity.
+    fn is_zero(self) -> bool {
+        self == Self::ZERO
+    }
+
+    /// Interpret the residue as a signed integer in
+    /// `(-(q-1)/2, (q-1)/2]` — the demapping `φ⁻¹` of the paper.
+    fn to_signed(self) -> i64 {
+        let r = self.residue();
+        let half = (Self::MODULUS - 1) / 2;
+        if r < half {
+            r as i64
+        } else {
+            r as i64 - Self::MODULUS as i64
+        }
+    }
+}
+
+/// Deterministically derives `count` distinct non-zero evaluation points.
+///
+/// Vandermonde-based MDS matrices require pairwise-distinct, non-zero
+/// points; `1, 2, …, count` are guaranteed distinct whenever
+/// `count < q`, which always holds for the protocol sizes of interest
+/// (`count ≤ N ≪ q`).
+///
+/// # Panics
+///
+/// Panics if `count >= F::MODULUS` (cannot produce that many distinct
+/// non-zero points).
+pub fn evaluation_points<F: Field>(count: usize) -> Vec<F> {
+    assert!(
+        (count as u64) < F::MODULUS,
+        "cannot derive {count} distinct points in a field of size {}",
+        F::MODULUS
+    );
+    (1..=count as u64).map(F::from_u64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evaluation_points_are_distinct_and_nonzero() {
+        let pts = evaluation_points::<Fp32>(64);
+        assert_eq!(pts.len(), 64);
+        for (i, p) in pts.iter().enumerate() {
+            assert!(!p.is_zero());
+            for q in &pts[i + 1..] {
+                assert_ne!(p, q);
+            }
+        }
+    }
+
+    #[test]
+    fn signed_roundtrip() {
+        for v in [-5i64, -1, 0, 1, 5, 1000, -1000] {
+            assert_eq!(Fp32::from_i64(v).to_signed(), v);
+            assert_eq!(Fp61::from_i64(v).to_signed(), v);
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! Vector kernels over field elements.
+//!
+//! The protocol layers manipulate large vectors (`d` up to millions of
+//! elements), so the hot loops live here as free functions over slices.
+//! All functions panic on length mismatch — the callers own shape
+//! invariants and a silent truncation would be a correctness bug in a
+//! secure-aggregation context.
+
+use crate::Field;
+use rand::Rng;
+
+/// `acc[k] += x[k]` for all `k`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn add_assign<F: Field>(acc: &mut [F], x: &[F]) {
+    assert_eq!(acc.len(), x.len(), "vector length mismatch");
+    for (a, b) in acc.iter_mut().zip(x) {
+        *a += *b;
+    }
+}
+
+/// `acc[k] -= x[k]` for all `k`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn sub_assign<F: Field>(acc: &mut [F], x: &[F]) {
+    assert_eq!(acc.len(), x.len(), "vector length mismatch");
+    for (a, b) in acc.iter_mut().zip(x) {
+        *a -= *b;
+    }
+}
+
+/// `acc[k] += c * x[k]` for all `k` (fused multiply-accumulate).
+///
+/// This is the inner loop of MDS encoding/decoding.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn axpy<F: Field>(acc: &mut [F], c: F, x: &[F]) {
+    assert_eq!(acc.len(), x.len(), "vector length mismatch");
+    if c == F::ZERO {
+        return;
+    }
+    for (a, b) in acc.iter_mut().zip(x) {
+        *a += c * *b;
+    }
+}
+
+/// Element-wise sum of two vectors.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn add<F: Field>(x: &[F], y: &[F]) -> Vec<F> {
+    assert_eq!(x.len(), y.len(), "vector length mismatch");
+    x.iter().zip(y).map(|(a, b)| *a + *b).collect()
+}
+
+/// Element-wise difference `x - y`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn sub<F: Field>(x: &[F], y: &[F]) -> Vec<F> {
+    assert_eq!(x.len(), y.len(), "vector length mismatch");
+    x.iter().zip(y).map(|(a, b)| *a - *b).collect()
+}
+
+/// Scale a vector by a constant, in place.
+pub fn scale_assign<F: Field>(x: &mut [F], c: F) {
+    for a in x.iter_mut() {
+        *a *= c;
+    }
+}
+
+/// Inner product `Σ x[k]·y[k]`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn dot<F: Field>(x: &[F], y: &[F]) -> F {
+    assert_eq!(x.len(), y.len(), "vector length mismatch");
+    x.iter().zip(y).map(|(a, b)| *a * *b).sum()
+}
+
+/// Sum a collection of equal-length vectors into a fresh vector.
+///
+/// Returns `None` when the iterator is empty.
+///
+/// # Panics
+///
+/// Panics if the vectors differ in length.
+pub fn sum_vectors<'a, F: Field>(mut vecs: impl Iterator<Item = &'a [F]>) -> Option<Vec<F>> {
+    let first = vecs.next()?;
+    let mut acc = first.to_vec();
+    for v in vecs {
+        add_assign(&mut acc, v);
+    }
+    Some(acc)
+}
+
+/// Fill a vector with uniformly random field elements.
+pub fn random_vector<F: Field, R: Rng + ?Sized>(len: usize, rng: &mut R) -> Vec<F> {
+    (0..len).map(|_| F::random(rng)).collect()
+}
+
+/// Batch inversion via Montgomery's trick: inverts `n` elements with one
+/// field inversion and `3(n−1)` multiplications.
+///
+/// Used by the Lagrange decoders, where per-element `inv()` (a full
+/// `O(log q)` exponentiation) would dominate the `O(U²)` basis setup.
+///
+/// Returns `None` if any input is zero (callers treat a zero denominator
+/// as a duplicate-point bug, so no partial output is produced).
+pub fn batch_invert<F: Field>(xs: &[F]) -> Option<Vec<F>> {
+    if xs.is_empty() {
+        return Some(Vec::new());
+    }
+    // prefix products
+    let mut prefix = Vec::with_capacity(xs.len());
+    let mut acc = F::ONE;
+    for &x in xs {
+        if x.is_zero() {
+            return None;
+        }
+        acc *= x;
+        prefix.push(acc);
+    }
+    // single inversion of the total product
+    let mut inv_acc = prefix.last().copied()?.inv()?;
+    let mut out = vec![F::ZERO; xs.len()];
+    for k in (0..xs.len()).rev() {
+        let before = if k == 0 { F::ONE } else { prefix[k - 1] };
+        out[k] = inv_acc * before;
+        inv_acc *= xs[k];
+    }
+    Some(out)
+}
+
+/// Evaluate the "vector polynomial" `Σ_k segs[k] · point^k` (Horner form).
+///
+/// Each `segs[k]` is a vector coefficient; the result has the common
+/// segment length. This is exactly one column of the Vandermonde MDS
+/// encoding in Eq. (5) of the paper.
+///
+/// # Panics
+///
+/// Panics if `segs` is empty or the segments have different lengths.
+pub fn horner_eval<F: Field>(segs: &[Vec<F>], point: F) -> Vec<F> {
+    assert!(!segs.is_empty(), "no segments to evaluate");
+    let len = segs[0].len();
+    let mut acc = vec![F::ZERO; len];
+    for seg in segs.iter().rev() {
+        assert_eq!(seg.len(), len, "segment length mismatch");
+        // acc = acc * point + seg
+        for (a, s) in acc.iter_mut().zip(seg) {
+            *a = *a * point + *s;
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Fp32, Fp61};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn v32(xs: &[u64]) -> Vec<Fp32> {
+        xs.iter().map(|&x| Fp32::from_u64(x)).collect()
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let x = v32(&[1, 2, 3, 4]);
+        let y = v32(&[10, 20, 30, 40]);
+        let s = add(&x, &y);
+        let back = sub(&s, &y);
+        assert_eq!(back, x);
+    }
+
+    #[test]
+    fn axpy_matches_manual() {
+        let mut acc = v32(&[1, 1, 1]);
+        let x = v32(&[2, 3, 4]);
+        axpy(&mut acc, Fp32::from_u64(5), &x);
+        assert_eq!(acc, v32(&[11, 16, 21]));
+    }
+
+    #[test]
+    fn axpy_zero_coefficient_is_noop() {
+        let mut acc = v32(&[7, 8]);
+        let before = acc.clone();
+        axpy(&mut acc, Fp32::ZERO, &v32(&[100, 200]));
+        assert_eq!(acc, before);
+    }
+
+    #[test]
+    fn dot_small() {
+        let x = v32(&[1, 2, 3]);
+        let y = v32(&[4, 5, 6]);
+        assert_eq!(dot(&x, &y).residue(), 32);
+    }
+
+    #[test]
+    fn sum_vectors_empty_is_none() {
+        let empty: Vec<&[Fp32]> = vec![];
+        assert!(sum_vectors::<Fp32>(empty.into_iter()).is_none());
+    }
+
+    #[test]
+    fn sum_vectors_three() {
+        let a = v32(&[1, 2]);
+        let b = v32(&[3, 4]);
+        let c = v32(&[5, 6]);
+        let s = sum_vectors([a.as_slice(), b.as_slice(), c.as_slice()].into_iter()).unwrap();
+        assert_eq!(s, v32(&[9, 12]));
+    }
+
+    #[test]
+    fn horner_eval_linear() {
+        // segs = [c0, c1]; eval at point p gives c0 + c1*p.
+        let c0 = v32(&[1, 2]);
+        let c1 = v32(&[3, 4]);
+        let out = horner_eval(&[c0, c1], Fp32::from_u64(10));
+        assert_eq!(out, v32(&[31, 42]));
+    }
+
+    #[test]
+    fn horner_eval_fp61() {
+        let c0: Vec<Fp61> = vec![Fp61::from_u64(5)];
+        let c1: Vec<Fp61> = vec![Fp61::from_u64(7)];
+        let c2: Vec<Fp61> = vec![Fp61::from_u64(11)];
+        let out = horner_eval(&[c0, c1, c2], Fp61::from_u64(2));
+        // 5 + 7*2 + 11*4 = 63
+        assert_eq!(out[0].residue(), 63);
+    }
+
+    #[test]
+    fn random_vector_is_seed_deterministic() {
+        let mut r1 = StdRng::seed_from_u64(42);
+        let mut r2 = StdRng::seed_from_u64(42);
+        let a = random_vector::<Fp32, _>(100, &mut r1);
+        let b = random_vector::<Fp32, _>(100, &mut r2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "vector length mismatch")]
+    fn add_assign_length_mismatch_panics() {
+        let mut a = v32(&[1]);
+        add_assign(&mut a, &v32(&[1, 2]));
+    }
+
+    #[test]
+    fn batch_invert_matches_individual() {
+        let xs = v32(&[2, 3, 5, 7, 11, 4294967290]);
+        let got = batch_invert(&xs).unwrap();
+        for (x, inv) in xs.iter().zip(&got) {
+            assert_eq!(*x * *inv, Fp32::ONE);
+        }
+    }
+
+    #[test]
+    fn batch_invert_rejects_zero() {
+        let xs = v32(&[2, 0, 5]);
+        assert!(batch_invert(&xs).is_none());
+    }
+
+    #[test]
+    fn batch_invert_empty_and_singleton() {
+        assert_eq!(batch_invert::<Fp32>(&[]).unwrap(), vec![]);
+        let one = batch_invert(&v32(&[7])).unwrap();
+        assert_eq!(one[0] * Fp32::from_u64(7), Fp32::ONE);
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests of the field axioms for both fields.
+
+use lsa_field::{Field, Fp32, Fp61};
+use proptest::prelude::*;
+
+fn fp32() -> impl Strategy<Value = Fp32> {
+    any::<u64>().prop_map(Fp32::from_u64)
+}
+
+fn fp61() -> impl Strategy<Value = Fp61> {
+    any::<u64>().prop_map(Fp61::from_u64)
+}
+
+macro_rules! axiom_tests {
+    ($modname:ident, $strat:ident, $F:ty) => {
+        mod $modname {
+            use super::*;
+
+            proptest! {
+                #[test]
+                fn add_commutative(a in $strat(), b in $strat()) {
+                    prop_assert_eq!(a + b, b + a);
+                }
+
+                #[test]
+                fn add_associative(a in $strat(), b in $strat(), c in $strat()) {
+                    prop_assert_eq!((a + b) + c, a + (b + c));
+                }
+
+                #[test]
+                fn mul_commutative(a in $strat(), b in $strat()) {
+                    prop_assert_eq!(a * b, b * a);
+                }
+
+                #[test]
+                fn mul_associative(a in $strat(), b in $strat(), c in $strat()) {
+                    prop_assert_eq!((a * b) * c, a * (b * c));
+                }
+
+                #[test]
+                fn distributive(a in $strat(), b in $strat(), c in $strat()) {
+                    prop_assert_eq!(a * (b + c), a * b + a * c);
+                }
+
+                #[test]
+                fn additive_inverse(a in $strat()) {
+                    prop_assert_eq!(a + (-a), <$F>::ZERO);
+                }
+
+                #[test]
+                fn multiplicative_inverse(a in $strat()) {
+                    if !a.is_zero() {
+                        let inv = a.inv().unwrap();
+                        prop_assert_eq!(a * inv, <$F>::ONE);
+                    }
+                }
+
+                #[test]
+                fn sub_is_add_neg(a in $strat(), b in $strat()) {
+                    prop_assert_eq!(a - b, a + (-b));
+                }
+
+                #[test]
+                fn residue_is_canonical(a in $strat()) {
+                    prop_assert!(a.residue() < <$F>::MODULUS);
+                }
+
+                #[test]
+                fn pow_adds_exponents(a in $strat(), e1 in 0u64..1000, e2 in 0u64..1000) {
+                    prop_assert_eq!(a.pow(e1) * a.pow(e2), a.pow(e1 + e2));
+                }
+
+                #[test]
+                fn signed_embedding_roundtrip(v in -(1i64 << 30)..(1i64 << 30)) {
+                    prop_assert_eq!(<$F>::from_i64(v).to_signed(), v);
+                }
+
+                #[test]
+                fn from_u64_is_mod_reduction(v in any::<u64>()) {
+                    prop_assert_eq!(<$F>::from_u64(v).residue(), v % <$F>::MODULUS);
+                }
+            }
+        }
+    };
+}
+
+axiom_tests!(fp32_axioms, fp32, Fp32);
+axiom_tests!(fp61_axioms, fp61, Fp61);
+
+proptest! {
+    /// The `ops` kernels agree with naive elementwise computation.
+    #[test]
+    fn ops_axpy_matches_naive(
+        xs in proptest::collection::vec(any::<u64>(), 1..64),
+        ys in proptest::collection::vec(any::<u64>(), 1..64),
+        c in any::<u64>(),
+    ) {
+        let n = xs.len().min(ys.len());
+        let x: Vec<Fp32> = xs[..n].iter().map(|&v| Fp32::from_u64(v)).collect();
+        let y: Vec<Fp32> = ys[..n].iter().map(|&v| Fp32::from_u64(v)).collect();
+        let c = Fp32::from_u64(c);
+
+        let mut acc = y.clone();
+        lsa_field::ops::axpy(&mut acc, c, &x);
+        for k in 0..n {
+            prop_assert_eq!(acc[k], y[k] + c * x[k]);
+        }
+    }
+
+    /// Horner evaluation equals the naive power-sum definition.
+    #[test]
+    fn horner_matches_power_sum(
+        coeffs in proptest::collection::vec(
+            proptest::collection::vec(any::<u64>(), 3), 1..8),
+        point in any::<u64>(),
+    ) {
+        let segs: Vec<Vec<Fp32>> = coeffs
+            .iter()
+            .map(|seg| seg.iter().map(|&v| Fp32::from_u64(v)).collect())
+            .collect();
+        let p = Fp32::from_u64(point);
+        let got = lsa_field::ops::horner_eval(&segs, p);
+        for e in 0..3 {
+            let want: Fp32 = segs
+                .iter()
+                .enumerate()
+                .map(|(k, seg)| seg[e] * p.pow(k as u64))
+                .sum();
+            prop_assert_eq!(got[e], want);
+        }
+    }
+}

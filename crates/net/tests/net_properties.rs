@@ -1,0 +1,106 @@
+//! Property-based tests of the network simulator's physical sanity.
+
+use lsa_net::{Duplex, Network, NetworkConfig, NodeId, Transfer};
+use proptest::prelude::*;
+
+fn cfg(clients: usize) -> NetworkConfig {
+    NetworkConfig {
+        clients,
+        client_bps: 10e6,
+        server_bps: 100e6,
+        latency: 0.001,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// More bytes never finish earlier.
+    #[test]
+    fn transfer_time_monotone_in_bytes(bytes in 1usize..10_000_000) {
+        let mut net = Network::new(cfg(1), Duplex::Full);
+        let t1 = net
+            .run_phase(0.0, &[Transfer::new(NodeId::Client(0), NodeId::Server, bytes)])
+            .phase_end;
+        let mut net = Network::new(cfg(1), Duplex::Full);
+        let t2 = net
+            .run_phase(
+                0.0,
+                &[Transfer::new(NodeId::Client(0), NodeId::Server, bytes * 2)],
+            )
+            .phase_end;
+        prop_assert!(t2 >= t1);
+    }
+
+    /// Half duplex is never faster than full duplex on the same plan.
+    #[test]
+    fn half_duplex_never_faster(
+        n in 2usize..6,
+        plan in proptest::collection::vec((0usize..6, 0usize..6, 1usize..100_000), 1..12),
+    ) {
+        let transfers: Vec<Transfer> = plan
+            .iter()
+            .filter(|(a, b, _)| a % n != b % n)
+            .map(|&(a, b, bytes)| {
+                Transfer::new(NodeId::Client(a % n), NodeId::Client(b % n), bytes)
+            })
+            .collect();
+        prop_assume!(!transfers.is_empty());
+        let full = Network::new(cfg(n), Duplex::Full).run_phase(0.0, &transfers).phase_end;
+        let half = Network::new(cfg(n), Duplex::Half).run_phase(0.0, &transfers).phase_end;
+        prop_assert!(half >= full - 1e-12, "half {half} < full {full}");
+    }
+
+    /// Every transfer finishes no earlier than latency + its own
+    /// serialization on the slowest of the two channels.
+    #[test]
+    fn physical_lower_bound(bytes in 1usize..1_000_000) {
+        let c = cfg(1);
+        let mut net = Network::new(c, Duplex::Full);
+        let report = net.run_phase(
+            0.0,
+            &[Transfer::new(NodeId::Client(0), NodeId::Server, bytes)],
+        );
+        let min_time = c.latency + bytes as f64 * 8.0 / c.client_bps;
+        prop_assert!(report.finish_times[0] >= min_time - 1e-12);
+    }
+
+    /// Completion times are monotone in the k index of kth_completion.
+    #[test]
+    fn kth_completion_sorted(
+        sizes in proptest::collection::vec(1usize..500_000, 2..8),
+    ) {
+        let n = sizes.len();
+        let mut net = Network::new(cfg(n), Duplex::Full);
+        let transfers: Vec<Transfer> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| Transfer::new(NodeId::Client(i), NodeId::Server, b))
+            .collect();
+        let report = net.run_phase(0.0, &transfers);
+        for k in 1..n {
+            prop_assert!(report.kth_completion(k) >= report.kth_completion(k - 1));
+        }
+    }
+
+    /// The phase end equals the max of the individual completions.
+    #[test]
+    fn phase_end_is_max(
+        sizes in proptest::collection::vec(1usize..200_000, 1..6),
+    ) {
+        let n = sizes.len();
+        let mut net = Network::new(cfg(n), Duplex::Full);
+        let transfers: Vec<Transfer> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| Transfer::new(NodeId::Client(i), NodeId::Server, b))
+            .collect();
+        let report = net.run_phase(0.0, &transfers);
+        let max = report
+            .finish_times
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!((report.phase_end - max).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,591 @@
+//! Buffered-asynchronous LightSecAgg (§4.2 and Appendix F of the paper).
+//!
+//! The server buffers `K` masked local updates that may originate from
+//! *different* global rounds (staleness `τ_i = t − t_i ≤ τ_max`). Because
+//! MDS coding commutes with addition, users can aggregate their stored
+//! coded masks `[~z_i^{(t_i)}]_j` with the *round-matched* timestamps the
+//! server announces, and the server still recovers the (staleness-
+//! weighted) aggregate mask in one shot — the property SecAgg/SecAgg+
+//! fundamentally lack (Remark 1).
+//!
+//! Staleness compensation happens inside the field via the quantized
+//! weights `s_{c_g}(τ)` of Eq. (34).
+
+use crate::config::LsaConfig;
+use crate::messages::AggregatedShare;
+use crate::ProtocolError;
+use lsa_coding::{vandermonde, VandermondeCode};
+use lsa_field::Field;
+use lsa_quantize::{QuantizedStaleness, VectorQuantizer};
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// A coded mask share tagged with the generation round (Appendix F.3.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimestampedShare<F> {
+    /// Mask owner.
+    pub from: usize,
+    /// Recipient.
+    pub to: usize,
+    /// Round `t_i` in which the mask was generated.
+    pub round: u64,
+    /// Coded segment `[~z_from^{(round)}]_to`.
+    pub payload: Vec<F>,
+}
+
+/// A masked, quantized local update tagged with its base round
+/// (Appendix F.3.2): `~Δ_i = Δ̄_i + z_i^{(t_i)}`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimestampedUpdate<F> {
+    /// Uploading user.
+    pub from: usize,
+    /// Round `t_i` the user based its update on.
+    pub round: u64,
+    /// Masked quantized update, padded length.
+    pub payload: Vec<F>,
+}
+
+/// One buffered entry the server announces for mask aggregation:
+/// user `who` contributed an update based on round `round`, to be weighted
+/// by the integer staleness weight `weight` (`= s_{c_g}(t − round)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufferEntry {
+    /// Contributing user.
+    pub who: usize,
+    /// Base round of the contribution.
+    pub round: u64,
+    /// Integer staleness weight `c_g·Q_{c_g}(s(τ))`.
+    pub weight: u64,
+}
+
+/// Client side of asynchronous LightSecAgg.
+///
+/// Keeps every mask it generated (per round) plus every coded share it
+/// received (per sender and round), so it can serve aggregation requests
+/// that mix rounds.
+#[derive(Debug, Clone)]
+pub struct AsyncClient<F> {
+    id: usize,
+    cfg: LsaConfig,
+    code: VandermondeCode<F>,
+    /// Own masks by round.
+    masks: BTreeMap<u64, Vec<F>>,
+    /// Received coded shares keyed by `(sender, round)`.
+    received: BTreeMap<(usize, u64), Vec<F>>,
+}
+
+impl<F: Field> AsyncClient<F> {
+    /// Create the client for user `id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::InvalidConfig`] if `id >= cfg.n()`.
+    pub fn new(id: usize, cfg: LsaConfig) -> Result<Self, ProtocolError> {
+        if id >= cfg.n() {
+            return Err(ProtocolError::InvalidConfig(format!(
+                "client id {id} out of range for N={}",
+                cfg.n()
+            )));
+        }
+        let code = VandermondeCode::new(cfg.n(), cfg.u())?;
+        Ok(Self {
+            id,
+            cfg,
+            code,
+            masks: BTreeMap::new(),
+            received: BTreeMap::new(),
+        })
+    }
+
+    /// This client's user index.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Offline phase for round `round`: sample `z_i^{(round)}`, encode,
+    /// and return the shares for the other users. The own share is stored
+    /// internally.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::DuplicateMessage`] if the round's mask was
+    /// already generated.
+    pub fn generate_round_mask<R: Rng + ?Sized>(
+        &mut self,
+        round: u64,
+        rng: &mut R,
+    ) -> Result<Vec<TimestampedShare<F>>, ProtocolError> {
+        if self.masks.contains_key(&round) {
+            return Err(ProtocolError::DuplicateMessage(self.id));
+        }
+        let mask = lsa_field::ops::random_vector(self.cfg.padded_len(), rng);
+        let mut segments = vandermonde::partition(&mask, self.cfg.data_segments())?;
+        for _ in 0..self.cfg.t() {
+            segments.push(lsa_field::ops::random_vector(self.cfg.segment_len(), rng));
+        }
+        let coded = self.code.encode_all(&segments);
+        self.masks.insert(round, mask);
+        self.received
+            .insert((self.id, round), coded[self.id].clone());
+        Ok((0..self.cfg.n())
+            .filter(|&j| j != self.id)
+            .map(|j| TimestampedShare {
+                from: self.id,
+                to: j,
+                round,
+                payload: coded[j].clone(),
+            })
+            .collect())
+    }
+
+    /// Accept a timestamped coded share from a peer.
+    ///
+    /// # Errors
+    ///
+    /// Mirrors [`crate::Client::receive_share`].
+    pub fn receive_share(&mut self, share: TimestampedShare<F>) -> Result<(), ProtocolError> {
+        if share.to != self.id {
+            return Err(ProtocolError::MisroutedShare {
+                expected: self.id,
+                got: share.to,
+            });
+        }
+        if share.from >= self.cfg.n() {
+            return Err(ProtocolError::UnknownUser(share.from));
+        }
+        if share.payload.len() != self.cfg.segment_len() {
+            return Err(ProtocolError::Coding(lsa_coding::CodingError::LengthMismatch {
+                expected: self.cfg.segment_len(),
+                got: share.payload.len(),
+            }));
+        }
+        let key = (share.from, share.round);
+        if self.received.contains_key(&key) {
+            return Err(ProtocolError::DuplicateMessage(share.from));
+        }
+        self.received.insert(key, share.payload);
+        Ok(())
+    }
+
+    /// Mask a quantized local update computed from base round `round`.
+    ///
+    /// **Privacy invariant**: each round's mask must protect at most one
+    /// uploaded update — masking two *different* updates with the same
+    /// `z_i^{(round)}` would let the server learn their difference.
+    /// Generate a fresh round mask (with a fresh round id) per upload;
+    /// the type does not consume the mask because legitimate retries of
+    /// the *same* payload are safe.
+    ///
+    /// # Errors
+    ///
+    /// * [`ProtocolError::MissingShares`] if no mask was generated for the
+    ///   round;
+    /// * [`ProtocolError::Coding`] on length mismatch.
+    pub fn mask_update(
+        &self,
+        round: u64,
+        update: &[F],
+    ) -> Result<TimestampedUpdate<F>, ProtocolError> {
+        if update.len() != self.cfg.d() {
+            return Err(ProtocolError::Coding(lsa_coding::CodingError::LengthMismatch {
+                expected: self.cfg.d(),
+                got: update.len(),
+            }));
+        }
+        let mask = self
+            .masks
+            .get(&round)
+            .ok_or(ProtocolError::MissingShares { from: self.id })?;
+        let mut payload = update.to_vec();
+        payload.resize(self.cfg.padded_len(), F::ZERO);
+        lsa_field::ops::add_assign(&mut payload, mask);
+        Ok(TimestampedUpdate {
+            from: self.id,
+            round,
+            payload,
+        })
+    }
+
+    /// Serve the server's aggregation request: compute
+    /// `Σ_entries weight · [~z_who^{(round)}]_id` (Appendix F.3.3).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::MissingShares`] if a requested share was
+    /// never received.
+    pub fn aggregated_share_for(
+        &self,
+        entries: &[BufferEntry],
+    ) -> Result<AggregatedShare<F>, ProtocolError> {
+        let mut acc = vec![F::ZERO; self.cfg.segment_len()];
+        for e in entries {
+            let share = self
+                .received
+                .get(&(e.who, e.round))
+                .ok_or(ProtocolError::MissingShares { from: e.who })?;
+            lsa_field::ops::axpy(&mut acc, F::from_u64(e.weight), share);
+        }
+        Ok(AggregatedShare {
+            from: self.id,
+            payload: acc,
+        })
+    }
+
+    /// Drop masks and shares for rounds `< keep_from` (bounded staleness
+    /// means they can never be requested again).
+    pub fn discard_before(&mut self, keep_from: u64) {
+        self.masks.retain(|&r, _| r >= keep_from);
+        self.received.retain(|&(_, r), _| r >= keep_from);
+    }
+
+    /// Number of stored (sender, round) coded shares.
+    pub fn shares_stored(&self) -> usize {
+        self.received.len()
+    }
+}
+
+/// The weighted aggregate recovered by the async server, still in the
+/// field. Use [`WeightedAggregate::dequantize`] to obtain the real-valued
+/// weighted-average update of Eq. (37).
+#[derive(Debug, Clone)]
+pub struct WeightedAggregate<F> {
+    /// `Σ w_i·Δ̄_i` (field elements, length `d`).
+    pub aggregate: Vec<F>,
+    /// `Σ w_i` — the integer normalizer.
+    pub total_weight: u64,
+    /// The buffer entries that contributed.
+    pub entries: Vec<BufferEntry>,
+}
+
+impl<F: Field> WeightedAggregate<F> {
+    /// Convert to the real-valued *weighted average* update
+    /// `Σ w_i Q_{c_l}(Δ_i) / Σ w_i` (Eq. 37), given the quantizer used by
+    /// the clients.
+    pub fn dequantize(&self, quantizer: &VectorQuantizer) -> Vec<f64> {
+        quantizer.dequantize_sum(&self.aggregate, self.total_weight.max(1))
+    }
+}
+
+/// Server side of asynchronous LightSecAgg with a FedBuff-style buffer.
+#[derive(Debug, Clone)]
+pub struct AsyncServer<F> {
+    cfg: LsaConfig,
+    code: VandermondeCode<F>,
+    staleness: QuantizedStaleness,
+    buffer_size: usize,
+    buffer: Vec<(BufferEntry, Vec<F>)>,
+    shares: Vec<(usize, Vec<F>)>,
+    announced: Option<Vec<BufferEntry>>,
+}
+
+impl<F: Field> AsyncServer<F> {
+    /// Create a server with buffer size `K` and a staleness-weighting
+    /// strategy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::InvalidConfig`] if `buffer_size == 0`.
+    pub fn new(
+        cfg: LsaConfig,
+        buffer_size: usize,
+        staleness: QuantizedStaleness,
+    ) -> Result<Self, ProtocolError> {
+        if buffer_size == 0 {
+            return Err(ProtocolError::InvalidConfig(
+                "buffer size must be positive".into(),
+            ));
+        }
+        let code = VandermondeCode::new(cfg.n(), cfg.u())?;
+        Ok(Self {
+            cfg,
+            code,
+            staleness,
+            buffer_size,
+            buffer: Vec::new(),
+            shares: Vec::new(),
+            announced: None,
+        })
+    }
+
+    /// Accept a masked update at global round `now`; the staleness weight
+    /// `s_{c_g}(now − update.round)` is drawn immediately. Returns `true`
+    /// when the buffer is full.
+    ///
+    /// # Errors
+    ///
+    /// * [`ProtocolError::WrongPhase`] if the buffer is already full;
+    /// * [`ProtocolError::Coding`] / [`ProtocolError::UnknownUser`] on
+    ///   malformed input;
+    /// * [`ProtocolError::StaleUpdate`] if `update.round > now`.
+    pub fn receive_update<R: Rng + ?Sized>(
+        &mut self,
+        update: TimestampedUpdate<F>,
+        now: u64,
+        rng: &mut R,
+    ) -> Result<bool, ProtocolError> {
+        if self.announced.is_some() || self.buffer.len() >= self.buffer_size {
+            return Err(ProtocolError::WrongPhase);
+        }
+        if update.from >= self.cfg.n() {
+            return Err(ProtocolError::UnknownUser(update.from));
+        }
+        if update.round > now {
+            return Err(ProtocolError::StaleUpdate {
+                round: update.round,
+                now,
+            });
+        }
+        if update.payload.len() != self.cfg.padded_len() {
+            return Err(ProtocolError::Coding(lsa_coding::CodingError::LengthMismatch {
+                expected: self.cfg.padded_len(),
+                got: update.payload.len(),
+            }));
+        }
+        let tau = now - update.round;
+        let weight = self.staleness.integer_weight(tau, rng);
+        self.buffer.push((
+            BufferEntry {
+                who: update.from,
+                round: update.round,
+                weight,
+            },
+            update.payload,
+        ));
+        Ok(self.buffer.len() >= self.buffer_size)
+    }
+
+    /// Whether the buffer has reached capacity.
+    pub fn buffer_full(&self) -> bool {
+        self.buffer.len() >= self.buffer_size
+    }
+
+    /// Number of buffered updates.
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Fix and announce the buffer contents (entries with weights) so
+    /// users can compute weighted aggregated shares.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::WrongPhase`] until the buffer is full.
+    pub fn announce(&mut self) -> Result<Vec<BufferEntry>, ProtocolError> {
+        if !self.buffer_full() {
+            return Err(ProtocolError::WrongPhase);
+        }
+        self.announce_partial()
+    }
+
+    /// Announce whatever the buffer currently holds, even if not full.
+    ///
+    /// §4.2 of the paper notes the aggregated group size "does not need
+    /// to be fixed in all rounds" — this supports deadline-triggered
+    /// flushes where the server aggregates a partial buffer rather than
+    /// waiting for `K` stragglers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::WrongPhase`] if the buffer is empty or a
+    /// round is already announced.
+    pub fn announce_partial(&mut self) -> Result<Vec<BufferEntry>, ProtocolError> {
+        if self.buffer.is_empty() || self.announced.is_some() {
+            return Err(ProtocolError::WrongPhase);
+        }
+        let entries: Vec<BufferEntry> = self.buffer.iter().map(|(e, _)| *e).collect();
+        self.announced = Some(entries.clone());
+        Ok(entries)
+    }
+
+    /// Accept a weighted aggregated share from any user; returns `true`
+    /// once `U` shares arrived.
+    ///
+    /// # Errors
+    ///
+    /// Mirrors [`crate::ServerRound::receive_aggregated_share`].
+    pub fn receive_aggregated_share(
+        &mut self,
+        msg: AggregatedShare<F>,
+    ) -> Result<bool, ProtocolError> {
+        if self.announced.is_none() {
+            return Err(ProtocolError::WrongPhase);
+        }
+        if msg.from >= self.cfg.n() {
+            return Err(ProtocolError::UnknownUser(msg.from));
+        }
+        if msg.payload.len() != self.cfg.segment_len() {
+            return Err(ProtocolError::Coding(lsa_coding::CodingError::LengthMismatch {
+                expected: self.cfg.segment_len(),
+                got: msg.payload.len(),
+            }));
+        }
+        if self.shares.iter().any(|(from, _)| *from == msg.from) {
+            return Err(ProtocolError::DuplicateMessage(msg.from));
+        }
+        self.shares.push((msg.from, msg.payload));
+        Ok(self.shares.len() >= self.cfg.u())
+    }
+
+    /// Recover the weighted aggregate `Σ w_i Δ̄_i` by one-shot decoding of
+    /// `Σ w_i z_i^{(t_i)}` and clear the buffer for the next round.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::WrongPhase`] before `U` shares arrive.
+    pub fn recover(&mut self) -> Result<WeightedAggregate<F>, ProtocolError> {
+        let Some(entries) = self.announced.clone() else {
+            return Err(ProtocolError::WrongPhase);
+        };
+        if self.shares.len() < self.cfg.u() {
+            return Err(ProtocolError::NotEnoughSurvivors {
+                got: self.shares.len(),
+                need: self.cfg.u(),
+            });
+        }
+        // Σ w_i ~Δ_i over the buffer.
+        let mut weighted_sum = vec![F::ZERO; self.cfg.padded_len()];
+        for (entry, payload) in &self.buffer {
+            lsa_field::ops::axpy(&mut weighted_sum, F::from_u64(entry.weight), payload);
+        }
+        // One-shot decode of Σ w_i z_i^{(t_i)} (coding commutes with the
+        // weighted sum because the weights are scalars).
+        let agg_segments = self
+            .code
+            .decode_prefix(&self.shares, self.cfg.data_segments())?;
+        let agg_mask = vandermonde::concatenate(&agg_segments);
+        lsa_field::ops::sub_assign(&mut weighted_sum, &agg_mask);
+        weighted_sum.truncate(self.cfg.d());
+
+        let total_weight = entries.iter().map(|e| e.weight).sum();
+        self.buffer.clear();
+        self.shares.clear();
+        self.announced = None;
+        Ok(WeightedAggregate {
+            aggregate: weighted_sum,
+            total_weight,
+            entries,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsa_field::Fp61;
+    use lsa_quantize::StalenessFn;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cfg() -> LsaConfig {
+        LsaConfig::new(4, 1, 3, 6).unwrap()
+    }
+
+    fn staleness() -> QuantizedStaleness {
+        QuantizedStaleness::new(StalenessFn::Constant, 1)
+    }
+
+    #[test]
+    fn update_from_future_rejected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut server = AsyncServer::<Fp61>::new(cfg(), 2, staleness()).unwrap();
+        let upd = TimestampedUpdate {
+            from: 0,
+            round: 5,
+            payload: vec![Fp61::ZERO; cfg().padded_len()],
+        };
+        assert!(matches!(
+            server.receive_update(upd, 3, &mut rng),
+            Err(ProtocolError::StaleUpdate { round: 5, now: 3 })
+        ));
+    }
+
+    #[test]
+    fn buffer_fills_and_announces() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut server = AsyncServer::<Fp61>::new(cfg(), 2, staleness()).unwrap();
+        assert!(matches!(server.announce(), Err(ProtocolError::WrongPhase)));
+        for (id, round) in [(0usize, 0u64), (1, 1)] {
+            let full = server
+                .receive_update(
+                    TimestampedUpdate {
+                        from: id,
+                        round,
+                        payload: vec![Fp61::ZERO; cfg().padded_len()],
+                    },
+                    1,
+                    &mut rng,
+                )
+                .unwrap();
+            assert_eq!(full, id == 1);
+        }
+        let entries = server.announce().unwrap();
+        assert_eq!(entries.len(), 2);
+        // constant staleness with c_g = 1 gives weight 1
+        assert!(entries.iter().all(|e| e.weight == 1));
+    }
+
+    #[test]
+    fn client_discard_before_prunes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut c = AsyncClient::<Fp61>::new(0, cfg()).unwrap();
+        c.generate_round_mask(0, &mut rng).unwrap();
+        c.generate_round_mask(1, &mut rng).unwrap();
+        c.generate_round_mask(2, &mut rng).unwrap();
+        assert_eq!(c.shares_stored(), 3);
+        c.discard_before(2);
+        assert_eq!(c.shares_stored(), 1);
+        // masking with a pruned round now fails
+        assert!(c.mask_update(0, &[Fp61::ZERO; 6]).is_err());
+        assert!(c.mask_update(2, &[Fp61::ZERO; 6]).is_ok());
+    }
+
+    #[test]
+    fn partial_flush_aggregates_fewer_than_k() {
+        // §4.2: the group size may vary per round — a deadline flush with
+        // 1 < K entries still recovers exactly.
+        let mut rng = StdRng::seed_from_u64(9);
+        let cfg = cfg();
+        let mut clients: Vec<AsyncClient<Fp61>> = (0..4)
+            .map(|id| AsyncClient::new(id, cfg).unwrap())
+            .collect();
+        let mut pending = Vec::new();
+        for c in clients.iter_mut() {
+            pending.extend(c.generate_round_mask(0, &mut rng).unwrap());
+        }
+        for s in pending {
+            clients[s.to].receive_share(s).unwrap();
+        }
+        let mut server = AsyncServer::<Fp61>::new(cfg, 3, staleness()).unwrap();
+        let update = vec![Fp61::from_u64(7); cfg.d()];
+        let masked = clients[0].mask_update(0, &update).unwrap();
+        server.receive_update(masked, 0, &mut rng).unwrap();
+        // only 1 of 3 buffered; flush early
+        assert!(matches!(server.announce(), Err(ProtocolError::WrongPhase)));
+        let entries = server.announce_partial().unwrap();
+        assert_eq!(entries.len(), 1);
+        for client in clients.iter().take(3) {
+            server
+                .receive_aggregated_share(client.aggregated_share_for(&entries).unwrap())
+                .unwrap();
+        }
+        let agg = server.recover().unwrap();
+        assert_eq!(agg.aggregate, update);
+    }
+
+    #[test]
+    fn empty_partial_flush_rejected() {
+        let mut server = AsyncServer::<Fp61>::new(cfg(), 3, staleness()).unwrap();
+        assert!(matches!(
+            server.announce_partial(),
+            Err(ProtocolError::WrongPhase)
+        ));
+    }
+
+    #[test]
+    fn duplicate_round_mask_rejected() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut c = AsyncClient::<Fp61>::new(0, cfg()).unwrap();
+        c.generate_round_mask(0, &mut rng).unwrap();
+        assert!(c.generate_round_mask(0, &mut rng).is_err());
+    }
+}

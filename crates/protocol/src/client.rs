@@ -1,0 +1,317 @@
+//! The LightSecAgg client (user) state machine for synchronous FL.
+
+use crate::config::LsaConfig;
+use crate::messages::{AggregatedShare, CodedMaskShare, MaskedModel};
+use crate::ProtocolError;
+use lsa_coding::{vandermonde, VandermondeCode};
+use lsa_field::Field;
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// A LightSecAgg user.
+///
+/// Lifecycle per round (Algorithm 1 of the paper):
+///
+/// 1. [`Client::new`] — samples the local mask `z_i` and the `T` noise
+///    segments, and encodes the `N` coded segments (offline phase,
+///    overlappable with training);
+/// 2. [`Client::outgoing_shares`] / [`Client::receive_share`] — exchange
+///    `[~z_i]_j` with every other user;
+/// 3. [`Client::mask_model`] — upload `~x_i = x_i + z_i`;
+/// 4. [`Client::aggregated_share_for`] — if surviving, upload
+///    `Σ_{i∈U₁} [~z_i]_j` for the server's one-shot recovery.
+///
+/// # Example
+///
+/// ```
+/// use lsa_protocol::{Client, LsaConfig};
+/// use lsa_field::Fp61;
+/// use rand::SeedableRng;
+///
+/// let cfg = LsaConfig::new(4, 1, 3, 8).unwrap();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let client = Client::<Fp61>::new(0, cfg, &mut rng).unwrap();
+/// assert_eq!(client.outgoing_shares().len(), 3); // one per other user
+/// ```
+#[derive(Debug, Clone)]
+pub struct Client<F> {
+    id: usize,
+    cfg: LsaConfig,
+    code: VandermondeCode<F>,
+    /// The local random mask `z_i`, padded length.
+    mask: Vec<F>,
+    /// Own coded segments `[~z_i]_j` for every `j ∈ [N]` (including self).
+    coded_for: Vec<Vec<F>>,
+    /// Received coded segments `[~z_j]_i`, keyed by sender `j`.
+    received: BTreeMap<usize, Vec<F>>,
+}
+
+impl<F: Field> Client<F> {
+    /// Create the client for user `id`, running the offline mask
+    /// generation and encoding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::InvalidConfig`] if `id >= cfg.n()`.
+    pub fn new<R: Rng + ?Sized>(
+        id: usize,
+        cfg: LsaConfig,
+        rng: &mut R,
+    ) -> Result<Self, ProtocolError> {
+        if id >= cfg.n() {
+            return Err(ProtocolError::InvalidConfig(format!(
+                "client id {id} out of range for N={}",
+                cfg.n()
+            )));
+        }
+        let code = VandermondeCode::new(cfg.n(), cfg.u())?;
+
+        // z_i uniform over the padded length (Algorithm 1 line 4).
+        let mask = lsa_field::ops::random_vector(cfg.padded_len(), rng);
+        // Partition into U−T data segments (line 5), pad with T noise
+        // segments (line 6).
+        let mut segments = vandermonde::partition(&mask, cfg.data_segments())?;
+        for _ in 0..cfg.t() {
+            segments.push(lsa_field::ops::random_vector(cfg.segment_len(), rng));
+        }
+        debug_assert_eq!(segments.len(), cfg.u());
+        // Encode with the T-private MDS matrix (line 7).
+        let coded_for = code.encode_all(&segments);
+
+        let mut received = BTreeMap::new();
+        // A user trivially "receives" its own coded segment.
+        received.insert(id, coded_for[id].clone());
+
+        Ok(Self {
+            id,
+            cfg,
+            code,
+            mask,
+            coded_for,
+            received,
+        })
+    }
+
+    /// This client's user index.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The protocol configuration.
+    pub fn config(&self) -> &LsaConfig {
+        &self.cfg
+    }
+
+    /// The coded mask shares destined to every *other* user
+    /// (Algorithm 1 line 8).
+    pub fn outgoing_shares(&self) -> Vec<CodedMaskShare<F>> {
+        (0..self.cfg.n())
+            .filter(|&j| j != self.id)
+            .map(|j| CodedMaskShare {
+                from: self.id,
+                to: j,
+                payload: self.coded_for[j].clone(),
+            })
+            .collect()
+    }
+
+    /// Accept the coded share `[~z_from]_id` from another user
+    /// (Algorithm 1 line 9).
+    ///
+    /// # Errors
+    ///
+    /// * [`ProtocolError::MisroutedShare`] if the share is not addressed
+    ///   to this client;
+    /// * [`ProtocolError::UnknownUser`] for an out-of-range sender;
+    /// * [`ProtocolError::DuplicateMessage`] if the sender already shared;
+    /// * [`ProtocolError::Coding`] for a wrong payload length.
+    pub fn receive_share(&mut self, share: CodedMaskShare<F>) -> Result<(), ProtocolError> {
+        if share.to != self.id {
+            return Err(ProtocolError::MisroutedShare {
+                expected: self.id,
+                got: share.to,
+            });
+        }
+        if share.from >= self.cfg.n() {
+            return Err(ProtocolError::UnknownUser(share.from));
+        }
+        if share.payload.len() != self.cfg.segment_len() {
+            return Err(ProtocolError::Coding(lsa_coding::CodingError::LengthMismatch {
+                expected: self.cfg.segment_len(),
+                got: share.payload.len(),
+            }));
+        }
+        if self.received.contains_key(&share.from) {
+            return Err(ProtocolError::DuplicateMessage(share.from));
+        }
+        self.received.insert(share.from, share.payload);
+        Ok(())
+    }
+
+    /// How many coded shares have been received (incl. the self share).
+    pub fn shares_received(&self) -> usize {
+        self.received.len()
+    }
+
+    /// Mask a quantized local model: `~x_i = x_i + z_i` (Algorithm 1
+    /// line 14). The input is zero-padded to the padded length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::Coding`] if the model length is not
+    /// exactly `cfg.d()`.
+    pub fn mask_model(&self, model: &[F]) -> Result<MaskedModel<F>, ProtocolError> {
+        if model.len() != self.cfg.d() {
+            return Err(ProtocolError::Coding(lsa_coding::CodingError::LengthMismatch {
+                expected: self.cfg.d(),
+                got: model.len(),
+            }));
+        }
+        let mut payload = model.to_vec();
+        payload.resize(self.cfg.padded_len(), F::ZERO);
+        lsa_field::ops::add_assign(&mut payload, &self.mask);
+        Ok(MaskedModel {
+            from: self.id,
+            payload,
+        })
+    }
+
+    /// Mask a *weighted* model `s_i·x_i` (Remark 3 of the paper): the
+    /// weight multiplies the model only — the mask is shared unscaled, so
+    /// the server recovers `Σ s_i·x_i` and can divide by `Σ s_i` to get
+    /// the weighted average (e.g. for unequal dataset sizes).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::mask_model`].
+    pub fn mask_weighted_model(
+        &self,
+        model: &[F],
+        weight: u64,
+    ) -> Result<MaskedModel<F>, ProtocolError> {
+        let w = F::from_u64(weight);
+        let weighted: Vec<F> = model.iter().map(|&x| x * w).collect();
+        self.mask_model(&weighted)
+    }
+
+    /// Compute the aggregated coded mask `Σ_{i∈survivors} [~z_i]_id`
+    /// for the server's one-shot recovery (Algorithm 1 lines 20–22).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::MissingShares`] if some survivor's coded
+    /// share was never received.
+    pub fn aggregated_share_for(
+        &self,
+        survivors: &[usize],
+    ) -> Result<AggregatedShare<F>, ProtocolError> {
+        let mut acc = vec![F::ZERO; self.cfg.segment_len()];
+        for &i in survivors {
+            let share = self
+                .received
+                .get(&i)
+                .ok_or(ProtocolError::MissingShares { from: i })?;
+            lsa_field::ops::add_assign(&mut acc, share);
+        }
+        Ok(AggregatedShare {
+            from: self.id,
+            payload: acc,
+        })
+    }
+
+    /// The evaluation point this client's shares correspond to (needed by
+    /// anyone decoding with this client's aggregated share).
+    pub fn evaluation_point(&self) -> F {
+        self.code.point(self.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsa_field::Fp61;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cfg() -> LsaConfig {
+        LsaConfig::new(5, 1, 3, 10).unwrap()
+    }
+
+    #[test]
+    fn new_client_has_own_share() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let c = Client::<Fp61>::new(2, cfg(), &mut rng).unwrap();
+        assert_eq!(c.shares_received(), 1);
+        assert_eq!(c.outgoing_shares().len(), 4);
+    }
+
+    #[test]
+    fn out_of_range_id_rejected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(Client::<Fp61>::new(7, cfg(), &mut rng).is_err());
+    }
+
+    #[test]
+    fn misrouted_share_rejected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let c0 = Client::<Fp61>::new(0, cfg(), &mut rng).unwrap();
+        let mut c1 = Client::<Fp61>::new(1, cfg(), &mut rng).unwrap();
+        // share addressed to user 2, delivered to user 1
+        let share = c0
+            .outgoing_shares()
+            .into_iter()
+            .find(|s| s.to == 2)
+            .unwrap();
+        assert!(matches!(
+            c1.receive_share(share),
+            Err(ProtocolError::MisroutedShare { expected: 1, got: 2 })
+        ));
+    }
+
+    #[test]
+    fn duplicate_share_rejected() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let c0 = Client::<Fp61>::new(0, cfg(), &mut rng).unwrap();
+        let mut c1 = Client::<Fp61>::new(1, cfg(), &mut rng).unwrap();
+        let share = c0
+            .outgoing_shares()
+            .into_iter()
+            .find(|s| s.to == 1)
+            .unwrap();
+        c1.receive_share(share.clone()).unwrap();
+        assert!(matches!(
+            c1.receive_share(share),
+            Err(ProtocolError::DuplicateMessage(0))
+        ));
+    }
+
+    #[test]
+    fn mask_model_checks_length() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let c = Client::<Fp61>::new(0, cfg(), &mut rng).unwrap();
+        assert!(c.mask_model(&[Fp61::ZERO; 9]).is_err());
+        let m = c.mask_model(&[Fp61::ZERO; 10]).unwrap();
+        assert_eq!(m.payload.len(), cfg().padded_len());
+    }
+
+    #[test]
+    fn masked_zero_model_equals_mask() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let c = Client::<Fp61>::new(0, cfg(), &mut rng).unwrap();
+        let m = c.mask_model(&[Fp61::ZERO; 10]).unwrap();
+        assert_eq!(m.payload, c.mask);
+    }
+
+    #[test]
+    fn aggregated_share_requires_all_survivor_shares() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let c = Client::<Fp61>::new(0, cfg(), &mut rng).unwrap();
+        // survivor 3's share never arrived
+        assert!(matches!(
+            c.aggregated_share_for(&[0, 3]),
+            Err(ProtocolError::MissingShares { from: 3 })
+        ));
+        // own share suffices for survivor set {0}
+        assert!(c.aggregated_share_for(&[0]).is_ok());
+    }
+}

@@ -1,0 +1,414 @@
+//! The LightSecAgg secure-aggregation protocol (So et al., MLSys 2022).
+//!
+//! LightSecAgg protects each user's local model with a single locally
+//! generated random mask `z_i` whose MDS-coded shares are distributed to
+//! the other users, such that the server can reconstruct the **aggregate**
+//! mask of any sufficiently large surviving set in **one shot** —
+//! independent of how many users dropped. This replaces the per-dropped-
+//! user seed reconstruction that bottlenecks SecAgg/SecAgg+.
+//!
+//! * [`Client`] / [`ServerRound`] — synchronous protocol (§4.1);
+//! * [`asynchronous`] — buffered asynchronous variant (§4.2, Appendix F);
+//! * [`run_sync_round`] — a reference driver wiring clients and server
+//!   together in memory (used by tests, examples and the simulator).
+//!
+//! Guarantees (Theorem 1): for any `T + D < N`, privacy against any `T`
+//! colluding users (information-theoretic, given the `T`-private MDS
+//! code) and exact aggregate recovery despite any `D` dropouts.
+//!
+//! # Example: 3 users, 1 dropout, 1 colluder — the paper's Figure 3
+//!
+//! ```
+//! use lsa_protocol::{run_sync_round, DropoutSchedule, LsaConfig};
+//! use lsa_field::{Field, Fp61};
+//! use rand::SeedableRng;
+//!
+//! let cfg = LsaConfig::new(3, 1, 2, 4).unwrap();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+//! let models: Vec<Vec<Fp61>> = (0..3)
+//!     .map(|i| (0..4).map(|k| Fp61::from_u64((10 * i + k) as u64)).collect())
+//!     .collect();
+//! // user 0 drops after uploading its masked model (worst case §7.1)
+//! let out = run_sync_round(
+//!     cfg,
+//!     &models,
+//!     &DropoutSchedule::after_upload(vec![0]),
+//!     &mut rng,
+//! )
+//! .unwrap();
+//! // the aggregate covers ALL uploaders (incl. the delayed user 0)
+//! for k in 0..4 {
+//!     let want: Fp61 = (0..3).map(|i| models[i][k]).sum();
+//!     assert_eq!(out.aggregate[k], want);
+//! }
+//! ```
+
+pub mod asynchronous;
+mod client;
+mod config;
+mod messages;
+mod server;
+
+pub use client::Client;
+pub use config::LsaConfig;
+pub use messages::{wire_bytes, AggregatedShare, CodedMaskShare, MaskedModel};
+pub use server::{ServerPhase, ServerRound};
+
+use core::fmt;
+use lsa_field::Field;
+use rand::Rng;
+
+/// Errors produced by the protocol layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// Configuration violates `N ≥ U > T ≥ 0` (or similar).
+    InvalidConfig(String),
+    /// A message referenced a user index outside `[0, N)` or outside the
+    /// expected set (e.g. a non-survivor in the recovery phase).
+    UnknownUser(usize),
+    /// A message arrived in the wrong protocol phase.
+    WrongPhase,
+    /// The same user sent the same kind of message twice.
+    DuplicateMessage(usize),
+    /// A coded share was delivered to the wrong recipient.
+    MisroutedShare {
+        /// The receiving client's id.
+        expected: usize,
+        /// The share's `to` field.
+        got: usize,
+    },
+    /// A required coded share was never received from `from`.
+    MissingShares {
+        /// The user whose share is missing.
+        from: usize,
+    },
+    /// Fewer survivors/shares than the protocol needs.
+    NotEnoughSurvivors {
+        /// How many are available.
+        got: usize,
+        /// How many are needed (`U`).
+        need: usize,
+    },
+    /// An async update claimed a base round in the future.
+    StaleUpdate {
+        /// The update's claimed round.
+        round: u64,
+        /// The server's current round.
+        now: u64,
+    },
+    /// An underlying coding error (share decode, length mismatch, …).
+    Coding(lsa_coding::CodingError),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            ProtocolError::UnknownUser(id) => write!(f, "unknown or unexpected user {id}"),
+            ProtocolError::WrongPhase => write!(f, "message arrived in the wrong protocol phase"),
+            ProtocolError::DuplicateMessage(id) => {
+                write!(f, "duplicate message from user {id}")
+            }
+            ProtocolError::MisroutedShare { expected, got } => {
+                write!(f, "share addressed to {got} delivered to {expected}")
+            }
+            ProtocolError::MissingShares { from } => {
+                write!(f, "coded share from user {from} was never received")
+            }
+            ProtocolError::NotEnoughSurvivors { got, need } => {
+                write!(f, "not enough survivors: got {got}, need {need}")
+            }
+            ProtocolError::StaleUpdate { round, now } => {
+                write!(f, "update claims future round {round} (now {now})")
+            }
+            ProtocolError::Coding(e) => write!(f, "coding error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProtocolError::Coding(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<lsa_coding::CodingError> for ProtocolError {
+    fn from(e: lsa_coding::CodingError) -> Self {
+        ProtocolError::Coding(e)
+    }
+}
+
+/// When users drop during a round (the paper's §7.1 worst case drops
+/// users *after* they upload masked models, maximising server work in the
+/// baselines; dropping before upload is the milder case).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DropoutSchedule {
+    /// Users that vanish before uploading their masked model (they did
+    /// participate in the offline mask exchange).
+    pub before_upload: Vec<usize>,
+    /// Users whose masked model arrives but who vanish before serving the
+    /// recovery phase ("artificial drop" of §7.1).
+    pub after_upload: Vec<usize>,
+}
+
+impl DropoutSchedule {
+    /// No dropouts.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Drop the given users before the upload phase.
+    pub fn before_upload(users: Vec<usize>) -> Self {
+        Self {
+            before_upload: users,
+            after_upload: Vec::new(),
+        }
+    }
+
+    /// Drop the given users after the upload phase (worst case).
+    pub fn after_upload(users: Vec<usize>) -> Self {
+        Self {
+            before_upload: Vec::new(),
+            after_upload: users,
+        }
+    }
+
+    /// Total number of distinct dropped users.
+    pub fn total(&self) -> usize {
+        let mut all: Vec<usize> = self
+            .before_upload
+            .iter()
+            .chain(&self.after_upload)
+            .copied()
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        all.len()
+    }
+}
+
+/// Outcome of a synchronous round.
+#[derive(Debug, Clone)]
+pub struct SyncRoundOutput<F> {
+    /// The recovered aggregate `Σ_{i∈U₁} x_i` (length `d`).
+    pub aggregate: Vec<F>,
+    /// The survivor set `U₁` whose models are included.
+    pub survivors: Vec<usize>,
+}
+
+/// Reference driver: run one full synchronous LightSecAgg round in memory.
+///
+/// `models[i]` is user `i`'s quantized model (length `cfg.d()`).
+/// Users in `dropouts.before_upload` never upload; users in
+/// `dropouts.after_upload` upload but do not serve recovery.
+///
+/// # Errors
+///
+/// Propagates any protocol error; notably
+/// [`ProtocolError::NotEnoughSurvivors`] when dropouts exceed `N − U`.
+pub fn run_sync_round<F: Field, R: Rng + ?Sized>(
+    cfg: LsaConfig,
+    models: &[Vec<F>],
+    dropouts: &DropoutSchedule,
+    rng: &mut R,
+) -> Result<SyncRoundOutput<F>, ProtocolError> {
+    assert_eq!(models.len(), cfg.n(), "one model per user");
+
+    // Offline: create clients and exchange coded mask shares.
+    let mut clients: Vec<Client<F>> = (0..cfg.n())
+        .map(|id| Client::new(id, cfg, rng))
+        .collect::<Result<_, _>>()?;
+    let all_shares: Vec<CodedMaskShare<F>> = clients
+        .iter()
+        .flat_map(Client::outgoing_shares)
+        .collect();
+    for share in all_shares {
+        clients[share.to].receive_share(share)?;
+    }
+
+    // Upload phase.
+    let mut server = ServerRound::new(cfg)?;
+    for (id, client) in clients.iter().enumerate() {
+        if dropouts.before_upload.contains(&id) {
+            continue;
+        }
+        server.receive_masked_model(client.mask_model(&models[id])?)?;
+    }
+    let survivors: Vec<usize> = server.close_upload_phase()?.to_vec();
+
+    // Recovery phase: surviving users that did not drop after upload send
+    // aggregated shares until the server has U of them.
+    for &id in &survivors {
+        if dropouts.after_upload.contains(&id) {
+            continue;
+        }
+        let done = server.receive_aggregated_share(clients[id].aggregated_share_for(&survivors)?)?;
+        if done {
+            break;
+        }
+    }
+    let aggregate = server.recover_aggregate()?;
+    Ok(SyncRoundOutput {
+        aggregate,
+        survivors,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsa_field::{Fp32, Fp61};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn models<F: Field>(n: usize, d: usize, seed: u64) -> Vec<Vec<F>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| lsa_field::ops::random_vector(d, &mut rng))
+            .collect()
+    }
+
+    fn expected_sum<F: Field>(models: &[Vec<F>], who: &[usize]) -> Vec<F> {
+        let mut acc = vec![F::ZERO; models[0].len()];
+        for &i in who {
+            lsa_field::ops::add_assign(&mut acc, &models[i]);
+        }
+        acc
+    }
+
+    #[test]
+    fn no_dropout_round_recovers_full_sum() {
+        let cfg = LsaConfig::new(6, 2, 4, 17).unwrap();
+        let ms = models::<Fp61>(6, 17, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let out = run_sync_round(cfg, &ms, &DropoutSchedule::none(), &mut rng).unwrap();
+        assert_eq!(out.survivors, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(out.aggregate, expected_sum(&ms, &out.survivors));
+    }
+
+    #[test]
+    fn dropouts_before_upload_excluded_from_aggregate() {
+        let cfg = LsaConfig::new(6, 2, 4, 10).unwrap();
+        let ms = models::<Fp61>(6, 10, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let out = run_sync_round(
+            cfg,
+            &ms,
+            &DropoutSchedule::before_upload(vec![1, 4]),
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(out.survivors, vec![0, 2, 3, 5]);
+        assert_eq!(out.aggregate, expected_sum(&ms, &[0, 2, 3, 5]));
+    }
+
+    #[test]
+    fn dropouts_after_upload_still_included() {
+        // The §7.1 worst case: users drop after uploading, so their models
+        // ARE in the aggregate but they don't help recovery.
+        let cfg = LsaConfig::new(6, 2, 4, 10).unwrap();
+        let ms = models::<Fp61>(6, 10, 5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let out = run_sync_round(
+            cfg,
+            &ms,
+            &DropoutSchedule::after_upload(vec![0, 5]),
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(out.survivors, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(out.aggregate, expected_sum(&ms, &out.survivors));
+    }
+
+    #[test]
+    fn mixed_dropouts() {
+        let cfg = LsaConfig::new(8, 3, 5, 12).unwrap();
+        let ms = models::<Fp61>(8, 12, 7);
+        let mut rng = StdRng::seed_from_u64(8);
+        let sched = DropoutSchedule {
+            before_upload: vec![2],
+            after_upload: vec![0, 6],
+        };
+        let out = run_sync_round(cfg, &ms, &sched, &mut rng).unwrap();
+        assert_eq!(out.survivors, vec![0, 1, 3, 4, 5, 6, 7]);
+        assert_eq!(out.aggregate, expected_sum(&ms, &out.survivors));
+    }
+
+    #[test]
+    fn too_many_dropouts_fails_loudly() {
+        let cfg = LsaConfig::new(4, 1, 3, 5).unwrap(); // tolerates 1 dropout
+        let ms = models::<Fp61>(4, 5, 9);
+        let mut rng = StdRng::seed_from_u64(10);
+        let err = run_sync_round(
+            cfg,
+            &ms,
+            &DropoutSchedule::before_upload(vec![0, 1]),
+            &mut rng,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ProtocolError::NotEnoughSurvivors { got: 2, need: 3 }));
+    }
+
+    #[test]
+    fn works_over_fp32() {
+        let cfg = LsaConfig::new(5, 2, 3, 8).unwrap();
+        let ms = models::<Fp32>(5, 8, 11);
+        let mut rng = StdRng::seed_from_u64(12);
+        let out = run_sync_round(cfg, &ms, &DropoutSchedule::after_upload(vec![1, 2]), &mut rng)
+            .unwrap();
+        assert_eq!(out.aggregate, expected_sum(&ms, &out.survivors));
+    }
+
+    #[test]
+    fn d_not_divisible_by_segments_padding_works() {
+        // padded_len > d exercises the truncation path
+        let cfg = LsaConfig::new(5, 1, 4, 10).unwrap(); // U−T = 3, d=10 → pad to 12
+        assert!(cfg.padded_len() > cfg.d());
+        let ms = models::<Fp61>(5, 10, 13);
+        let mut rng = StdRng::seed_from_u64(14);
+        let out = run_sync_round(cfg, &ms, &DropoutSchedule::none(), &mut rng).unwrap();
+        assert_eq!(out.aggregate.len(), 10);
+        assert_eq!(out.aggregate, expected_sum(&ms, &out.survivors));
+    }
+
+    #[test]
+    fn weighted_models_remark3() {
+        // Remark 3: users scale models by a weight before masking; the
+        // protocol recovers the weighted sum with unmodified masks.
+        let cfg = LsaConfig::new(4, 1, 3, 6).unwrap();
+        let ms = models::<Fp61>(4, 6, 15);
+        let weights = [3u64, 1, 4, 1];
+        let weighted: Vec<Vec<Fp61>> = ms
+            .iter()
+            .zip(&weights)
+            .map(|(m, &w)| m.iter().map(|&x| x * Fp61::from_u64(w)).collect())
+            .collect();
+        let mut rng = StdRng::seed_from_u64(16);
+        let out = run_sync_round(cfg, &weighted, &DropoutSchedule::none(), &mut rng).unwrap();
+        let want = expected_sum(&weighted, &[0, 1, 2, 3]);
+        assert_eq!(out.aggregate, want);
+    }
+
+    #[test]
+    fn server_only_sees_masked_payloads() {
+        // Smoke privacy test: a single user's masked model is (pseudo)
+        // uniformly distributed — empirically its low bits look uniform —
+        // and differs from the raw model.
+        let cfg = LsaConfig::new(3, 1, 2, 256).unwrap();
+        let mut rng = StdRng::seed_from_u64(17);
+        let client = Client::<Fp61>::new(0, cfg, &mut rng).unwrap();
+        let model = vec![Fp61::ZERO; 256];
+        let masked = client.mask_model(&model).unwrap();
+        assert_ne!(&masked.payload[..256], model.as_slice());
+        let ones: u32 = masked
+            .payload
+            .iter()
+            .map(|v| (v.residue() & 1) as u32)
+            .sum();
+        // ~half the low bits set
+        assert!((80..176).contains(&ones), "low-bit count {ones}");
+    }
+}

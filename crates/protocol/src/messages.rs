@@ -1,0 +1,57 @@
+//! The three wire messages of LightSecAgg (Figure 1 of the paper).
+//!
+//! Message payloads are field-element vectors; the byte size of each
+//! message (used by the network simulator) is `payload.len() × bytes per
+//! element`.
+
+use lsa_field::Field;
+
+/// Offline phase: user `from` sends the coded mask segment `[~z_from]_to`
+/// to user `to` over a private channel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodedMaskShare<F> {
+    /// Sender (mask owner) index.
+    pub from: usize,
+    /// Recipient index.
+    pub to: usize,
+    /// The coded segment, length `⌈d/(U−T)⌉`.
+    pub payload: Vec<F>,
+}
+
+/// Upload phase: user `from` uploads its masked (padded, quantized) model
+/// `~x_from = x_from + z_from`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MaskedModel<F> {
+    /// Uploading user index.
+    pub from: usize,
+    /// Masked model of padded length.
+    pub payload: Vec<F>,
+}
+
+/// Recovery phase: surviving user `from` uploads its aggregated coded
+/// mask `Σ_{i∈U₁} [~z_i]_from`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AggregatedShare<F> {
+    /// Uploading user index.
+    pub from: usize,
+    /// Aggregated coded segment, length `⌈d/(U−T)⌉`.
+    pub payload: Vec<F>,
+}
+
+/// Number of bytes a vector of field elements occupies on the wire
+/// (canonical fixed-width encoding).
+pub fn wire_bytes<F: Field>(elements: usize) -> usize {
+    elements * (F::BITS as usize).div_ceil(8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsa_field::{Fp32, Fp61};
+
+    #[test]
+    fn wire_size_per_field() {
+        assert_eq!(wire_bytes::<Fp32>(10), 40);
+        assert_eq!(wire_bytes::<Fp61>(10), 80);
+    }
+}

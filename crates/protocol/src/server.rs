@@ -1,0 +1,271 @@
+//! The LightSecAgg server state machine for synchronous FL.
+
+use crate::config::LsaConfig;
+use crate::messages::{AggregatedShare, MaskedModel};
+use crate::ProtocolError;
+use lsa_coding::{vandermonde, VandermondeCode};
+use lsa_field::Field;
+use std::collections::BTreeMap;
+
+/// Phase of the server round state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerPhase {
+    /// Accepting masked models.
+    CollectingMaskedModels,
+    /// Survivor set fixed; accepting aggregated coded masks.
+    CollectingAggregatedShares,
+    /// `U` shares arrived; aggregate can be recovered.
+    ReadyToRecover,
+}
+
+/// One aggregation round at the server (Algorithm 1, server side).
+///
+/// The server never learns any individual model: it only sees masked
+/// models and aggregated coded masks, and reconstructs the *aggregate*
+/// mask in one shot (the paper's key idea).
+///
+/// # Example
+///
+/// See [`crate::run_sync_round`] for a full driver.
+#[derive(Debug, Clone)]
+pub struct ServerRound<F> {
+    cfg: LsaConfig,
+    code: VandermondeCode<F>,
+    phase: ServerPhase,
+    masked: BTreeMap<usize, Vec<F>>,
+    survivors: Vec<usize>,
+    shares: Vec<(usize, Vec<F>)>,
+}
+
+impl<F: Field> ServerRound<F> {
+    /// Start a round.
+    ///
+    /// # Errors
+    ///
+    /// Propagates invalid configuration as [`ProtocolError::Coding`].
+    pub fn new(cfg: LsaConfig) -> Result<Self, ProtocolError> {
+        let code = VandermondeCode::new(cfg.n(), cfg.u())?;
+        Ok(Self {
+            cfg,
+            code,
+            phase: ServerPhase::CollectingMaskedModels,
+            masked: BTreeMap::new(),
+            survivors: Vec::new(),
+            shares: Vec::new(),
+        })
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> ServerPhase {
+        self.phase
+    }
+
+    /// Accept a masked model upload.
+    ///
+    /// # Errors
+    ///
+    /// * [`ProtocolError::WrongPhase`] outside the upload phase;
+    /// * [`ProtocolError::UnknownUser`] / [`ProtocolError::DuplicateMessage`];
+    /// * [`ProtocolError::Coding`] on payload length mismatch.
+    pub fn receive_masked_model(&mut self, msg: MaskedModel<F>) -> Result<(), ProtocolError> {
+        if self.phase != ServerPhase::CollectingMaskedModels {
+            return Err(ProtocolError::WrongPhase);
+        }
+        if msg.from >= self.cfg.n() {
+            return Err(ProtocolError::UnknownUser(msg.from));
+        }
+        if msg.payload.len() != self.cfg.padded_len() {
+            return Err(ProtocolError::Coding(lsa_coding::CodingError::LengthMismatch {
+                expected: self.cfg.padded_len(),
+                got: msg.payload.len(),
+            }));
+        }
+        if self.masked.contains_key(&msg.from) {
+            return Err(ProtocolError::DuplicateMessage(msg.from));
+        }
+        self.masked.insert(msg.from, msg.payload);
+        Ok(())
+    }
+
+    /// Close the upload phase, fixing the survivor set `U₁` (Algorithm 1
+    /// line 17). Returns the survivors, which the server announces so each
+    /// one can compute its aggregated coded mask.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::NotEnoughSurvivors`] if fewer than `U`
+    /// users uploaded — recovery would be impossible.
+    pub fn close_upload_phase(&mut self) -> Result<&[usize], ProtocolError> {
+        if self.phase != ServerPhase::CollectingMaskedModels {
+            return Err(ProtocolError::WrongPhase);
+        }
+        if self.masked.len() < self.cfg.u() {
+            return Err(ProtocolError::NotEnoughSurvivors {
+                got: self.masked.len(),
+                need: self.cfg.u(),
+            });
+        }
+        self.survivors = self.masked.keys().copied().collect();
+        self.phase = ServerPhase::CollectingAggregatedShares;
+        Ok(&self.survivors)
+    }
+
+    /// The survivor set `U₁` (valid after [`Self::close_upload_phase`]).
+    pub fn survivors(&self) -> &[usize] {
+        &self.survivors
+    }
+
+    /// Accept an aggregated coded mask from a surviving user. Returns
+    /// `true` once `U` shares have arrived (recovery possible).
+    ///
+    /// Shares from non-survivors are rejected; extra shares beyond `U`
+    /// are accepted and ignored by the decoder (it uses the first `U`).
+    ///
+    /// # Errors
+    ///
+    /// * [`ProtocolError::WrongPhase`] before the upload phase closes;
+    /// * [`ProtocolError::UnknownUser`] if the sender is not a survivor;
+    /// * [`ProtocolError::DuplicateMessage`] / [`ProtocolError::Coding`].
+    pub fn receive_aggregated_share(
+        &mut self,
+        msg: AggregatedShare<F>,
+    ) -> Result<bool, ProtocolError> {
+        if self.phase == ServerPhase::CollectingMaskedModels {
+            return Err(ProtocolError::WrongPhase);
+        }
+        if !self.survivors.contains(&msg.from) {
+            return Err(ProtocolError::UnknownUser(msg.from));
+        }
+        if msg.payload.len() != self.cfg.segment_len() {
+            return Err(ProtocolError::Coding(lsa_coding::CodingError::LengthMismatch {
+                expected: self.cfg.segment_len(),
+                got: msg.payload.len(),
+            }));
+        }
+        if self.shares.iter().any(|(from, _)| *from == msg.from) {
+            return Err(ProtocolError::DuplicateMessage(msg.from));
+        }
+        self.shares.push((msg.from, msg.payload));
+        if self.shares.len() >= self.cfg.u() {
+            self.phase = ServerPhase::ReadyToRecover;
+        }
+        Ok(self.phase == ServerPhase::ReadyToRecover)
+    }
+
+    /// One-shot aggregate recovery (Algorithm 1 lines 24–28): MDS-decode
+    /// `Σ_{i∈U₁} z_i` from the aggregated coded masks, subtract it from
+    /// `Σ_{i∈U₁} ~x_i`, and return the aggregate model truncated to `d`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::WrongPhase`] until `U` shares arrived, or
+    /// a [`ProtocolError::Coding`] decode failure.
+    pub fn recover_aggregate(&self) -> Result<Vec<F>, ProtocolError> {
+        if self.phase != ServerPhase::ReadyToRecover {
+            return Err(ProtocolError::WrongPhase);
+        }
+        // Σ ~x_i over survivors.
+        let mut sum_masked =
+            lsa_field::ops::sum_vectors(self.survivors.iter().map(|i| self.masked[i].as_slice()))
+                .expect("survivor set is non-empty");
+
+        // Decode Σ z_i: the aggregated shares are evaluations of the
+        // aggregated mask polynomial at the senders' points (Eq. 6).
+        let agg_segments = self
+            .code
+            .decode_prefix(&self.shares, self.cfg.data_segments())?;
+        let agg_mask = vandermonde::concatenate(&agg_segments);
+
+        lsa_field::ops::sub_assign(&mut sum_masked, &agg_mask);
+        sum_masked.truncate(self.cfg.d());
+        Ok(sum_masked)
+    }
+
+    /// How many masked models have been received.
+    pub fn models_received(&self) -> usize {
+        self.masked.len()
+    }
+
+    /// How many aggregated shares have been received.
+    pub fn shares_received(&self) -> usize {
+        self.shares.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsa_field::Fp61;
+
+    fn cfg() -> LsaConfig {
+        LsaConfig::new(4, 1, 3, 6).unwrap()
+    }
+
+    #[test]
+    fn phase_transitions_enforced() {
+        let mut s = ServerRound::<Fp61>::new(cfg()).unwrap();
+        assert_eq!(s.phase(), ServerPhase::CollectingMaskedModels);
+        // cannot accept aggregated shares yet
+        let share = AggregatedShare {
+            from: 0,
+            payload: vec![Fp61::ZERO; cfg().segment_len()],
+        };
+        assert!(matches!(
+            s.receive_aggregated_share(share),
+            Err(ProtocolError::WrongPhase)
+        ));
+        // cannot recover yet
+        assert!(matches!(s.recover_aggregate(), Err(ProtocolError::WrongPhase)));
+    }
+
+    #[test]
+    fn close_requires_u_models() {
+        let mut s = ServerRound::<Fp61>::new(cfg()).unwrap();
+        for id in 0..2 {
+            s.receive_masked_model(MaskedModel {
+                from: id,
+                payload: vec![Fp61::ZERO; cfg().padded_len()],
+            })
+            .unwrap();
+        }
+        assert!(matches!(
+            s.close_upload_phase(),
+            Err(ProtocolError::NotEnoughSurvivors { got: 2, need: 3 })
+        ));
+    }
+
+    #[test]
+    fn non_survivor_share_rejected() {
+        let mut s = ServerRound::<Fp61>::new(cfg()).unwrap();
+        for id in 0..3 {
+            s.receive_masked_model(MaskedModel {
+                from: id,
+                payload: vec![Fp61::ZERO; cfg().padded_len()],
+            })
+            .unwrap();
+        }
+        s.close_upload_phase().unwrap();
+        let share = AggregatedShare {
+            from: 3, // user 3 dropped before upload
+            payload: vec![Fp61::ZERO; cfg().segment_len()],
+        };
+        assert!(matches!(
+            s.receive_aggregated_share(share),
+            Err(ProtocolError::UnknownUser(3))
+        ));
+    }
+
+    #[test]
+    fn duplicate_model_rejected() {
+        let mut s = ServerRound::<Fp61>::new(cfg()).unwrap();
+        let m = MaskedModel {
+            from: 0,
+            payload: vec![Fp61::ZERO; cfg().padded_len()],
+        };
+        s.receive_masked_model(m.clone()).unwrap();
+        assert!(matches!(
+            s.receive_masked_model(m),
+            Err(ProtocolError::DuplicateMessage(0))
+        ));
+    }
+}

@@ -1,0 +1,174 @@
+//! End-to-end tests of the buffered-asynchronous protocol, including the
+//! full quantize → mask → buffer → one-shot recover → dequantize path of
+//! Appendix F.
+
+use lsa_field::{Field, Fp61};
+use lsa_protocol::asynchronous::{AsyncClient, AsyncServer, TimestampedShare};
+use lsa_protocol::LsaConfig;
+use lsa_quantize::{QuantizedStaleness, StalenessFn, VectorQuantizer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const N: usize = 6;
+const D_MODEL: usize = 12;
+
+fn setup(
+    rounds: u64,
+) -> (
+    LsaConfig,
+    Vec<AsyncClient<Fp61>>,
+    StdRng,
+) {
+    let cfg = LsaConfig::new(N, 2, 4, D_MODEL).unwrap();
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut clients: Vec<AsyncClient<Fp61>> = (0..N)
+        .map(|id| AsyncClient::new(id, cfg).unwrap())
+        .collect();
+    // every client prepares masks for all rounds and exchanges shares
+    for round in 0..rounds {
+        let mut all: Vec<TimestampedShare<Fp61>> = Vec::new();
+        for c in clients.iter_mut() {
+            all.extend(c.generate_round_mask(round, &mut rng).unwrap());
+        }
+        for share in all {
+            clients[share.to].receive_share(share).unwrap();
+        }
+    }
+    (cfg, clients, rng)
+}
+
+#[test]
+fn mixed_round_masks_cancel_exactly() {
+    // Users base their updates on different rounds; the weighted mask
+    // aggregate must still cancel (commutativity of MDS coding and
+    // addition — the heart of Appendix F).
+    let (cfg, clients, mut rng) = setup(3);
+    let staleness = QuantizedStaleness::new(StalenessFn::Constant, 1);
+    let mut server = AsyncServer::<Fp61>::new(cfg, 4, staleness).unwrap();
+
+    // four users contribute, based on rounds 0..=2, current round 2
+    let contributions = [(0usize, 0u64), (1, 1), (2, 2), (3, 0)];
+    let mut updates: Vec<Vec<Fp61>> = Vec::new();
+    for (i, &(id, round)) in contributions.iter().enumerate() {
+        let update: Vec<Fp61> = (0..D_MODEL)
+            .map(|k| Fp61::from_u64((100 * i + k) as u64))
+            .collect();
+        updates.push(update.clone());
+        let masked = clients[id].mask_update(round, &update).unwrap();
+        server.receive_update(masked, 2, &mut rng).unwrap();
+    }
+    let entries = server.announce().unwrap();
+
+    // any U = 4 users serve shares (including ones that didn't contribute)
+    for id in [5usize, 4, 1, 0] {
+        server
+            .receive_aggregated_share(clients[id].aggregated_share_for(&entries).unwrap())
+            .unwrap();
+    }
+    let agg = server.recover().unwrap();
+    assert_eq!(agg.total_weight, 4);
+    for k in 0..D_MODEL {
+        let want: Fp61 = updates.iter().map(|u| u[k]).sum();
+        assert_eq!(agg.aggregate[k], want, "coordinate {k}");
+    }
+}
+
+#[test]
+fn staleness_weights_applied_in_field() {
+    // Poly staleness with c_g = 4: τ=0 → weight 4, τ=1 → weight 2
+    // (0.5·4), τ=3 → weight 1 (0.25·4): all exactly representable.
+    let (cfg, clients, mut rng) = setup(4);
+    let staleness = QuantizedStaleness::new(StalenessFn::Poly { alpha: 1.0 }, 4);
+    let mut server = AsyncServer::<Fp61>::new(cfg, 3, staleness).unwrap();
+
+    let now = 3u64;
+    let contributions = [(0usize, 3u64), (1, 2), (2, 0)]; // τ = 0, 1, 3
+    let mut updates: Vec<Vec<Fp61>> = Vec::new();
+    for &(id, round) in &contributions {
+        let update: Vec<Fp61> = (0..D_MODEL)
+            .map(|k| Fp61::from_u64((id * 10 + k) as u64))
+            .collect();
+        updates.push(update.clone());
+        let masked = clients[id].mask_update(round, &update).unwrap();
+        server.receive_update(masked, now, &mut rng).unwrap();
+    }
+    let entries = server.announce().unwrap();
+    let expected_weights = [4u64, 2, 1];
+    for (e, &w) in entries.iter().zip(&expected_weights) {
+        assert_eq!(e.weight, w, "entry {e:?}");
+    }
+
+    for client in clients.iter().take(4) {
+        server
+            .receive_aggregated_share(client.aggregated_share_for(&entries).unwrap())
+            .unwrap();
+    }
+    let agg = server.recover().unwrap();
+    assert_eq!(agg.total_weight, 7);
+    for k in 0..D_MODEL {
+        let want: Fp61 = updates
+            .iter()
+            .zip(&expected_weights)
+            .map(|(u, &w)| u[k] * Fp61::from_u64(w))
+            .sum();
+        assert_eq!(agg.aggregate[k], want);
+    }
+}
+
+#[test]
+fn quantized_roundtrip_recovers_weighted_average() {
+    // Full Appendix F path with real-valued updates.
+    let (cfg, clients, mut rng) = setup(2);
+    let staleness = QuantizedStaleness::new(StalenessFn::Constant, 1);
+    let mut server = AsyncServer::<Fp61>::new(cfg, 3, staleness).unwrap();
+    let quantizer = VectorQuantizer::new(1 << 20);
+
+    let reals: Vec<Vec<f64>> = (0..3)
+        .map(|i| {
+            (0..D_MODEL)
+                .map(|k| ((i * D_MODEL + k) as f64).sin() * 2.0)
+                .collect()
+        })
+        .collect();
+    for (i, real) in reals.iter().enumerate() {
+        let q: Vec<Fp61> = quantizer.quantize(real, &mut rng);
+        let masked = clients[i].mask_update(1, &q).unwrap();
+        server.receive_update(masked, 1, &mut rng).unwrap();
+    }
+    let entries = server.announce().unwrap();
+    for id in [0usize, 2, 3, 5] {
+        server
+            .receive_aggregated_share(clients[id].aggregated_share_for(&entries).unwrap())
+            .unwrap();
+    }
+    let agg = server.recover().unwrap();
+    let avg = agg.dequantize(&quantizer);
+    for k in 0..D_MODEL {
+        let want: f64 = reals.iter().map(|r| r[k]).sum::<f64>() / 3.0;
+        assert!((avg[k] - want).abs() < 1e-4, "coord {k}: {} vs {want}", avg[k]);
+    }
+}
+
+#[test]
+fn server_reusable_across_buffer_flushes() {
+    let (cfg, clients, mut rng) = setup(2);
+    let staleness = QuantizedStaleness::new(StalenessFn::Constant, 1);
+    let mut server = AsyncServer::<Fp61>::new(cfg, 2, staleness).unwrap();
+
+    for flush in 0..3u64 {
+        let round = flush % 2;
+        for id in [0usize, 1] {
+            let update: Vec<Fp61> = vec![Fp61::from_u64(flush + 1); D_MODEL];
+            let masked = clients[id].mask_update(round, &update).unwrap();
+            server.receive_update(masked, round, &mut rng).unwrap();
+        }
+        let entries = server.announce().unwrap();
+        for client in clients.iter().take(4) {
+            server
+                .receive_aggregated_share(client.aggregated_share_for(&entries).unwrap())
+                .unwrap();
+        }
+        let agg = server.recover().unwrap();
+        assert_eq!(agg.aggregate[0], Fp61::from_u64(2 * (flush + 1)));
+    }
+}

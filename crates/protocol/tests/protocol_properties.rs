@@ -1,0 +1,97 @@
+//! Property-based tests of Theorem 1's guarantees over random
+//! configurations and dropout patterns.
+
+use lsa_field::{Field, Fp61};
+use lsa_protocol::{run_sync_round, DropoutSchedule, LsaConfig, ProtocolError};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Dropout-resiliency: for any valid (N, T, U) and any dropout set of
+    /// size ≤ N − U, the aggregate of survivors is recovered exactly.
+    #[test]
+    fn theorem1_dropout_resiliency(
+        n in 3usize..10,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = seed as usize % (n - 1);
+        let u = t + 1 + (seed as usize / 7) % (n - t);
+        prop_assume!(u <= n);
+        let d = 1 + (seed as usize % 20);
+        let cfg = LsaConfig::new(n, t, u, d).unwrap();
+
+        let models: Vec<Vec<Fp61>> = (0..n)
+            .map(|_| lsa_field::ops::random_vector(d, &mut rng))
+            .collect();
+
+        // random dropout set of size ≤ N − U, split across phases
+        let max_drop = n - u;
+        let drop_count = (seed as usize / 13) % (max_drop + 1);
+        let mut ids: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = (seed as usize).wrapping_mul(31).wrapping_add(i) % (i + 1);
+            ids.swap(i, j);
+        }
+        let dropped = &ids[..drop_count];
+        let split = drop_count / 2;
+        let sched = DropoutSchedule {
+            before_upload: dropped[..split].to_vec(),
+            after_upload: dropped[split..].to_vec(),
+        };
+
+        let out = run_sync_round(cfg, &models, &sched, &mut rng).unwrap();
+        let mut want = vec![Fp61::ZERO; d];
+        for &i in &out.survivors {
+            lsa_field::ops::add_assign(&mut want, &models[i]);
+        }
+        prop_assert_eq!(out.aggregate, want);
+    }
+
+    /// Exceeding the dropout budget before upload always fails with
+    /// NotEnoughSurvivors — never a wrong aggregate.
+    #[test]
+    fn over_budget_dropouts_fail_safely(
+        n in 3usize..8,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = 1usize.min(n - 2);
+        let u = n - 1; // tolerate exactly 1 dropout
+        let cfg = LsaConfig::new(n, t, u, 4).unwrap();
+        let models: Vec<Vec<Fp61>> = (0..n)
+            .map(|_| lsa_field::ops::random_vector(4, &mut rng))
+            .collect();
+        let sched = DropoutSchedule::before_upload(vec![0, 1]); // 2 > budget
+        let err = run_sync_round(cfg, &models, &sched, &mut rng).unwrap_err();
+        let is_not_enough = matches!(err, ProtocolError::NotEnoughSurvivors { .. });
+        prop_assert!(is_not_enough, "unexpected error: {err}");
+    }
+
+    /// Privacy smoke property: two different models produce masked uploads
+    /// that are themselves different pseudo-random vectors, and the XOR of
+    /// residue parities across a batch of masked models is balanced (the
+    /// mask dominates the payload).
+    #[test]
+    fn masked_models_look_random(seed in any::<u64>()) {
+        use lsa_protocol::Client;
+        let cfg = LsaConfig::new(4, 1, 3, 64).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let client = Client::<Fp61>::new(0, cfg, &mut rng).unwrap();
+        let zeros = vec![Fp61::ZERO; 64];
+        let ones = vec![Fp61::ONE; 64];
+        let m0 = client.mask_model(&zeros).unwrap().payload;
+        let m1 = client.mask_model(&ones).unwrap().payload;
+        // difference of the two uploads reveals exactly the model delta —
+        // same-client masks cancel — but each individually is shifted by
+        // the (uniform) mask:
+        for k in 0..64 {
+            prop_assert_eq!(m1[k] - m0[k], Fp61::ONE);
+        }
+        let parity_sum: u64 = m0.iter().map(|v| v.residue() & 1).sum();
+        prop_assert!(parity_sum > 8 && parity_sum < 56, "parity {parity_sum}");
+    }
+}

@@ -1,0 +1,245 @@
+//! Quantization between real-valued model updates and the finite field.
+//!
+//! Secure aggregation operates in `F_q`, but model updates live in `R^d`.
+//! Appendix F.3.2 of the LightSecAgg paper bridges the two with
+//!
+//! 1. a **stochastic rounding** function `Q_c` (Eq. 29) — unbiased,
+//!    variance `≤ 1/(4c²)` per coordinate (Lemma 2);
+//! 2. a **two's-complement mapping** `φ : R → F_q` (Eq. 31) embedding
+//!    negative integers as `q + x`, inverted by `φ⁻¹` (Eq. 36);
+//! 3. a **quantized staleness function** `s_{c_g}(τ) = c_g·Q_{c_g}(s(τ))`
+//!    (Eq. 34) so the server can weight buffered async updates inside the
+//!    field.
+//!
+//! # Example
+//!
+//! ```
+//! use lsa_quantize::{StalenessFn, VectorQuantizer};
+//! use lsa_field::Fp61;
+//! use rand::SeedableRng;
+//!
+//! let quantizer = VectorQuantizer::new(1 << 16);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+//! let update = vec![0.25f64, -1.5, 0.0, 3.125];
+//! let field: Vec<Fp61> = quantizer.quantize(&update, &mut rng);
+//! let back = quantizer.dequantize(&field);
+//! for (orig, rec) in update.iter().zip(&back) {
+//!     assert!((orig - rec).abs() < 1e-4);
+//! }
+//! let weight = StalenessFn::Poly { alpha: 1.0 }.evaluate(4);
+//! assert!((weight - 0.2).abs() < 1e-12);
+//! ```
+
+pub mod staleness;
+
+pub use staleness::{QuantizedStaleness, StalenessFn};
+
+use lsa_field::Field;
+use rand::Rng;
+
+/// Stochastic rounding `Q_c` of Eq. (29): rounds `x` to the grid `Z/c`,
+/// choosing the upper neighbour with probability equal to the fractional
+/// part, so that `E[Q_c(x)] = x`.
+///
+/// Returns the *integer* `c·Q_c(x)` (i.e. `⌊cx⌋` or `⌊cx⌋+1`), which is
+/// what gets embedded into the field.
+pub fn stochastic_round<R: Rng + ?Sized>(x: f64, c: u64, rng: &mut R) -> i64 {
+    let scaled = x * c as f64;
+    let floor = scaled.floor();
+    let frac = scaled - floor;
+    let base = floor as i64;
+    if rng.gen::<f64>() < frac {
+        base + 1
+    } else {
+        base
+    }
+}
+
+/// A quantizer with fixed scaling level `c` (the paper's `c_l`).
+///
+/// Larger `c` means finer grids (rounding variance `d/(4c²)` over a
+/// `d`-dimensional vector) but a larger magnitude in the field, i.e. a
+/// higher risk of wrap-around when many updates are summed — the trade-off
+/// shown in Figure 12 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VectorQuantizer {
+    c: u64,
+}
+
+impl VectorQuantizer {
+    /// Create a quantizer with level `c ≥ 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c == 0`.
+    pub fn new(c: u64) -> Self {
+        assert!(c >= 1, "quantization level must be at least 1");
+        Self { c }
+    }
+
+    /// The quantization level `c`.
+    pub fn level(&self) -> u64 {
+        self.c
+    }
+
+    /// Quantize a real vector into the field: `φ(c·Q_c(x_k))` per
+    /// coordinate.
+    pub fn quantize<F: Field, R: Rng + ?Sized>(&self, xs: &[f64], rng: &mut R) -> Vec<F> {
+        xs.iter()
+            .map(|&x| F::from_i64(stochastic_round(x, self.c, rng)))
+            .collect()
+    }
+
+    /// Dequantize a field vector produced by [`Self::quantize`]:
+    /// `φ⁻¹(v_k)/c` per coordinate.
+    pub fn dequantize<F: Field>(&self, vs: &[F]) -> Vec<f64> {
+        self.dequantize_sum(vs, 1)
+    }
+
+    /// Dequantize an *aggregate* of `count` quantized vectors (optionally
+    /// staleness-weighted): `φ⁻¹(v_k) / (c · divisor)`.
+    ///
+    /// `divisor` absorbs extra integer scaling such as the `c_g` staleness
+    /// factor of Eq. (35); pass `1` when none applies.
+    pub fn dequantize_sum<F: Field>(&self, vs: &[F], divisor: u64) -> Vec<f64> {
+        let scale = (self.c as f64) * (divisor as f64);
+        vs.iter().map(|v| v.to_signed() as f64 / scale).collect()
+    }
+
+    /// The largest per-coordinate magnitude that `count` summed updates
+    /// may reach before wrap-around, given each real coordinate is bounded
+    /// by `bound`.
+    ///
+    /// Useful for asserting `q` is large enough:
+    /// `count · (bound·c + 1) < (q−1)/2`.
+    pub fn wraparound_headroom<F: Field>(&self, bound: f64, count: usize) -> f64 {
+        let max_mag = (bound * self.c as f64 + 1.0) * count as f64;
+        let half_field = (F::MODULUS - 1) as f64 / 2.0;
+        half_field - max_mag
+    }
+
+    /// Pick the finest power-of-two level that still avoids wrap-around
+    /// when `count` updates bounded by `bound` are aggregated in field
+    /// `F` — the trade-off the paper resolves empirically in Figure 12
+    /// and suggests auto-tuning for (Appendix F.5, citing Bonawitz et
+    /// al. 2019c). A safety factor of 2 is reserved.
+    ///
+    /// Returns `None` when even `c = 1` would wrap (field too small for
+    /// the workload).
+    pub fn auto_tune<F: Field>(bound: f64, count: usize) -> Option<Self> {
+        for bits in (0..=F::BITS.min(62)).rev() {
+            let candidate = Self::new(1u64 << bits);
+            if candidate.wraparound_headroom::<F>(bound, count)
+                > (F::MODULUS / 2) as f64 / 2.0
+            {
+                return Some(candidate);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsa_field::{Fp32, Fp61};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exact_grid_points_round_exactly() {
+        let mut rng = StdRng::seed_from_u64(1);
+        // 0.5 with c=2 is exactly on the grid: c*x = 1
+        for _ in 0..100 {
+            assert_eq!(stochastic_round(0.5, 2, &mut rng), 1);
+            assert_eq!(stochastic_round(-0.5, 2, &mut rng), -1);
+            assert_eq!(stochastic_round(3.0, 4, &mut rng), 12);
+        }
+    }
+
+    #[test]
+    fn rounding_is_unbiased_empirically() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let x = 0.3;
+        let c = 1;
+        let n = 200_000;
+        let sum: i64 = (0..n).map(|_| stochastic_round(x, c, &mut rng)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 0.3).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn negative_values_embed_correctly() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let q = VectorQuantizer::new(4);
+        let vs: Vec<Fp32> = q.quantize(&[-1.0], &mut rng);
+        // −1.0 * 4 = −4 exactly
+        assert_eq!(vs[0].to_signed(), -4);
+        assert_eq!(q.dequantize(&vs)[0], -1.0);
+    }
+
+    #[test]
+    fn quantize_dequantize_error_bound() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let q = VectorQuantizer::new(1 << 12);
+        let xs: Vec<f64> = (0..1000).map(|i| (i as f64 - 500.0) / 77.0).collect();
+        let vs: Vec<Fp61> = q.quantize(&xs, &mut rng);
+        let back = q.dequantize(&vs);
+        for (x, y) in xs.iter().zip(&back) {
+            assert!((x - y).abs() <= 1.0 / (1 << 12) as f64 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn aggregate_of_quantized_updates_dequantizes_to_sum() {
+        // The end-to-end property secure aggregation relies on: sum in the
+        // field ≈ sum of the reals.
+        let mut rng = StdRng::seed_from_u64(5);
+        let q = VectorQuantizer::new(1 << 16);
+        let a = vec![0.7, -2.3, 1.1];
+        let b = vec![-0.4, 0.9, 2.2];
+        let fa: Vec<Fp61> = q.quantize(&a, &mut rng);
+        let fb: Vec<Fp61> = q.quantize(&b, &mut rng);
+        let sum: Vec<Fp61> = lsa_field::ops::add(&fa, &fb);
+        let back = q.dequantize(&sum);
+        for ((x, y), s) in a.iter().zip(&b).zip(&back) {
+            assert!((x + y - s).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn headroom_positive_for_sane_parameters() {
+        let q = VectorQuantizer::new(1 << 16);
+        // 100 users, coordinates bounded by 10.0: fits in both fields
+        assert!(q.wraparound_headroom::<Fp61>(10.0, 100) > 0.0);
+        assert!(q.wraparound_headroom::<Fp32>(10.0, 100) > 0.0);
+        // At c_l = 2^24 the 32-bit field wraps — the degradation Fig. 12
+        // shows for large c_l — while the 61-bit field still has room.
+        let q_fine = VectorQuantizer::new(1 << 24);
+        assert!(q_fine.wraparound_headroom::<Fp32>(10.0, 100) < 0.0);
+        assert!(q_fine.wraparound_headroom::<Fp61>(10.0, 100) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_level_panics() {
+        let _ = VectorQuantizer::new(0);
+    }
+
+    #[test]
+    fn auto_tune_picks_safe_level() {
+        // Fp61, 100 users, bound 10: plenty of room — should pick a fine
+        // grid that still leaves half-field headroom
+        let q = VectorQuantizer::auto_tune::<Fp61>(10.0, 100).expect("fits");
+        assert!(q.level() >= 1 << 16, "level {}", q.level());
+        assert!(q.wraparound_headroom::<Fp61>(10.0, 100) > 0.0);
+
+        // Fp32 with the same workload must choose a coarser grid than
+        // Fp61 (fewer bits of headroom)
+        let q32 = VectorQuantizer::auto_tune::<Fp32>(10.0, 100).expect("fits");
+        assert!(q32.level() < q.level());
+
+        // an absurd workload does not fit at all
+        assert!(VectorQuantizer::auto_tune::<Fp32>(1e12, 1_000_000).is_none());
+    }
+}

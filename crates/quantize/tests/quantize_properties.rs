@@ -1,0 +1,91 @@
+//! Property-based tests of quantization invariants (Lemma 2 of the
+//! paper: unbiasedness and bounded variance, plus exact linearity of the
+//! field embedding).
+
+use lsa_field::Fp61;
+use lsa_quantize::{stochastic_round, StalenessFn, VectorQuantizer};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Q_c lands on one of the two neighbouring grid points.
+    #[test]
+    fn rounding_lands_on_adjacent_grid(
+        x in -1e6f64..1e6,
+        c_bits in 0u32..20,
+        seed in any::<u64>(),
+    ) {
+        let c = 1u64 << c_bits;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let r = stochastic_round(x, c, &mut rng);
+        let scaled = x * c as f64;
+        prop_assert!(r as f64 >= scaled.floor() - 0.5);
+        prop_assert!(r as f64 <= scaled.floor() + 1.5);
+    }
+
+    /// Dequantize(quantize(x)) is within one grid step of x.
+    #[test]
+    fn roundtrip_error_within_grid(
+        xs in proptest::collection::vec(-100.0f64..100.0, 1..32),
+        c_bits in 4u32..24,
+        seed in any::<u64>(),
+    ) {
+        let q = VectorQuantizer::new(1u64 << c_bits);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let vs: Vec<Fp61> = q.quantize(&xs, &mut rng);
+        let back = q.dequantize(&vs);
+        let step = 1.0 / (1u64 << c_bits) as f64;
+        for (x, y) in xs.iter().zip(&back) {
+            prop_assert!((x - y).abs() <= step + 1e-12);
+        }
+    }
+
+    /// Field-sum of quantized vectors dequantizes to ≈ the real sum
+    /// (the property secure aggregation transports).
+    #[test]
+    fn field_sum_matches_real_sum(
+        a in proptest::collection::vec(-10.0f64..10.0, 1..16),
+        b in proptest::collection::vec(-10.0f64..10.0, 1..16),
+        seed in any::<u64>(),
+    ) {
+        let n = a.len().min(b.len());
+        let q = VectorQuantizer::new(1 << 16);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let fa: Vec<Fp61> = q.quantize(&a[..n], &mut rng);
+        let fb: Vec<Fp61> = q.quantize(&b[..n], &mut rng);
+        let sum = lsa_field::ops::add(&fa, &fb);
+        let back = q.dequantize(&sum);
+        for k in 0..n {
+            prop_assert!((back[k] - (a[k] + b[k])).abs() < 2.0 / 65536.0 + 1e-9);
+        }
+    }
+
+    /// All staleness functions stay in (0, 1] and equal 1 at τ = 0.
+    #[test]
+    fn staleness_range(tau in 0u64..1000, alpha in 0.1f64..4.0, a in 0.1f64..4.0, b in 0u64..20) {
+        for f in [
+            StalenessFn::Constant,
+            StalenessFn::Poly { alpha },
+            StalenessFn::Hinge { a, b },
+        ] {
+            let v = f.evaluate(tau);
+            prop_assert!(v > 0.0 && v <= 1.0, "{f:?}({tau}) = {v}");
+            prop_assert_eq!(f.evaluate(0), 1.0);
+        }
+    }
+
+    /// Integer staleness weights are within one unit of c_g·s(τ).
+    #[test]
+    fn quantized_staleness_close(tau in 0u64..100, cg_bits in 0u32..12, seed in any::<u64>()) {
+        use lsa_quantize::QuantizedStaleness;
+        let cg = 1u64 << cg_bits;
+        let qs = QuantizedStaleness::new(StalenessFn::Poly { alpha: 1.0 }, cg);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = qs.integer_weight(tau, &mut rng) as f64;
+        let exact = cg as f64 * (1.0 / (1.0 + tau as f64));
+        prop_assert!((w - exact).abs() <= 1.0);
+    }
+}

@@ -1,0 +1,44 @@
+//! Experiment harness for the LightSecAgg reproduction.
+//!
+//! Ties the protocol crates, the network simulator and the FL substrate
+//! together to regenerate every table and figure of the paper's
+//! evaluation:
+//!
+//! * [`complexity`] — the closed-form comparisons of Tables 1, 5 and 6;
+//! * [`cost`] — per-operation costs calibrated by running the real
+//!   kernels on this machine;
+//! * [`round`] — the per-phase round timing simulator behind Figure 6,
+//!   Figures 8–10 and Tables 2–4;
+//! * [`secure_fedbuff`] — asynchronous LightSecAgg plugged into the
+//!   FedBuff training loop (Figures 7, 11, 12);
+//! * [`experiments`] — one runner per table/figure;
+//! * [`report`] — console tables and TSV output.
+//!
+//! # Example: reproduce one Figure 6 point
+//!
+//! ```
+//! use lsa_sim::round::{simulate_round, ProtocolKind, RoundParams};
+//!
+//! let params = RoundParams::paper_default(
+//!     ProtocolKind::LightSecAgg,
+//!     100,                      // N
+//!     1_206_590,                // CNN/FEMNIST model size
+//!     0.3,                      // dropout rate
+//! );
+//! let breakdown = simulate_round(&params);
+//! assert!(breakdown.recovery < breakdown.total);
+//! ```
+
+pub mod complexity;
+pub mod cost;
+pub mod experiments;
+pub mod report;
+pub mod robust;
+pub mod round;
+pub mod secure_fedbuff;
+pub mod system;
+
+pub use cost::KernelCosts;
+pub use round::{simulate_round, timeline, PhaseSegment, ProtocolKind, RoundBreakdown, RoundParams};
+pub use secure_fedbuff::LsaBufferAggregator;
+pub use system::{run_system, SystemConfig, SystemRoundRecord};

@@ -1,0 +1,105 @@
+//! Table rendering and TSV output for the experiment binaries.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+/// Write a TSV file with a header row.
+///
+/// # Errors
+///
+/// Propagates I/O errors from file creation and writing.
+pub fn write_tsv<P: AsRef<Path>>(
+    path: P,
+    header: &[&str],
+    rows: &[Vec<String>],
+) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    writeln!(w, "{}", header.join("\t"))?;
+    for row in rows {
+        writeln!(w, "{}", row.join("\t"))?;
+    }
+    w.flush()
+}
+
+/// Render an aligned console table.
+pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<width$}", c, width = widths.get(i).copied().unwrap_or(0)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Format seconds with 1 decimal.
+pub fn secs(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+/// Format a speedup ratio like the paper ("8.5x").
+pub fn gain(x: f64) -> String {
+    format!("{x:.1}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let s = render_table(
+            "t",
+            &["a", "long-header"],
+            &[vec!["xx".into(), "1".into()], vec!["y".into(), "22".into()]],
+        );
+        assert!(s.contains("== t =="));
+        assert!(s.contains("long-header"));
+        // all data lines have the same second-column offset
+        let lines: Vec<&str> = s.lines().skip(1).collect();
+        let col = lines[0].find("long-header").unwrap();
+        assert_eq!(lines[2].find('1'), Some(col));
+    }
+
+    #[test]
+    fn tsv_roundtrip() {
+        let dir = std::env::temp_dir().join("lsa_report_test.tsv");
+        write_tsv(
+            &dir,
+            &["x", "y"],
+            &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
+        )
+        .unwrap();
+        let content = std::fs::read_to_string(&dir).unwrap();
+        assert_eq!(content, "x\ty\n1\t2\n3\t4\n");
+        std::fs::remove_file(&dir).ok();
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(secs(1.25), "1.2");
+        assert_eq!(gain(8.54), "8.5x");
+    }
+}

@@ -1,0 +1,47 @@
+//! Reproduce a slice of the paper's timing evaluation from the command
+//! line: per-phase breakdowns for all three protocols (a mini Table 4)
+//! and the bandwidth sensitivity of Table 3.
+//!
+//! Run with: `cargo run --release --example cross_device_timing`
+
+use lightsecagg::sim::round::{simulate_round, ProtocolKind, RoundParams};
+use lightsecagg::sim::KernelCosts;
+
+fn main() {
+    let n = 100;
+    let d = lightsecagg::fl::model_sizes::CNN_FEMNIST;
+    let costs = KernelCosts::calibrate();
+    println!("calibrated kernel costs on this machine: {costs:#?}\n");
+
+    println!("protocol      p     offline  training  upload  recovery  total");
+    println!("----------------------------------------------------------------");
+    for protocol in ProtocolKind::ALL {
+        for p in [0.1f64, 0.3, 0.5] {
+            let mut params = RoundParams::paper_default(protocol, n, d, p);
+            params.costs = costs;
+            let b = simulate_round(&params);
+            println!(
+                "{:<12} {:>4.0}%  {:>7.1}  {:>8.1}  {:>6.1}  {:>8.1}  {:>6.1}",
+                protocol.name(),
+                p * 100.0,
+                b.offline,
+                b.training,
+                b.uploading,
+                b.recovery,
+                b.total
+            );
+        }
+    }
+
+    println!("\nLightSecAgg gain vs SecAgg by bandwidth (overlapped, p = 0.3):");
+    for (label, mbps) in [("4G", 98.0), ("default", 320.0), ("5G", 802.0)] {
+        let mut lsa = RoundParams::paper_default(ProtocolKind::LightSecAgg, n, d, 0.3);
+        lsa.net = lightsecagg::net::NetworkConfig::mbps(n, mbps, 2.0 * mbps, 0.002);
+        lsa.overlap = true;
+        lsa.costs = costs;
+        let mut sa = lsa;
+        sa.protocol = ProtocolKind::SecAgg;
+        let gain = simulate_round(&sa).total / simulate_round(&lsa).total;
+        println!("  {label:<8} {mbps:>5.0} Mb/s: {gain:.1}x");
+    }
+}

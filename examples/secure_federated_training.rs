@@ -1,0 +1,88 @@
+//! Full federated training with secure aggregation in the loop: FedAvg
+//! over synthetic data where every round's averaging happens through the
+//! real LightSecAgg protocol (quantize → mask → one-shot recover →
+//! dequantize). Compares final accuracy against insecure averaging.
+//!
+//! Run with: `cargo run --release --example secure_federated_training`
+
+use lightsecagg::field::Fp61;
+use lightsecagg::fl::{
+    mean_aggregate, run_fedavg, Dataset, FedAvgConfig, LogisticRegression, Model,
+};
+use lightsecagg::protocol::{run_sync_round, DropoutSchedule, LsaConfig};
+use lightsecagg::quantize::VectorQuantizer;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(5);
+    let (train, test) = Dataset::synthetic(2000, 10, 4, 2.0, &mut rng).split_test(0.2);
+    let n_clients = 10;
+    let shards = train.iid_partition(n_clients);
+    let cfg = FedAvgConfig {
+        rounds: 10,
+        ..FedAvgConfig::default()
+    };
+
+    // --- insecure baseline ---
+    let mut plain_model = LogisticRegression::new(10, 4);
+    let plain = run_fedavg(
+        &mut plain_model,
+        &shards,
+        &test,
+        &cfg,
+        mean_aggregate,
+        &mut StdRng::seed_from_u64(6),
+    );
+
+    // --- secure: every round aggregated through LightSecAgg ---
+    let quantizer = VectorQuantizer::new(1 << 16);
+    let mut secure_model = LogisticRegression::new(10, 4);
+    let d = secure_model.num_params();
+    let lsa_cfg = LsaConfig::new(n_clients, 4, 7, d)?;
+    let mut agg_rng = StdRng::seed_from_u64(7);
+    let secure = run_fedavg(
+        &mut secure_model,
+        &shards,
+        &test,
+        &cfg,
+        |updates: &[Vec<f32>]| {
+            // quantize each client's update into the field
+            let field_models: Vec<Vec<Fp61>> = updates
+                .iter()
+                .map(|u| {
+                    let reals: Vec<f64> = u.iter().map(|&v| v as f64).collect();
+                    quantizer.quantize(&reals, &mut agg_rng)
+                })
+                .collect();
+            // run the actual protocol (worst-case: 3 users drop after upload)
+            let out = run_sync_round(
+                lsa_cfg,
+                &field_models,
+                &DropoutSchedule::after_upload(vec![0, 3, 8]),
+                &mut agg_rng,
+            )
+            .expect("round within dropout budget");
+            // dequantize the sum and divide by the participant count
+            quantizer
+                .dequantize(&out.aggregate)
+                .into_iter()
+                .map(|v| (v / out.survivors.len() as f64) as f32)
+                .collect()
+        },
+        &mut StdRng::seed_from_u64(6),
+    );
+
+    println!("round  insecure-acc  secure-acc");
+    for (p, s) in plain.iter().zip(&secure) {
+        println!("{:>5}  {:>12.4}  {:>10.4}", p.round, p.accuracy, s.accuracy);
+    }
+    let (pa, sa) = (
+        plain.last().unwrap().accuracy,
+        secure.last().unwrap().accuracy,
+    );
+    println!("\nfinal: insecure {pa:.4} vs secure {sa:.4}");
+    assert!(sa > 0.7, "secure training should learn (got {sa})");
+    println!("OK: secure aggregation preserves training quality");
+    Ok(())
+}

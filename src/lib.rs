@@ -1,0 +1,45 @@
+//! # LightSecAgg (MLSys 2022) — a Rust reproduction
+//!
+//! Facade crate re-exporting the full workspace:
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`field`] | `lsa-field` | `GF(2^32−5)` / `GF(2^61−1)` arithmetic |
+//! | [`coding`] | `lsa-coding` | Vandermonde MDS codes, Shamir sharing |
+//! | [`crypto`] | `lsa-crypto` | ChaCha20 PRG, SHA-256, Diffie–Hellman |
+//! | [`quantize`] | `lsa-quantize` | stochastic quantization, staleness |
+//! | [`protocol`] | `lsa-protocol` | LightSecAgg, sync + async |
+//! | [`baselines`] | `lsa-baselines` | SecAgg, SecAgg+ |
+//! | [`net`] | `lsa-net` | discrete-event network simulator |
+//! | [`fl`] | `lsa-fl` | datasets, models, FedAvg, FedBuff |
+//! | [`sim`] | `lsa-sim` | cost model + every table/figure runner |
+//!
+//! See `README.md` for the quickstart and `DESIGN.md` for the paper →
+//! code map.
+//!
+//! # Example
+//!
+//! ```
+//! use lightsecagg::protocol::{run_sync_round, DropoutSchedule, LsaConfig};
+//! use lightsecagg::field::{Field, Fp61};
+//! use rand::SeedableRng;
+//!
+//! let cfg = LsaConfig::new(4, 1, 3, 8)?;
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let models: Vec<Vec<Fp61>> = (0..4)
+//!     .map(|i| (0..8).map(|k| Fp61::from_u64((i * 8 + k) as u64)).collect())
+//!     .collect();
+//! let out = run_sync_round(cfg, &models, &DropoutSchedule::none(), &mut rng)?;
+//! assert_eq!(out.aggregate.len(), 8);
+//! # Ok::<(), lightsecagg::protocol::ProtocolError>(())
+//! ```
+
+pub use lsa_baselines as baselines;
+pub use lsa_coding as coding;
+pub use lsa_crypto as crypto;
+pub use lsa_field as field;
+pub use lsa_fl as fl;
+pub use lsa_net as net;
+pub use lsa_protocol as protocol;
+pub use lsa_quantize as quantize;
+pub use lsa_sim as sim;

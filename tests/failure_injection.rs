@@ -1,0 +1,164 @@
+//! Failure injection: malformed, duplicated, misrouted and corrupted
+//! messages must yield clean errors — never a silently wrong aggregate.
+
+use lightsecagg::field::{Field, Fp61};
+use lightsecagg::protocol::{
+    AggregatedShare, Client, DropoutSchedule, LsaConfig, MaskedModel, ProtocolError, ServerRound,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn cfg() -> LsaConfig {
+    LsaConfig::new(5, 1, 3, 8).unwrap()
+}
+
+fn built_clients(seed: u64) -> Vec<Client<Fp61>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut clients: Vec<Client<Fp61>> = (0..5)
+        .map(|id| Client::new(id, cfg(), &mut rng).unwrap())
+        .collect();
+    let shares: Vec<_> = clients.iter().flat_map(Client::outgoing_shares).collect();
+    for s in shares {
+        clients[s.to].receive_share(s).unwrap();
+    }
+    clients
+}
+
+#[test]
+fn truncated_masked_model_rejected() {
+    let mut server = ServerRound::<Fp61>::new(cfg()).unwrap();
+    let msg = MaskedModel {
+        from: 0,
+        payload: vec![Fp61::ZERO; 3], // wrong length
+    };
+    assert!(matches!(
+        server.receive_masked_model(msg),
+        Err(ProtocolError::Coding(_))
+    ));
+}
+
+#[test]
+fn corrupted_share_changes_aggregate_but_protocol_detects_shape_errors() {
+    // A share with the right length but corrupted content cannot be
+    // *detected* information-theoretically (any vector is plausible) —
+    // but every SHAPE violation must be caught. This test documents the
+    // boundary: wrong length → error; extra shares → ignored.
+    let clients = built_clients(1);
+    let mut server = ServerRound::<Fp61>::new(cfg()).unwrap();
+    let models: Vec<Vec<Fp61>> = (0..5).map(|_| vec![Fp61::ONE; 8]).collect();
+    for (id, c) in clients.iter().enumerate() {
+        server
+            .receive_masked_model(c.mask_model(&models[id]).unwrap())
+            .unwrap();
+    }
+    let survivors = server.close_upload_phase().unwrap().to_vec();
+
+    // wrong-length aggregated share rejected
+    let bad = AggregatedShare {
+        from: 0,
+        payload: vec![Fp61::ZERO; 1],
+    };
+    assert!(matches!(
+        server.receive_aggregated_share(bad),
+        Err(ProtocolError::Coding(_))
+    ));
+
+    // correct shares still recover the exact aggregate afterwards
+    for c in &clients {
+        let done = server
+            .receive_aggregated_share(c.aggregated_share_for(&survivors).unwrap())
+            .unwrap();
+        if done {
+            break;
+        }
+    }
+    let agg = server.recover_aggregate().unwrap();
+    assert_eq!(agg, vec![Fp61::from_u64(5); 8]);
+}
+
+#[test]
+fn extra_shares_beyond_u_are_harmless() {
+    let clients = built_clients(2);
+    let mut server = ServerRound::<Fp61>::new(cfg()).unwrap();
+    let models: Vec<Vec<Fp61>> = (0..5).map(|i| vec![Fp61::from_u64(i as u64); 8]).collect();
+    for (id, c) in clients.iter().enumerate() {
+        server
+            .receive_masked_model(c.mask_model(&models[id]).unwrap())
+            .unwrap();
+    }
+    let survivors = server.close_upload_phase().unwrap().to_vec();
+    // all five survivors send although U = 3 suffice
+    for c in &clients {
+        let _ = server.receive_aggregated_share(c.aggregated_share_for(&survivors).unwrap());
+    }
+    let agg = server.recover_aggregate().unwrap();
+    let want: Fp61 = (0..5).map(Fp61::from_u64).sum();
+    assert_eq!(agg, vec![want; 8]);
+}
+
+#[test]
+fn double_close_of_upload_phase_rejected() {
+    let clients = built_clients(3);
+    let mut server = ServerRound::<Fp61>::new(cfg()).unwrap();
+    for c in clients.iter().take(4) {
+        server
+            .receive_masked_model(c.mask_model(&[Fp61::ZERO; 8]).unwrap())
+            .unwrap();
+    }
+    server.close_upload_phase().unwrap();
+    assert!(matches!(
+        server.close_upload_phase(),
+        Err(ProtocolError::WrongPhase)
+    ));
+    // late masked model after close also rejected
+    let late = clients[4].mask_model(&[Fp61::ZERO; 8]).unwrap();
+    assert!(matches!(
+        server.receive_masked_model(late),
+        Err(ProtocolError::WrongPhase)
+    ));
+}
+
+#[test]
+fn weighted_models_recover_weighted_sum() {
+    // Remark 3 end-to-end through the public API.
+    let clients = built_clients(4);
+    let mut server = ServerRound::<Fp61>::new(cfg()).unwrap();
+    let weights = [5u64, 1, 3, 2, 4];
+    let model = vec![Fp61::ONE; 8];
+    for (c, &w) in clients.iter().zip(&weights) {
+        server
+            .receive_masked_model(c.mask_weighted_model(&model, w).unwrap())
+            .unwrap();
+    }
+    let survivors = server.close_upload_phase().unwrap().to_vec();
+    for c in &clients {
+        if server
+            .receive_aggregated_share(c.aggregated_share_for(&survivors).unwrap())
+            .unwrap()
+        {
+            break;
+        }
+    }
+    let agg = server.recover_aggregate().unwrap();
+    let total: u64 = weights.iter().sum();
+    assert_eq!(agg, vec![Fp61::from_u64(total); 8]);
+}
+
+#[test]
+fn aggregate_differs_from_any_individual_model() {
+    // sanity: the server output is the sum, not any single model leak
+    let mut rng = StdRng::seed_from_u64(9);
+    let models: Vec<Vec<Fp61>> = (0..5)
+        .map(|_| lsa_field::ops::random_vector(8, &mut rng))
+        .collect();
+    let out = lightsecagg::protocol::run_sync_round(
+        cfg(),
+        &models,
+        &DropoutSchedule::none(),
+        &mut rng,
+    )
+    .unwrap();
+    for m in &models {
+        assert_ne!(&out.aggregate, m);
+    }
+}

@@ -1,0 +1,132 @@
+//! End-to-end integration: federated training whose aggregation runs
+//! through the real protocols, compared against insecure training on
+//! identical streams.
+
+use lightsecagg::field::Fp61;
+use lightsecagg::fl::{
+    mean_aggregate, run_fedavg, run_fedbuff, Dataset, FedAvgConfig, FedBuffConfig,
+    LogisticRegression, Model, PlainFedBuff,
+};
+use lightsecagg::protocol::{run_sync_round, DropoutSchedule, LsaConfig};
+use lightsecagg::quantize::{StalenessFn, VectorQuantizer};
+use lightsecagg::sim::LsaBufferAggregator;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn data() -> (Dataset, Dataset) {
+    let mut rng = StdRng::seed_from_u64(1);
+    Dataset::synthetic(1600, 8, 4, 2.0, &mut rng).split_test(0.25)
+}
+
+#[test]
+fn fedavg_through_lightsecagg_matches_plain_training() {
+    let (train, test) = data();
+    let n_clients = 8;
+    let shards = train.iid_partition(n_clients);
+    let cfg = FedAvgConfig {
+        rounds: 8,
+        ..FedAvgConfig::default()
+    };
+
+    let mut plain_model = LogisticRegression::new(8, 4);
+    let plain = run_fedavg(
+        &mut plain_model,
+        &shards,
+        &test,
+        &cfg,
+        mean_aggregate,
+        &mut StdRng::seed_from_u64(2),
+    );
+
+    let quantizer = VectorQuantizer::new(1 << 16);
+    let mut secure_model = LogisticRegression::new(8, 4);
+    let d = secure_model.num_params();
+    let lsa_cfg = LsaConfig::new(n_clients, 3, 6, d).unwrap();
+    let mut agg_rng = StdRng::seed_from_u64(3);
+    let secure = run_fedavg(
+        &mut secure_model,
+        &shards,
+        &test,
+        &cfg,
+        |updates: &[Vec<f32>]| {
+            let field_models: Vec<Vec<Fp61>> = updates
+                .iter()
+                .map(|u| {
+                    let reals: Vec<f64> = u.iter().map(|&v| v as f64).collect();
+                    quantizer.quantize(&reals, &mut agg_rng)
+                })
+                .collect();
+            let out = run_sync_round(
+                lsa_cfg,
+                &field_models,
+                &DropoutSchedule::after_upload(vec![1, 6]),
+                &mut agg_rng,
+            )
+            .unwrap();
+            quantizer
+                .dequantize(&out.aggregate)
+                .into_iter()
+                .map(|v| (v / out.survivors.len() as f64) as f32)
+                .collect()
+        },
+        &mut StdRng::seed_from_u64(2),
+    );
+
+    // identical client sampling stream + near-exact aggregation ⇒ the
+    // two accuracy trajectories coincide within quantization noise
+    for (p, s) in plain.iter().zip(&secure) {
+        assert!(
+            (p.accuracy - s.accuracy).abs() < 0.08,
+            "round {}: plain {} vs secure {}",
+            p.round,
+            p.accuracy,
+            s.accuracy
+        );
+    }
+    assert!(secure.last().unwrap().accuracy > 0.8);
+}
+
+#[test]
+fn fedbuff_through_async_lightsecagg_tracks_plain() {
+    let (train, test) = data();
+    let shards = train.iid_partition(40);
+    let cfg = FedBuffConfig {
+        rounds: 12,
+        buffer_k: 8,
+        tau_max: 6,
+        ..FedBuffConfig::default()
+    };
+
+    let mut plain_model = LogisticRegression::new(8, 4);
+    let mut plain_agg = PlainFedBuff {
+        staleness: StalenessFn::Poly { alpha: 1.0 },
+    };
+    let plain = run_fedbuff(
+        &mut plain_model,
+        &shards,
+        &test,
+        &cfg,
+        &mut plain_agg,
+        &mut StdRng::seed_from_u64(4),
+    );
+
+    let mut secure_model = LogisticRegression::new(8, 4);
+    let mut secure_agg =
+        LsaBufferAggregator::<Fp61>::paper_default(StalenessFn::Poly { alpha: 1.0 });
+    let secure = run_fedbuff(
+        &mut secure_model,
+        &shards,
+        &test,
+        &cfg,
+        &mut secure_agg,
+        &mut StdRng::seed_from_u64(4),
+    );
+
+    let pa = plain.last().unwrap().accuracy;
+    let sa = secure.last().unwrap().accuracy;
+    assert!(
+        (pa - sa).abs() < 0.08,
+        "final accuracies diverged: plain {pa} vs secure {sa}"
+    );
+    assert!(sa > 0.7, "secure async training should learn ({sa})");
+}
