@@ -42,8 +42,8 @@ pub mod secagg;
 
 pub use graph::CommunicationGraph;
 pub use secagg::{
-    run_secagg_round, KeyAdvertisement, RecoveryShares, RecoveryStats, SecAggClient,
-    SecAggConfig, SecAggRoundOutput, SecretShares,
+    run_secagg_round, KeyAdvertisement, RecoveryShares, RecoveryStats, SecAggClient, SecAggConfig,
+    SecAggRoundOutput, SecretShares,
 };
 
 use core::fmt;

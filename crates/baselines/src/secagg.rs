@@ -303,15 +303,11 @@ impl<F: Field> SecAggClient<F> {
         }
         let mut payload = model.to_vec();
         // self mask n_i = PRG(b_i)
-        let self_mask: Vec<F> =
-            FieldPrg::new(self.b_seed.derive(self.round)).expand(self.cfg.d());
+        let self_mask: Vec<F> = FieldPrg::new(self.b_seed.derive(self.round)).expand(self.cfg.d());
         lsa_field::ops::add_assign(&mut payload, &self_mask);
         // pairwise masks with neighbours
         for j in self.cfg.graph().neighbors(self.id) {
-            let pk = self
-                .directory
-                .get(&j)
-                .ok_or(BaselineError::MissingKey(j))?;
+            let pk = self.directory.get(&j).ok_or(BaselineError::MissingKey(j))?;
             let seed = self.keypair.agree(pk).derive(self.round);
             let pairwise: Vec<F> = FieldPrg::new(seed).expand(self.cfg.d());
             if self.id < j {
@@ -424,7 +420,10 @@ pub fn server_recover<F: Field>(
     for &i in &included {
         let collected = b_collected
             .get(&i)
-            .ok_or(lsa_coding::CodingError::NotEnoughShares { got: 0, need: cfg.threshold() + 1 })?;
+            .ok_or(lsa_coding::CodingError::NotEnoughShares {
+                got: 0,
+                need: cfg.threshold() + 1,
+            })?;
         let seed = reconstruct_seed(cfg, i, collected)?;
         stats.secrets_reconstructed += 1;
         let self_mask: Vec<F> = FieldPrg::new(seed.derive(round)).expand(cfg.d());
@@ -436,7 +435,10 @@ pub fn server_recover<F: Field>(
     for &j in dropped {
         let collected = sk_collected
             .get(&j)
-            .ok_or(lsa_coding::CodingError::NotEnoughShares { got: 0, need: cfg.threshold() + 1 })?;
+            .ok_or(lsa_coding::CodingError::NotEnoughShares {
+                got: 0,
+                need: cfg.threshold() + 1,
+            })?;
         let sk = reconstruct_secret_key(cfg, j, collected)?;
         stats.secrets_reconstructed += 1;
         for &k in &cfg.graph().neighbors(j) {

@@ -3,8 +3,8 @@
 //! U-ablation of §7.2 ("Impact of U").
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use lsa_field::Fp32;
 use lsa_coding::VandermondeCode;
+use lsa_field::Fp32;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Duration;
@@ -46,8 +46,7 @@ fn bench_mds(c: &mut Criterion) {
             .map(|_| lsa_field::ops::random_vector(seg, &mut rng))
             .collect();
         let coded = code.encode_all(&segments);
-        let shares: Vec<(usize, Vec<Fp32>)> =
-            (0..u).map(|j| (j, coded[j].clone())).collect();
+        let shares: Vec<(usize, Vec<Fp32>)> = (0..u).map(|j| (j, coded[j].clone())).collect();
         group.bench_with_input(BenchmarkId::new("u", u), &u, |b, _| {
             b.iter(|| black_box(code.decode_prefix(black_box(&shares), u - t).unwrap()))
         });

@@ -53,16 +53,12 @@ fn bench_rounds(c: &mut Criterion) {
         );
 
         let sa_cfg = SecAggConfig::secagg(N, N / 2 - 1, D).unwrap();
-        group.bench_with_input(
-            BenchmarkId::new("secagg", format!("p{p}")),
-            &p,
-            |b, _| {
-                b.iter(|| {
-                    let mut rng = StdRng::seed_from_u64(2);
-                    black_box(run_secagg_round(&sa_cfg, &ms, &sched, &mut rng).unwrap())
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("secagg", format!("p{p}")), &p, |b, _| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(2);
+                black_box(run_secagg_round(&sa_cfg, &ms, &sched, &mut rng).unwrap())
+            })
+        });
 
         let sap_cfg = SecAggConfig::secagg_plus(N, D).unwrap();
         group.bench_with_input(

@@ -1,0 +1,63 @@
+//! Throughput of the sans-IO session engine over `MemTransport`:
+//! envelopes/second for a full synchronous round at N ∈ {16, 64, 256} —
+//! the baseline future transport optimisations are measured against.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lsa_field::Fp61;
+use lsa_protocol::transport::MemTransport;
+use lsa_protocol::{run_sync_round_over, DropoutSchedule, LsaConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(150))
+        .measurement_time(Duration::from_millis(600))
+}
+
+/// Envelope count of one full no-dropout round: N(N−1) coded shares +
+/// N masked models + N survivor announcements + N aggregated shares
+/// (every survivor responds; the server ignores extras beyond U).
+fn envelopes_per_round(n: usize) -> u64 {
+    (n * (n - 1) + 3 * n) as u64
+}
+
+fn bench_sessions(c: &mut Criterion) {
+    let d = 256;
+    let mut group = c.benchmark_group("session_round_mem_transport");
+    for n in [16usize, 64, 256] {
+        let t = n / 2;
+        let u = (7 * n) / 10;
+        let cfg = LsaConfig::new(n, t, u, d).expect("valid config");
+        let mut rng = StdRng::seed_from_u64(1);
+        let models: Vec<Vec<Fp61>> = (0..n)
+            .map(|_| lsa_field::ops::random_vector(d, &mut rng))
+            .collect();
+        group.throughput(Throughput::Elements(envelopes_per_round(n)));
+        group.bench_with_input(BenchmarkId::new("envelopes", n), &n, |b, _| {
+            let mut round_rng = StdRng::seed_from_u64(2);
+            b.iter(|| {
+                let mut transport = MemTransport::new();
+                let out = run_sync_round_over(
+                    cfg,
+                    black_box(&models),
+                    &DropoutSchedule::none(),
+                    &mut round_rng,
+                    &mut transport,
+                )
+                .expect("round completes");
+                black_box(out.aggregate.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_sessions
+}
+criterion_main!(benches);

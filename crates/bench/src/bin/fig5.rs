@@ -10,7 +10,14 @@ use lsa_sim::round::{timeline, ProtocolKind, RoundParams};
 fn main() {
     let n = n_users();
     let d = lsa_fl::model_sizes::MOBILENETV3_CIFAR10;
-    let header = ["protocol", "mode", "duplex", "phase", "start (s)", "end (s)"];
+    let header = [
+        "protocol",
+        "mode",
+        "duplex",
+        "phase",
+        "start (s)",
+        "end (s)",
+    ];
     let mut rows = Vec::new();
     for protocol in [ProtocolKind::LightSecAgg, ProtocolKind::SecAggPlus] {
         for overlap in [false, true] {
@@ -23,7 +30,12 @@ fn main() {
                 for seg in timeline(&p) {
                     rows.push(vec![
                         protocol.name().to_string(),
-                        if overlap { "overlapped" } else { "non-overlapped" }.to_string(),
+                        if overlap {
+                            "overlapped"
+                        } else {
+                            "non-overlapped"
+                        }
+                        .to_string(),
                         format!("{duplex:?}"),
                         seg.phase.to_string(),
                         format!("{:.2}", seg.start),

@@ -52,7 +52,10 @@ fn main() {
             "O(d logN)".into(),
         ],
     ];
-    print!("{}", report::render_table("Table 1 (asymptotic)", &header, &asymptotic));
+    print!(
+        "{}",
+        report::render_table("Table 1 (asymptotic)", &header, &asymptotic)
+    );
 
     type Entry = (&'static str, fn(&ComplexityParams, Protocol) -> f64);
     let entries: [Entry; 6] = [

@@ -10,14 +10,26 @@ fn main() {
     let n = n_users();
     let rows = table4(n, kernel_costs());
     let header = [
-        "protocol", "mode", "p", "offline", "training", "uploading", "recovery", "total",
+        "protocol",
+        "mode",
+        "p",
+        "offline",
+        "training",
+        "uploading",
+        "recovery",
+        "total",
     ];
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
             vec![
                 r.protocol.name().to_string(),
-                if r.overlapped { "overlapped" } else { "non-overlapped" }.to_string(),
+                if r.overlapped {
+                    "overlapped"
+                } else {
+                    "non-overlapped"
+                }
+                .to_string(),
                 format!("{:.0}%", r.dropout_rate * 100.0),
                 secs(r.breakdown.offline),
                 secs(r.breakdown.training),

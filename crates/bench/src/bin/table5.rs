@@ -12,12 +12,30 @@ fn main() {
 
     type Entry = (&'static str, fn(&ComplexityParams, Protocol) -> f64);
     let entries: [Entry; 8] = [
-        ("offline storage per user", complexity::offline_storage_per_user),
-        ("offline communication per user", complexity::offline_comm_per_user),
-        ("offline computation per user", complexity::offline_comp_per_user),
-        ("online communication per user", complexity::online_comm_per_user),
-        ("online communication at server", complexity::online_comm_server),
-        ("online computation per user", complexity::online_comp_per_user),
+        (
+            "offline storage per user",
+            complexity::offline_storage_per_user,
+        ),
+        (
+            "offline communication per user",
+            complexity::offline_comm_per_user,
+        ),
+        (
+            "offline computation per user",
+            complexity::offline_comp_per_user,
+        ),
+        (
+            "online communication per user",
+            complexity::online_comm_per_user,
+        ),
+        (
+            "online communication at server",
+            complexity::online_comm_server,
+        ),
+        (
+            "online computation per user",
+            complexity::online_comp_per_user,
+        ),
         ("decoding complexity at server", complexity::decoding_server),
         ("PRG complexity at server", complexity::prg_server),
     ];

@@ -27,7 +27,11 @@ fn main() {
     }
     print!(
         "{}",
-        report::render_table("Table 6 (symbols of F_q^{d/(U-T)}, p=0.2, T=N/2)", &header, &rows)
+        report::render_table(
+            "Table 6 (symbols of F_q^{d/(U-T)}, p=0.2, T=N/2)",
+            &header,
+            &rows
+        )
     );
     report::write_tsv(results_dir().join("table6.tsv"), &header, &rows)
         .expect("write results/table6.tsv");

@@ -57,7 +57,12 @@ pub fn run_running_time_figure(name: &str, d: usize, task: &str) {
         let pts = running_time_curve(d, overlap, &ns, costs);
         for p in pts {
             rows.push(vec![
-                if overlap { "overlapped" } else { "non-overlapped" }.to_string(),
+                if overlap {
+                    "overlapped"
+                } else {
+                    "non-overlapped"
+                }
+                .to_string(),
                 p.protocol.name().to_string(),
                 format!("{:.0}%", p.dropout_rate * 100.0),
                 p.n.to_string(),

@@ -31,7 +31,10 @@ pub fn lagrange_weights_at<F: Field>(xs: &[F], target: F) -> Result<Vec<F>, Codi
             num *= target - xs[j];
             den *= xs[i] - xs[j];
         }
-        weights[i] = num * den.inv().expect("distinct points give non-zero denominator");
+        weights[i] = num
+            * den
+                .inv()
+                .expect("distinct points give non-zero denominator");
     }
     Ok(weights)
 }
@@ -105,8 +108,8 @@ pub fn lagrange_basis_coefficients<F: Field>(xs: &[F]) -> Result<Vec<Vec<F>>, Co
             den
         })
         .collect();
-    let weights = lsa_field::ops::batch_invert(&dens)
-        .expect("distinct points give non-zero denominators");
+    let weights =
+        lsa_field::ops::batch_invert(&dens).expect("distinct points give non-zero denominators");
 
     let mut basis = Vec::with_capacity(n);
     for (i, &w) in weights.iter().enumerate() {

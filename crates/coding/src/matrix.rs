@@ -58,7 +58,11 @@ impl<F: Field> Matrix<F> {
             assert_eq!(row.len(), c, "ragged rows");
             data.extend(row);
         }
-        Self { rows: r, cols: c, data }
+        Self {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Build from a generator function `f(row, col)`.

@@ -107,8 +107,9 @@ impl<F: Field> ShamirScheme<F> {
     /// same holder points). Share `j` of the result holds the `j`-th
     /// evaluation of every element polynomial.
     pub fn share_vector<R: Rng + ?Sized>(&self, secrets: &[F], rng: &mut R) -> Vec<Vec<Share<F>>> {
-        let mut per_holder: Vec<Vec<Share<F>>> =
-            (0..self.n).map(|_| Vec::with_capacity(secrets.len())).collect();
+        let mut per_holder: Vec<Vec<Share<F>>> = (0..self.n)
+            .map(|_| Vec::with_capacity(secrets.len()))
+            .collect();
         for &s in secrets {
             for sh in self.share(s, rng) {
                 per_holder[sh.index].push(sh);
@@ -146,11 +147,7 @@ impl<F: Field> ShamirScheme<F> {
             xs.push(self.points[sh.index]);
         }
         let weights = interpolation::lagrange_weights_at(&xs, F::ZERO)?;
-        Ok(used
-            .iter()
-            .zip(&weights)
-            .map(|(sh, &w)| sh.value * w)
-            .sum())
+        Ok(used.iter().zip(&weights).map(|(sh, &w)| sh.value * w).sum())
     }
 }
 

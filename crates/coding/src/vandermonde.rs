@@ -249,7 +249,10 @@ mod tests {
         let code = VandermondeCode::<Fp32>::new(5, 3).unwrap();
         let segs = random_segments::<Fp32>(3, 4, 2);
         let coded = code.encode_all(&segs);
-        let shares: Vec<_> = [1usize, 2, 4].iter().map(|&j| (j, coded[j].clone())).collect();
+        let shares: Vec<_> = [1usize, 2, 4]
+            .iter()
+            .map(|&j| (j, coded[j].clone()))
+            .collect();
         let dec = code.decode_prefix(&shares, 2).unwrap();
         assert_eq!(dec.len(), 2);
         assert_eq!(dec, segs[..2].to_vec());

@@ -109,7 +109,11 @@ impl FieldPrg {
             }
             let v = u64::from_le_bytes(word);
             // mask off excess bits to keep the rejection rate low
-            let v = if F::BITS >= 64 { v } else { v & ((1u64 << F::BITS) - 1) };
+            let v = if F::BITS >= 64 {
+                v
+            } else {
+                v & ((1u64 << F::BITS) - 1)
+            };
             if v < F::MODULUS {
                 return F::from_u64(v);
             }

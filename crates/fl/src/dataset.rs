@@ -65,7 +65,11 @@ impl Dataset {
                 (0..dim)
                     .map(|k| {
                         let bit = (c >> (k % (usize::BITS as usize - 1))) & 1;
-                        let sign = if (k + bit).is_multiple_of(2) { 1.0 } else { -1.0 };
+                        let sign = if (k + bit).is_multiple_of(2) {
+                            1.0
+                        } else {
+                            -1.0
+                        };
                         // vary magnitude with a per-class phase so means differ
                         sign * separation * (1.0 + 0.3 * ((c * 7 + k * 3) % 5) as f64 / 5.0)
                     })

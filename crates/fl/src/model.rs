@@ -382,7 +382,11 @@ mod tests {
         }
         let (loss1, _) = model.loss_grad(&data, &batch);
         assert!(loss1 < loss0 * 0.5, "loss {loss0} -> {loss1}");
-        assert!(model.accuracy(&data) > 0.85, "acc {}", model.accuracy(&data));
+        assert!(
+            model.accuracy(&data) > 0.85,
+            "acc {}",
+            model.accuracy(&data)
+        );
     }
 
     #[test]
@@ -398,7 +402,11 @@ mod tests {
             }
             model.set_params(&p);
         }
-        assert!(model.accuracy(&data) > 0.85, "acc {}", model.accuracy(&data));
+        assert!(
+            model.accuracy(&data) > 0.85,
+            "acc {}",
+            model.accuracy(&data)
+        );
     }
 
     #[test]

@@ -80,13 +80,7 @@ mod tests {
         let data = Dataset::synthetic(200, 5, 2, 2.0, &mut rng);
         let model = LogisticRegression::new(5, 2);
         let global = model.params();
-        let delta = local_update(
-            &model,
-            &global,
-            &data,
-            &LocalTraining::default(),
-            &mut rng,
-        );
+        let delta = local_update(&model, &global, &data, &LocalTraining::default(), &mut rng);
         // applying x − 1.0·Δ (i.e. the trained params) lowers the loss
         let batch: Vec<usize> = (0..data.len()).collect();
         let (loss0, _) = model.loss_grad(&data, &batch);

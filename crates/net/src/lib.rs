@@ -393,9 +393,7 @@ mod tests {
         };
         let mut net = Network::new(cfg, Duplex::Full);
         let transfers: Vec<Transfer> = (0..3)
-            .map(|i| {
-                Transfer::new(NodeId::Client(i), NodeId::Server, 125_000 * (i + 1))
-            })
+            .map(|i| Transfer::new(NodeId::Client(i), NodeId::Server, 125_000 * (i + 1)))
             .collect();
         let r = net.run_phase(0.0, &transfers);
         near(r.kth_completion(0), 1.0);

@@ -13,11 +13,13 @@
 
 use crate::config::LsaConfig;
 use crate::messages::AggregatedShare;
+use crate::session::{AsyncClientSession, AsyncServerSession};
+use crate::transport::Transport;
 use crate::ProtocolError;
 use lsa_coding::{vandermonde, VandermondeCode};
 use lsa_field::Field;
 use lsa_quantize::{QuantizedStaleness, VectorQuantizer};
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
 
 /// A coded mask share tagged with the generation round (Appendix F.3.1).
@@ -154,10 +156,12 @@ impl<F: Field> AsyncClient<F> {
             return Err(ProtocolError::UnknownUser(share.from));
         }
         if share.payload.len() != self.cfg.segment_len() {
-            return Err(ProtocolError::Coding(lsa_coding::CodingError::LengthMismatch {
-                expected: self.cfg.segment_len(),
-                got: share.payload.len(),
-            }));
+            return Err(ProtocolError::Coding(
+                lsa_coding::CodingError::LengthMismatch {
+                    expected: self.cfg.segment_len(),
+                    got: share.payload.len(),
+                },
+            ));
         }
         let key = (share.from, share.round);
         if self.received.contains_key(&key) {
@@ -187,10 +191,12 @@ impl<F: Field> AsyncClient<F> {
         update: &[F],
     ) -> Result<TimestampedUpdate<F>, ProtocolError> {
         if update.len() != self.cfg.d() {
-            return Err(ProtocolError::Coding(lsa_coding::CodingError::LengthMismatch {
-                expected: self.cfg.d(),
-                got: update.len(),
-            }));
+            return Err(ProtocolError::Coding(
+                lsa_coding::CodingError::LengthMismatch {
+                    expected: self.cfg.d(),
+                    got: update.len(),
+                },
+            ));
         }
         let mask = self
             .masks
@@ -336,10 +342,12 @@ impl<F: Field> AsyncServer<F> {
             });
         }
         if update.payload.len() != self.cfg.padded_len() {
-            return Err(ProtocolError::Coding(lsa_coding::CodingError::LengthMismatch {
-                expected: self.cfg.padded_len(),
-                got: update.payload.len(),
-            }));
+            return Err(ProtocolError::Coding(
+                lsa_coding::CodingError::LengthMismatch {
+                    expected: self.cfg.padded_len(),
+                    got: update.payload.len(),
+                },
+            ));
         }
         let tau = now - update.round;
         let weight = self.staleness.integer_weight(tau, rng);
@@ -414,10 +422,12 @@ impl<F: Field> AsyncServer<F> {
             return Err(ProtocolError::UnknownUser(msg.from));
         }
         if msg.payload.len() != self.cfg.segment_len() {
-            return Err(ProtocolError::Coding(lsa_coding::CodingError::LengthMismatch {
-                expected: self.cfg.segment_len(),
-                got: msg.payload.len(),
-            }));
+            return Err(ProtocolError::Coding(
+                lsa_coding::CodingError::LengthMismatch {
+                    expected: self.cfg.segment_len(),
+                    got: msg.payload.len(),
+                },
+            ));
         }
         if self.shares.iter().any(|(from, _)| *from == msg.from) {
             return Err(ProtocolError::DuplicateMessage(msg.from));
@@ -466,6 +476,87 @@ impl<F: Field> AsyncServer<F> {
             entries,
         })
     }
+}
+
+/// One buffered contribution fed to [`run_buffered_flush`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlushInput<F> {
+    /// The contributing user (buffer slot owner).
+    pub slot: usize,
+    /// The base round the update was computed from.
+    pub round: u64,
+    /// The quantized update (length `cfg.d()`).
+    pub update: Vec<F>,
+}
+
+/// Thin driver: run one buffered-asynchronous flush over an explicit
+/// [`Transport`], pumping [`AsyncClientSession`]s and an
+/// [`AsyncServerSession`].
+///
+/// Phase boundaries are flushed under the labels `"mask-exchange"`,
+/// `"buffered-upload"`, `"buffer-announce"` and `"async-recovery"`. The
+/// global round is `max` of the input rounds; each session's entropy
+/// stream is derived from `rng` at construction, after which message
+/// handling is deterministic.
+///
+/// # Errors
+///
+/// Propagates any protocol error from the sessions.
+pub fn run_buffered_flush<F: Field, R: Rng + ?Sized, T: Transport<F>>(
+    cfg: LsaConfig,
+    inputs: &[FlushInput<F>],
+    staleness: QuantizedStaleness,
+    rng: &mut R,
+    transport: &mut T,
+) -> Result<WeightedAggregate<F>, ProtocolError> {
+    if inputs.is_empty() {
+        return Err(ProtocolError::InvalidConfig("empty flush".into()));
+    }
+    let n = cfg.n();
+    if let Some(bad) = inputs.iter().find(|i| i.slot >= n) {
+        return Err(ProtocolError::UnknownUser(bad.slot));
+    }
+    let now = inputs.iter().map(|i| i.round).max().expect("non-empty");
+
+    let mut clients: Vec<AsyncClientSession<F>> = (0..n)
+        .map(|id| AsyncClientSession::from_rng(id, cfg, rng))
+        .collect::<Result<_, _>>()?;
+    let mut server = AsyncServerSession::new(
+        cfg,
+        inputs.len(),
+        staleness,
+        rand::rngs::StdRng::seed_from_u64(rng.gen()),
+    )?;
+    server.advance_to(now);
+
+    // Offline: each contributing slot generates its round mask and the
+    // coded shares travel to every peer.
+    for input in inputs {
+        clients[input.slot].generate_round_mask(input.round)?;
+    }
+    for client in clients.iter_mut() {
+        crate::drain_session(client, transport)?;
+    }
+    transport.flush("mask-exchange");
+    crate::pump_sessions(transport, &mut server, &mut clients, &[])?;
+
+    // Upload: masked, round-stamped updates.
+    for input in inputs {
+        clients[input.slot].upload_update(input.round, &input.update)?;
+        crate::drain_session(&mut clients[input.slot], transport)?;
+    }
+    transport.flush("buffered-upload");
+    crate::pump_sessions(transport, &mut server, &mut clients, &[])?;
+
+    // Recovery: announce the buffer, collect weighted aggregated shares.
+    server.announce()?;
+    crate::drain_session(&mut server, transport)?;
+    transport.flush("buffer-announce");
+    crate::pump_sessions(transport, &mut server, &mut clients, &[])?;
+    transport.flush("async-recovery");
+    crate::pump_sessions(transport, &mut server, &mut clients, &[])?;
+
+    server.recover()
 }
 
 #[cfg(test)]
@@ -587,5 +678,60 @@ mod tests {
         let mut c = AsyncClient::<Fp61>::new(0, cfg()).unwrap();
         c.generate_round_mask(0, &mut rng).unwrap();
         assert!(c.generate_round_mask(0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn buffered_flush_driver_recovers_weighted_sum() {
+        // mixed base rounds through the session driver over a wire:
+        // Poly staleness at c_g = 4 gives exact weights 4 (τ=0), 2 (τ=1)
+        let cfg = LsaConfig::new(4, 1, 3, 6).unwrap();
+        let staleness = QuantizedStaleness::new(lsa_quantize::StalenessFn::Poly { alpha: 1.0 }, 4);
+        let inputs = vec![
+            FlushInput {
+                slot: 0,
+                round: 1,
+                update: vec![Fp61::from_u64(10); 6],
+            },
+            FlushInput {
+                slot: 2,
+                round: 0,
+                update: vec![Fp61::from_u64(3); 6],
+            },
+        ];
+        let mut rng = StdRng::seed_from_u64(20);
+        let mut transport = crate::transport::MemTransport::new();
+        let agg = run_buffered_flush(cfg, &inputs, staleness, &mut rng, &mut transport).unwrap();
+        assert_eq!(agg.total_weight, 6);
+        // 4·10 + 2·3 = 46 in every coordinate
+        assert_eq!(agg.aggregate, vec![Fp61::from_u64(46); 6]);
+        // every phase actually crossed the wire
+        assert!(transport.messages_sent() > 0);
+    }
+
+    #[test]
+    fn out_of_range_slot_rejected_not_panicking() {
+        let cfg = LsaConfig::new(4, 1, 3, 6).unwrap();
+        let inputs = vec![FlushInput {
+            slot: 7,
+            round: 0,
+            update: vec![Fp61::ZERO; 6],
+        }];
+        let mut rng = StdRng::seed_from_u64(22);
+        let mut transport = crate::transport::MemTransport::new();
+        assert!(matches!(
+            run_buffered_flush(cfg, &inputs, staleness(), &mut rng, &mut transport),
+            Err(ProtocolError::UnknownUser(7))
+        ));
+    }
+
+    #[test]
+    fn empty_flush_rejected() {
+        let cfg = LsaConfig::new(4, 1, 3, 6).unwrap();
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut transport = crate::transport::MemTransport::new();
+        assert!(matches!(
+            run_buffered_flush::<Fp61, _, _>(cfg, &[], staleness(), &mut rng, &mut transport),
+            Err(ProtocolError::InvalidConfig(_))
+        ));
     }
 }

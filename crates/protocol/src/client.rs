@@ -136,10 +136,12 @@ impl<F: Field> Client<F> {
             return Err(ProtocolError::UnknownUser(share.from));
         }
         if share.payload.len() != self.cfg.segment_len() {
-            return Err(ProtocolError::Coding(lsa_coding::CodingError::LengthMismatch {
-                expected: self.cfg.segment_len(),
-                got: share.payload.len(),
-            }));
+            return Err(ProtocolError::Coding(
+                lsa_coding::CodingError::LengthMismatch {
+                    expected: self.cfg.segment_len(),
+                    got: share.payload.len(),
+                },
+            ));
         }
         if self.received.contains_key(&share.from) {
             return Err(ProtocolError::DuplicateMessage(share.from));
@@ -162,10 +164,12 @@ impl<F: Field> Client<F> {
     /// exactly `cfg.d()`.
     pub fn mask_model(&self, model: &[F]) -> Result<MaskedModel<F>, ProtocolError> {
         if model.len() != self.cfg.d() {
-            return Err(ProtocolError::Coding(lsa_coding::CodingError::LengthMismatch {
-                expected: self.cfg.d(),
-                got: model.len(),
-            }));
+            return Err(ProtocolError::Coding(
+                lsa_coding::CodingError::LengthMismatch {
+                    expected: self.cfg.d(),
+                    got: model.len(),
+                },
+            ));
         }
         let mut payload = model.to_vec();
         payload.resize(self.cfg.padded_len(), F::ZERO);
@@ -264,7 +268,10 @@ mod tests {
             .unwrap();
         assert!(matches!(
             c1.receive_share(share),
-            Err(ProtocolError::MisroutedShare { expected: 1, got: 2 })
+            Err(ProtocolError::MisroutedShare {
+                expected: 1,
+                got: 2
+            })
         ));
     }
 

@@ -7,10 +7,27 @@
 //! independent of how many users dropped. This replaces the per-dropped-
 //! user seed reconstruction that bottlenecks SecAgg/SecAgg+.
 //!
-//! * [`Client`] / [`ServerRound`] — synchronous protocol (§4.1);
+//! The crate is organised as a **sans-IO protocol engine**:
+//!
+//! * [`wire`] — [`wire::Envelope`], the single serializable message type
+//!   unifying every protocol message, with a canonical byte encoding;
+//! * [`session`] — [`session::ClientSession`] /
+//!   [`session::ServerSession`] (and the async variants): pure
+//!   event-driven state machines with a uniform
+//!   `handle(Envelope) -> Vec<(Recipient, Envelope)>` + `poll_output()`
+//!   interface; entropy is injected at construction, never during
+//!   message handling;
+//! * [`transport`] — the [`transport::Transport`] trait with
+//!   [`transport::MemTransport`] (ordered in-memory queues) and
+//!   [`transport::SimTransport`] (drives the [`lsa_net`] discrete-event
+//!   network, so protocol bytes pay simulated bandwidth/latency and
+//!   phase timings come from real serialized message sizes);
+//! * [`Client`] / [`ServerRound`] — the underlying per-endpoint protocol
+//!   logic (§4.1);
 //! * [`asynchronous`] — buffered asynchronous variant (§4.2, Appendix F);
-//! * [`run_sync_round`] — a reference driver wiring clients and server
-//!   together in memory (used by tests, examples and the simulator).
+//! * [`run_sync_round`] / [`run_sync_round_over`] — thin drivers pumping
+//!   sessions over a transport (used by tests, examples and the
+//!   simulator).
 //!
 //! Guarantees (Theorem 1): for any `T + D < N`, privacy against any `T`
 //! colluding users (information-theoretic, given the `T`-private MDS
@@ -42,17 +59,54 @@
 //!     assert_eq!(out.aggregate[k], want);
 //! }
 //! ```
+//!
+//! # Example: pumping the engine over an explicit transport
+//!
+//! The same round, but with the transport visible — swap
+//! [`transport::MemTransport`] for [`transport::SimTransport`] and the
+//! identical protocol bytes pay simulated network time:
+//!
+//! ```
+//! use lsa_protocol::transport::MemTransport;
+//! use lsa_protocol::{run_sync_round_over, DropoutSchedule, LsaConfig};
+//! use lsa_field::{Field, Fp61};
+//! use rand::SeedableRng;
+//!
+//! let cfg = LsaConfig::new(3, 1, 2, 4).unwrap();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+//! let models: Vec<Vec<Fp61>> = (0..3)
+//!     .map(|i| (0..4).map(|k| Fp61::from_u64((10 * i + k) as u64)).collect())
+//!     .collect();
+//! let mut transport = MemTransport::new();
+//! let out = run_sync_round_over(
+//!     cfg,
+//!     &models,
+//!     &DropoutSchedule::none(),
+//!     &mut rng,
+//!     &mut transport,
+//! )
+//! .unwrap();
+//! assert_eq!(out.survivors.len(), 3);
+//! // every protocol message crossed the wire as canonical bytes
+//! assert!(transport.bytes_sent() > 0);
+//! ```
 
 pub mod asynchronous;
 mod client;
 mod config;
 mod messages;
 mod server;
+pub mod session;
+pub mod transport;
+pub mod wire;
 
 pub use client::Client;
 pub use config::LsaConfig;
 pub use messages::{wire_bytes, AggregatedShare, CodedMaskShare, MaskedModel};
 pub use server::{ServerPhase, ServerRound};
+pub use session::{ClientSession, Recipient, ServerSession, Session};
+pub use transport::{Delivery, MemTransport, PhaseTiming, SimTransport, Transport};
+pub use wire::{Envelope, EnvelopeKind, SurvivorAnnouncement, WireError};
 
 use core::fmt;
 use lsa_field::Field;
@@ -96,6 +150,15 @@ pub enum ProtocolError {
         /// The server's current round.
         now: u64,
     },
+    /// An envelope kind this endpoint never accepts (e.g. a masked model
+    /// delivered to a client) — the session analogue of a wrong-phase or
+    /// misaddressed message.
+    UnexpectedEnvelope {
+        /// The offending message kind.
+        kind: wire::EnvelopeKind,
+    },
+    /// A message failed to encode or decode on the wire.
+    Wire(wire::WireError),
     /// An underlying coding error (share decode, length mismatch, …).
     Coding(lsa_coding::CodingError),
 }
@@ -121,6 +184,10 @@ impl fmt::Display for ProtocolError {
             ProtocolError::StaleUpdate { round, now } => {
                 write!(f, "update claims future round {round} (now {now})")
             }
+            ProtocolError::UnexpectedEnvelope { kind } => {
+                write!(f, "endpoint cannot accept a {kind} envelope")
+            }
+            ProtocolError::Wire(e) => write!(f, "wire error: {e}"),
             ProtocolError::Coding(e) => write!(f, "coding error: {e}"),
         }
     }
@@ -130,8 +197,15 @@ impl std::error::Error for ProtocolError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ProtocolError::Coding(e) => Some(e),
+            ProtocolError::Wire(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<wire::WireError> for ProtocolError {
+    fn from(e: wire::WireError) -> Self {
+        ProtocolError::Wire(e)
     }
 }
 
@@ -205,6 +279,9 @@ pub struct SyncRoundOutput<F> {
 /// Users in `dropouts.before_upload` never upload; users in
 /// `dropouts.after_upload` upload but do not serve recovery.
 ///
+/// This is a compatibility shim over [`run_sync_round_over`] with a
+/// [`MemTransport`]: every message still crosses a (serialized) wire.
+///
 /// # Errors
 ///
 /// Propagates any protocol error; notably
@@ -215,46 +292,125 @@ pub fn run_sync_round<F: Field, R: Rng + ?Sized>(
     dropouts: &DropoutSchedule,
     rng: &mut R,
 ) -> Result<SyncRoundOutput<F>, ProtocolError> {
+    let mut transport = MemTransport::new();
+    run_sync_round_over(cfg, models, dropouts, rng, &mut transport)
+}
+
+/// Run one full synchronous LightSecAgg round over an explicit
+/// [`Transport`], pumping [`ClientSession`]s and a [`ServerSession`].
+///
+/// Phase boundaries are marked with [`Transport::flush`] under the
+/// labels `"offline"`, `"upload"`, `"announce"` and `"recovery"`, so a
+/// [`SimTransport`] reports per-phase wall-clock derived from the actual
+/// serialized envelope sizes.
+///
+/// Dropout semantics (§7.1): users in `dropouts.before_upload` never
+/// upload (their sessions still serve the offline exchange); users in
+/// `dropouts.after_upload` upload but vanish afterwards — envelopes
+/// addressed to them are discarded undelivered.
+///
+/// # Errors
+///
+/// Propagates any protocol error; notably
+/// [`ProtocolError::NotEnoughSurvivors`] when dropouts exceed `N − U`.
+pub fn run_sync_round_over<F: Field, R: Rng + ?Sized, T: Transport<F>>(
+    cfg: LsaConfig,
+    models: &[Vec<F>],
+    dropouts: &DropoutSchedule,
+    rng: &mut R,
+    transport: &mut T,
+) -> Result<SyncRoundOutput<F>, ProtocolError> {
     assert_eq!(models.len(), cfg.n(), "one model per user");
 
-    // Offline: create clients and exchange coded mask shares.
-    let mut clients: Vec<Client<F>> = (0..cfg.n())
-        .map(|id| Client::new(id, cfg, rng))
+    let mut clients: Vec<ClientSession<F>> = (0..cfg.n())
+        .map(|id| ClientSession::new(id, cfg, rng))
         .collect::<Result<_, _>>()?;
-    let all_shares: Vec<CodedMaskShare<F>> = clients
-        .iter()
-        .flat_map(Client::outgoing_shares)
-        .collect();
-    for share in all_shares {
-        clients[share.to].receive_share(share)?;
+    let mut server = ServerSession::new(cfg)?;
+
+    // Offline: construction queued each client's coded shares.
+    for client in clients.iter_mut() {
+        drain_session(client, transport)?;
     }
+    transport.flush("offline");
+    pump_sessions(transport, &mut server, &mut clients, &[])?;
 
     // Upload phase.
-    let mut server = ServerRound::new(cfg)?;
-    for (id, client) in clients.iter().enumerate() {
+    for (id, client) in clients.iter_mut().enumerate() {
         if dropouts.before_upload.contains(&id) {
             continue;
         }
-        server.receive_masked_model(client.mask_model(&models[id])?)?;
+        client.upload_model(&models[id])?;
+        drain_session(client, transport)?;
     }
-    let survivors: Vec<usize> = server.close_upload_phase()?.to_vec();
+    transport.flush("upload");
+    pump_sessions(transport, &mut server, &mut clients, &[])?;
 
-    // Recovery phase: surviving users that did not drop after upload send
-    // aggregated shares until the server has U of them.
-    for &id in &survivors {
-        if dropouts.after_upload.contains(&id) {
-            continue;
-        }
-        let done = server.receive_aggregated_share(clients[id].aggregated_share_for(&survivors)?)?;
-        if done {
-            break;
-        }
-    }
-    let aggregate = server.recover_aggregate()?;
+    // Recovery: announce the survivor set; users dropped after upload
+    // have vanished, so envelopes to them are discarded undelivered.
+    let survivors = server.close_upload()?.to_vec();
+    drain_session(&mut server, transport)?;
+    transport.flush("announce");
+    pump_sessions(transport, &mut server, &mut clients, &dropouts.after_upload)?;
+    transport.flush("recovery");
+    pump_sessions(transport, &mut server, &mut clients, &dropouts.after_upload)?;
+
+    let aggregate = server
+        .aggregate()
+        .ok_or(ProtocolError::NotEnoughSurvivors {
+            got: server.shares_received(),
+            need: cfg.u(),
+        })?
+        .to_vec();
     Ok(SyncRoundOutput {
         aggregate,
         survivors,
     })
+}
+
+/// Send everything a session has queued from local actions.
+pub(crate) fn drain_session<F: Field, S: Session<F>, T: Transport<F>>(
+    session: &mut S,
+    transport: &mut T,
+) -> Result<(), ProtocolError> {
+    let from = session.local_addr();
+    while let Some((to, envelope)) = session.poll_output() {
+        transport.send(from, to, &envelope)?;
+    }
+    Ok(())
+}
+
+/// Deliver every receivable envelope to its destination session,
+/// forwarding any responses back into the transport. Envelopes addressed
+/// to `vanished` clients are discarded (the user dropped out). Shared by
+/// the sync and async drivers.
+pub(crate) fn pump_sessions<F, T, CS, SS>(
+    transport: &mut T,
+    server: &mut SS,
+    clients: &mut [CS],
+    vanished: &[usize],
+) -> Result<(), ProtocolError>
+where
+    F: Field,
+    T: Transport<F>,
+    CS: Session<F>,
+    SS: Session<F>,
+{
+    while let Some(delivery) = transport.recv()? {
+        let responses = match delivery.to {
+            Recipient::Client(i) => {
+                if vanished.contains(&i) {
+                    continue;
+                }
+                clients[i].handle(delivery.envelope)?
+            }
+            Recipient::Server => server.handle(delivery.envelope)?,
+        };
+        let from = delivery.to;
+        for (to, envelope) in responses {
+            transport.send(from, to, &envelope)?;
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -349,7 +505,10 @@ mod tests {
             &mut rng,
         )
         .unwrap_err();
-        assert!(matches!(err, ProtocolError::NotEnoughSurvivors { got: 2, need: 3 }));
+        assert!(matches!(
+            err,
+            ProtocolError::NotEnoughSurvivors { got: 2, need: 3 }
+        ));
     }
 
     #[test]
@@ -357,8 +516,13 @@ mod tests {
         let cfg = LsaConfig::new(5, 2, 3, 8).unwrap();
         let ms = models::<Fp32>(5, 8, 11);
         let mut rng = StdRng::seed_from_u64(12);
-        let out = run_sync_round(cfg, &ms, &DropoutSchedule::after_upload(vec![1, 2]), &mut rng)
-            .unwrap();
+        let out = run_sync_round(
+            cfg,
+            &ms,
+            &DropoutSchedule::after_upload(vec![1, 2]),
+            &mut rng,
+        )
+        .unwrap();
         assert_eq!(out.aggregate, expected_sum(&ms, &out.survivors));
     }
 

@@ -75,10 +75,12 @@ impl<F: Field> ServerRound<F> {
             return Err(ProtocolError::UnknownUser(msg.from));
         }
         if msg.payload.len() != self.cfg.padded_len() {
-            return Err(ProtocolError::Coding(lsa_coding::CodingError::LengthMismatch {
-                expected: self.cfg.padded_len(),
-                got: msg.payload.len(),
-            }));
+            return Err(ProtocolError::Coding(
+                lsa_coding::CodingError::LengthMismatch {
+                    expected: self.cfg.padded_len(),
+                    got: msg.payload.len(),
+                },
+            ));
         }
         if self.masked.contains_key(&msg.from) {
             return Err(ProtocolError::DuplicateMessage(msg.from));
@@ -137,10 +139,12 @@ impl<F: Field> ServerRound<F> {
             return Err(ProtocolError::UnknownUser(msg.from));
         }
         if msg.payload.len() != self.cfg.segment_len() {
-            return Err(ProtocolError::Coding(lsa_coding::CodingError::LengthMismatch {
-                expected: self.cfg.segment_len(),
-                got: msg.payload.len(),
-            }));
+            return Err(ProtocolError::Coding(
+                lsa_coding::CodingError::LengthMismatch {
+                    expected: self.cfg.segment_len(),
+                    got: msg.payload.len(),
+                },
+            ));
         }
         if self.shares.iter().any(|(from, _)| *from == msg.from) {
             return Err(ProtocolError::DuplicateMessage(msg.from));
@@ -215,7 +219,10 @@ mod tests {
             Err(ProtocolError::WrongPhase)
         ));
         // cannot recover yet
-        assert!(matches!(s.recover_aggregate(), Err(ProtocolError::WrongPhase)));
+        assert!(matches!(
+            s.recover_aggregate(),
+            Err(ProtocolError::WrongPhase)
+        ));
     }
 
     #[test]

@@ -1,0 +1,674 @@
+//! Sans-IO protocol sessions: pure event-driven state machines.
+//!
+//! A session owns one endpoint's protocol state and *never* touches a
+//! socket, a clock or an RNG while handling messages: you feed it
+//! envelopes with [`Session::handle`], it returns the envelopes that
+//! must be sent in response, and [`Session::poll_output`] drains
+//! envelopes produced by local actions (construction, model upload,
+//! phase close). All entropy is injected at construction, so a session's
+//! behaviour is a deterministic function of its inputs — the property
+//! that makes the protocol testable, replayable and portable across
+//! transports (in-memory queues, the discrete-event simulator, or a real
+//! network stack).
+//!
+//! # Sessions
+//!
+//! * [`ClientSession`] / [`ServerSession`] — the synchronous protocol
+//!   (§4.1, Algorithm 1);
+//! * [`AsyncClientSession`] / [`AsyncServerSession`] — the
+//!   buffered-asynchronous variant (§4.2, Appendix F).
+//!
+//! # Example: pumping a session by hand
+//!
+//! ```
+//! use lsa_protocol::session::{ClientSession, Recipient, ServerSession, Session};
+//! use lsa_protocol::LsaConfig;
+//! use lsa_field::{Field, Fp61};
+//! use rand::SeedableRng;
+//!
+//! let cfg = LsaConfig::new(2, 0, 2, 4).unwrap();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let mut a = ClientSession::<Fp61>::new(0, cfg, &mut rng).unwrap();
+//! let mut b = ClientSession::<Fp61>::new(1, cfg, &mut rng).unwrap();
+//! let mut server = ServerSession::<Fp61>::new(cfg).unwrap();
+//!
+//! // offline: construction queued each client's coded shares
+//! while let Some((to, env)) = a.poll_output() {
+//!     assert_eq!(to, Recipient::Client(1));
+//!     b.handle(env).unwrap();
+//! }
+//! while let Some((to, env)) = b.poll_output() {
+//!     a.handle(env).unwrap();
+//! }
+//!
+//! // upload + recovery
+//! a.upload_model(&[Fp61::from_u64(1); 4]).unwrap();
+//! b.upload_model(&[Fp61::from_u64(2); 4]).unwrap();
+//! for c in [&mut a, &mut b] {
+//!     while let Some((_, env)) = c.poll_output() {
+//!         server.handle(env).unwrap();
+//!     }
+//! }
+//! server.close_upload().unwrap();
+//! while let Some((to, env)) = server.poll_output() {
+//!     let c = if to == Recipient::Client(0) { &mut a } else { &mut b };
+//!     for (_, reply) in c.handle(env).unwrap() {
+//!         server.handle(reply).unwrap();
+//!     }
+//! }
+//! assert_eq!(server.aggregate().unwrap()[0], Fp61::from_u64(3));
+//! ```
+
+use crate::asynchronous::{AsyncClient, AsyncServer, WeightedAggregate};
+use crate::client::Client;
+use crate::config::LsaConfig;
+use crate::server::{ServerPhase, ServerRound};
+use crate::wire::{BufferAnnouncement, Envelope, SurvivorAnnouncement};
+use crate::ProtocolError;
+use lsa_field::Field;
+use lsa_quantize::QuantizedStaleness;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// A protocol endpoint address: where an envelope should be delivered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Recipient {
+    /// User (client) `i`.
+    Client(usize),
+    /// The aggregation server.
+    Server,
+}
+
+/// An envelope together with its destination.
+pub type Outgoing<F> = (Recipient, Envelope<F>);
+
+/// The uniform sans-IO interface every session implements.
+pub trait Session<F: Field> {
+    /// This session's own address.
+    fn local_addr(&self) -> Recipient;
+
+    /// Process one incoming envelope, returning the envelopes to send in
+    /// response (possibly none).
+    ///
+    /// # Errors
+    ///
+    /// Every malformed input surfaces as a typed [`ProtocolError`]:
+    /// misrouted shares, duplicates, wrong-phase messages and envelope
+    /// kinds the endpoint never accepts
+    /// ([`ProtocolError::UnexpectedEnvelope`]). Errors leave the session
+    /// in its previous state; the offending envelope is discarded.
+    fn handle(&mut self, envelope: Envelope<F>) -> Result<Vec<Outgoing<F>>, ProtocolError>;
+
+    /// Drain the next envelope produced by a local action (construction,
+    /// upload, phase close). Returns `None` when the outbox is empty.
+    fn poll_output(&mut self) -> Option<Outgoing<F>>;
+}
+
+// ---------------------------------------------------------------------
+// Synchronous protocol
+// ---------------------------------------------------------------------
+
+/// Sans-IO client for the synchronous protocol (§4.1).
+///
+/// Construction runs the offline mask generation (the only entropy the
+/// session ever uses) and queues the `N − 1` coded mask shares;
+/// [`ClientSession::upload_model`] queues the masked model; receiving
+/// the server's [`SurvivorAnnouncement`] yields the aggregated share.
+#[derive(Debug, Clone)]
+pub struct ClientSession<F> {
+    inner: Client<F>,
+    outbox: VecDeque<Outgoing<F>>,
+    uploaded: bool,
+}
+
+impl<F: Field> ClientSession<F> {
+    /// Create the session for user `id`, sampling the local mask from
+    /// `rng` (entropy is injected here and never used again).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::InvalidConfig`] if `id >= cfg.n()`.
+    pub fn new<R: Rng + ?Sized>(
+        id: usize,
+        cfg: LsaConfig,
+        rng: &mut R,
+    ) -> Result<Self, ProtocolError> {
+        let inner = Client::new(id, cfg, rng)?;
+        let outbox = inner
+            .outgoing_shares()
+            .into_iter()
+            .map(|s| (Recipient::Client(s.to), Envelope::CodedMaskShare(s)))
+            .collect();
+        Ok(Self {
+            inner,
+            outbox,
+            uploaded: false,
+        })
+    }
+
+    /// This client's user index.
+    pub fn id(&self) -> usize {
+        self.inner.id()
+    }
+
+    /// How many coded shares have been received (incl. the self share).
+    pub fn shares_received(&self) -> usize {
+        self.inner.shares_received()
+    }
+
+    /// Local action: mask the quantized model and queue the upload
+    /// (Algorithm 1 line 14).
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::DuplicateMessage`] on a second upload, or a
+    /// length mismatch as [`ProtocolError::Coding`].
+    pub fn upload_model(&mut self, model: &[F]) -> Result<(), ProtocolError> {
+        if self.uploaded {
+            return Err(ProtocolError::DuplicateMessage(self.inner.id()));
+        }
+        let masked = self.inner.mask_model(model)?;
+        self.uploaded = true;
+        self.outbox
+            .push_back((Recipient::Server, Envelope::MaskedModel(masked)));
+        Ok(())
+    }
+
+    /// Local action: upload a weighted model `s_i·x_i` (Remark 3).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::upload_model`].
+    pub fn upload_weighted_model(&mut self, model: &[F], weight: u64) -> Result<(), ProtocolError> {
+        if self.uploaded {
+            return Err(ProtocolError::DuplicateMessage(self.inner.id()));
+        }
+        let masked = self.inner.mask_weighted_model(model, weight)?;
+        self.uploaded = true;
+        self.outbox
+            .push_back((Recipient::Server, Envelope::MaskedModel(masked)));
+        Ok(())
+    }
+}
+
+impl<F: Field> Session<F> for ClientSession<F> {
+    fn local_addr(&self) -> Recipient {
+        Recipient::Client(self.inner.id())
+    }
+
+    fn handle(&mut self, envelope: Envelope<F>) -> Result<Vec<Outgoing<F>>, ProtocolError> {
+        match envelope {
+            Envelope::CodedMaskShare(share) => {
+                self.inner.receive_share(share)?;
+                Ok(Vec::new())
+            }
+            Envelope::SurvivorAnnouncement(ann) => {
+                let share = self.inner.aggregated_share_for(&ann.survivors)?;
+                Ok(vec![(Recipient::Server, Envelope::AggregatedShare(share))])
+            }
+            other => Err(ProtocolError::UnexpectedEnvelope { kind: other.kind() }),
+        }
+    }
+
+    fn poll_output(&mut self) -> Option<Outgoing<F>> {
+        self.outbox.pop_front()
+    }
+}
+
+/// Sans-IO server for the synchronous protocol (§4.1).
+///
+/// Collects masked models; [`ServerSession::close_upload`] fixes the
+/// survivor set and queues one [`SurvivorAnnouncement`] per survivor;
+/// once `U` aggregated shares arrive the aggregate is recovered in one
+/// shot and exposed through [`ServerSession::aggregate`].
+#[derive(Debug, Clone)]
+pub struct ServerSession<F> {
+    inner: ServerRound<F>,
+    outbox: VecDeque<Outgoing<F>>,
+    aggregate: Option<Vec<F>>,
+}
+
+impl<F: Field> ServerSession<F> {
+    /// Start a round.
+    ///
+    /// # Errors
+    ///
+    /// Propagates invalid configuration as [`ProtocolError::Coding`].
+    pub fn new(cfg: LsaConfig) -> Result<Self, ProtocolError> {
+        Ok(Self {
+            inner: ServerRound::new(cfg)?,
+            outbox: VecDeque::new(),
+            aggregate: None,
+        })
+    }
+
+    /// Current protocol phase.
+    pub fn phase(&self) -> ServerPhase {
+        self.inner.phase()
+    }
+
+    /// How many masked models have been received.
+    pub fn models_received(&self) -> usize {
+        self.inner.models_received()
+    }
+
+    /// How many aggregated shares have been received.
+    pub fn shares_received(&self) -> usize {
+        self.inner.shares_received()
+    }
+
+    /// The survivor set `U₁` (valid after [`Self::close_upload`]).
+    pub fn survivors(&self) -> &[usize] {
+        self.inner.survivors()
+    }
+
+    /// Local action: close the upload phase, fix `U₁`, and queue a
+    /// [`SurvivorAnnouncement`] to every survivor.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::NotEnoughSurvivors`] if fewer than `U` users
+    /// uploaded, [`ProtocolError::WrongPhase`] on a second close.
+    pub fn close_upload(&mut self) -> Result<&[usize], ProtocolError> {
+        let survivors = self.inner.close_upload_phase()?.to_vec();
+        for &s in &survivors {
+            self.outbox.push_back((
+                Recipient::Client(s),
+                Envelope::SurvivorAnnouncement(SurvivorAnnouncement {
+                    survivors: survivors.clone(),
+                }),
+            ));
+        }
+        Ok(self.inner.survivors())
+    }
+
+    /// The recovered aggregate, once `U` aggregated shares have arrived.
+    pub fn aggregate(&self) -> Option<&[F]> {
+        self.aggregate.as_deref()
+    }
+
+    /// Whether the one-shot recovery has completed.
+    pub fn is_complete(&self) -> bool {
+        self.aggregate.is_some()
+    }
+}
+
+impl<F: Field> Session<F> for ServerSession<F> {
+    fn local_addr(&self) -> Recipient {
+        Recipient::Server
+    }
+
+    fn handle(&mut self, envelope: Envelope<F>) -> Result<Vec<Outgoing<F>>, ProtocolError> {
+        match envelope {
+            Envelope::MaskedModel(m) => {
+                self.inner.receive_masked_model(m)?;
+                Ok(Vec::new())
+            }
+            Envelope::AggregatedShare(s) => {
+                let done = self.inner.receive_aggregated_share(s)?;
+                if done && self.aggregate.is_none() {
+                    self.aggregate = Some(self.inner.recover_aggregate()?);
+                }
+                Ok(Vec::new())
+            }
+            other => Err(ProtocolError::UnexpectedEnvelope { kind: other.kind() }),
+        }
+    }
+
+    fn poll_output(&mut self) -> Option<Outgoing<F>> {
+        self.outbox.pop_front()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Buffered-asynchronous protocol
+// ---------------------------------------------------------------------
+
+/// Sans-IO client for the buffered-asynchronous protocol (§4.2).
+///
+/// Owns a deterministic entropy stream injected at construction; mask
+/// generation ([`AsyncClientSession::generate_round_mask`]) draws from
+/// it, message handling never does.
+#[derive(Debug, Clone)]
+pub struct AsyncClientSession<F> {
+    inner: AsyncClient<F>,
+    entropy: StdRng,
+    outbox: VecDeque<Outgoing<F>>,
+}
+
+impl<F: Field> AsyncClientSession<F> {
+    /// Create the session for user `id` with its own entropy stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::InvalidConfig`] if `id >= cfg.n()`.
+    pub fn new(id: usize, cfg: LsaConfig, entropy: StdRng) -> Result<Self, ProtocolError> {
+        Ok(Self {
+            inner: AsyncClient::new(id, cfg)?,
+            entropy,
+            outbox: VecDeque::new(),
+        })
+    }
+
+    /// Create with an entropy stream derived from `rng` (convenience for
+    /// drivers that hold one master RNG).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::new`].
+    pub fn from_rng<R: Rng + ?Sized>(
+        id: usize,
+        cfg: LsaConfig,
+        rng: &mut R,
+    ) -> Result<Self, ProtocolError> {
+        Self::new(id, cfg, StdRng::seed_from_u64(rng.gen()))
+    }
+
+    /// This client's user index.
+    pub fn id(&self) -> usize {
+        self.inner.id()
+    }
+
+    /// Local action: run the offline phase for `round` — sample the
+    /// round mask from the session's entropy stream and queue the coded
+    /// shares for every other user.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::DuplicateMessage`] if the round's mask already
+    /// exists.
+    pub fn generate_round_mask(&mut self, round: u64) -> Result<(), ProtocolError> {
+        let shares = self.inner.generate_round_mask(round, &mut self.entropy)?;
+        for s in shares {
+            self.outbox
+                .push_back((Recipient::Client(s.to), Envelope::TimestampedShare(s)));
+        }
+        Ok(())
+    }
+
+    /// Local action: mask the quantized update for `round` and queue the
+    /// upload.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::MissingShares`] if the round's mask was never
+    /// generated, or a length mismatch as [`ProtocolError::Coding`].
+    pub fn upload_update(&mut self, round: u64, update: &[F]) -> Result<(), ProtocolError> {
+        let masked = self.inner.mask_update(round, update)?;
+        self.outbox
+            .push_back((Recipient::Server, Envelope::TimestampedUpdate(masked)));
+        Ok(())
+    }
+
+    /// Drop state for rounds `< keep_from` (bounded staleness).
+    pub fn discard_before(&mut self, keep_from: u64) {
+        self.inner.discard_before(keep_from);
+    }
+
+    /// Number of stored `(sender, round)` coded shares.
+    pub fn shares_stored(&self) -> usize {
+        self.inner.shares_stored()
+    }
+}
+
+impl<F: Field> Session<F> for AsyncClientSession<F> {
+    fn local_addr(&self) -> Recipient {
+        Recipient::Client(self.inner.id())
+    }
+
+    fn handle(&mut self, envelope: Envelope<F>) -> Result<Vec<Outgoing<F>>, ProtocolError> {
+        match envelope {
+            Envelope::TimestampedShare(share) => {
+                self.inner.receive_share(share)?;
+                Ok(Vec::new())
+            }
+            Envelope::BufferAnnouncement(ann) => {
+                let share = self.inner.aggregated_share_for(&ann.entries)?;
+                Ok(vec![(Recipient::Server, Envelope::AggregatedShare(share))])
+            }
+            other => Err(ProtocolError::UnexpectedEnvelope { kind: other.kind() }),
+        }
+    }
+
+    fn poll_output(&mut self) -> Option<Outgoing<F>> {
+        self.outbox.pop_front()
+    }
+}
+
+/// Sans-IO server for the buffered-asynchronous protocol (§4.2).
+///
+/// The global round clock advances only through
+/// [`AsyncServerSession::advance_to`]; staleness-weight randomness comes
+/// from the entropy stream injected at construction.
+#[derive(Debug, Clone)]
+pub struct AsyncServerSession<F> {
+    inner: AsyncServer<F>,
+    entropy: StdRng,
+    now: u64,
+    n: usize,
+    outbox: VecDeque<Outgoing<F>>,
+}
+
+impl<F: Field> AsyncServerSession<F> {
+    /// Create a server session with buffer size `K`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::InvalidConfig`] if `buffer_size == 0`.
+    pub fn new(
+        cfg: LsaConfig,
+        buffer_size: usize,
+        staleness: QuantizedStaleness,
+        entropy: StdRng,
+    ) -> Result<Self, ProtocolError> {
+        Ok(Self {
+            inner: AsyncServer::new(cfg, buffer_size, staleness)?,
+            entropy,
+            now: 0,
+            n: cfg.n(),
+            outbox: VecDeque::new(),
+        })
+    }
+
+    /// The current global round.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Local action: advance the global round clock (never backwards).
+    pub fn advance_to(&mut self, round: u64) {
+        self.now = self.now.max(round);
+    }
+
+    /// Number of buffered updates.
+    pub fn buffered(&self) -> usize {
+        self.inner.buffered()
+    }
+
+    /// Whether the buffer has reached capacity.
+    pub fn buffer_full(&self) -> bool {
+        self.inner.buffer_full()
+    }
+
+    /// Local action: fix the (full) buffer and queue a
+    /// [`BufferAnnouncement`] to every user.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::WrongPhase`] until the buffer is full.
+    pub fn announce(&mut self) -> Result<(), ProtocolError> {
+        let entries = self.inner.announce()?;
+        self.queue_announcement(entries);
+        Ok(())
+    }
+
+    /// Local action: announce a partial buffer (deadline flush, §4.2).
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::WrongPhase`] if the buffer is empty or already
+    /// announced.
+    pub fn announce_partial(&mut self) -> Result<(), ProtocolError> {
+        let entries = self.inner.announce_partial()?;
+        self.queue_announcement(entries);
+        Ok(())
+    }
+
+    fn queue_announcement(&mut self, entries: Vec<crate::asynchronous::BufferEntry>) {
+        for id in 0..self.n {
+            self.outbox.push_back((
+                Recipient::Client(id),
+                Envelope::BufferAnnouncement(BufferAnnouncement {
+                    entries: entries.clone(),
+                }),
+            ));
+        }
+    }
+
+    /// Local action: recover the staleness-weighted aggregate once `U`
+    /// aggregated shares have arrived, clearing the buffer.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::WrongPhase`] /
+    /// [`ProtocolError::NotEnoughSurvivors`] before then.
+    pub fn recover(&mut self) -> Result<WeightedAggregate<F>, ProtocolError> {
+        self.inner.recover()
+    }
+}
+
+impl<F: Field> Session<F> for AsyncServerSession<F> {
+    fn local_addr(&self) -> Recipient {
+        Recipient::Server
+    }
+
+    fn handle(&mut self, envelope: Envelope<F>) -> Result<Vec<Outgoing<F>>, ProtocolError> {
+        match envelope {
+            Envelope::TimestampedUpdate(update) => {
+                self.inner
+                    .receive_update(update, self.now, &mut self.entropy)?;
+                Ok(Vec::new())
+            }
+            Envelope::AggregatedShare(share) => {
+                self.inner.receive_aggregated_share(share)?;
+                Ok(Vec::new())
+            }
+            other => Err(ProtocolError::UnexpectedEnvelope { kind: other.kind() }),
+        }
+    }
+
+    fn poll_output(&mut self) -> Option<Outgoing<F>> {
+        self.outbox.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsa_field::Fp61;
+
+    fn cfg() -> LsaConfig {
+        LsaConfig::new(4, 1, 3, 6).unwrap()
+    }
+
+    #[test]
+    fn construction_queues_shares() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut c = ClientSession::<Fp61>::new(0, cfg(), &mut rng).unwrap();
+        let mut count = 0;
+        while let Some((to, env)) = c.poll_output() {
+            assert!(matches!(env, Envelope::CodedMaskShare(_)));
+            assert_ne!(to, Recipient::Client(0));
+            count += 1;
+        }
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn double_upload_rejected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut c = ClientSession::<Fp61>::new(0, cfg(), &mut rng).unwrap();
+        c.upload_model(&[Fp61::ZERO; 6]).unwrap();
+        assert!(matches!(
+            c.upload_model(&[Fp61::ZERO; 6]),
+            Err(ProtocolError::DuplicateMessage(0))
+        ));
+    }
+
+    #[test]
+    fn client_rejects_server_bound_envelopes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut c = ClientSession::<Fp61>::new(0, cfg(), &mut rng).unwrap();
+        let masked = Envelope::MaskedModel(crate::messages::MaskedModel {
+            from: 1,
+            payload: vec![Fp61::ZERO; cfg().padded_len()],
+        });
+        assert!(matches!(
+            c.handle(masked),
+            Err(ProtocolError::UnexpectedEnvelope {
+                kind: crate::wire::EnvelopeKind::MaskedModel
+            })
+        ));
+    }
+
+    #[test]
+    fn server_rejects_client_bound_envelopes() {
+        let mut s = ServerSession::<Fp61>::new(cfg()).unwrap();
+        let ann = Envelope::SurvivorAnnouncement(SurvivorAnnouncement {
+            survivors: vec![0, 1, 2],
+        });
+        assert!(matches!(
+            s.handle(ann),
+            Err(ProtocolError::UnexpectedEnvelope {
+                kind: crate::wire::EnvelopeKind::SurvivorAnnouncement
+            })
+        ));
+    }
+
+    #[test]
+    fn full_round_through_sessions() {
+        let cfg = cfg();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut clients: Vec<ClientSession<Fp61>> = (0..4)
+            .map(|id| ClientSession::new(id, cfg, &mut rng).unwrap())
+            .collect();
+        let mut server = ServerSession::<Fp61>::new(cfg).unwrap();
+
+        // offline exchange
+        let mut pending = Vec::new();
+        for c in clients.iter_mut() {
+            while let Some(out) = c.poll_output() {
+                pending.push(out);
+            }
+        }
+        for (to, env) in pending {
+            let Recipient::Client(i) = to else { panic!() };
+            clients[i].handle(env).unwrap();
+        }
+
+        // upload
+        for (i, c) in clients.iter_mut().enumerate() {
+            c.upload_model(&[Fp61::from_u64(i as u64); 6]).unwrap();
+            while let Some((to, env)) = c.poll_output() {
+                assert_eq!(to, Recipient::Server);
+                server.handle(env).unwrap();
+            }
+        }
+
+        // recovery
+        server.close_upload().unwrap();
+        let mut announcements = Vec::new();
+        while let Some(out) = server.poll_output() {
+            announcements.push(out);
+        }
+        for (to, env) in announcements {
+            let Recipient::Client(i) = to else { panic!() };
+            for (_, reply) in clients[i].handle(env).unwrap() {
+                server.handle(reply).unwrap();
+            }
+        }
+        assert!(server.is_complete());
+        assert_eq!(server.aggregate().unwrap(), vec![Fp61::from_u64(6); 6]);
+    }
+}

@@ -1,0 +1,533 @@
+//! Typed wire envelopes: a single serializable message type unifying
+//! every LightSecAgg protocol message.
+//!
+//! [`Envelope`] is the unit a [`crate::transport::Transport`] carries.
+//! Every message of both protocol variants — coded mask shares, masked
+//! models, survivor announcements, aggregated shares, and the
+//! timestamped asynchronous variants — round-trips through a canonical
+//! byte encoding ([`Envelope::to_bytes`] / [`Envelope::from_bytes`]), so
+//! simulated transports can charge *actual* serialized sizes and a real
+//! network backend can be dropped in without touching the sessions.
+//!
+//! # Encoding
+//!
+//! Fixed-width little-endian, no self-description:
+//!
+//! ```text
+//! [0]      tag (one byte per message kind)
+//! [1..]    kind-specific header fields (u32 ids, u64 rounds/weights)
+//! [..]     element count as u32, then residues, each in
+//!          ceil(F::BITS / 8) bytes
+//! ```
+//!
+//! Residues are validated on decode: a non-canonical value (≥ the field
+//! modulus) is rejected with [`WireError::NonCanonicalElement`] rather
+//! than silently reduced, so a corrupted byte can never masquerade as a
+//! valid share.
+
+use crate::asynchronous::{BufferEntry, TimestampedShare, TimestampedUpdate};
+use crate::messages::{AggregatedShare, CodedMaskShare, MaskedModel};
+use core::fmt;
+use lsa_field::Field;
+
+/// Errors produced while encoding or decoding an [`Envelope`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the structure was complete.
+    Truncated {
+        /// Bytes needed to finish the current item.
+        needed: usize,
+        /// Bytes actually remaining.
+        got: usize,
+    },
+    /// The leading tag byte does not name a message kind.
+    UnknownTag(u8),
+    /// An element's residue is outside `[0, MODULUS)`.
+    NonCanonicalElement {
+        /// Index of the offending element within its vector.
+        index: usize,
+        /// The raw residue read from the wire.
+        value: u64,
+    },
+    /// Bytes remained after a complete message was decoded.
+    TrailingBytes {
+        /// Number of unconsumed bytes.
+        extra: usize,
+    },
+    /// A count field exceeds the decoder's sanity limit.
+    ImplausibleLength {
+        /// The claimed element count.
+        claimed: u64,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { needed, got } => {
+                write!(
+                    f,
+                    "truncated envelope: needed {needed} more bytes, got {got}"
+                )
+            }
+            WireError::UnknownTag(t) => write!(f, "unknown envelope tag {t:#04x}"),
+            WireError::NonCanonicalElement { index, value } => {
+                write!(f, "element {index} has non-canonical residue {value}")
+            }
+            WireError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after a complete envelope")
+            }
+            WireError::ImplausibleLength { claimed } => {
+                write!(f, "implausible element count {claimed}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Decoder sanity limit on vector lengths (64 Mi elements ≈ 512 MB of
+/// `Fp61` — far beyond any model in the paper).
+const MAX_ELEMS: u64 = 1 << 26;
+
+/// The kind of message an [`Envelope`] carries (used in errors and
+/// dispatch without matching the payload).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EnvelopeKind {
+    /// Offline coded mask share `[~z_i]_j` (sync).
+    CodedMaskShare,
+    /// Masked model upload `~x_i` (sync).
+    MaskedModel,
+    /// Server's survivor-set announcement `U₁` (sync).
+    SurvivorAnnouncement,
+    /// Aggregated coded mask for one-shot recovery (both variants).
+    AggregatedShare,
+    /// Round-stamped coded mask share (async).
+    TimestampedShare,
+    /// Round-stamped masked update (async).
+    TimestampedUpdate,
+    /// Server's buffered-entry announcement (async).
+    BufferAnnouncement,
+}
+
+impl EnvelopeKind {
+    /// All message kinds, in tag order.
+    pub const ALL: [EnvelopeKind; 7] = [
+        EnvelopeKind::CodedMaskShare,
+        EnvelopeKind::MaskedModel,
+        EnvelopeKind::SurvivorAnnouncement,
+        EnvelopeKind::AggregatedShare,
+        EnvelopeKind::TimestampedShare,
+        EnvelopeKind::TimestampedUpdate,
+        EnvelopeKind::BufferAnnouncement,
+    ];
+
+    /// Stable wire tag.
+    pub fn tag(self) -> u8 {
+        match self {
+            EnvelopeKind::CodedMaskShare => 0x01,
+            EnvelopeKind::MaskedModel => 0x02,
+            EnvelopeKind::SurvivorAnnouncement => 0x03,
+            EnvelopeKind::AggregatedShare => 0x04,
+            EnvelopeKind::TimestampedShare => 0x05,
+            EnvelopeKind::TimestampedUpdate => 0x06,
+            EnvelopeKind::BufferAnnouncement => 0x07,
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EnvelopeKind::CodedMaskShare => "CodedMaskShare",
+            EnvelopeKind::MaskedModel => "MaskedModel",
+            EnvelopeKind::SurvivorAnnouncement => "SurvivorAnnouncement",
+            EnvelopeKind::AggregatedShare => "AggregatedShare",
+            EnvelopeKind::TimestampedShare => "TimestampedShare",
+            EnvelopeKind::TimestampedUpdate => "TimestampedUpdate",
+            EnvelopeKind::BufferAnnouncement => "BufferAnnouncement",
+        }
+    }
+}
+
+impl fmt::Display for EnvelopeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The server's announcement of the survivor set `U₁` (Algorithm 1
+/// line 17), sent to each surviving user so it can aggregate the right
+/// coded shares.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SurvivorAnnouncement {
+    /// The survivor set, ascending.
+    pub survivors: Vec<usize>,
+}
+
+/// The async server's announcement of the buffered entries (who, base
+/// round, integer staleness weight) users must weight their stored coded
+/// shares by (Appendix F.3.3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BufferAnnouncement {
+    /// The fixed buffer contents.
+    pub entries: Vec<BufferEntry>,
+}
+
+/// One wire message: the single type every transport carries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Envelope<F> {
+    /// Offline coded mask share (sync).
+    CodedMaskShare(CodedMaskShare<F>),
+    /// Masked model upload (sync).
+    MaskedModel(MaskedModel<F>),
+    /// Survivor-set announcement (sync).
+    SurvivorAnnouncement(SurvivorAnnouncement),
+    /// Aggregated coded mask (both variants).
+    AggregatedShare(AggregatedShare<F>),
+    /// Round-stamped coded mask share (async).
+    TimestampedShare(TimestampedShare<F>),
+    /// Round-stamped masked update (async).
+    TimestampedUpdate(TimestampedUpdate<F>),
+    /// Buffered-entry announcement (async).
+    BufferAnnouncement(BufferAnnouncement),
+}
+
+impl<F: Field> Envelope<F> {
+    /// Bytes per serialized field element.
+    pub const fn elem_bytes() -> usize {
+        (F::BITS as usize).div_ceil(8)
+    }
+
+    /// Which kind of message this is.
+    pub fn kind(&self) -> EnvelopeKind {
+        match self {
+            Envelope::CodedMaskShare(_) => EnvelopeKind::CodedMaskShare,
+            Envelope::MaskedModel(_) => EnvelopeKind::MaskedModel,
+            Envelope::SurvivorAnnouncement(_) => EnvelopeKind::SurvivorAnnouncement,
+            Envelope::AggregatedShare(_) => EnvelopeKind::AggregatedShare,
+            Envelope::TimestampedShare(_) => EnvelopeKind::TimestampedShare,
+            Envelope::TimestampedUpdate(_) => EnvelopeKind::TimestampedUpdate,
+            Envelope::BufferAnnouncement(_) => EnvelopeKind::BufferAnnouncement,
+        }
+    }
+
+    /// Exact serialized size in bytes (what a transport charges).
+    pub fn wire_len(&self) -> usize {
+        let eb = Self::elem_bytes();
+        1 + match self {
+            Envelope::CodedMaskShare(m) => 4 + 4 + 4 + m.payload.len() * eb,
+            Envelope::MaskedModel(m) => 4 + 4 + m.payload.len() * eb,
+            Envelope::SurvivorAnnouncement(a) => 4 + a.survivors.len() * 4,
+            Envelope::AggregatedShare(m) => 4 + 4 + m.payload.len() * eb,
+            Envelope::TimestampedShare(m) => 4 + 4 + 8 + 4 + m.payload.len() * eb,
+            Envelope::TimestampedUpdate(m) => 4 + 8 + 4 + m.payload.len() * eb,
+            Envelope::BufferAnnouncement(a) => 4 + a.entries.len() * (4 + 8 + 8),
+        }
+    }
+
+    /// Serialize to the canonical byte encoding.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.wire_len());
+        out.push(self.kind().tag());
+        match self {
+            Envelope::CodedMaskShare(m) => {
+                put_u32(&mut out, m.from as u32);
+                put_u32(&mut out, m.to as u32);
+                put_elems(&mut out, &m.payload);
+            }
+            Envelope::MaskedModel(m) => {
+                put_u32(&mut out, m.from as u32);
+                put_elems(&mut out, &m.payload);
+            }
+            Envelope::SurvivorAnnouncement(a) => {
+                put_u32(&mut out, a.survivors.len() as u32);
+                for &s in &a.survivors {
+                    put_u32(&mut out, s as u32);
+                }
+            }
+            Envelope::AggregatedShare(m) => {
+                put_u32(&mut out, m.from as u32);
+                put_elems(&mut out, &m.payload);
+            }
+            Envelope::TimestampedShare(m) => {
+                put_u32(&mut out, m.from as u32);
+                put_u32(&mut out, m.to as u32);
+                put_u64(&mut out, m.round);
+                put_elems(&mut out, &m.payload);
+            }
+            Envelope::TimestampedUpdate(m) => {
+                put_u32(&mut out, m.from as u32);
+                put_u64(&mut out, m.round);
+                put_elems(&mut out, &m.payload);
+            }
+            Envelope::BufferAnnouncement(a) => {
+                put_u32(&mut out, a.entries.len() as u32);
+                for e in &a.entries {
+                    put_u32(&mut out, e.who as u32);
+                    put_u64(&mut out, e.round);
+                    put_u64(&mut out, e.weight);
+                }
+            }
+        }
+        debug_assert_eq!(out.len(), self.wire_len());
+        out
+    }
+
+    /// Decode from the canonical byte encoding, validating every residue
+    /// and rejecting trailing bytes.
+    ///
+    /// # Errors
+    ///
+    /// See [`WireError`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader { buf: bytes, pos: 0 };
+        let tag = r.u8()?;
+        let env = match tag {
+            0x01 => Envelope::CodedMaskShare(CodedMaskShare {
+                from: r.u32()? as usize,
+                to: r.u32()? as usize,
+                payload: r.elems::<F>()?,
+            }),
+            0x02 => Envelope::MaskedModel(MaskedModel {
+                from: r.u32()? as usize,
+                payload: r.elems::<F>()?,
+            }),
+            0x03 => {
+                let len = r.len_prefix(4)?;
+                let mut survivors = Vec::with_capacity(len);
+                for _ in 0..len {
+                    survivors.push(r.u32()? as usize);
+                }
+                Envelope::SurvivorAnnouncement(SurvivorAnnouncement { survivors })
+            }
+            0x04 => Envelope::AggregatedShare(AggregatedShare {
+                from: r.u32()? as usize,
+                payload: r.elems::<F>()?,
+            }),
+            0x05 => Envelope::TimestampedShare(TimestampedShare {
+                from: r.u32()? as usize,
+                to: r.u32()? as usize,
+                round: r.u64()?,
+                payload: r.elems::<F>()?,
+            }),
+            0x06 => Envelope::TimestampedUpdate(TimestampedUpdate {
+                from: r.u32()? as usize,
+                round: r.u64()?,
+                payload: r.elems::<F>()?,
+            }),
+            0x07 => {
+                let len = r.len_prefix(4 + 8 + 8)?;
+                let mut entries = Vec::with_capacity(len);
+                for _ in 0..len {
+                    entries.push(BufferEntry {
+                        who: r.u32()? as usize,
+                        round: r.u64()?,
+                        weight: r.u64()?,
+                    });
+                }
+                Envelope::BufferAnnouncement(BufferAnnouncement { entries })
+            }
+            other => return Err(WireError::UnknownTag(other)),
+        };
+        if r.pos != bytes.len() {
+            return Err(WireError::TrailingBytes {
+                extra: bytes.len() - r.pos,
+            });
+        }
+        Ok(env)
+    }
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_elems<F: Field>(out: &mut Vec<u8>, elems: &[F]) {
+    let eb = Envelope::<F>::elem_bytes();
+    put_u32(out, elems.len() as u32);
+    for e in elems {
+        out.extend_from_slice(&e.residue().to_le_bytes()[..eb]);
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl Reader<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], WireError> {
+        if self.buf.len() - self.pos < n {
+            return Err(WireError::Truncated {
+                needed: n,
+                got: self.buf.len() - self.pos,
+            });
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Read a u32 length prefix for items of `item_bytes` each,
+    /// rejecting counts that exceed the sanity limit — or the remaining
+    /// buffer — *before* any allocation, so a tiny corrupt message can
+    /// never trigger a huge `Vec::with_capacity`.
+    fn len_prefix(&mut self, item_bytes: usize) -> Result<usize, WireError> {
+        let len = self.u32()? as u64;
+        if len > MAX_ELEMS {
+            return Err(WireError::ImplausibleLength { claimed: len });
+        }
+        let needed = len as usize * item_bytes;
+        let remaining = self.buf.len() - self.pos;
+        if needed > remaining {
+            return Err(WireError::Truncated {
+                needed,
+                got: remaining,
+            });
+        }
+        Ok(len as usize)
+    }
+
+    fn elems<F: Field>(&mut self) -> Result<Vec<F>, WireError> {
+        let eb = Envelope::<F>::elem_bytes();
+        let len = self.len_prefix(eb)?;
+        let mut out = Vec::with_capacity(len);
+        for index in 0..len {
+            let raw = self.take(eb)?;
+            let mut word = [0u8; 8];
+            word[..eb].copy_from_slice(raw);
+            let value = u64::from_le_bytes(word);
+            if value >= F::MODULUS {
+                return Err(WireError::NonCanonicalElement { index, value });
+            }
+            out.push(F::from_u64(value));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsa_field::{Fp32, Fp61};
+
+    fn share() -> Envelope<Fp61> {
+        Envelope::CodedMaskShare(CodedMaskShare {
+            from: 3,
+            to: 1,
+            payload: vec![Fp61::from_u64(7), Fp61::from_u64(u64::MAX / 3)],
+        })
+    }
+
+    #[test]
+    fn roundtrip_preserves_value_and_length() {
+        let e = share();
+        let bytes = e.to_bytes();
+        assert_eq!(bytes.len(), e.wire_len());
+        assert_eq!(Envelope::<Fp61>::from_bytes(&bytes).unwrap(), e);
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let bytes = share().to_bytes();
+        for cut in 0..bytes.len() {
+            let err = Envelope::<Fp61>::from_bytes(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, WireError::Truncated { .. }),
+                "cut {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut bytes = share().to_bytes();
+        bytes.push(0);
+        assert!(matches!(
+            Envelope::<Fp61>::from_bytes(&bytes),
+            Err(WireError::TrailingBytes { extra: 1 })
+        ));
+    }
+
+    #[test]
+    fn unknown_tag_detected() {
+        assert!(matches!(
+            Envelope::<Fp61>::from_bytes(&[0xFF]),
+            Err(WireError::UnknownTag(0xFF))
+        ));
+    }
+
+    #[test]
+    fn non_canonical_residue_rejected() {
+        // an Fp32 element with residue ≥ 2^32 − 5
+        let e: Envelope<Fp32> = Envelope::AggregatedShare(AggregatedShare {
+            from: 0,
+            payload: vec![Fp32::from_u64(1)],
+        });
+        let mut bytes = e.to_bytes();
+        let n = bytes.len();
+        bytes[n - 4..].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            Envelope::<Fp32>::from_bytes(&bytes),
+            Err(WireError::NonCanonicalElement { index: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn elem_width_follows_field() {
+        assert_eq!(Envelope::<Fp32>::elem_bytes(), 4);
+        assert_eq!(Envelope::<Fp61>::elem_bytes(), 8);
+    }
+
+    #[test]
+    fn implausible_length_rejected() {
+        // MaskedModel claiming 2^32−1 elements
+        let mut bytes = vec![0x02];
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            Envelope::<Fp61>::from_bytes(&bytes),
+            Err(WireError::ImplausibleLength { .. })
+        ));
+    }
+
+    #[test]
+    fn length_prefix_exceeding_buffer_rejected_before_allocation() {
+        // a 9-byte message claiming MAX_ELEMS elements must fail with
+        // Truncated immediately (no multi-hundred-MB pre-allocation)
+        for tag in [0x02u8, 0x03, 0x04, 0x07] {
+            let mut bytes = vec![tag];
+            if tag != 0x03 && tag != 0x07 {
+                bytes.extend_from_slice(&0u32.to_le_bytes()); // from
+            }
+            bytes.extend_from_slice(&(MAX_ELEMS as u32).to_le_bytes());
+            assert!(
+                matches!(
+                    Envelope::<Fp61>::from_bytes(&bytes),
+                    Err(WireError::Truncated { .. })
+                ),
+                "tag {tag:#04x}"
+            );
+        }
+    }
+}

@@ -12,13 +12,7 @@ use rand::SeedableRng;
 const N: usize = 6;
 const D_MODEL: usize = 12;
 
-fn setup(
-    rounds: u64,
-) -> (
-    LsaConfig,
-    Vec<AsyncClient<Fp61>>,
-    StdRng,
-) {
+fn setup(rounds: u64) -> (LsaConfig, Vec<AsyncClient<Fp61>>, StdRng) {
     let cfg = LsaConfig::new(N, 2, 4, D_MODEL).unwrap();
     let mut rng = StdRng::seed_from_u64(99);
     let mut clients: Vec<AsyncClient<Fp61>> = (0..N)
@@ -145,7 +139,11 @@ fn quantized_roundtrip_recovers_weighted_average() {
     let avg = agg.dequantize(&quantizer);
     for k in 0..D_MODEL {
         let want: f64 = reals.iter().map(|r| r[k]).sum::<f64>() / 3.0;
-        assert!((avg[k] - want).abs() < 1e-4, "coord {k}: {} vs {want}", avg[k]);
+        assert!(
+            (avg[k] - want).abs() < 1e-4,
+            "coord {k}: {} vs {want}",
+            avg[k]
+        );
     }
 }
 

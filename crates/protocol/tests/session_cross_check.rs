@@ -1,0 +1,148 @@
+//! Cross-check: the sans-IO session drivers produce **identical**
+//! aggregates to the legacy hand-routed protocol flow under identical
+//! seeds and dropout schedules — over both `MemTransport` and
+//! `SimTransport`.
+
+use lsa_field::{Field, Fp32, Fp61};
+use lsa_net::{Duplex, NetworkConfig};
+use lsa_protocol::transport::{MemTransport, SimTransport};
+use lsa_protocol::{
+    run_sync_round, run_sync_round_over, Client, CodedMaskShare, DropoutSchedule, LsaConfig,
+    ServerRound, SyncRoundOutput,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The pre-refactor reference driver: direct `Vec` indexing, no wire.
+/// Kept verbatim here as the behavioural oracle for the session engine.
+fn legacy_hand_routed<F: Field, R: Rng + ?Sized>(
+    cfg: LsaConfig,
+    models: &[Vec<F>],
+    dropouts: &DropoutSchedule,
+    rng: &mut R,
+) -> SyncRoundOutput<F> {
+    let mut clients: Vec<Client<F>> = (0..cfg.n())
+        .map(|id| Client::new(id, cfg, rng).unwrap())
+        .collect();
+    let all_shares: Vec<CodedMaskShare<F>> =
+        clients.iter().flat_map(Client::outgoing_shares).collect();
+    for share in all_shares {
+        clients[share.to].receive_share(share).unwrap();
+    }
+
+    let mut server = ServerRound::new(cfg).unwrap();
+    for (id, client) in clients.iter().enumerate() {
+        if dropouts.before_upload.contains(&id) {
+            continue;
+        }
+        server
+            .receive_masked_model(client.mask_model(&models[id]).unwrap())
+            .unwrap();
+    }
+    let survivors: Vec<usize> = server.close_upload_phase().unwrap().to_vec();
+    for &id in &survivors {
+        if dropouts.after_upload.contains(&id) {
+            continue;
+        }
+        let done = server
+            .receive_aggregated_share(clients[id].aggregated_share_for(&survivors).unwrap())
+            .unwrap();
+        if done {
+            break;
+        }
+    }
+    SyncRoundOutput {
+        aggregate: server.recover_aggregate().unwrap(),
+        survivors,
+    }
+}
+
+fn models<F: Field>(n: usize, d: usize, seed: u64) -> Vec<Vec<F>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| lsa_field::ops::random_vector(d, &mut rng))
+        .collect()
+}
+
+fn schedules() -> Vec<DropoutSchedule> {
+    vec![
+        DropoutSchedule::none(),
+        DropoutSchedule::before_upload(vec![2]),
+        DropoutSchedule::after_upload(vec![0, 5]),
+        DropoutSchedule {
+            before_upload: vec![1],
+            after_upload: vec![4],
+        },
+    ]
+}
+
+fn check_field<F: Field>(seed: u64) {
+    let n = 8;
+    let d = 23; // not divisible by U−T: exercises the padding path
+    let cfg = LsaConfig::new(n, 2, 6, d).unwrap();
+    let ms = models::<F>(n, d, seed);
+    for sched in schedules() {
+        let legacy = legacy_hand_routed(cfg, &ms, &sched, &mut StdRng::seed_from_u64(seed));
+
+        let shim = run_sync_round(cfg, &ms, &sched, &mut StdRng::seed_from_u64(seed)).unwrap();
+        assert_eq!(shim.aggregate, legacy.aggregate, "MemTransport {sched:?}");
+        assert_eq!(shim.survivors, legacy.survivors);
+
+        let mut mem = MemTransport::new();
+        let over =
+            run_sync_round_over(cfg, &ms, &sched, &mut StdRng::seed_from_u64(seed), &mut mem)
+                .unwrap();
+        assert_eq!(over.aggregate, legacy.aggregate, "explicit Mem {sched:?}");
+        assert_eq!(over.survivors, legacy.survivors);
+
+        let mut sim = SimTransport::new(NetworkConfig::paper_default(n), Duplex::Full);
+        let timed =
+            run_sync_round_over(cfg, &ms, &sched, &mut StdRng::seed_from_u64(seed), &mut sim)
+                .unwrap();
+        assert_eq!(timed.aggregate, legacy.aggregate, "SimTransport {sched:?}");
+        assert_eq!(timed.survivors, legacy.survivors);
+        assert!(sim.elapsed() > 0.0, "simulated time must advance");
+    }
+}
+
+#[test]
+fn session_driver_matches_legacy_fp61() {
+    for seed in [1u64, 7, 99] {
+        check_field::<Fp61>(seed);
+    }
+}
+
+#[test]
+fn session_driver_matches_legacy_fp32() {
+    for seed in [2u64, 8, 100] {
+        check_field::<Fp32>(seed);
+    }
+}
+
+#[test]
+fn sim_transport_timings_cover_all_phases() {
+    let n = 6;
+    let cfg = LsaConfig::new(n, 2, 4, 16).unwrap();
+    let ms = models::<Fp61>(n, 16, 5);
+    let mut sim = SimTransport::new(NetworkConfig::paper_default(n), Duplex::Full);
+    run_sync_round_over(
+        cfg,
+        &ms,
+        &DropoutSchedule::after_upload(vec![1]),
+        &mut StdRng::seed_from_u64(5),
+        &mut sim,
+    )
+    .unwrap();
+    let labels: Vec<&str> = sim.timings().iter().map(|t| t.label).collect();
+    assert_eq!(labels, vec!["offline", "upload", "announce", "recovery"]);
+    // phases are contiguous and monotone
+    for w in sim.timings().windows(2) {
+        assert!(w[1].start >= w[0].end - 1e-12);
+    }
+    // every phase that moved messages took positive simulated time
+    for t in sim.timings() {
+        if t.messages > 0 {
+            assert!(t.duration() > 0.0, "{} took no time", t.label);
+        }
+    }
+}

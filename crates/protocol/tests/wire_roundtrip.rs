@@ -1,0 +1,141 @@
+//! Property tests of the canonical wire encoding: for every message
+//! kind and both fields, `Envelope::from_bytes(e.to_bytes()) == e`, the
+//! serialized length equals `wire_len()`, and corrupted buffers are
+//! rejected with typed errors rather than mis-decoding.
+
+use lsa_field::{Field, Fp32, Fp61};
+use lsa_protocol::asynchronous::{BufferEntry, TimestampedShare, TimestampedUpdate};
+use lsa_protocol::wire::{BufferAnnouncement, Envelope, SurvivorAnnouncement, WireError};
+use lsa_protocol::{AggregatedShare, CodedMaskShare, MaskedModel};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Deterministic field vector from a seed.
+fn payload<F: Field>(seed: u64, len: usize) -> Vec<F> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    lsa_field::ops::random_vector(len, &mut rng)
+}
+
+/// Build one envelope of each kind from fuzzed scalars.
+fn envelopes<F: Field>(
+    from: usize,
+    to: usize,
+    round: u64,
+    seed: u64,
+    len: usize,
+    ids: &[usize],
+) -> Vec<Envelope<F>> {
+    vec![
+        Envelope::CodedMaskShare(CodedMaskShare {
+            from,
+            to,
+            payload: payload(seed, len),
+        }),
+        Envelope::MaskedModel(MaskedModel {
+            from,
+            payload: payload(seed.wrapping_add(1), len),
+        }),
+        Envelope::SurvivorAnnouncement(SurvivorAnnouncement {
+            survivors: ids.to_vec(),
+        }),
+        Envelope::AggregatedShare(AggregatedShare {
+            from,
+            payload: payload(seed.wrapping_add(2), len),
+        }),
+        Envelope::TimestampedShare(TimestampedShare {
+            from,
+            to,
+            round,
+            payload: payload(seed.wrapping_add(3), len),
+        }),
+        Envelope::TimestampedUpdate(TimestampedUpdate {
+            from,
+            round,
+            payload: payload(seed.wrapping_add(4), len),
+        }),
+        Envelope::BufferAnnouncement(BufferAnnouncement {
+            entries: ids
+                .iter()
+                .enumerate()
+                .map(|(i, &who)| BufferEntry {
+                    who,
+                    round: round.wrapping_add(i as u64),
+                    weight: seed.wrapping_mul(i as u64 + 1),
+                })
+                .collect(),
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Round-trip identity over Fp61 for every message kind.
+    #[test]
+    fn roundtrip_fp61(
+        from in 0usize..1024,
+        to in 0usize..1024,
+        round in any::<u64>(),
+        seed in any::<u64>(),
+        len in 0usize..40,
+        ids in vec(0usize..4096, 0..12),
+    ) {
+        for e in envelopes::<Fp61>(from, to, round, seed, len, &ids) {
+            let bytes = e.to_bytes();
+            prop_assert_eq!(bytes.len(), e.wire_len());
+            let back = Envelope::<Fp61>::from_bytes(&bytes).unwrap();
+            prop_assert_eq!(back, e);
+        }
+    }
+
+    /// Round-trip identity over Fp32 for every message kind.
+    #[test]
+    fn roundtrip_fp32(
+        from in 0usize..1024,
+        to in 0usize..1024,
+        round in any::<u64>(),
+        seed in any::<u64>(),
+        len in 0usize..40,
+        ids in vec(0usize..4096, 0..12),
+    ) {
+        for e in envelopes::<Fp32>(from, to, round, seed, len, &ids) {
+            let bytes = e.to_bytes();
+            prop_assert_eq!(bytes.len(), e.wire_len());
+            let back = Envelope::<Fp32>::from_bytes(&bytes).unwrap();
+            prop_assert_eq!(back, e);
+        }
+    }
+
+    /// Any prefix truncation of any kind is detected, never mis-decoded.
+    #[test]
+    fn truncation_never_misdecodes(
+        seed in any::<u64>(),
+        len in 1usize..16,
+        cut_frac in 0usize..100,
+    ) {
+        for e in envelopes::<Fp61>(1, 2, 7, seed, len, &[0, 1, 2]) {
+            let bytes = e.to_bytes();
+            let cut = cut_frac * bytes.len() / 100;
+            if cut < bytes.len() {
+                let r = Envelope::<Fp61>::from_bytes(&bytes[..cut]);
+                prop_assert!(
+                    matches!(r, Err(WireError::Truncated { .. })),
+                    "cut {cut} of {}: {r:?}", bytes.len()
+                );
+            }
+        }
+    }
+
+    /// Appending garbage after a valid envelope is detected.
+    #[test]
+    fn trailing_bytes_never_ignored(seed in any::<u64>(), extra in 1usize..9) {
+        for e in envelopes::<Fp32>(0, 1, 3, seed, 5, &[4, 5]) {
+            let mut bytes = e.to_bytes();
+            bytes.extend(std::iter::repeat_n(0xAB, extra));
+            let r = Envelope::<Fp32>::from_bytes(&bytes);
+            prop_assert!(matches!(r, Err(WireError::TrailingBytes { .. })), "{r:?}");
+        }
+    }
+}

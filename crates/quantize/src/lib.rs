@@ -129,9 +129,7 @@ impl VectorQuantizer {
     pub fn auto_tune<F: Field>(bound: f64, count: usize) -> Option<Self> {
         for bits in (0..=F::BITS.min(62)).rev() {
             let candidate = Self::new(1u64 << bits);
-            if candidate.wraparound_headroom::<F>(bound, count)
-                > (F::MODULUS / 2) as f64 / 2.0
-            {
+            if candidate.wraparound_headroom::<F>(bound, count) > (F::MODULUS / 2) as f64 / 2.0 {
                 return Some(candidate);
             }
         }

@@ -1,0 +1,275 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Provides the subset of the criterion 0.5 API the workspace's benches
+//! use: [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`],
+//! [`Throughput`], [`black_box`], [`criterion_group!`] and
+//! [`criterion_main!`].
+//!
+//! Measurement is a deliberately simple two-pass scheme (calibration
+//! pass to pick an iteration count, then timed batches reporting the
+//! median), printing `ns/iter` — adequate for relative comparisons and
+//! regression spotting, without the statistical machinery (bootstrap,
+//! outlier classification, HTML reports) of the real crate. When passed
+//! `--test` (as `cargo test --benches` does) each benchmark body runs
+//! exactly once so benches double as smoke tests.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group (`name/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/parameter`.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id from a bare parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// Units processed per iteration; reported as a rate.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// Runs closures and measures their time.
+#[derive(Debug)]
+pub struct Bencher {
+    iters_hint: u64,
+    test_mode: bool,
+    /// Median nanoseconds per iteration of the last `iter` call.
+    pub(crate) last_ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Measure `f`, storing the median ns/iter.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            self.last_ns_per_iter = 0.0;
+            return;
+        }
+        // calibration: find an iteration count that runs ≥ ~1 ms
+        let mut iters = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || iters >= self.iters_hint {
+                break;
+            }
+            iters = (iters * 4).min(self.iters_hint);
+        }
+        // measurement: several batches, report the median
+        let mut samples = Vec::with_capacity(7);
+        for _ in 0..7 {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        samples.sort_by(f64::total_cmp);
+        self.last_ns_per_iter = samples[samples.len() / 2];
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare the per-iteration workload for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Override the sample count (accepted for API compatibility).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n;
+        self
+    }
+
+    /// Benchmark `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.id);
+        let throughput = self.throughput;
+        self.criterion.run_one(&full, throughput, f);
+        self
+    }
+
+    /// Benchmark `f` with an input value under `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.id);
+        let throughput = self.throughput;
+        self.criterion.run_one(&full, throughput, |b| f(b, input));
+        self
+    }
+
+    /// End the group (no-op; matches the real API).
+    pub fn finish(&mut self) {}
+}
+
+/// Benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Self {
+            sample_size: 20,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the sample count (accepted for API compatibility).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Set the warm-up duration (accepted for API compatibility).
+    pub fn warm_up_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Set the measurement duration (accepted for API compatibility).
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Configure from command-line arguments (accepted for API
+    /// compatibility).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Benchmark a standalone function.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(name, None, f);
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    fn run_one<F>(&mut self, name: &str, throughput: Option<Throughput>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            iters_hint: 1_000_000,
+            test_mode: self.test_mode,
+            last_ns_per_iter: 0.0,
+        };
+        f(&mut bencher);
+        if self.test_mode {
+            println!("test {name} ... ok (bench smoke)");
+            return;
+        }
+        let ns = bencher.last_ns_per_iter;
+        match throughput {
+            Some(Throughput::Elements(n)) if ns > 0.0 => {
+                let rate = n as f64 * 1e9 / ns;
+                println!("{name:<50} {ns:>12.1} ns/iter {rate:>14.0} elem/s");
+            }
+            Some(Throughput::Bytes(n)) if ns > 0.0 => {
+                let rate = n as f64 * 1e9 / ns / (1024.0 * 1024.0);
+                println!("{name:<50} {ns:>12.1} ns/iter {rate:>11.1} MiB/s");
+            }
+            _ => println!("{name:<50} {ns:>12.1} ns/iter"),
+        }
+    }
+}
+
+/// Define a benchmark group. Both criterion forms are supported:
+/// `criterion_group!(benches, f1, f2)` and the
+/// `name = ..; config = ..; targets = ..` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Define the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,21 @@
+//! `any::<T>()` — full-domain strategies for primitive types.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::{Rng, StandardSample};
+
+/// Strategy producing uniformly distributed values over `T`'s domain.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+/// Uniform strategy over the whole domain of `T`.
+pub fn any<T: StandardSample>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+impl<T: StandardSample> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        rng.gen::<T>()
+    }
+}

@@ -1,0 +1,78 @@
+//! Case execution: configuration, RNG derivation and failure reporting.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The RNG handed to strategies.
+pub type TestRng = StdRng;
+
+/// Controls how many cases each property runs.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of cases to execute.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// A failed property case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Create a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl core::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Derives per-case RNG streams from a stable hash of the test name, so
+/// failures reproduce across runs without a persistence file.
+#[derive(Debug, Clone)]
+pub struct TestRunner {
+    base_seed: u64,
+}
+
+impl TestRunner {
+    /// Create a runner for the named test.
+    pub fn new(name: &str) -> Self {
+        // FNV-1a over the test name
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        Self { base_seed: h }
+    }
+
+    /// The RNG for case `case`.
+    pub fn rng_for_case(&self, case: u32) -> TestRng {
+        StdRng::seed_from_u64(
+            self.base_seed
+                .wrapping_add((case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        )
+    }
+}

@@ -60,7 +60,11 @@ pub enum Protocol {
 
 impl Protocol {
     /// All three, in the paper's column order.
-    pub const ALL: [Protocol; 3] = [Protocol::SecAgg, Protocol::SecAggPlus, Protocol::LightSecAgg];
+    pub const ALL: [Protocol; 3] = [
+        Protocol::SecAgg,
+        Protocol::SecAggPlus,
+        Protocol::LightSecAgg,
+    ];
 
     /// Display name matching the paper.
     pub fn name(&self) -> &'static str {
@@ -175,8 +179,7 @@ pub mod zhao_sun {
         }
         let x = (n + 1) as f64;
         let inv = 1.0 / x;
-        (x - 0.5) * x.ln() - x + 0.5 * (2.0 * std::f64::consts::PI).ln()
-            + inv / 12.0
+        (x - 0.5) * x.ln() - x + 0.5 * (2.0 * std::f64::consts::PI).ln() + inv / 12.0
             - inv.powi(3) / 360.0
     }
 
@@ -184,9 +187,7 @@ pub mod zhao_sun {
     /// third party must prepare for (returned as `ln` to avoid overflow,
     /// and as `f64` when it fits).
     pub fn survivor_set_count(p: &ComplexityParams) -> f64 {
-        (p.u..=p.n)
-            .map(|k| ln_binomial(p.n, k).exp())
-            .sum()
+        (p.u..=p.n).map(|k| ln_binomial(p.n, k).exp()).sum()
     }
 
     /// Total randomness (in `F^{d/(U−T)}_q` symbols) generated by the
@@ -266,10 +267,7 @@ mod tests {
         let p = ComplexityParams::paper_setting(30, 1000, 0.2);
         let zs = zhao_sun::randomness_zhao_sun(&p);
         let lsa = zhao_sun::randomness_lightsecagg(&p);
-        assert!(
-            zs / lsa > 1e3,
-            "zhao-sun {zs:.3e} vs lightsecagg {lsa:.3e}"
-        );
+        assert!(zs / lsa > 1e3, "zhao-sun {zs:.3e} vs lightsecagg {lsa:.3e}");
         assert!(zhao_sun::storage_zhao_sun(&p) > zhao_sun::storage_lightsecagg(&p));
     }
 

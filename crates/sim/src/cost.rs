@@ -91,7 +91,12 @@ mod tests {
     fn calibration_produces_sane_magnitudes() {
         let c = KernelCosts::calibrate();
         // on any machine these kernels are between 0.1 ns and 1 µs per op
-        for v in [c.field_mac_ns, c.field_add_ns, c.prg_elem_ns, c.shamir_op_ns] {
+        for v in [
+            c.field_mac_ns,
+            c.field_add_ns,
+            c.prg_elem_ns,
+            c.shamir_op_ns,
+        ] {
             assert!((0.1..1000.0).contains(&v), "cost {v} ns out of range");
         }
         // a MAC cannot be cheaper than an add by more than noise

@@ -9,6 +9,8 @@
 //!   kernels on this machine;
 //! * [`round`] — the per-phase round timing simulator behind Figure 6,
 //!   Figures 8–10 and Tables 2–4;
+//! * [`timed`] — the *measured* alternative: the real sans-IO protocol
+//!   over [`lsa_net`], phase timings from actual serialized envelopes;
 //! * [`secure_fedbuff`] — asynchronous LightSecAgg plugged into the
 //!   FedBuff training loop (Figures 7, 11, 12);
 //! * [`experiments`] — one runner per table/figure;
@@ -37,8 +39,12 @@ pub mod robust;
 pub mod round;
 pub mod secure_fedbuff;
 pub mod system;
+pub mod timed;
 
 pub use cost::KernelCosts;
-pub use round::{simulate_round, timeline, PhaseSegment, ProtocolKind, RoundBreakdown, RoundParams};
+pub use round::{
+    simulate_round, timeline, PhaseSegment, ProtocolKind, RoundBreakdown, RoundParams,
+};
 pub use secure_fedbuff::LsaBufferAggregator;
 pub use system::{run_system, SystemConfig, SystemRoundRecord};
+pub use timed::{run_timed_sync_round, TimedRoundOutput};

@@ -9,11 +9,7 @@ use std::path::Path;
 /// # Errors
 ///
 /// Propagates I/O errors from file creation and writing.
-pub fn write_tsv<P: AsRef<Path>>(
-    path: P,
-    header: &[&str],
-    rows: &[Vec<String>],
-) -> io::Result<()> {
+pub fn write_tsv<P: AsRef<Path>>(path: P, header: &[&str], rows: &[Vec<String>]) -> io::Result<()> {
     let mut w = BufWriter::new(File::create(path)?);
     writeln!(w, "{}", header.join("\t"))?;
     for row in rows {

@@ -141,8 +141,7 @@ mod tests {
         let robust = group_median_aggregate::<Fp61, _>(&updates, &cfg, &mut rng).unwrap();
         // the true mean is ≈ 1.0 + small per-coordinate offsets
         for (k, v) in robust.iter().enumerate() {
-            let mean: f32 =
-                updates.iter().map(|u| u[k]).sum::<f32>() / updates.len() as f32;
+            let mean: f32 = updates.iter().map(|u| u[k]).sum::<f32>() / updates.len() as f32;
             assert!((v - mean).abs() < 0.02, "coord {k}: {v} vs {mean}");
         }
     }

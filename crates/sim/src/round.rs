@@ -196,7 +196,11 @@ fn simulate_lightsecagg(p: &RoundParams) -> (f64, f64, f64) {
     for shift in 1..n {
         for i in 0..n {
             let j = (i + shift) % n;
-            transfers.push(Transfer::new(NodeId::Client(i), NodeId::Client(j), share_bytes));
+            transfers.push(Transfer::new(
+                NodeId::Client(i),
+                NodeId::Client(j),
+                share_bytes,
+            ));
         }
     }
     let offline = offline_compute + net.run_phase(0.0, &transfers).phase_end;
@@ -219,8 +223,8 @@ fn simulate_lightsecagg(p: &RoundParams) -> (f64, f64, f64) {
         .collect();
     let report = net.run_phase(0.0, &shares);
     let net_time = report.kth_completion(u - 1); // server proceeds at U arrivals
-    // server: Lagrange basis (U² scalar MACs) + decode (U−T)·U·seg MACs
-    // + sum N masked models + subtract the aggregate mask
+                                                 // server: Lagrange basis (U² scalar MACs) + decode (U−T)·U·seg MACs
+                                                 // + sum N masked models + subtract the aggregate mask
     let server_ops = (u * u) as f64 * c.field_mac_ns
         + ((u - t) * u * seg) as f64 * c.field_mac_ns
         + (n * d_padded) as f64 * c.field_add_ns
@@ -253,8 +257,16 @@ fn simulate_secagg(p: &RoundParams, deg: usize, shamir_t: usize) -> (f64, f64, f
     for shift in 1..=deg / 2 {
         for i in 0..n {
             let j = (i + shift) % n;
-            transfers.push(Transfer::new(NodeId::Client(i), NodeId::Client(j), seed_bytes));
-            transfers.push(Transfer::new(NodeId::Client(j), NodeId::Client(i), seed_bytes));
+            transfers.push(Transfer::new(
+                NodeId::Client(i),
+                NodeId::Client(j),
+                seed_bytes,
+            ));
+            transfers.push(Transfer::new(
+                NodeId::Client(j),
+                NodeId::Client(i),
+                seed_bytes,
+            ));
         }
     }
     let offline = offline_compute + net.run_phase(0.0, &transfers).phase_end;
@@ -280,8 +292,7 @@ fn simulate_secagg(p: &RoundParams, deg: usize, shamir_t: usize) -> (f64, f64, f
     let net_time = net.run_phase(0.0, &share_uploads).phase_end;
     // reconstructions: included b-seeds + dropped sk-keys, each limb a
     // (t+1)²-op Lagrange
-    let recon_ops =
-        ((included * 16 + dropped * 4) * (shamir_t + 1) * (shamir_t + 1)) as f64;
+    let recon_ops = ((included * 16 + dropped * 4) * (shamir_t + 1) * (shamir_t + 1)) as f64;
     // PRG re-expansion: one self mask per included user + one pairwise
     // mask per (dropped, included-neighbour) pair
     let pairs_per_dropped = deg.min(included);

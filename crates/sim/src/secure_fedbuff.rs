@@ -11,7 +11,8 @@
 
 use lsa_field::Field;
 use lsa_fl::{BufferAggregator, BufferedContribution};
-use lsa_protocol::asynchronous::{AsyncClient, AsyncServer, TimestampedShare};
+use lsa_protocol::asynchronous::{run_buffered_flush, FlushInput};
+use lsa_protocol::transport::MemTransport;
 use lsa_protocol::LsaConfig;
 use lsa_quantize::{QuantizedStaleness, StalenessFn, VectorQuantizer};
 use rand::Rng;
@@ -69,49 +70,25 @@ impl<F: Field> BufferAggregator for LsaBufferAggregator<F> {
         let cfg = LsaConfig::new(n, t, u, d).expect("valid derived parameters");
 
         let now = buffer.iter().map(|c| c.staleness).max().unwrap_or(0);
-        let mut clients: Vec<AsyncClient<F>> = (0..n)
-            .map(|id| AsyncClient::new(id, cfg).expect("valid client id"))
+
+        // Quantize each contribution and hand the flush to the sans-IO
+        // session driver: every share, update, announcement and
+        // aggregated share crosses a (serialized) MemTransport wire.
+        let inputs: Vec<FlushInput<F>> = buffer
+            .iter()
+            .enumerate()
+            .map(|(slot, contribution)| {
+                let reals: Vec<f64> = contribution.delta.iter().map(|&v| v as f64).collect();
+                FlushInput {
+                    slot,
+                    round: now - contribution.staleness,
+                    update: self.quantizer.quantize(&reals, rng),
+                }
+            })
             .collect();
-
-        // Offline: each slot generates the mask for its base round and
-        // shares it; deduplicate rounds per client.
-        let mut pending: Vec<TimestampedShare<F>> = Vec::new();
-        for (slot, contribution) in buffer.iter().enumerate() {
-            let round = now - contribution.staleness;
-            pending.extend(
-                clients[slot]
-                    .generate_round_mask(round, rng)
-                    .expect("fresh round mask"),
-            );
-        }
-        for share in pending {
-            clients[share.to].receive_share(share).expect("valid share");
-        }
-
-        // Upload: quantize + mask each contribution.
-        let mut server =
-            AsyncServer::<F>::new(cfg, buffer.len(), self.staleness).expect("valid server");
-        for (slot, contribution) in buffer.iter().enumerate() {
-            let round = now - contribution.staleness;
-            let reals: Vec<f64> = contribution.delta.iter().map(|&v| v as f64).collect();
-            let quantized: Vec<F> = self.quantizer.quantize(&reals, rng);
-            let masked = clients[slot]
-                .mask_update(round, &quantized)
-                .expect("mask own round");
-            server
-                .receive_update(masked, now, rng)
-                .expect("buffer accepts");
-        }
-
-        // Recovery: announce, collect U aggregated shares, decode.
-        let entries = server.announce().expect("buffer full");
-        for client in clients.iter().take(u) {
-            let share = client
-                .aggregated_share_for(&entries)
-                .expect("all shares held");
-            server.receive_aggregated_share(share).expect("valid share");
-        }
-        let aggregate = server.recover().expect("one-shot recovery");
+        let mut transport = MemTransport::new();
+        let aggregate = run_buffered_flush(cfg, &inputs, self.staleness, rng, &mut transport)
+            .expect("one-shot recovery");
         aggregate
             .dequantize(&self.quantizer)
             .into_iter()
@@ -147,8 +124,7 @@ mod tests {
         let mut plain = PlainFedBuff {
             staleness: StalenessFn::Constant,
         };
-        let mut secure =
-            LsaBufferAggregator::<Fp61>::paper_default(StalenessFn::Constant);
+        let mut secure = LsaBufferAggregator::<Fp61>::paper_default(StalenessFn::Constant);
         let p = plain.aggregate(&buf, &mut rng1);
         let s = secure.aggregate(&buf, &mut rng2);
         for (a, b) in p.iter().zip(&s) {

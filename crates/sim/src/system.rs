@@ -15,7 +15,8 @@ use lsa_baselines::{run_secagg_round, SecAggConfig};
 use lsa_field::Fp61;
 use lsa_fl::{local_update, Dataset, LocalTraining, Model};
 use lsa_net::NetworkConfig;
-use lsa_protocol::{run_sync_round, DropoutSchedule, LsaConfig};
+use lsa_protocol::transport::MemTransport;
+use lsa_protocol::{run_sync_round_over, DropoutSchedule, LsaConfig};
 use lsa_quantize::VectorQuantizer;
 use rand::Rng;
 use std::time::Instant;
@@ -125,8 +126,11 @@ where
             ProtocolKind::LightSecAgg => {
                 let u = ((0.7 * n as f64) as usize).clamp(t + 1, n - dropped);
                 let lsa = LsaConfig::new(n, t, u, d).expect("valid derived config");
-                let out =
-                    run_sync_round(lsa, &field_updates, &sched, rng).expect("within budget");
+                // sans-IO sessions over an in-memory transport: every
+                // protocol message crosses a serialized wire
+                let mut transport = MemTransport::new();
+                let out = run_sync_round_over(lsa, &field_updates, &sched, rng, &mut transport)
+                    .expect("within budget");
                 (out.aggregate, out.survivors.len())
             }
             ProtocolKind::SecAgg => {
@@ -189,13 +193,23 @@ mod tests {
         let mut model = LogisticRegression::new(8, 4);
         let mut cfg = SystemConfig::paper_default(ProtocolKind::LightSecAgg, 8);
         cfg.rounds = 6;
-        let recs = run_system(&mut model, &shards, &test, &cfg, &mut StdRng::seed_from_u64(2));
+        let recs = run_system(
+            &mut model,
+            &shards,
+            &test,
+            &cfg,
+            &mut StdRng::seed_from_u64(2),
+        );
         assert_eq!(recs.len(), 6);
         // wall clock strictly increases
         for w in recs.windows(2) {
             assert!(w[1].elapsed_s > w[0].elapsed_s);
         }
-        assert!(recs.last().unwrap().accuracy > 0.8, "acc {}", recs.last().unwrap().accuracy);
+        assert!(
+            recs.last().unwrap().accuracy > 0.8,
+            "acc {}",
+            recs.last().unwrap().accuracy
+        );
     }
 
     #[test]
@@ -214,8 +228,13 @@ mod tests {
             let mut cfg = SystemConfig::paper_default(protocol, 8);
             cfg.rounds = 6;
             cfg.dropout_rate = 0.0;
-            let recs =
-                run_system(&mut model, &shards, &test, &cfg, &mut StdRng::seed_from_u64(3));
+            let recs = run_system(
+                &mut model,
+                &shards,
+                &test,
+                &cfg,
+                &mut StdRng::seed_from_u64(3),
+            );
             accs.push(recs.last().unwrap().accuracy);
             assert!(recs.last().unwrap().elapsed_s > 0.0);
             // every round contributes positive time

@@ -1,0 +1,261 @@
+//! Measured protocol rounds: the *real* protocol over the *simulated*
+//! network.
+//!
+//! [`crate::round`] prices a round analytically from operation counts —
+//! fast at any scale but blind to what the implementation actually
+//! sends. This module instead runs the full sans-IO session protocol
+//! over a [`SimTransport`], so every phase timing is derived from the
+//! **actual serialized envelope bytes** flowing through the
+//! [`lsa_net`] discrete-event network: headers, survivor announcements
+//! and padding included, with per-channel queueing at every endpoint.
+//!
+//! Use this to validate the analytic model at feasible scales and to
+//! time concrete deployments of moderate size; use [`crate::round`] for
+//! paper-scale (`N = 100`, `d ≈ 10^6`) sweeps.
+
+use lsa_field::Field;
+use lsa_net::{Duplex, NetworkConfig};
+use lsa_protocol::transport::{PhaseTiming, SimTransport};
+use lsa_protocol::{
+    run_sync_round_over, DropoutSchedule, LsaConfig, ProtocolError, SyncRoundOutput,
+};
+use rand::Rng;
+
+/// One measured synchronous round: the exact aggregate plus wall-clock
+/// phase timings derived from serialized envelope sizes.
+#[derive(Debug, Clone)]
+pub struct TimedRoundOutput<F> {
+    /// The protocol output (aggregate + survivors), byte-identical to a
+    /// [`lsa_protocol::run_sync_round`] run with the same seed.
+    pub output: SyncRoundOutput<F>,
+    /// Per-phase simulated wall-clock (`"offline"`, `"upload"`,
+    /// `"announce"`, `"recovery"`). Each phase's `end` is the *last*
+    /// arrival of the phase; see [`TimedRoundOutput::total`] for the
+    /// protocol-semantic round time.
+    pub phases: Vec<PhaseTiming>,
+    /// Round completion time (s): the server proceeds as soon as the
+    /// `U`-th aggregated share arrives (Algorithm 1 line 24 — matching
+    /// the analytic model's `kth_completion(U−1)`), even while straggler
+    /// shares are still in flight. The full drain time of every message
+    /// is `phases.last().end`.
+    pub total: f64,
+}
+
+impl<F> TimedRoundOutput<F> {
+    /// The timing of the named phase.
+    pub fn phase(&self, label: &str) -> Option<&PhaseTiming> {
+        self.phases.iter().find(|p| p.label == label)
+    }
+
+    /// Total serialized bytes moved across all phases.
+    pub fn total_bytes(&self) -> usize {
+        self.phases.iter().map(|p| p.bytes).sum()
+    }
+}
+
+/// Run one synchronous LightSecAgg round over the discrete-event
+/// network, returning the aggregate and measured per-phase timings.
+///
+/// # Errors
+///
+/// Propagates any [`ProtocolError`] from the session driver.
+///
+/// # Panics
+///
+/// Panics if `net.clients < cfg.n()` (the network must have a channel
+/// per user).
+pub fn run_timed_sync_round<F: Field, R: Rng + ?Sized>(
+    cfg: LsaConfig,
+    models: &[Vec<F>],
+    dropouts: &DropoutSchedule,
+    rng: &mut R,
+    net: NetworkConfig,
+    duplex: Duplex,
+) -> Result<TimedRoundOutput<F>, ProtocolError> {
+    assert!(
+        net.clients >= cfg.n(),
+        "network has {} client channels but the protocol needs {}",
+        net.clients,
+        cfg.n()
+    );
+    let mut transport = SimTransport::new(net, duplex);
+    let output = run_sync_round_over(cfg, models, dropouts, rng, &mut transport)?;
+    let phases = transport.timings().to_vec();
+    // The server decodes at the U-th aggregated-share arrival; helpers
+    // beyond U keep transmitting but don't gate the round (the analytic
+    // model's `kth_completion(u - 1)` — see sim::round).
+    let total = phases
+        .iter()
+        .find(|p| p.label == "recovery")
+        .filter(|p| p.messages >= cfg.u())
+        .map_or(transport.elapsed(), |p| p.kth_completion(cfg.u() - 1));
+    Ok(TimedRoundOutput {
+        output,
+        total,
+        phases,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsa_field::Fp61;
+    use lsa_protocol::run_sync_round;
+    use lsa_protocol::wire::Envelope;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn models(n: usize, d: usize, seed: u64) -> Vec<Vec<Fp61>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| lsa_field::ops::random_vector(d, &mut rng))
+            .collect()
+    }
+
+    #[test]
+    fn timed_round_matches_mem_transport_aggregate() {
+        // Acceptance: a full round with dropouts completes over
+        // SimTransport with byte-identical aggregates to the legacy
+        // (MemTransport) driver under the same seed.
+        let cfg = LsaConfig::new(6, 2, 4, 17).unwrap();
+        let ms = models(6, 17, 1);
+        let sched = DropoutSchedule {
+            before_upload: vec![1],
+            after_upload: vec![4],
+        };
+        let legacy = run_sync_round(cfg, &ms, &sched, &mut StdRng::seed_from_u64(9)).unwrap();
+        let timed = run_timed_sync_round(
+            cfg,
+            &ms,
+            &sched,
+            &mut StdRng::seed_from_u64(9),
+            NetworkConfig::paper_default(6),
+            Duplex::Full,
+        )
+        .unwrap();
+        assert_eq!(timed.output.aggregate, legacy.aggregate);
+        assert_eq!(timed.output.survivors, legacy.survivors);
+        assert!(timed.total > 0.0);
+    }
+
+    #[test]
+    fn phase_bytes_equal_serialized_envelope_sizes() {
+        // The offline phase moves exactly N·(N−1) coded-share envelopes;
+        // the upload phase exactly N masked models. The transport's
+        // byte accounting must equal the envelopes' wire lengths.
+        let n = 5;
+        let cfg = LsaConfig::new(n, 1, 3, 10).unwrap();
+        let ms = models(n, 10, 2);
+        let timed = run_timed_sync_round(
+            cfg,
+            &ms,
+            &DropoutSchedule::none(),
+            &mut StdRng::seed_from_u64(3),
+            NetworkConfig::paper_default(n),
+            Duplex::Full,
+        )
+        .unwrap();
+
+        let share_env: Envelope<Fp61> = Envelope::CodedMaskShare(lsa_protocol::CodedMaskShare {
+            from: 0,
+            to: 1,
+            payload: vec![Fp61::ZERO; cfg.segment_len()],
+        });
+        let offline = timed.phase("offline").unwrap();
+        assert_eq!(offline.messages, n * (n - 1));
+        assert_eq!(offline.bytes, n * (n - 1) * share_env.wire_len());
+
+        let model_env: Envelope<Fp61> = Envelope::MaskedModel(lsa_protocol::MaskedModel {
+            from: 0,
+            payload: vec![Fp61::ZERO; cfg.padded_len()],
+        });
+        let upload = timed.phase("upload").unwrap();
+        assert_eq!(upload.messages, n);
+        assert_eq!(upload.bytes, n * model_env.wire_len());
+    }
+
+    #[test]
+    fn server_proceeds_at_u_arrivals_not_last() {
+        // 8 helpers but U = 5: the round completes at the 5th share
+        // arrival; the 3 straggler shares drain afterwards
+        let n = 8;
+        let cfg = LsaConfig::new(n, 2, 5, 400).unwrap();
+        let ms = models(n, 400, 8);
+        let timed = run_timed_sync_round(
+            cfg,
+            &ms,
+            &DropoutSchedule::none(),
+            &mut StdRng::seed_from_u64(9),
+            NetworkConfig::mbps(n, 10.0, 20.0, 0.001),
+            Duplex::Full,
+        )
+        .unwrap();
+        let recovery = timed.phase("recovery").unwrap();
+        assert_eq!(recovery.messages, n); // all helpers transmit...
+        assert_eq!(timed.total, recovery.kth_completion(4)); // ...U gates
+        assert!(
+            timed.total < recovery.end,
+            "U-th arrival {} should precede last {}",
+            timed.total,
+            recovery.end
+        );
+    }
+
+    #[test]
+    fn larger_models_take_longer_on_the_wire() {
+        let cfg_small = LsaConfig::new(4, 1, 3, 8).unwrap();
+        let cfg_big = LsaConfig::new(4, 1, 3, 800).unwrap();
+        let net = NetworkConfig::mbps(4, 10.0, 100.0, 0.001);
+        let t_small = run_timed_sync_round(
+            cfg_small,
+            &models(4, 8, 4),
+            &DropoutSchedule::none(),
+            &mut StdRng::seed_from_u64(5),
+            net,
+            Duplex::Full,
+        )
+        .unwrap();
+        let t_big = run_timed_sync_round(
+            cfg_big,
+            &models(4, 800, 4),
+            &DropoutSchedule::none(),
+            &mut StdRng::seed_from_u64(5),
+            net,
+            Duplex::Full,
+        )
+        .unwrap();
+        assert!(t_big.total > t_small.total);
+        assert!(t_big.total_bytes() > t_small.total_bytes());
+    }
+
+    #[test]
+    fn half_duplex_is_slower_offline() {
+        // the all-to-all coded-share exchange serializes sends/receives
+        // under half duplex — the §6 ablation, now measured from real
+        // envelope bytes
+        let cfg = LsaConfig::new(6, 2, 4, 600).unwrap();
+        let ms = models(6, 600, 6);
+        let net = NetworkConfig::mbps(6, 10.0, 100.0, 0.0);
+        let full = run_timed_sync_round(
+            cfg,
+            &ms,
+            &DropoutSchedule::none(),
+            &mut StdRng::seed_from_u64(7),
+            net,
+            Duplex::Full,
+        )
+        .unwrap();
+        let half = run_timed_sync_round(
+            cfg,
+            &ms,
+            &DropoutSchedule::none(),
+            &mut StdRng::seed_from_u64(7),
+            net,
+            Duplex::Half,
+        )
+        .unwrap();
+        let f = full.phase("offline").unwrap().duration();
+        let h = half.phase("offline").unwrap().duration();
+        assert!(h > f * 1.2, "full {f} vs half {h}");
+    }
+}

@@ -2,14 +2,19 @@
 //! base rounds are staleness-weighted *inside the field* and recovered
 //! in one shot — the setting SecAgg/SecAgg+ cannot support (Remark 1).
 //!
+//! Driven through the sans-IO async sessions over a [`MemTransport`]:
+//! every timestamped share, masked update, buffer announcement and
+//! aggregated share crosses the wire as serialized bytes.
+//!
 //! Run with: `cargo run --example async_buffered`
 
 use lightsecagg::field::Fp61;
-use lightsecagg::protocol::asynchronous::{AsyncClient, AsyncServer, TimestampedShare};
+use lightsecagg::protocol::session::{AsyncClientSession, AsyncServerSession, Recipient, Session};
+use lightsecagg::protocol::transport::{MemTransport, Transport};
 use lightsecagg::protocol::LsaConfig;
 use lightsecagg::quantize::{QuantizedStaleness, StalenessFn, VectorQuantizer};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 6;
@@ -17,44 +22,81 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = LsaConfig::new(n, 2, 4, d)?;
     let mut rng = StdRng::seed_from_u64(11);
 
-    // clients prepare masks for rounds 0..3 and exchange coded shares
-    let mut clients: Vec<AsyncClient<Fp61>> =
-        (0..n).map(|id| AsyncClient::new(id, cfg)).collect::<Result<_, _>>()?;
+    // each session owns its entropy stream, injected at construction —
+    // message handling is deterministic from here on
+    let mut clients: Vec<AsyncClientSession<Fp61>> = (0..n)
+        .map(|id| AsyncClientSession::from_rng(id, cfg, &mut rng))
+        .collect::<Result<_, _>>()?;
+    let staleness = QuantizedStaleness::new(StalenessFn::Poly { alpha: 1.0 }, 4);
+    let mut server =
+        AsyncServerSession::<Fp61>::new(cfg, 3, staleness, StdRng::seed_from_u64(rng.gen()))?;
+    let mut wire = MemTransport::new();
+
+    // clients prepare masks for rounds 0..3; coded shares travel the wire
     for round in 0..3u64 {
-        let mut pending: Vec<TimestampedShare<Fp61>> = Vec::new();
         for c in clients.iter_mut() {
-            pending.extend(c.generate_round_mask(round, &mut rng)?);
-        }
-        for share in pending {
-            clients[share.to].receive_share(share)?;
+            c.generate_round_mask(round)?;
         }
     }
-
-    // server: buffer K = 3, Poly staleness at c_g = 4
-    let staleness = QuantizedStaleness::new(StalenessFn::Poly { alpha: 1.0 }, 4);
-    let mut server = AsyncServer::<Fp61>::new(cfg, 3, staleness)?;
-    let quantizer = VectorQuantizer::new(1 << 16);
+    for c in clients.iter_mut() {
+        let from = Recipient::Client(c.id());
+        while let Some((to, env)) = c.poll_output() {
+            wire.send(from, to, &env)?;
+        }
+    }
+    while let Some(delivery) = wire.recv()? {
+        let Recipient::Client(j) = delivery.to else {
+            unreachable!()
+        };
+        clients[j].handle(delivery.envelope)?;
+    }
+    println!(
+        "offline exchange: {} envelopes, {} bytes on the wire",
+        wire.messages_sent(),
+        wire.bytes_sent()
+    );
 
     // three clients contribute updates based on different rounds
     let now = 2u64;
+    server.advance_to(now);
+    let quantizer = VectorQuantizer::new(1 << 16);
     let contributions = [(0usize, 2u64, 1.0f64), (1, 1, -0.5), (4, 0, 0.25)];
     for &(id, round, value) in &contributions {
         let reals = vec![value; d];
         let quantized: Vec<Fp61> = quantizer.quantize(&reals, &mut rng);
-        let masked = clients[id].mask_update(round, &quantized)?;
-        server.receive_update(masked, now, &mut rng)?;
+        clients[id].upload_update(round, &quantized)?;
+        let from = Recipient::Client(id);
+        while let Some((to, env)) = clients[id].poll_output() {
+            wire.send(from, to, &env)?;
+        }
+    }
+    while let Some(delivery) = wire.recv()? {
+        server.handle(delivery.envelope)?;
     }
 
-    // one-shot recovery of the staleness-weighted aggregate
-    let entries = server.announce()?;
-    println!("buffer entries (who, base round, field weight):");
-    for e in &entries {
-        println!("  user {} round {} weight {}", e.who, e.round, e.weight);
+    // one-shot recovery of the staleness-weighted aggregate: the buffer
+    // announcement fans out, aggregated shares flow back
+    server.announce()?;
+    while let Some((to, env)) = server.poll_output() {
+        wire.send(Recipient::Server, to, &env)?;
     }
-    for client in clients.iter().take(4) {
-        server.receive_aggregated_share(client.aggregated_share_for(&entries)?)?;
+    while let Some(delivery) = wire.recv()? {
+        match delivery.to {
+            Recipient::Client(j) => {
+                for (to, reply) in clients[j].handle(delivery.envelope)? {
+                    wire.send(Recipient::Client(j), to, &reply)?;
+                }
+            }
+            Recipient::Server => {
+                server.handle(delivery.envelope)?;
+            }
+        }
     }
     let agg = server.recover()?;
+    println!("buffer entries (who, base round, field weight):");
+    for e in &agg.entries {
+        println!("  user {} round {} weight {}", e.who, e.round, e.weight);
+    }
     let update = agg.dequantize(&quantizer);
     println!("weighted-average update (coordinate 0): {:.4}", update[0]);
 

@@ -1,11 +1,20 @@
 //! Reproduce a slice of the paper's timing evaluation from the command
 //! line: per-phase breakdowns for all three protocols (a mini Table 4)
-//! and the bandwidth sensitivity of Table 3.
+//! and the bandwidth sensitivity of Table 3 — then cross-check the
+//! analytic model by running the *real* sans-IO protocol through the
+//! discrete-event network, where phase timings come from actual
+//! serialized envelope bytes.
 //!
 //! Run with: `cargo run --release --example cross_device_timing`
 
+use lightsecagg::field::Fp61;
+use lightsecagg::net::{Duplex, NetworkConfig};
+use lightsecagg::protocol::{DropoutSchedule, LsaConfig};
 use lightsecagg::sim::round::{simulate_round, ProtocolKind, RoundParams};
+use lightsecagg::sim::timed::run_timed_sync_round;
 use lightsecagg::sim::KernelCosts;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 fn main() {
     let n = 100;
@@ -44,4 +53,39 @@ fn main() {
         let gain = simulate_round(&sa).total / simulate_round(&lsa).total;
         println!("  {label:<8} {mbps:>5.0} Mb/s: {gain:.1}x");
     }
+
+    // ---- measured: the real protocol over the simulated network ----
+    // Every envelope is serialized and pays bandwidth + latency through
+    // lsa-net; phase times below are *observed*, not modelled.
+    println!("\nmeasured LightSecAgg round (N = 16, d = 4096, real envelopes):");
+    let n16 = 16;
+    let d16 = 4096;
+    let cfg = LsaConfig::new(n16, n16 / 2, 11, d16).expect("valid config");
+    let mut rng = StdRng::seed_from_u64(42);
+    let models: Vec<Vec<Fp61>> = (0..n16)
+        .map(|_| lightsecagg::field::ops::random_vector(d16, &mut rng))
+        .collect();
+    let timed = run_timed_sync_round(
+        cfg,
+        &models,
+        &DropoutSchedule::after_upload(vec![0, 1]),
+        &mut rng,
+        NetworkConfig::paper_default(n16),
+        Duplex::Full,
+    )
+    .expect("round completes");
+    for phase in &timed.phases {
+        println!(
+            "  {:<10} {:>8.4} s  ({} envelopes, {} bytes)",
+            phase.label,
+            phase.duration(),
+            phase.messages,
+            phase.bytes
+        );
+    }
+    println!(
+        "  total      {:>8.4} s  ({} bytes on the wire)",
+        timed.total,
+        timed.total_bytes()
+    );
 }

@@ -4,7 +4,8 @@
 //! Run with: `cargo run --example quickstart`
 
 use lightsecagg::field::Fp61;
-use lightsecagg::protocol::{run_sync_round, DropoutSchedule, LsaConfig};
+use lightsecagg::protocol::transport::MemTransport;
+use lightsecagg::protocol::{run_sync_round_over, DropoutSchedule, LsaConfig};
 use lightsecagg::quantize::VectorQuantizer;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -31,8 +32,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // users 2 and 6 drop *after* uploading (the paper's worst case §7.1):
     // their models still count, they just can't help recovery.
+    //
+    // The round runs over an explicit transport — swap MemTransport for
+    // SimTransport and the same protocol bytes pay simulated network
+    // time (see `lsa_sim::timed`).
     let dropouts = DropoutSchedule::after_upload(vec![2, 6]);
-    let out = run_sync_round(cfg, &field_models, &dropouts, &mut rng)?;
+    let mut wire = MemTransport::new();
+    let out = run_sync_round_over(cfg, &field_models, &dropouts, &mut rng, &mut wire)?;
+    println!(
+        "wire traffic: {} envelopes, {} serialized bytes",
+        wire.messages_sent(),
+        wire.bytes_sent()
+    );
 
     // dequantize the aggregate and compare to the true sum
     let aggregate = quantizer.dequantize(&out.aggregate);

@@ -9,7 +9,8 @@ use lightsecagg::field::Fp61;
 use lightsecagg::fl::{
     mean_aggregate, run_fedavg, Dataset, FedAvgConfig, LogisticRegression, Model,
 };
-use lightsecagg::protocol::{run_sync_round, DropoutSchedule, LsaConfig};
+use lightsecagg::protocol::transport::MemTransport;
+use lightsecagg::protocol::{run_sync_round_over, DropoutSchedule, LsaConfig};
 use lightsecagg::quantize::VectorQuantizer;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -41,6 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let d = secure_model.num_params();
     let lsa_cfg = LsaConfig::new(n_clients, 4, 7, d)?;
     let mut agg_rng = StdRng::seed_from_u64(7);
+    let mut wire_bytes = 0usize;
     let secure = run_fedavg(
         &mut secure_model,
         &shards,
@@ -55,14 +57,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     quantizer.quantize(&reals, &mut agg_rng)
                 })
                 .collect();
-            // run the actual protocol (worst-case: 3 users drop after upload)
-            let out = run_sync_round(
+            // run the actual protocol over the wire (worst-case: 3 users
+            // drop after upload)
+            let mut wire = MemTransport::new();
+            let out = run_sync_round_over(
                 lsa_cfg,
                 &field_models,
                 &DropoutSchedule::after_upload(vec![0, 3, 8]),
                 &mut agg_rng,
+                &mut wire,
             )
             .expect("round within dropout budget");
+            wire_bytes += wire.bytes_sent();
             // dequantize the sum and divide by the participant count
             quantizer
                 .dequantize(&out.aggregate)
@@ -82,6 +88,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         secure.last().unwrap().accuracy,
     );
     println!("\nfinal: insecure {pa:.4} vs secure {sa:.4}");
+    println!(
+        "secure aggregation wire traffic across {} rounds: {} bytes",
+        cfg.rounds, wire_bytes
+    );
     assert!(sa > 0.7, "secure training should learn (got {sa})");
     println!("OK: secure aggregation preserves training quality");
     Ok(())

@@ -70,13 +70,7 @@ fn protocols_agree_on_before_upload_dropouts() {
     let sched = DropoutSchedule::before_upload(dropped);
 
     let mut rng = StdRng::seed_from_u64(4);
-    let lsa = run_sync_round(
-        LsaConfig::new(N, 3, 6, D).unwrap(),
-        &ms,
-        &sched,
-        &mut rng,
-    )
-    .unwrap();
+    let lsa = run_sync_round(LsaConfig::new(N, 3, 6, D).unwrap(), &ms, &sched, &mut rng).unwrap();
     assert_eq!(lsa.aggregate, want);
     assert_eq!(lsa.survivors, included);
 
@@ -100,13 +94,7 @@ fn after_upload_semantics_differ_as_the_paper_argues() {
     let sched = DropoutSchedule::after_upload(vec![0, 5]);
 
     let mut rng = StdRng::seed_from_u64(6);
-    let lsa = run_sync_round(
-        LsaConfig::new(N, 3, 6, D).unwrap(),
-        &ms,
-        &sched,
-        &mut rng,
-    )
-    .unwrap();
+    let lsa = run_sync_round(LsaConfig::new(N, 3, 6, D).unwrap(), &ms, &sched, &mut rng).unwrap();
     let everyone: Vec<usize> = (0..N).collect();
     assert_eq!(lsa.aggregate, sum_of(&ms, &everyone));
 

@@ -1,9 +1,17 @@
 //! Failure injection: malformed, duplicated, misrouted and corrupted
 //! messages must yield clean errors — never a silently wrong aggregate.
+//!
+//! The second half drives the same failures through the sans-IO
+//! [`Session::handle`] interface: every misrouted, duplicate or
+//! wrong-phase *envelope* must surface as a typed [`ProtocolError`],
+//! never a panic or a silent drop.
 
 use lightsecagg::field::{Field, Fp61};
+use lightsecagg::protocol::session::{ClientSession, ServerSession, Session};
+use lightsecagg::protocol::wire::{Envelope, EnvelopeKind, SurvivorAnnouncement};
 use lightsecagg::protocol::{
-    AggregatedShare, Client, DropoutSchedule, LsaConfig, MaskedModel, ProtocolError, ServerRound,
+    AggregatedShare, Client, CodedMaskShare, DropoutSchedule, LsaConfig, MaskedModel,
+    ProtocolError, ServerRound,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -144,6 +152,175 @@ fn weighted_models_recover_weighted_sum() {
     assert_eq!(agg, vec![Fp61::from_u64(total); 8]);
 }
 
+// ---------------------------------------------------------------------
+// Session-level failure injection: every malformed envelope through
+// `handle()` yields a typed error.
+// ---------------------------------------------------------------------
+
+fn built_sessions(seed: u64) -> (Vec<ClientSession<Fp61>>, ServerSession<Fp61>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut clients: Vec<ClientSession<Fp61>> = (0..5)
+        .map(|id| ClientSession::new(id, cfg(), &mut rng).unwrap())
+        .collect();
+    let mut pending = Vec::new();
+    for c in clients.iter_mut() {
+        while let Some(out) = c.poll_output() {
+            pending.push(out);
+        }
+    }
+    for (to, env) in pending {
+        let lightsecagg::protocol::Recipient::Client(j) = to else {
+            panic!("offline shares go to clients")
+        };
+        clients[j].handle(env).unwrap();
+    }
+    (clients, ServerSession::new(cfg()).unwrap())
+}
+
+#[test]
+fn misrouted_envelope_yields_typed_error() {
+    let (mut clients, _server) = built_sessions(10);
+    // a share addressed to user 2, delivered to user 1's session
+    let share = Envelope::CodedMaskShare(CodedMaskShare {
+        from: 0,
+        to: 2,
+        payload: vec![Fp61::ZERO; cfg().segment_len()],
+    });
+    assert!(matches!(
+        clients[1].handle(share),
+        Err(ProtocolError::MisroutedShare {
+            expected: 1,
+            got: 2
+        })
+    ));
+}
+
+#[test]
+fn duplicate_envelope_yields_typed_error() {
+    let (mut clients, mut server) = built_sessions(11);
+    // duplicate coded share: user 1 already holds user 0's share
+    let dup = Envelope::CodedMaskShare(CodedMaskShare {
+        from: 0,
+        to: 1,
+        payload: vec![Fp61::ZERO; cfg().segment_len()],
+    });
+    assert!(matches!(
+        clients[1].handle(dup),
+        Err(ProtocolError::DuplicateMessage(0))
+    ));
+    // duplicate masked model at the server
+    clients[0].upload_model(&[Fp61::ZERO; 8]).unwrap();
+    let (_, upload) = clients[0].poll_output().unwrap();
+    server.handle(upload.clone()).unwrap();
+    assert!(matches!(
+        server.handle(upload),
+        Err(ProtocolError::DuplicateMessage(0))
+    ));
+}
+
+#[test]
+fn wrong_phase_envelope_yields_typed_error() {
+    let (clients, mut server) = built_sessions(12);
+    // an aggregated share before the upload phase closed
+    let early = Envelope::AggregatedShare(AggregatedShare {
+        from: 0,
+        payload: vec![Fp61::ZERO; cfg().segment_len()],
+    });
+    assert!(matches!(
+        server.handle(early),
+        Err(ProtocolError::WrongPhase)
+    ));
+    drop(clients);
+}
+
+#[test]
+fn wrong_endpoint_envelope_yields_typed_error() {
+    let (mut clients, mut server) = built_sessions(13);
+    // a survivor announcement delivered to the *server* is nonsense
+    let ann = Envelope::SurvivorAnnouncement(SurvivorAnnouncement {
+        survivors: vec![0, 1, 2],
+    });
+    assert!(matches!(
+        server.handle(ann),
+        Err(ProtocolError::UnexpectedEnvelope {
+            kind: EnvelopeKind::SurvivorAnnouncement
+        })
+    ));
+    // a masked model delivered to a *client* likewise
+    let model = Envelope::MaskedModel(MaskedModel {
+        from: 2,
+        payload: vec![Fp61::ZERO; cfg().padded_len()],
+    });
+    assert!(matches!(
+        clients[0].handle(model),
+        Err(ProtocolError::UnexpectedEnvelope {
+            kind: EnvelopeKind::MaskedModel
+        })
+    ));
+}
+
+#[test]
+fn corrupted_wire_bytes_yield_typed_error() {
+    // a truncated envelope surfaces as ProtocolError::Wire through the
+    // transport, never a panic
+    use lightsecagg::protocol::wire::WireError;
+    let env: Envelope<Fp61> = Envelope::MaskedModel(MaskedModel {
+        from: 0,
+        payload: vec![Fp61::ONE; cfg().padded_len()],
+    });
+    let bytes = env.to_bytes();
+    let err = Envelope::<Fp61>::from_bytes(&bytes[..bytes.len() - 3]).unwrap_err();
+    assert!(matches!(err, WireError::Truncated { .. }));
+    let wrapped: ProtocolError = err.into();
+    assert!(matches!(wrapped, ProtocolError::Wire(_)));
+}
+
+#[test]
+fn unknown_user_envelope_yields_typed_error() {
+    let (_, mut server) = built_sessions(14);
+    let ghost = Envelope::MaskedModel(MaskedModel {
+        from: 99,
+        payload: vec![Fp61::ZERO; cfg().padded_len()],
+    });
+    assert!(matches!(
+        server.handle(ghost),
+        Err(ProtocolError::UnknownUser(99))
+    ));
+}
+
+#[test]
+fn failed_handle_leaves_session_usable() {
+    // after rejecting garbage, the round still completes exactly
+    let (mut clients, mut server) = built_sessions(15);
+    let garbage = Envelope::AggregatedShare(AggregatedShare {
+        from: 0,
+        payload: vec![Fp61::ZERO; 1],
+    });
+    assert!(server.handle(garbage).is_err());
+
+    for (i, c) in clients.iter_mut().enumerate() {
+        c.upload_model(&[Fp61::from_u64(i as u64); 8]).unwrap();
+        while let Some((_, env)) = c.poll_output() {
+            server.handle(env).unwrap();
+        }
+    }
+    server.close_upload().unwrap();
+    let mut anns = Vec::new();
+    while let Some(out) = server.poll_output() {
+        anns.push(out);
+    }
+    for (to, env) in anns {
+        let lightsecagg::protocol::Recipient::Client(j) = to else {
+            panic!()
+        };
+        for (_, reply) in clients[j].handle(env).unwrap() {
+            server.handle(reply).unwrap();
+        }
+    }
+    let want: Fp61 = (0..5).map(Fp61::from_u64).sum();
+    assert_eq!(server.aggregate().unwrap(), vec![want; 8]);
+}
+
 #[test]
 fn aggregate_differs_from_any_individual_model() {
     // sanity: the server output is the sum, not any single model leak
@@ -151,13 +328,9 @@ fn aggregate_differs_from_any_individual_model() {
     let models: Vec<Vec<Fp61>> = (0..5)
         .map(|_| lsa_field::ops::random_vector(8, &mut rng))
         .collect();
-    let out = lightsecagg::protocol::run_sync_round(
-        cfg(),
-        &models,
-        &DropoutSchedule::none(),
-        &mut rng,
-    )
-    .unwrap();
+    let out =
+        lightsecagg::protocol::run_sync_round(cfg(), &models, &DropoutSchedule::none(), &mut rng)
+            .unwrap();
     for m in &models {
         assert_ne!(&out.aggregate, m);
     }
