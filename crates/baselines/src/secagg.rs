@@ -318,6 +318,7 @@ impl<F: Field> SecAggClient<F> {
         }
         Ok(MaskedModel {
             from: self.id,
+            round: self.round,
             payload,
         })
     }

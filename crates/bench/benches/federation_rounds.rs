@@ -1,0 +1,122 @@
+//! Amortized per-round cost of the multi-round `Federation` API.
+//!
+//! Two measurements at N = 64:
+//!
+//! * `total_per_round/R` — R federated rounds end to end (fresh
+//!   federation each iteration, overlap enabled). Per-round work is
+//!   inherently flat here: privacy demands fresh masks every round, so
+//!   *total* CPU cannot amortize.
+//! * `critical_path_per_round/R` — the paper's §4.1 claim: the offline
+//!   mask exchange for round `t+1` is untimed because a deployment
+//!   overlaps it with round `t+1`'s local training. Round 0 pays the
+//!   cold offline exchange; rounds 1..R ride on pre-shared masks, so
+//!   the amortized per-round critical path **drops as R grows** —
+//!   the overlap pays off after round 1.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lsa_field::Fp61;
+use lsa_protocol::federation::{Federation, RoundPlan, SyncFederation};
+use lsa_protocol::transport::MemTransport;
+use lsa_protocol::LsaConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+
+const N: usize = 64;
+const D: usize = 256;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(150))
+        .measurement_time(Duration::from_millis(600))
+}
+
+fn setup() -> (LsaConfig, Vec<Vec<Fp61>>, Vec<usize>) {
+    let t = N / 2;
+    let u = (7 * N) / 10;
+    let cfg = LsaConfig::new(N, t, u, D).expect("valid config");
+    let mut rng = StdRng::seed_from_u64(1);
+    let updates: Vec<Vec<Fp61>> = (0..N)
+        .map(|_| lsa_field::ops::random_vector(D, &mut rng))
+        .collect();
+    (cfg, updates, (0..N).collect())
+}
+
+fn bench_total(c: &mut Criterion) {
+    let (cfg, updates, cohort) = setup();
+    let mut group = c.benchmark_group("federation_rounds");
+    for rounds in [1usize, 5, 20] {
+        group.throughput(Throughput::Elements(rounds as u64));
+        group.bench_with_input(
+            BenchmarkId::new("total_per_round", rounds),
+            &rounds,
+            |b, &rounds| {
+                b.iter(|| {
+                    let sync =
+                        SyncFederation::new(cfg, MemTransport::new(), 2).expect("valid federation");
+                    let mut fed: Federation<Fp61> = Federation::new(Box::new(sync));
+                    let mut last = 0usize;
+                    for r in 0..rounds {
+                        let mut plan = RoundPlan::new(cohort.clone()).with_updates(updates.clone());
+                        if r + 1 < rounds {
+                            plan = plan.with_prepare_next(cohort.clone());
+                        }
+                        let out = fed.run_round(black_box(&plan)).expect("round completes");
+                        last = out.aggregate.len();
+                    }
+                    black_box(last)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_critical_path(c: &mut Criterion) {
+    let (cfg, updates, cohort) = setup();
+    let mut group = c.benchmark_group("federation_rounds");
+    for rounds in [1usize, 5, 20] {
+        group.throughput(Throughput::Elements(rounds as u64));
+        group.bench_with_input(
+            BenchmarkId::new("critical_path_per_round", rounds),
+            &rounds,
+            |b, &rounds| {
+                b.iter_custom(|iters| {
+                    let mut timed = Duration::ZERO;
+                    for _ in 0..iters {
+                        let sync = SyncFederation::new(cfg, MemTransport::new(), 2)
+                            .expect("valid federation");
+                        let mut fed: Federation<Fp61> = Federation::new(Box::new(sync));
+                        for r in 0..rounds {
+                            let plan = RoundPlan::new(cohort.clone()).with_updates(updates.clone());
+                            // the online path: open (cold only in round
+                            // 0), upload, announce, recover
+                            let start = Instant::now();
+                            let out = fed.run_round(black_box(&plan)).expect("round completes");
+                            timed += start.elapsed();
+                            black_box(out.aggregate.len());
+                            // §4.1 overlap: the next round's offline
+                            // exchange happens during local training, so
+                            // it is off the critical path — untimed here
+                            if r + 1 < rounds {
+                                fed.aggregator_mut()
+                                    .prepare_next(&cohort)
+                                    .expect("prepare next round");
+                            }
+                        }
+                    }
+                    timed
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_total, bench_critical_path
+}
+criterion_main!(benches);

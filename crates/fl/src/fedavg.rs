@@ -17,6 +17,8 @@ pub struct RoundMetrics {
     pub round: usize,
     /// Test accuracy after the round's global update.
     pub accuracy: f64,
+    /// Mean test cross-entropy loss after the round's global update.
+    pub loss: f64,
 }
 
 /// Configuration for a synchronous FedAvg run.
@@ -76,6 +78,7 @@ where
         metrics.push(RoundMetrics {
             round,
             accuracy: model.accuracy(test),
+            loss: model.loss(test),
         });
     }
     metrics

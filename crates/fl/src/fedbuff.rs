@@ -160,6 +160,7 @@ where
         metrics.push(RoundMetrics {
             round,
             accuracy: model.accuracy(test),
+            loss: model.loss(test),
         });
     }
     metrics

@@ -32,6 +32,20 @@ pub trait Model: Clone + Send {
     /// Predicted class for one feature vector.
     fn predict(&self, x: &[f32]) -> usize;
 
+    /// Mean cross-entropy loss over a full dataset — the convergence
+    /// metric secure-vs-plaintext training comparisons pin.
+    ///
+    /// The default delegates to [`Model::loss_grad`] and discards the
+    /// gradient; implementations should override with a forward-only
+    /// pass (both in-crate models do).
+    fn loss(&self, data: &Dataset) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let batch: Vec<usize> = (0..data.len()).collect();
+        self.loss_grad(data, &batch).0
+    }
+
     /// Accuracy on a dataset.
     fn accuracy(&self, data: &Dataset) -> f64 {
         if data.is_empty() {
@@ -155,6 +169,22 @@ impl Model for LogisticRegression {
             .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(c, _)| c)
             .expect("at least one class")
+    }
+
+    fn loss(&self, data: &Dataset) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let scale = 1.0 / data.len() as f64;
+        data.xs
+            .iter()
+            .zip(&data.ys)
+            .map(|(x, &y)| {
+                let mut p = self.logits(x);
+                softmax(&mut p);
+                -p[y].max(1e-12).ln() * scale
+            })
+            .sum()
     }
 }
 
@@ -295,6 +325,22 @@ impl Model for Mlp {
             .map(|(c, _)| c)
             .expect("at least one class")
     }
+
+    fn loss(&self, data: &Dataset) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let scale = 1.0 / data.len() as f64;
+        data.xs
+            .iter()
+            .zip(&data.ys)
+            .map(|(x, &y)| {
+                let (_, mut p) = self.forward(x);
+                softmax(&mut p);
+                -p[y].max(1e-12).ln() * scale
+            })
+            .sum()
+    }
 }
 
 #[cfg(test)]
@@ -407,6 +453,21 @@ mod tests {
             "acc {}",
             model.accuracy(&data)
         );
+    }
+
+    #[test]
+    fn forward_only_loss_matches_loss_grad() {
+        let data = toy_data(5);
+        let batch: Vec<usize> = (0..data.len()).collect();
+        let mut lr = LogisticRegression::new(6, 3);
+        let mut p = lr.params();
+        for (i, v) in p.iter_mut().enumerate() {
+            *v = ((i % 5) as f32 - 2.0) * 0.1;
+        }
+        lr.set_params(&p);
+        assert!((lr.loss(&data) - lr.loss_grad(&data, &batch).0).abs() < 1e-9);
+        let mlp = Mlp::new(6, 5, 3);
+        assert!((mlp.loss(&data) - mlp.loss_grad(&data, &batch).0).abs() < 1e-9);
     }
 
     #[test]

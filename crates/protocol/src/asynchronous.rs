@@ -212,8 +212,11 @@ impl<F: Field> AsyncClient<F> {
         })
     }
 
-    /// Serve the server's aggregation request: compute
-    /// `Σ_entries weight · [~z_who^{(round)}]_id` (Appendix F.3.3).
+    /// Serve the server's aggregation request for the flush announced at
+    /// `announced_round`: compute
+    /// `Σ_entries weight · [~z_who^{(round)}]_id` (Appendix F.3.3). The
+    /// response is stamped with `announced_round` so the server can
+    /// reject answers to an earlier flush.
     ///
     /// # Errors
     ///
@@ -221,6 +224,7 @@ impl<F: Field> AsyncClient<F> {
     /// never received.
     pub fn aggregated_share_for(
         &self,
+        announced_round: u64,
         entries: &[BufferEntry],
     ) -> Result<AggregatedShare<F>, ProtocolError> {
         let mut acc = vec![F::ZERO; self.cfg.segment_len()];
@@ -233,6 +237,7 @@ impl<F: Field> AsyncClient<F> {
         }
         Ok(AggregatedShare {
             from: self.id,
+            round: announced_round,
             payload: acc,
         })
     }
@@ -281,7 +286,8 @@ pub struct AsyncServer<F> {
     buffer_size: usize,
     buffer: Vec<(BufferEntry, Vec<F>)>,
     shares: Vec<(usize, Vec<F>)>,
-    announced: Option<Vec<BufferEntry>>,
+    /// `(flush round, entries)` once announced.
+    announced: Option<(u64, Vec<BufferEntry>)>,
 }
 
 impl<F: Field> AsyncServer<F> {
@@ -372,17 +378,18 @@ impl<F: Field> AsyncServer<F> {
         self.buffer.len()
     }
 
-    /// Fix and announce the buffer contents (entries with weights) so
-    /// users can compute weighted aggregated shares.
+    /// Fix and announce the buffer contents (entries with weights) at
+    /// flush round `round`, so users can compute weighted aggregated
+    /// shares.
     ///
     /// # Errors
     ///
     /// Returns [`ProtocolError::WrongPhase`] until the buffer is full.
-    pub fn announce(&mut self) -> Result<Vec<BufferEntry>, ProtocolError> {
+    pub fn announce(&mut self, round: u64) -> Result<Vec<BufferEntry>, ProtocolError> {
         if !self.buffer_full() {
             return Err(ProtocolError::WrongPhase);
         }
-        self.announce_partial()
+        self.announce_partial(round)
     }
 
     /// Announce whatever the buffer currently holds, even if not full.
@@ -396,12 +403,12 @@ impl<F: Field> AsyncServer<F> {
     ///
     /// Returns [`ProtocolError::WrongPhase`] if the buffer is empty or a
     /// round is already announced.
-    pub fn announce_partial(&mut self) -> Result<Vec<BufferEntry>, ProtocolError> {
+    pub fn announce_partial(&mut self, round: u64) -> Result<Vec<BufferEntry>, ProtocolError> {
         if self.buffer.is_empty() || self.announced.is_some() {
             return Err(ProtocolError::WrongPhase);
         }
         let entries: Vec<BufferEntry> = self.buffer.iter().map(|(e, _)| *e).collect();
-        self.announced = Some(entries.clone());
+        self.announced = Some((round, entries.clone()));
         Ok(entries)
     }
 
@@ -410,13 +417,21 @@ impl<F: Field> AsyncServer<F> {
     ///
     /// # Errors
     ///
-    /// Mirrors [`crate::ServerRound::receive_aggregated_share`].
+    /// Mirrors [`crate::ServerRound::receive_aggregated_share`]; a share
+    /// answering a different flush round is rejected with
+    /// [`ProtocolError::StaleRound`].
     pub fn receive_aggregated_share(
         &mut self,
         msg: AggregatedShare<F>,
     ) -> Result<bool, ProtocolError> {
-        if self.announced.is_none() {
+        let Some((round, _)) = &self.announced else {
             return Err(ProtocolError::WrongPhase);
+        };
+        if msg.round != *round {
+            return Err(ProtocolError::StaleRound {
+                got: msg.round,
+                current: *round,
+            });
         }
         if msg.from >= self.cfg.n() {
             return Err(ProtocolError::UnknownUser(msg.from));
@@ -443,7 +458,7 @@ impl<F: Field> AsyncServer<F> {
     ///
     /// Returns [`ProtocolError::WrongPhase`] before `U` shares arrive.
     pub fn recover(&mut self) -> Result<WeightedAggregate<F>, ProtocolError> {
-        let Some(entries) = self.announced.clone() else {
+        let Some((_, entries)) = self.announced.clone() else {
             return Err(ProtocolError::WrongPhase);
         };
         if self.shares.len() < self.cfg.u() {
@@ -594,7 +609,7 @@ mod tests {
     fn buffer_fills_and_announces() {
         let mut rng = StdRng::seed_from_u64(2);
         let mut server = AsyncServer::<Fp61>::new(cfg(), 2, staleness()).unwrap();
-        assert!(matches!(server.announce(), Err(ProtocolError::WrongPhase)));
+        assert!(matches!(server.announce(1), Err(ProtocolError::WrongPhase)));
         for (id, round) in [(0usize, 0u64), (1, 1)] {
             let full = server
                 .receive_update(
@@ -609,7 +624,7 @@ mod tests {
                 .unwrap();
             assert_eq!(full, id == 1);
         }
-        let entries = server.announce().unwrap();
+        let entries = server.announce(1).unwrap();
         assert_eq!(entries.len(), 2);
         // constant staleness with c_g = 1 gives weight 1
         assert!(entries.iter().all(|e| e.weight == 1));
@@ -651,12 +666,12 @@ mod tests {
         let masked = clients[0].mask_update(0, &update).unwrap();
         server.receive_update(masked, 0, &mut rng).unwrap();
         // only 1 of 3 buffered; flush early
-        assert!(matches!(server.announce(), Err(ProtocolError::WrongPhase)));
-        let entries = server.announce_partial().unwrap();
+        assert!(matches!(server.announce(0), Err(ProtocolError::WrongPhase)));
+        let entries = server.announce_partial(0).unwrap();
         assert_eq!(entries.len(), 1);
         for client in clients.iter().take(3) {
             server
-                .receive_aggregated_share(client.aggregated_share_for(&entries).unwrap())
+                .receive_aggregated_share(client.aggregated_share_for(0, &entries).unwrap())
                 .unwrap();
         }
         let agg = server.recover().unwrap();
@@ -667,7 +682,7 @@ mod tests {
     fn empty_partial_flush_rejected() {
         let mut server = AsyncServer::<Fp61>::new(cfg(), 3, staleness()).unwrap();
         assert!(matches!(
-            server.announce_partial(),
+            server.announce_partial(0),
             Err(ProtocolError::WrongPhase)
         ));
     }

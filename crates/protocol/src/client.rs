@@ -37,6 +37,7 @@ use std::collections::BTreeMap;
 pub struct Client<F> {
     id: usize,
     cfg: LsaConfig,
+    round: u64,
     code: VandermondeCode<F>,
     /// The local random mask `z_i`, padded length.
     mask: Vec<F>,
@@ -47,14 +48,31 @@ pub struct Client<F> {
 }
 
 impl<F: Field> Client<F> {
-    /// Create the client for user `id`, running the offline mask
-    /// generation and encoding.
+    /// Create the client for user `id` at round 0 (single-round use).
     ///
     /// # Errors
     ///
     /// Returns [`ProtocolError::InvalidConfig`] if `id >= cfg.n()`.
     pub fn new<R: Rng + ?Sized>(
         id: usize,
+        cfg: LsaConfig,
+        rng: &mut R,
+    ) -> Result<Self, ProtocolError> {
+        Self::for_round(id, 0, cfg, rng)
+    }
+
+    /// Create the client for user `id` serving federation round `round`,
+    /// running the offline mask generation and encoding. Every message
+    /// the client emits is stamped with `round`; every message it accepts
+    /// must carry it, or it is rejected as
+    /// [`ProtocolError::StaleRound`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::InvalidConfig`] if `id >= cfg.n()`.
+    pub fn for_round<R: Rng + ?Sized>(
+        id: usize,
+        round: u64,
         cfg: LsaConfig,
         rng: &mut R,
     ) -> Result<Self, ProtocolError> {
@@ -85,6 +103,7 @@ impl<F: Field> Client<F> {
         Ok(Self {
             id,
             cfg,
+            round,
             code,
             mask,
             coded_for,
@@ -95,6 +114,11 @@ impl<F: Field> Client<F> {
     /// This client's user index.
     pub fn id(&self) -> usize {
         self.id
+    }
+
+    /// The federation round this client is serving.
+    pub fn round(&self) -> u64 {
+        self.round
     }
 
     /// The protocol configuration.
@@ -110,6 +134,7 @@ impl<F: Field> Client<F> {
             .map(|j| CodedMaskShare {
                 from: self.id,
                 to: j,
+                round: self.round,
                 payload: self.coded_for[j].clone(),
             })
             .collect()
@@ -120,12 +145,21 @@ impl<F: Field> Client<F> {
     ///
     /// # Errors
     ///
+    /// * [`ProtocolError::StaleRound`] if the share belongs to another
+    ///   round (checked *before* the duplicate check, so a cross-round
+    ///   replay is never misreported as a duplicate);
     /// * [`ProtocolError::MisroutedShare`] if the share is not addressed
     ///   to this client;
     /// * [`ProtocolError::UnknownUser`] for an out-of-range sender;
     /// * [`ProtocolError::DuplicateMessage`] if the sender already shared;
     /// * [`ProtocolError::Coding`] for a wrong payload length.
     pub fn receive_share(&mut self, share: CodedMaskShare<F>) -> Result<(), ProtocolError> {
+        if share.round != self.round {
+            return Err(ProtocolError::StaleRound {
+                got: share.round,
+                current: self.round,
+            });
+        }
         if share.to != self.id {
             return Err(ProtocolError::MisroutedShare {
                 expected: self.id,
@@ -176,6 +210,7 @@ impl<F: Field> Client<F> {
         lsa_field::ops::add_assign(&mut payload, &self.mask);
         Ok(MaskedModel {
             from: self.id,
+            round: self.round,
             payload,
         })
     }
@@ -219,6 +254,7 @@ impl<F: Field> Client<F> {
         }
         Ok(AggregatedShare {
             from: self.id,
+            round: self.round,
             payload: acc,
         })
     }

@@ -7,10 +7,20 @@
 //! independent of how many users dropped. This replaces the per-dropped-
 //! user seed reconstruction that bottlenecks SecAgg/SecAgg+.
 //!
-//! The crate is organised as a **sans-IO protocol engine**:
+//! The crate is organised as a **sans-IO protocol engine** under a
+//! **multi-round federation layer**:
 //!
+//! * [`federation`] — the persistent multi-round API:
+//!   [`federation::SecureAggregator`] (one object-safe trait over the
+//!   sync and buffered-async variants),
+//!   [`federation::FederationClient`] /
+//!   [`federation::FederationServer`] (round lifecycle with cohort
+//!   churn), and [`federation::Federation`] (the driver loop with
+//!   §4.1's overlapped next-round mask sharing);
 //! * [`wire`] — [`wire::Envelope`], the single serializable message type
 //!   unifying every protocol message, with a canonical byte encoding;
+//!   every envelope is **round-scoped** and cross-round replays are
+//!   rejected with [`ProtocolError::StaleRound`];
 //! * [`session`] — [`session::ClientSession`] /
 //!   [`session::ServerSession`] (and the async variants): pure
 //!   event-driven state machines with a uniform
@@ -94,6 +104,7 @@
 pub mod asynchronous;
 mod client;
 mod config;
+pub mod federation;
 mod messages;
 mod server;
 pub mod session;
@@ -102,6 +113,10 @@ pub mod wire;
 
 pub use client::Client;
 pub use config::LsaConfig;
+pub use federation::{
+    BufferedFederation, Federation, FederationClient, FederationServer, RoundOutcome, RoundPlan,
+    SecureAggregator, SyncFederation,
+};
 pub use messages::{wire_bytes, AggregatedShare, CodedMaskShare, MaskedModel};
 pub use server::{ServerPhase, ServerRound};
 pub use session::{ClientSession, Recipient, ServerSession, Session};
@@ -150,6 +165,16 @@ pub enum ProtocolError {
         /// The server's current round.
         now: u64,
     },
+    /// An envelope stamped with a different round than the endpoint is
+    /// serving — a cross-round replay or a message that outlived its
+    /// round. Distinct from [`ProtocolError::DuplicateMessage`]: a
+    /// duplicate repeats a message *within* the current round.
+    StaleRound {
+        /// The round id the envelope carries.
+        got: u64,
+        /// The round the endpoint is serving.
+        current: u64,
+    },
     /// An envelope kind this endpoint never accepts (e.g. a masked model
     /// delivered to a client) — the session analogue of a wrong-phase or
     /// misaddressed message.
@@ -183,6 +208,12 @@ impl fmt::Display for ProtocolError {
             }
             ProtocolError::StaleUpdate { round, now } => {
                 write!(f, "update claims future round {round} (now {now})")
+            }
+            ProtocolError::StaleRound { got, current } => {
+                write!(
+                    f,
+                    "envelope stamped for round {got} but the endpoint serves round {current}"
+                )
             }
             ProtocolError::UnexpectedEnvelope { kind } => {
                 write!(f, "endpoint cannot accept a {kind} envelope")

@@ -2,7 +2,12 @@
 //!
 //! Message payloads are field-element vectors; the byte size of each
 //! message (used by the network simulator) is `payload.len() × bytes per
-//! element`.
+//! element` plus a fixed header. Every message carries the **round id**
+//! it belongs to: a multi-round federation interleaves traffic from
+//! adjacent rounds (offline mask sharing for round `t+1` overlaps round
+//! `t`, §4.1), so sessions must be able to route — and *reject* — by
+//! round. A replayed envelope from an earlier round surfaces as
+//! [`crate::ProtocolError::StaleRound`], never as a silent duplicate.
 
 use lsa_field::Field;
 
@@ -14,6 +19,8 @@ pub struct CodedMaskShare<F> {
     pub from: usize,
     /// Recipient index.
     pub to: usize,
+    /// Round the mask was generated for.
+    pub round: u64,
     /// The coded segment, length `⌈d/(U−T)⌉`.
     pub payload: Vec<F>,
 }
@@ -24,6 +31,8 @@ pub struct CodedMaskShare<F> {
 pub struct MaskedModel<F> {
     /// Uploading user index.
     pub from: usize,
+    /// Round the upload belongs to.
+    pub round: u64,
     /// Masked model of padded length.
     pub payload: Vec<F>,
 }
@@ -34,6 +43,8 @@ pub struct MaskedModel<F> {
 pub struct AggregatedShare<F> {
     /// Uploading user index.
     pub from: usize,
+    /// Round (sync) or buffer-flush round (async) being recovered.
+    pub round: u64,
     /// Aggregated coded segment, length `⌈d/(U−T)⌉`.
     pub payload: Vec<F>,
 }

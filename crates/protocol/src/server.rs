@@ -5,7 +5,7 @@ use crate::messages::{AggregatedShare, MaskedModel};
 use crate::ProtocolError;
 use lsa_coding::{vandermonde, VandermondeCode};
 use lsa_field::Field;
-use std::collections::BTreeMap;
+use std::collections::BTreeSet;
 
 /// Phase of the server round state machine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -24,32 +24,54 @@ pub enum ServerPhase {
 /// models and aggregated coded masks, and reconstructs the *aggregate*
 /// mask in one shot (the paper's key idea).
 ///
+/// Masked models are folded into a **running sum** the moment they
+/// arrive — the server only ever needs `Σ ~x_i`, so memory is `O(d)`
+/// regardless of how many of the `N` users upload (it used to buffer
+/// every masked model, `O(N·d)`).
+///
 /// # Example
 ///
 /// See [`crate::run_sync_round`] for a full driver.
 #[derive(Debug, Clone)]
 pub struct ServerRound<F> {
     cfg: LsaConfig,
+    round: u64,
     code: VandermondeCode<F>,
     phase: ServerPhase,
-    masked: BTreeMap<usize, Vec<F>>,
+    /// Running `Σ ~x_i` over everything uploaded so far (padded length).
+    sum_masked: Vec<F>,
+    /// Who has uploaded (the survivor set once the phase closes).
+    uploaders: BTreeSet<usize>,
     survivors: Vec<usize>,
     shares: Vec<(usize, Vec<F>)>,
 }
 
 impl<F: Field> ServerRound<F> {
-    /// Start a round.
+    /// Start round 0 (single-round use).
     ///
     /// # Errors
     ///
     /// Propagates invalid configuration as [`ProtocolError::Coding`].
     pub fn new(cfg: LsaConfig) -> Result<Self, ProtocolError> {
+        Self::for_round(cfg, 0)
+    }
+
+    /// Start the server side of federation round `round`. Uploads and
+    /// aggregated shares stamped with any other round are rejected with
+    /// [`ProtocolError::StaleRound`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates invalid configuration as [`ProtocolError::Coding`].
+    pub fn for_round(cfg: LsaConfig, round: u64) -> Result<Self, ProtocolError> {
         let code = VandermondeCode::new(cfg.n(), cfg.u())?;
         Ok(Self {
             cfg,
+            round,
             code,
             phase: ServerPhase::CollectingMaskedModels,
-            masked: BTreeMap::new(),
+            sum_masked: vec![F::ZERO; cfg.padded_len()],
+            uploaders: BTreeSet::new(),
             survivors: Vec::new(),
             shares: Vec::new(),
         })
@@ -60,16 +82,30 @@ impl<F: Field> ServerRound<F> {
         self.phase
     }
 
-    /// Accept a masked model upload.
+    /// The federation round this server round is serving.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Accept a masked model upload, folding it into the running sum.
     ///
     /// # Errors
     ///
     /// * [`ProtocolError::WrongPhase`] outside the upload phase;
+    /// * [`ProtocolError::StaleRound`] for an upload stamped with another
+    ///   round (checked before the duplicate check — a replay from round
+    ///   `t−1` is *stale*, not a duplicate);
     /// * [`ProtocolError::UnknownUser`] / [`ProtocolError::DuplicateMessage`];
     /// * [`ProtocolError::Coding`] on payload length mismatch.
     pub fn receive_masked_model(&mut self, msg: MaskedModel<F>) -> Result<(), ProtocolError> {
         if self.phase != ServerPhase::CollectingMaskedModels {
             return Err(ProtocolError::WrongPhase);
+        }
+        if msg.round != self.round {
+            return Err(ProtocolError::StaleRound {
+                got: msg.round,
+                current: self.round,
+            });
         }
         if msg.from >= self.cfg.n() {
             return Err(ProtocolError::UnknownUser(msg.from));
@@ -82,10 +118,10 @@ impl<F: Field> ServerRound<F> {
                 },
             ));
         }
-        if self.masked.contains_key(&msg.from) {
+        if !self.uploaders.insert(msg.from) {
             return Err(ProtocolError::DuplicateMessage(msg.from));
         }
-        self.masked.insert(msg.from, msg.payload);
+        lsa_field::ops::add_assign(&mut self.sum_masked, &msg.payload);
         Ok(())
     }
 
@@ -101,13 +137,13 @@ impl<F: Field> ServerRound<F> {
         if self.phase != ServerPhase::CollectingMaskedModels {
             return Err(ProtocolError::WrongPhase);
         }
-        if self.masked.len() < self.cfg.u() {
+        if self.uploaders.len() < self.cfg.u() {
             return Err(ProtocolError::NotEnoughSurvivors {
-                got: self.masked.len(),
+                got: self.uploaders.len(),
                 need: self.cfg.u(),
             });
         }
-        self.survivors = self.masked.keys().copied().collect();
+        self.survivors = self.uploaders.iter().copied().collect();
         self.phase = ServerPhase::CollectingAggregatedShares;
         Ok(&self.survivors)
     }
@@ -126,6 +162,7 @@ impl<F: Field> ServerRound<F> {
     /// # Errors
     ///
     /// * [`ProtocolError::WrongPhase`] before the upload phase closes;
+    /// * [`ProtocolError::StaleRound`] for a share from another round;
     /// * [`ProtocolError::UnknownUser`] if the sender is not a survivor;
     /// * [`ProtocolError::DuplicateMessage`] / [`ProtocolError::Coding`].
     pub fn receive_aggregated_share(
@@ -134,6 +171,12 @@ impl<F: Field> ServerRound<F> {
     ) -> Result<bool, ProtocolError> {
         if self.phase == ServerPhase::CollectingMaskedModels {
             return Err(ProtocolError::WrongPhase);
+        }
+        if msg.round != self.round {
+            return Err(ProtocolError::StaleRound {
+                got: msg.round,
+                current: self.round,
+            });
         }
         if !self.survivors.contains(&msg.from) {
             return Err(ProtocolError::UnknownUser(msg.from));
@@ -168,10 +211,9 @@ impl<F: Field> ServerRound<F> {
         if self.phase != ServerPhase::ReadyToRecover {
             return Err(ProtocolError::WrongPhase);
         }
-        // Σ ~x_i over survivors.
-        let mut sum_masked =
-            lsa_field::ops::sum_vectors(self.survivors.iter().map(|i| self.masked[i].as_slice()))
-                .expect("survivor set is non-empty");
+        // Σ ~x_i over survivors: the running sum — every uploader is a
+        // survivor once the phase closes, so no per-user buffering.
+        let mut sum_masked = self.sum_masked.clone();
 
         // Decode Σ z_i: the aggregated shares are evaluations of the
         // aggregated mask polynomial at the senders' points (Eq. 6).
@@ -187,7 +229,7 @@ impl<F: Field> ServerRound<F> {
 
     /// How many masked models have been received.
     pub fn models_received(&self) -> usize {
-        self.masked.len()
+        self.uploaders.len()
     }
 
     /// How many aggregated shares have been received.
@@ -212,6 +254,7 @@ mod tests {
         // cannot accept aggregated shares yet
         let share = AggregatedShare {
             from: 0,
+            round: 0,
             payload: vec![Fp61::ZERO; cfg().segment_len()],
         };
         assert!(matches!(
@@ -231,6 +274,7 @@ mod tests {
         for id in 0..2 {
             s.receive_masked_model(MaskedModel {
                 from: id,
+                round: 0,
                 payload: vec![Fp61::ZERO; cfg().padded_len()],
             })
             .unwrap();
@@ -247,6 +291,7 @@ mod tests {
         for id in 0..3 {
             s.receive_masked_model(MaskedModel {
                 from: id,
+                round: 0,
                 payload: vec![Fp61::ZERO; cfg().padded_len()],
             })
             .unwrap();
@@ -254,6 +299,7 @@ mod tests {
         s.close_upload_phase().unwrap();
         let share = AggregatedShare {
             from: 3, // user 3 dropped before upload
+            round: 0,
             payload: vec![Fp61::ZERO; cfg().segment_len()],
         };
         assert!(matches!(
@@ -267,11 +313,40 @@ mod tests {
         let mut s = ServerRound::<Fp61>::new(cfg()).unwrap();
         let m = MaskedModel {
             from: 0,
+            round: 0,
             payload: vec![Fp61::ZERO; cfg().padded_len()],
         };
         s.receive_masked_model(m.clone()).unwrap();
         assert!(matches!(
             s.receive_masked_model(m),
+            Err(ProtocolError::DuplicateMessage(0))
+        ));
+    }
+
+    #[test]
+    fn cross_round_upload_is_stale_not_duplicate() {
+        // a round-3 server must reject a round-2 upload as StaleRound —
+        // and a same-round repeat as DuplicateMessage. The two failure
+        // modes are distinct typed errors.
+        let mut s = ServerRound::<Fp61>::for_round(cfg(), 3).unwrap();
+        assert_eq!(s.round(), 3);
+        let stale = MaskedModel {
+            from: 0,
+            round: 2,
+            payload: vec![Fp61::ZERO; cfg().padded_len()],
+        };
+        assert!(matches!(
+            s.receive_masked_model(stale),
+            Err(ProtocolError::StaleRound { got: 2, current: 3 })
+        ));
+        let current = MaskedModel {
+            from: 0,
+            round: 3,
+            payload: vec![Fp61::ZERO; cfg().padded_len()],
+        };
+        s.receive_masked_model(current.clone()).unwrap();
+        assert!(matches!(
+            s.receive_masked_model(current),
             Err(ProtocolError::DuplicateMessage(0))
         ));
     }

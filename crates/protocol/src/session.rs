@@ -123,8 +123,8 @@ pub struct ClientSession<F> {
 }
 
 impl<F: Field> ClientSession<F> {
-    /// Create the session for user `id`, sampling the local mask from
-    /// `rng` (entropy is injected here and never used again).
+    /// Create the session for user `id` at round 0, sampling the local
+    /// mask from `rng` (entropy is injected here and never used again).
     ///
     /// # Errors
     ///
@@ -134,7 +134,24 @@ impl<F: Field> ClientSession<F> {
         cfg: LsaConfig,
         rng: &mut R,
     ) -> Result<Self, ProtocolError> {
-        let inner = Client::new(id, cfg, rng)?;
+        Self::for_round(id, 0, cfg, rng)
+    }
+
+    /// Create the session for user `id` serving federation round
+    /// `round`. Every emitted envelope is stamped with `round`; every
+    /// accepted envelope must carry it, or the session rejects it as
+    /// [`ProtocolError::StaleRound`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::InvalidConfig`] if `id >= cfg.n()`.
+    pub fn for_round<R: Rng + ?Sized>(
+        id: usize,
+        round: u64,
+        cfg: LsaConfig,
+        rng: &mut R,
+    ) -> Result<Self, ProtocolError> {
+        let inner = Client::for_round(id, round, cfg, rng)?;
         let outbox = inner
             .outgoing_shares()
             .into_iter()
@@ -150,6 +167,11 @@ impl<F: Field> ClientSession<F> {
     /// This client's user index.
     pub fn id(&self) -> usize {
         self.inner.id()
+    }
+
+    /// The federation round this session is serving.
+    pub fn round(&self) -> u64 {
+        self.inner.round()
     }
 
     /// How many coded shares have been received (incl. the self share).
@@ -204,6 +226,12 @@ impl<F: Field> Session<F> for ClientSession<F> {
                 Ok(Vec::new())
             }
             Envelope::SurvivorAnnouncement(ann) => {
+                if ann.round != self.inner.round() {
+                    return Err(ProtocolError::StaleRound {
+                        got: ann.round,
+                        current: self.inner.round(),
+                    });
+                }
                 let share = self.inner.aggregated_share_for(&ann.survivors)?;
                 Ok(vec![(Recipient::Server, Envelope::AggregatedShare(share))])
             }
@@ -230,14 +258,25 @@ pub struct ServerSession<F> {
 }
 
 impl<F: Field> ServerSession<F> {
-    /// Start a round.
+    /// Start round 0 (single-round use).
     ///
     /// # Errors
     ///
     /// Propagates invalid configuration as [`ProtocolError::Coding`].
     pub fn new(cfg: LsaConfig) -> Result<Self, ProtocolError> {
+        Self::for_round(cfg, 0)
+    }
+
+    /// Start the server session for federation round `round`; envelopes
+    /// stamped with any other round are rejected as
+    /// [`ProtocolError::StaleRound`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates invalid configuration as [`ProtocolError::Coding`].
+    pub fn for_round(cfg: LsaConfig, round: u64) -> Result<Self, ProtocolError> {
         Ok(Self {
-            inner: ServerRound::new(cfg)?,
+            inner: ServerRound::for_round(cfg, round)?,
             outbox: VecDeque::new(),
             aggregate: None,
         })
@@ -246,6 +285,11 @@ impl<F: Field> ServerSession<F> {
     /// Current protocol phase.
     pub fn phase(&self) -> ServerPhase {
         self.inner.phase()
+    }
+
+    /// The federation round this session is serving.
+    pub fn round(&self) -> u64 {
+        self.inner.round()
     }
 
     /// How many masked models have been received.
@@ -271,11 +315,13 @@ impl<F: Field> ServerSession<F> {
     /// [`ProtocolError::NotEnoughSurvivors`] if fewer than `U` users
     /// uploaded, [`ProtocolError::WrongPhase`] on a second close.
     pub fn close_upload(&mut self) -> Result<&[usize], ProtocolError> {
+        let round = self.inner.round();
         let survivors = self.inner.close_upload_phase()?.to_vec();
         for &s in &survivors {
             self.outbox.push_back((
                 Recipient::Client(s),
                 Envelope::SurvivorAnnouncement(SurvivorAnnouncement {
+                    round,
                     survivors: survivors.clone(),
                 }),
             ));
@@ -424,7 +470,7 @@ impl<F: Field> Session<F> for AsyncClientSession<F> {
                 Ok(Vec::new())
             }
             Envelope::BufferAnnouncement(ann) => {
-                let share = self.inner.aggregated_share_for(&ann.entries)?;
+                let share = self.inner.aggregated_share_for(ann.round, &ann.entries)?;
                 Ok(vec![(Recipient::Server, Envelope::AggregatedShare(share))])
             }
             other => Err(ProtocolError::UnexpectedEnvelope { kind: other.kind() }),
@@ -492,13 +538,14 @@ impl<F: Field> AsyncServerSession<F> {
     }
 
     /// Local action: fix the (full) buffer and queue a
-    /// [`BufferAnnouncement`] to every user.
+    /// [`BufferAnnouncement`] (stamped with the current round) to every
+    /// user.
     ///
     /// # Errors
     ///
     /// [`ProtocolError::WrongPhase`] until the buffer is full.
     pub fn announce(&mut self) -> Result<(), ProtocolError> {
-        let entries = self.inner.announce()?;
+        let entries = self.inner.announce(self.now)?;
         self.queue_announcement(entries);
         Ok(())
     }
@@ -510,7 +557,7 @@ impl<F: Field> AsyncServerSession<F> {
     /// [`ProtocolError::WrongPhase`] if the buffer is empty or already
     /// announced.
     pub fn announce_partial(&mut self) -> Result<(), ProtocolError> {
-        let entries = self.inner.announce_partial()?;
+        let entries = self.inner.announce_partial(self.now)?;
         self.queue_announcement(entries);
         Ok(())
     }
@@ -520,6 +567,7 @@ impl<F: Field> AsyncServerSession<F> {
             self.outbox.push_back((
                 Recipient::Client(id),
                 Envelope::BufferAnnouncement(BufferAnnouncement {
+                    round: self.now,
                     entries: entries.clone(),
                 }),
             ));
@@ -602,6 +650,7 @@ mod tests {
         let mut c = ClientSession::<Fp61>::new(0, cfg(), &mut rng).unwrap();
         let masked = Envelope::MaskedModel(crate::messages::MaskedModel {
             from: 1,
+            round: 0,
             payload: vec![Fp61::ZERO; cfg().padded_len()],
         });
         assert!(matches!(
@@ -616,6 +665,7 @@ mod tests {
     fn server_rejects_client_bound_envelopes() {
         let mut s = ServerSession::<Fp61>::new(cfg()).unwrap();
         let ann = Envelope::SurvivorAnnouncement(SurvivorAnnouncement {
+            round: 0,
             survivors: vec![0, 1, 2],
         });
         assert!(matches!(

@@ -20,6 +20,12 @@
 //!          ceil(F::BITS / 8) bytes
 //! ```
 //!
+//! Every envelope kind carries a **round id** ([`Envelope::round`]): a
+//! multi-round federation interleaves traffic from adjacent rounds
+//! (offline sharing for round `t+1` overlaps round `t`, §4.1), so
+//! endpoints route by round and reject replays from past rounds with
+//! [`crate::ProtocolError::StaleRound`].
+//!
 //! Residues are validated on decode: a non-canonical value (≥ the field
 //! modulus) is rejected with [`WireError::NonCanonicalElement`] rather
 //! than silently reduced, so a corrupted byte can never masquerade as a
@@ -160,6 +166,8 @@ impl fmt::Display for EnvelopeKind {
 /// coded shares.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SurvivorAnnouncement {
+    /// The round whose upload phase just closed.
+    pub round: u64,
     /// The survivor set, ascending.
     pub survivors: Vec<usize>,
 }
@@ -169,6 +177,10 @@ pub struct SurvivorAnnouncement {
 /// shares by (Appendix F.3.3).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BufferAnnouncement {
+    /// The global round at which the buffer was fixed; clients echo it in
+    /// their [`AggregatedShare`] so late responses to an earlier flush
+    /// are rejected as stale.
+    pub round: u64,
     /// The fixed buffer contents.
     pub entries: Vec<BufferEntry>,
 }
@@ -211,17 +223,32 @@ impl<F: Field> Envelope<F> {
         }
     }
 
+    /// The round id this envelope belongs to — every message kind is
+    /// round-scoped, so endpoints can route interleaved multi-round
+    /// traffic and reject cross-round replays.
+    pub fn round(&self) -> u64 {
+        match self {
+            Envelope::CodedMaskShare(m) => m.round,
+            Envelope::MaskedModel(m) => m.round,
+            Envelope::SurvivorAnnouncement(a) => a.round,
+            Envelope::AggregatedShare(m) => m.round,
+            Envelope::TimestampedShare(m) => m.round,
+            Envelope::TimestampedUpdate(m) => m.round,
+            Envelope::BufferAnnouncement(a) => a.round,
+        }
+    }
+
     /// Exact serialized size in bytes (what a transport charges).
     pub fn wire_len(&self) -> usize {
         let eb = Self::elem_bytes();
         1 + match self {
-            Envelope::CodedMaskShare(m) => 4 + 4 + 4 + m.payload.len() * eb,
-            Envelope::MaskedModel(m) => 4 + 4 + m.payload.len() * eb,
-            Envelope::SurvivorAnnouncement(a) => 4 + a.survivors.len() * 4,
-            Envelope::AggregatedShare(m) => 4 + 4 + m.payload.len() * eb,
+            Envelope::CodedMaskShare(m) => 4 + 4 + 8 + 4 + m.payload.len() * eb,
+            Envelope::MaskedModel(m) => 4 + 8 + 4 + m.payload.len() * eb,
+            Envelope::SurvivorAnnouncement(a) => 8 + 4 + a.survivors.len() * 4,
+            Envelope::AggregatedShare(m) => 4 + 8 + 4 + m.payload.len() * eb,
             Envelope::TimestampedShare(m) => 4 + 4 + 8 + 4 + m.payload.len() * eb,
             Envelope::TimestampedUpdate(m) => 4 + 8 + 4 + m.payload.len() * eb,
-            Envelope::BufferAnnouncement(a) => 4 + a.entries.len() * (4 + 8 + 8),
+            Envelope::BufferAnnouncement(a) => 8 + 4 + a.entries.len() * (4 + 8 + 8),
         }
     }
 
@@ -233,13 +260,16 @@ impl<F: Field> Envelope<F> {
             Envelope::CodedMaskShare(m) => {
                 put_u32(&mut out, m.from as u32);
                 put_u32(&mut out, m.to as u32);
+                put_u64(&mut out, m.round);
                 put_elems(&mut out, &m.payload);
             }
             Envelope::MaskedModel(m) => {
                 put_u32(&mut out, m.from as u32);
+                put_u64(&mut out, m.round);
                 put_elems(&mut out, &m.payload);
             }
             Envelope::SurvivorAnnouncement(a) => {
+                put_u64(&mut out, a.round);
                 put_u32(&mut out, a.survivors.len() as u32);
                 for &s in &a.survivors {
                     put_u32(&mut out, s as u32);
@@ -247,6 +277,7 @@ impl<F: Field> Envelope<F> {
             }
             Envelope::AggregatedShare(m) => {
                 put_u32(&mut out, m.from as u32);
+                put_u64(&mut out, m.round);
                 put_elems(&mut out, &m.payload);
             }
             Envelope::TimestampedShare(m) => {
@@ -261,6 +292,7 @@ impl<F: Field> Envelope<F> {
                 put_elems(&mut out, &m.payload);
             }
             Envelope::BufferAnnouncement(a) => {
+                put_u64(&mut out, a.round);
                 put_u32(&mut out, a.entries.len() as u32);
                 for e in &a.entries {
                     put_u32(&mut out, e.who as u32);
@@ -286,22 +318,26 @@ impl<F: Field> Envelope<F> {
             0x01 => Envelope::CodedMaskShare(CodedMaskShare {
                 from: r.u32()? as usize,
                 to: r.u32()? as usize,
+                round: r.u64()?,
                 payload: r.elems::<F>()?,
             }),
             0x02 => Envelope::MaskedModel(MaskedModel {
                 from: r.u32()? as usize,
+                round: r.u64()?,
                 payload: r.elems::<F>()?,
             }),
             0x03 => {
+                let round = r.u64()?;
                 let len = r.len_prefix(4)?;
                 let mut survivors = Vec::with_capacity(len);
                 for _ in 0..len {
                     survivors.push(r.u32()? as usize);
                 }
-                Envelope::SurvivorAnnouncement(SurvivorAnnouncement { survivors })
+                Envelope::SurvivorAnnouncement(SurvivorAnnouncement { round, survivors })
             }
             0x04 => Envelope::AggregatedShare(AggregatedShare {
                 from: r.u32()? as usize,
+                round: r.u64()?,
                 payload: r.elems::<F>()?,
             }),
             0x05 => Envelope::TimestampedShare(TimestampedShare {
@@ -316,6 +352,7 @@ impl<F: Field> Envelope<F> {
                 payload: r.elems::<F>()?,
             }),
             0x07 => {
+                let round = r.u64()?;
                 let len = r.len_prefix(4 + 8 + 8)?;
                 let mut entries = Vec::with_capacity(len);
                 for _ in 0..len {
@@ -325,7 +362,7 @@ impl<F: Field> Envelope<F> {
                         weight: r.u64()?,
                     });
                 }
-                Envelope::BufferAnnouncement(BufferAnnouncement { entries })
+                Envelope::BufferAnnouncement(BufferAnnouncement { round, entries })
             }
             other => return Err(WireError::UnknownTag(other)),
         };
@@ -435,6 +472,7 @@ mod tests {
         Envelope::CodedMaskShare(CodedMaskShare {
             from: 3,
             to: 1,
+            round: 42,
             payload: vec![Fp61::from_u64(7), Fp61::from_u64(u64::MAX / 3)],
         })
     }
@@ -482,6 +520,7 @@ mod tests {
         // an Fp32 element with residue ≥ 2^32 − 5
         let e: Envelope<Fp32> = Envelope::AggregatedShare(AggregatedShare {
             from: 0,
+            round: 0,
             payload: vec![Fp32::from_u64(1)],
         });
         let mut bytes = e.to_bytes();
@@ -503,7 +542,8 @@ mod tests {
     fn implausible_length_rejected() {
         // MaskedModel claiming 2^32−1 elements
         let mut bytes = vec![0x02];
-        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // from
+        bytes.extend_from_slice(&0u64.to_le_bytes()); // round
         bytes.extend_from_slice(&u32::MAX.to_le_bytes());
         assert!(matches!(
             Envelope::<Fp61>::from_bytes(&bytes),
@@ -513,13 +553,14 @@ mod tests {
 
     #[test]
     fn length_prefix_exceeding_buffer_rejected_before_allocation() {
-        // a 9-byte message claiming MAX_ELEMS elements must fail with
+        // a short message claiming MAX_ELEMS elements must fail with
         // Truncated immediately (no multi-hundred-MB pre-allocation)
         for tag in [0x02u8, 0x03, 0x04, 0x07] {
             let mut bytes = vec![tag];
             if tag != 0x03 && tag != 0x07 {
                 bytes.extend_from_slice(&0u32.to_le_bytes()); // from
             }
+            bytes.extend_from_slice(&0u64.to_le_bytes()); // round
             bytes.extend_from_slice(&(MAX_ELEMS as u32).to_le_bytes());
             assert!(
                 matches!(
@@ -529,5 +570,20 @@ mod tests {
                 "tag {tag:#04x}"
             );
         }
+    }
+
+    #[test]
+    fn every_kind_reports_its_round() {
+        assert_eq!(share().round(), 42);
+        let ann: Envelope<Fp61> = Envelope::SurvivorAnnouncement(SurvivorAnnouncement {
+            round: 9,
+            survivors: vec![0, 2],
+        });
+        assert_eq!(ann.round(), 9);
+        let buf: Envelope<Fp61> = Envelope::BufferAnnouncement(BufferAnnouncement {
+            round: 17,
+            entries: Vec::new(),
+        });
+        assert_eq!(buf.round(), 17);
     }
 }

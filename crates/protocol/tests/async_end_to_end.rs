@@ -51,12 +51,12 @@ fn mixed_round_masks_cancel_exactly() {
         let masked = clients[id].mask_update(round, &update).unwrap();
         server.receive_update(masked, 2, &mut rng).unwrap();
     }
-    let entries = server.announce().unwrap();
+    let entries = server.announce(2).unwrap();
 
     // any U = 4 users serve shares (including ones that didn't contribute)
     for id in [5usize, 4, 1, 0] {
         server
-            .receive_aggregated_share(clients[id].aggregated_share_for(&entries).unwrap())
+            .receive_aggregated_share(clients[id].aggregated_share_for(2, &entries).unwrap())
             .unwrap();
     }
     let agg = server.recover().unwrap();
@@ -86,7 +86,7 @@ fn staleness_weights_applied_in_field() {
         let masked = clients[id].mask_update(round, &update).unwrap();
         server.receive_update(masked, now, &mut rng).unwrap();
     }
-    let entries = server.announce().unwrap();
+    let entries = server.announce(now).unwrap();
     let expected_weights = [4u64, 2, 1];
     for (e, &w) in entries.iter().zip(&expected_weights) {
         assert_eq!(e.weight, w, "entry {e:?}");
@@ -94,7 +94,7 @@ fn staleness_weights_applied_in_field() {
 
     for client in clients.iter().take(4) {
         server
-            .receive_aggregated_share(client.aggregated_share_for(&entries).unwrap())
+            .receive_aggregated_share(client.aggregated_share_for(now, &entries).unwrap())
             .unwrap();
     }
     let agg = server.recover().unwrap();
@@ -129,10 +129,10 @@ fn quantized_roundtrip_recovers_weighted_average() {
         let masked = clients[i].mask_update(1, &q).unwrap();
         server.receive_update(masked, 1, &mut rng).unwrap();
     }
-    let entries = server.announce().unwrap();
+    let entries = server.announce(1).unwrap();
     for id in [0usize, 2, 3, 5] {
         server
-            .receive_aggregated_share(clients[id].aggregated_share_for(&entries).unwrap())
+            .receive_aggregated_share(clients[id].aggregated_share_for(1, &entries).unwrap())
             .unwrap();
     }
     let agg = server.recover().unwrap();
@@ -160,10 +160,10 @@ fn server_reusable_across_buffer_flushes() {
             let masked = clients[id].mask_update(round, &update).unwrap();
             server.receive_update(masked, round, &mut rng).unwrap();
         }
-        let entries = server.announce().unwrap();
+        let entries = server.announce(round).unwrap();
         for client in clients.iter().take(4) {
             server
-                .receive_aggregated_share(client.aggregated_share_for(&entries).unwrap())
+                .receive_aggregated_share(client.aggregated_share_for(round, &entries).unwrap())
                 .unwrap();
         }
         let agg = server.recover().unwrap();

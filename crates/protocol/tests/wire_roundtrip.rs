@@ -31,17 +31,21 @@ fn envelopes<F: Field>(
         Envelope::CodedMaskShare(CodedMaskShare {
             from,
             to,
+            round,
             payload: payload(seed, len),
         }),
         Envelope::MaskedModel(MaskedModel {
             from,
+            round,
             payload: payload(seed.wrapping_add(1), len),
         }),
         Envelope::SurvivorAnnouncement(SurvivorAnnouncement {
+            round,
             survivors: ids.to_vec(),
         }),
         Envelope::AggregatedShare(AggregatedShare {
             from,
+            round,
             payload: payload(seed.wrapping_add(2), len),
         }),
         Envelope::TimestampedShare(TimestampedShare {
@@ -56,6 +60,7 @@ fn envelopes<F: Field>(
             payload: payload(seed.wrapping_add(4), len),
         }),
         Envelope::BufferAnnouncement(BufferAnnouncement {
+            round,
             entries: ids
                 .iter()
                 .enumerate()

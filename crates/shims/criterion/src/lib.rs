@@ -11,8 +11,17 @@
 //! regression spotting, without the statistical machinery (bootstrap,
 //! outlier classification, HTML reports) of the real crate. When passed
 //! `--test` (as `cargo test --benches` does) each benchmark body runs
-//! exactly once so benches double as smoke tests.
+//! exactly once so benches double as smoke tests. With `--quick` the
+//! calibration threshold and batch count shrink — real timings, fraction
+//! of the wall clock — which is what CI's bench-smoke job uses.
+//!
+//! When the `LSA_BENCH_JSON` environment variable names a file, every
+//! measurement is also appended there as one JSON object per line
+//! (`{"name": ..., "ns_per_iter": ..., "elements_per_iter": ...,
+//! "bytes_per_iter": ...}`), so CI can upload a machine-readable perf
+//! artifact and the trajectory accumulates across commits.
 
+use std::io::Write as _;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -65,6 +74,7 @@ pub enum Throughput {
 pub struct Bencher {
     iters_hint: u64,
     test_mode: bool,
+    quick_mode: bool,
     /// Median nanoseconds per iteration of the last `iter` call.
     pub(crate) last_ns_per_iter: f64,
 }
@@ -77,7 +87,13 @@ impl Bencher {
             self.last_ns_per_iter = 0.0;
             return;
         }
-        // calibration: find an iteration count that runs ≥ ~1 ms
+        // quick mode: one calibration + 3 batches over a shorter floor
+        let (floor, batches) = if self.quick_mode {
+            (Duration::from_micros(200), 3)
+        } else {
+            (Duration::from_millis(1), 7)
+        };
+        // calibration: find an iteration count that runs ≥ the floor
         let mut iters = 1u64;
         loop {
             let start = Instant::now();
@@ -85,19 +101,51 @@ impl Bencher {
                 black_box(f());
             }
             let elapsed = start.elapsed();
-            if elapsed >= Duration::from_millis(1) || iters >= self.iters_hint {
+            if elapsed >= floor || iters >= self.iters_hint {
                 break;
             }
             iters = (iters * 4).min(self.iters_hint);
         }
         // measurement: several batches, report the median
-        let mut samples = Vec::with_capacity(7);
-        for _ in 0..7 {
+        let mut samples = Vec::with_capacity(batches);
+        for _ in 0..batches {
             let start = Instant::now();
             for _ in 0..iters {
                 black_box(f());
             }
             samples.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        samples.sort_by(f64::total_cmp);
+        self.last_ns_per_iter = samples[samples.len() / 2];
+    }
+
+    /// Measure with caller-controlled timing (the real criterion's
+    /// `iter_custom`): `f(iters)` runs the workload `iters` times and
+    /// returns only the [`Duration`] the caller chose to time — used to
+    /// exclude setup, or work that a real deployment overlaps with
+    /// computation.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f(1));
+            self.last_ns_per_iter = 0.0;
+            return;
+        }
+        let (floor, batches) = if self.quick_mode {
+            (Duration::from_micros(200), 3)
+        } else {
+            (Duration::from_millis(1), 7)
+        };
+        let mut iters = 1u64;
+        loop {
+            let elapsed = f(iters);
+            if elapsed >= floor || iters >= self.iters_hint {
+                break;
+            }
+            iters = (iters * 4).min(self.iters_hint);
+        }
+        let mut samples = Vec::with_capacity(batches);
+        for _ in 0..batches {
+            samples.push(f(iters).as_nanos() as f64 / iters as f64);
         }
         samples.sort_by(f64::total_cmp);
         self.last_ns_per_iter = samples[samples.len() / 2];
@@ -162,14 +210,20 @@ impl BenchmarkGroup<'_> {
 pub struct Criterion {
     sample_size: usize,
     test_mode: bool,
+    quick_mode: bool,
+    json_path: Option<std::path::PathBuf>,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
         let test_mode = std::env::args().any(|a| a == "--test");
+        let quick_mode = std::env::args().any(|a| a == "--quick");
+        let json_path = std::env::var_os("LSA_BENCH_JSON").map(std::path::PathBuf::from);
         Self {
             sample_size: 20,
             test_mode,
+            quick_mode,
+            json_path,
         }
     }
 }
@@ -222,6 +276,7 @@ impl Criterion {
         let mut bencher = Bencher {
             iters_hint: 1_000_000,
             test_mode: self.test_mode,
+            quick_mode: self.quick_mode,
             last_ns_per_iter: 0.0,
         };
         f(&mut bencher);
@@ -240,6 +295,30 @@ impl Criterion {
                 println!("{name:<50} {ns:>12.1} ns/iter {rate:>11.1} MiB/s");
             }
             _ => println!("{name:<50} {ns:>12.1} ns/iter"),
+        }
+        self.append_json(name, ns, throughput);
+    }
+
+    /// Append one JSON-lines record to `LSA_BENCH_JSON` (best effort —
+    /// an unwritable path must never fail a benchmark run).
+    fn append_json(&self, name: &str, ns: f64, throughput: Option<Throughput>) {
+        let Some(path) = &self.json_path else {
+            return;
+        };
+        let (elements, bytes) = match throughput {
+            Some(Throughput::Elements(n)) => (n.to_string(), "null".into()),
+            Some(Throughput::Bytes(n)) => ("null".into(), n.to_string()),
+            None => ("null".into(), String::from("null")),
+        };
+        let line = format!(
+            "{{\"name\":\"{name}\",\"ns_per_iter\":{ns:.1},\"elements_per_iter\":{elements},\"bytes_per_iter\":{bytes}}}\n",
+        );
+        if let Ok(mut file) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            let _ = file.write_all(line.as_bytes());
         }
     }
 }

@@ -1,0 +1,284 @@
+//! Secure FedAvg through the multi-round [`Federation`] API.
+//!
+//! [`SecureFedAvg`] is the data-plane bridge between the real-valued
+//! training loop ([`lsa_fl::run_fedavg`] / [`lsa_fl::run_fedbuff`]) and
+//! the persistent secure-aggregation federation: each training round's
+//! client updates are stochastically quantized (Eq. 30), submitted
+//! through one federated round — sync or buffered-async, chosen **by
+//! value** via the boxed aggregator variant — and the recovered
+//! aggregate is dequantized back into the weighted-average update. Over
+//! a [`lsa_protocol::transport::SimTransport`] every envelope also pays
+//! simulated network time, so the same object yields both convergence
+//! curves and wall-clock estimates.
+//!
+//! Use [`SecureFedAvg::aggregate`] as the `run_fedavg` aggregation seam
+//! (`|updates| secure.aggregate(updates)`), or the
+//! [`lsa_fl::BufferAggregator`] impl as a drop-in for `run_fedbuff`.
+
+use lsa_field::Field;
+use lsa_fl::{BufferAggregator, BufferedContribution};
+use lsa_net::{Duplex, NetworkConfig};
+use lsa_protocol::federation::{BufferedFederation, Federation, RoundPlan, SyncFederation};
+use lsa_protocol::transport::{MemTransport, SimTransport};
+use lsa_protocol::LsaConfig;
+use lsa_quantize::{QuantizedStaleness, StalenessFn, VectorQuantizer};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Federated averaging with every round's aggregation running through a
+/// persistent secure federation.
+pub struct SecureFedAvg<F: Field> {
+    federation: Federation<F>,
+    quantizer: VectorQuantizer,
+    staleness: QuantizedStaleness,
+    /// Total planned training rounds, when known: the last round then
+    /// skips the (useless) overlapped mask exchange for a round that
+    /// will never run.
+    horizon: Option<u64>,
+    rng: StdRng,
+}
+
+impl<F: Field> SecureFedAvg<F> {
+    /// Wrap an existing federation (either variant) with a quantizer.
+    pub fn new(federation: Federation<F>, quantizer: VectorQuantizer, seed: u64) -> Self {
+        Self {
+            federation,
+            quantizer,
+            staleness: QuantizedStaleness::new(StalenessFn::Constant, 1),
+            horizon: None,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Weight buffered contributions by this staleness function (used by
+    /// the [`BufferAggregator`] impl; defaults to constant weights).
+    #[must_use]
+    pub fn with_staleness(mut self, staleness_fn: StalenessFn, cg: u64) -> Self {
+        self.staleness = QuantizedStaleness::new(staleness_fn, cg);
+        self
+    }
+
+    /// Declare the total number of training rounds. Without a horizon
+    /// every round prepares the next one (the price of §4.1 overlap
+    /// with an unknown end); with one, the final round skips that
+    /// trailing exchange.
+    #[must_use]
+    pub fn with_horizon(mut self, rounds: u64) -> Self {
+        self.horizon = Some(rounds);
+        self
+    }
+
+    /// Synchronous federation over in-memory queues.
+    ///
+    /// # Errors
+    ///
+    /// Propagates invalid configuration.
+    pub fn sync_mem(
+        cfg: LsaConfig,
+        quantizer: VectorQuantizer,
+        seed: u64,
+    ) -> Result<Self, lsa_protocol::ProtocolError> {
+        let sync = SyncFederation::new(cfg, MemTransport::new(), seed)?;
+        Ok(Self::new(Federation::new(Box::new(sync)), quantizer, seed))
+    }
+
+    /// Synchronous federation over the discrete-event network: every
+    /// envelope pays simulated bandwidth/latency, so secure training
+    /// also yields a wall-clock estimate.
+    ///
+    /// # Errors
+    ///
+    /// Propagates invalid configuration.
+    pub fn sync_sim(
+        cfg: LsaConfig,
+        quantizer: VectorQuantizer,
+        net: NetworkConfig,
+        duplex: Duplex,
+        seed: u64,
+    ) -> Result<Self, lsa_protocol::ProtocolError> {
+        let sync = SyncFederation::new(cfg, SimTransport::new(net, duplex), seed)?;
+        Ok(Self::new(Federation::new(Box::new(sync)), quantizer, seed))
+    }
+
+    /// Buffered-asynchronous federation (unit weights) over in-memory
+    /// queues — same training semantics as [`Self::sync_mem`], different
+    /// protocol underneath.
+    ///
+    /// # Errors
+    ///
+    /// Propagates invalid configuration.
+    pub fn buffered_mem(
+        cfg: LsaConfig,
+        quantizer: VectorQuantizer,
+        seed: u64,
+    ) -> Result<Self, lsa_protocol::ProtocolError> {
+        let buffered = BufferedFederation::unit_weight(cfg, MemTransport::new(), seed)?;
+        Ok(Self::new(
+            Federation::new(Box::new(buffered)),
+            quantizer,
+            seed,
+        ))
+    }
+
+    /// The wrapped federation.
+    pub fn federation(&self) -> &Federation<F> {
+        &self.federation
+    }
+
+    /// The quantizer in use.
+    pub fn quantizer(&self) -> &VectorQuantizer {
+        &self.quantizer
+    }
+
+    /// Aggregate one FedAvg round: quantize every client's update,
+    /// run one secure federated round with full participation (and the
+    /// next round's mask exchange overlapped, §4.1), and dequantize the
+    /// average.
+    ///
+    /// This is the `run_fedavg` aggregation seam:
+    /// `run_fedavg(&mut model, .., |u| secure.aggregate(u), rng)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `updates.len() != cfg.n()` or a protocol error occurs
+    /// (the training loop has no error channel — federation failures
+    /// here are bugs, not recoverable conditions).
+    pub fn aggregate(&mut self, updates: &[Vec<f32>]) -> Vec<f32> {
+        let cfg = self.federation.config();
+        assert_eq!(updates.len(), cfg.n(), "one update per federation slot");
+        let quantized: Vec<Vec<F>> = updates
+            .iter()
+            .map(|u| {
+                let reals: Vec<f64> = u.iter().map(|&v| v as f64).collect();
+                self.quantizer.quantize(&reals, &mut self.rng)
+            })
+            .collect();
+        let cohort: Vec<usize> = (0..cfg.n()).collect();
+        let mut plan = RoundPlan::new(cohort.clone()).with_updates(quantized);
+        // overlap the next round's mask exchange — unless this is the
+        // declared final round, whose successor will never run
+        let next_round = self.federation.round() + 1;
+        if self.horizon.is_none_or(|h| next_round < h) {
+            plan = plan.with_prepare_next(cohort);
+        }
+        let outcome = self
+            .federation
+            .run_round(&plan)
+            .expect("federated round within dropout budget");
+        self.quantizer
+            .dequantize_sum(&outcome.aggregate, outcome.total_weight)
+            .into_iter()
+            .map(|v| v as f32)
+            .collect()
+    }
+}
+
+impl<F: Field> BufferAggregator for SecureFedAvg<F> {
+    /// Drop-in secure replacement for [`lsa_fl::PlainFedBuff`]: each
+    /// buffer slot maps to one federation client, staleness weights are
+    /// applied client-side in the field (Remark 3 — the weight scales
+    /// the update, never the mask), and the server recovers only the
+    /// weighted sum.
+    fn aggregate<R: Rng + ?Sized>(
+        &mut self,
+        buffer: &[BufferedContribution],
+        rng: &mut R,
+    ) -> Vec<f32> {
+        let cfg = self.federation.config();
+        assert_eq!(
+            buffer.len(),
+            cfg.n(),
+            "buffer size must equal the federation size (construct with n = K)"
+        );
+        let mut total_weight = 0u64;
+        let mut plan = RoundPlan::full(cfg.n());
+        for (slot, contribution) in buffer.iter().enumerate() {
+            let weight = self.staleness.integer_weight(contribution.staleness, rng);
+            total_weight += weight;
+            let reals: Vec<f64> = contribution.delta.iter().map(|&v| v as f64).collect();
+            let quantized: Vec<F> = self.quantizer.quantize(&reals, rng);
+            let w = F::from_u64(weight);
+            let weighted: Vec<F> = quantized.into_iter().map(|x| x * w).collect();
+            plan = plan.with_update(slot, weighted);
+        }
+        let outcome = self
+            .federation
+            .run_round(&plan)
+            .expect("federated flush within dropout budget");
+        // the aggregator applied unit weights on top of the client-side
+        // scaling, so the divisor is Σ wᵢ alone
+        self.quantizer
+            .dequantize_sum(&outcome.aggregate, total_weight.max(1))
+            .into_iter()
+            .map(|v| v as f32)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsa_field::Fp61;
+    use lsa_fl::PlainFedBuff;
+
+    fn cfg(n: usize, d: usize) -> LsaConfig {
+        LsaConfig::new(n, (n - 1) / 2, (n - 1) / 2 + 1, d).unwrap()
+    }
+
+    #[test]
+    fn sync_and_buffered_average_agree_with_plain_mean() {
+        let updates: Vec<Vec<f32>> = (0..4)
+            .map(|i| {
+                (0..6)
+                    .map(|k| (i as f32 - 1.5) * 0.25 + k as f32 * 0.1)
+                    .collect()
+            })
+            .collect();
+        let mean: Vec<f32> = (0..6)
+            .map(|k| updates.iter().map(|u| u[k]).sum::<f32>() / 4.0)
+            .collect();
+        let quantizer = VectorQuantizer::new(1 << 16);
+        let mut sync = SecureFedAvg::<Fp61>::sync_mem(cfg(4, 6), quantizer, 1).unwrap();
+        let mut buffered = SecureFedAvg::<Fp61>::buffered_mem(cfg(4, 6), quantizer, 2).unwrap();
+        for secure in [sync.aggregate(&updates), buffered.aggregate(&updates)] {
+            for (a, b) in secure.iter().zip(&mean) {
+                assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_rounds_reuse_overlapped_masks() {
+        let quantizer = VectorQuantizer::new(1 << 16);
+        let mut secure = SecureFedAvg::<Fp61>::sync_mem(cfg(4, 3), quantizer, 3).unwrap();
+        let updates = vec![vec![0.5f32; 3]; 4];
+        for round in 0..4u64 {
+            assert_eq!(secure.federation().round(), round);
+            let avg = secure.aggregate(&updates);
+            assert!((avg[0] - 0.5).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn buffer_aggregator_matches_plain_fedbuff() {
+        let buffer: Vec<BufferedContribution> = (0..5)
+            .map(|i| BufferedContribution {
+                client: i,
+                staleness: (i % 3) as u64,
+                delta: (0..4).map(|k| (i * 4 + k) as f32 * 0.01 - 0.05).collect(),
+            })
+            .collect();
+        let mut plain = PlainFedBuff {
+            staleness: StalenessFn::Poly { alpha: 1.0 },
+        };
+        let p = plain.aggregate(&buffer, &mut StdRng::seed_from_u64(4));
+        let mut secure =
+            SecureFedAvg::<Fp61>::sync_mem(cfg(5, 4), VectorQuantizer::new(1 << 16), 5)
+                .unwrap()
+                .with_staleness(StalenessFn::Poly { alpha: 1.0 }, 1 << 6);
+        let s = BufferAggregator::aggregate(&mut secure, &buffer, &mut StdRng::seed_from_u64(4));
+        for (a, b) in p.iter().zip(&s) {
+            assert!((a - b).abs() < 2e-3, "{a} vs {b}");
+        }
+    }
+}

@@ -11,6 +11,10 @@
 //!   Figures 8–10 and Tables 2–4;
 //! * [`timed`] — the *measured* alternative: the real sans-IO protocol
 //!   over [`lsa_net`], phase timings from actual serialized envelopes;
+//! * [`federated`] — secure FedAvg through the multi-round
+//!   [`lsa_protocol::federation`] API: quantize → federated round →
+//!   dequantize, one [`federated::SecureFedAvg`] for both the sync and
+//!   buffered-async variants;
 //! * [`secure_fedbuff`] — asynchronous LightSecAgg plugged into the
 //!   FedBuff training loop (Figures 7, 11, 12);
 //! * [`experiments`] — one runner per table/figure;
@@ -34,6 +38,7 @@
 pub mod complexity;
 pub mod cost;
 pub mod experiments;
+pub mod federated;
 pub mod report;
 pub mod robust;
 pub mod round;
@@ -42,6 +47,7 @@ pub mod system;
 pub mod timed;
 
 pub use cost::KernelCosts;
+pub use federated::SecureFedAvg;
 pub use round::{
     simulate_round, timeline, PhaseSegment, ProtocolKind, RoundBreakdown, RoundParams,
 };

@@ -159,6 +159,7 @@ mod tests {
         let share_env: Envelope<Fp61> = Envelope::CodedMaskShare(lsa_protocol::CodedMaskShare {
             from: 0,
             to: 1,
+            round: 0,
             payload: vec![Fp61::ZERO; cfg.segment_len()],
         });
         let offline = timed.phase("offline").unwrap();
@@ -167,6 +168,7 @@ mod tests {
 
         let model_env: Envelope<Fp61> = Envelope::MaskedModel(lsa_protocol::MaskedModel {
             from: 0,
+            round: 0,
             payload: vec![Fp61::ZERO; cfg.padded_len()],
         });
         let upload = timed.phase("upload").unwrap();

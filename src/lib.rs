@@ -8,7 +8,7 @@
 //! | [`coding`] | `lsa-coding` | Vandermonde MDS codes, Shamir sharing |
 //! | [`crypto`] | `lsa-crypto` | ChaCha20 PRG, SHA-256, Diffie–Hellman |
 //! | [`quantize`] | `lsa-quantize` | stochastic quantization, staleness |
-//! | [`protocol`] | `lsa-protocol` | LightSecAgg as a sans-IO engine: typed wire envelopes, client/server sessions, transports; sync + async |
+//! | [`protocol`] | `lsa-protocol` | LightSecAgg as a sans-IO engine: round-scoped wire envelopes, client/server sessions, transports, and the multi-round `federation` API (one `SecureAggregator` trait over sync + buffered-async) |
 //! | [`baselines`] | `lsa-baselines` | SecAgg, SecAgg+ |
 //! | [`net`] | `lsa-net` | discrete-event network simulator |
 //! | [`fl`] | `lsa-fl` | datasets, models, FedAvg, FedBuff |

@@ -37,6 +37,7 @@ fn truncated_masked_model_rejected() {
     let mut server = ServerRound::<Fp61>::new(cfg()).unwrap();
     let msg = MaskedModel {
         from: 0,
+        round: 0,
         payload: vec![Fp61::ZERO; 3], // wrong length
     };
     assert!(matches!(
@@ -64,6 +65,7 @@ fn corrupted_share_changes_aggregate_but_protocol_detects_shape_errors() {
     // wrong-length aggregated share rejected
     let bad = AggregatedShare {
         from: 0,
+        round: 0,
         payload: vec![Fp61::ZERO; 1],
     };
     assert!(matches!(
@@ -184,6 +186,7 @@ fn misrouted_envelope_yields_typed_error() {
     let share = Envelope::CodedMaskShare(CodedMaskShare {
         from: 0,
         to: 2,
+        round: 0,
         payload: vec![Fp61::ZERO; cfg().segment_len()],
     });
     assert!(matches!(
@@ -202,6 +205,7 @@ fn duplicate_envelope_yields_typed_error() {
     let dup = Envelope::CodedMaskShare(CodedMaskShare {
         from: 0,
         to: 1,
+        round: 0,
         payload: vec![Fp61::ZERO; cfg().segment_len()],
     });
     assert!(matches!(
@@ -224,6 +228,7 @@ fn wrong_phase_envelope_yields_typed_error() {
     // an aggregated share before the upload phase closed
     let early = Envelope::AggregatedShare(AggregatedShare {
         from: 0,
+        round: 0,
         payload: vec![Fp61::ZERO; cfg().segment_len()],
     });
     assert!(matches!(
@@ -238,6 +243,7 @@ fn wrong_endpoint_envelope_yields_typed_error() {
     let (mut clients, mut server) = built_sessions(13);
     // a survivor announcement delivered to the *server* is nonsense
     let ann = Envelope::SurvivorAnnouncement(SurvivorAnnouncement {
+        round: 0,
         survivors: vec![0, 1, 2],
     });
     assert!(matches!(
@@ -249,6 +255,7 @@ fn wrong_endpoint_envelope_yields_typed_error() {
     // a masked model delivered to a *client* likewise
     let model = Envelope::MaskedModel(MaskedModel {
         from: 2,
+        round: 0,
         payload: vec![Fp61::ZERO; cfg().padded_len()],
     });
     assert!(matches!(
@@ -266,6 +273,7 @@ fn corrupted_wire_bytes_yield_typed_error() {
     use lightsecagg::protocol::wire::WireError;
     let env: Envelope<Fp61> = Envelope::MaskedModel(MaskedModel {
         from: 0,
+        round: 0,
         payload: vec![Fp61::ONE; cfg().padded_len()],
     });
     let bytes = env.to_bytes();
@@ -280,6 +288,7 @@ fn unknown_user_envelope_yields_typed_error() {
     let (_, mut server) = built_sessions(14);
     let ghost = Envelope::MaskedModel(MaskedModel {
         from: 99,
+        round: 0,
         payload: vec![Fp61::ZERO; cfg().padded_len()],
     });
     assert!(matches!(
@@ -294,6 +303,7 @@ fn failed_handle_leaves_session_usable() {
     let (mut clients, mut server) = built_sessions(15);
     let garbage = Envelope::AggregatedShare(AggregatedShare {
         from: 0,
+        round: 0,
         payload: vec![Fp61::ZERO; 1],
     });
     assert!(server.handle(garbage).is_err());
@@ -319,6 +329,131 @@ fn failed_handle_leaves_session_usable() {
     }
     let want: Fp61 = (0..5).map(Fp61::from_u64).sum();
     assert_eq!(server.aggregate().unwrap(), vec![want; 8]);
+}
+
+// ---------------------------------------------------------------------
+// Multi-round failure injection: churn across rounds and cross-round
+// replays through the Federation API.
+// ---------------------------------------------------------------------
+
+use lightsecagg::protocol::federation::{
+    BufferedFederation, Federation, RoundPlan, SyncFederation,
+};
+use lightsecagg::protocol::transport::MemTransport;
+
+fn federations() -> Vec<(&'static str, Federation<Fp61>)> {
+    vec![
+        (
+            "sync",
+            Federation::new(Box::new(
+                SyncFederation::new(cfg(), MemTransport::new(), 20).unwrap(),
+            )),
+        ),
+        (
+            "buffered",
+            Federation::new(Box::new(
+                BufferedFederation::unit_weight(cfg(), MemTransport::new(), 21).unwrap(),
+            )),
+        ),
+    ]
+}
+
+#[test]
+fn client_drops_in_round_t_and_rejoins_in_round_t_plus_1() {
+    // Round t: client 4 uploads, then vanishes (serves no recovery).
+    // Round t+1: it rejoins the cohort with fresh masks and contributes
+    // again. Both rounds recover exactly — churn never corrupts an
+    // aggregate.
+    for (name, mut fed) in federations() {
+        let ones = vec![Fp61::ONE; 8];
+        let round_t = RoundPlan::new(vec![0, 1, 2, 3, 4])
+            .with_uniform_updates(ones.clone())
+            .with_drop_after_upload(4);
+        let out_t = fed.run_round(&round_t).unwrap();
+        // the vanished client's upload is still in the aggregate (§7.1)
+        assert_eq!(out_t.aggregate, vec![Fp61::from_u64(5); 8], "{name}");
+
+        let round_t1 = RoundPlan::new(vec![0, 1, 2, 3, 4]).with_uniform_updates(ones);
+        let out_t1 = fed.run_round(&round_t1).unwrap();
+        assert_eq!(out_t1.round, out_t.round + 1, "{name}");
+        assert!(out_t1.contributors.contains(&4), "{name}: rejoin failed");
+        assert_eq!(out_t1.aggregate, vec![Fp61::from_u64(5); 8], "{name}");
+    }
+}
+
+#[test]
+fn client_absent_for_a_round_then_rejoins() {
+    // Leave/rejoin churn: client 2 sits out round t+1 entirely (not in
+    // the cohort), then returns in round t+2.
+    for (name, mut fed) in federations() {
+        let full: Vec<usize> = (0..5).collect();
+        let reduced = vec![0usize, 1, 3, 4];
+        let ones = vec![Fp61::ONE; 8];
+        fed.run_round(&RoundPlan::new(full.clone()).with_uniform_updates(ones.clone()))
+            .unwrap();
+        let absent = fed
+            .run_round(&RoundPlan::new(reduced.clone()).with_uniform_updates(ones.clone()))
+            .unwrap();
+        assert_eq!(absent.contributors, reduced, "{name}");
+        let rejoined = fed
+            .run_round(&RoundPlan::new(full.clone()).with_uniform_updates(ones))
+            .unwrap();
+        assert_eq!(rejoined.contributors, full, "{name}");
+    }
+}
+
+#[test]
+fn sync_envelope_replayed_into_next_round_rejected_as_stale() {
+    // Capture a round-0 masked-model envelope off the wire, then replay
+    // it into the round-1 server: it must surface as StaleRound — a
+    // *typed* cross-round rejection, distinct from DuplicateMessage.
+    let mut rng = StdRng::seed_from_u64(30);
+    let mut client_r0 = ClientSession::<Fp61>::for_round(0, 0, cfg(), &mut rng).unwrap();
+    while client_r0.poll_output().is_some() {} // discard offline shares
+    client_r0.upload_model(&[Fp61::ONE; 8]).unwrap();
+    let (_, replayed) = client_r0.poll_output().unwrap();
+
+    let mut server_r0 = ServerSession::<Fp61>::for_round(cfg(), 0).unwrap();
+    server_r0.handle(replayed.clone()).unwrap();
+    // same round, same envelope again → duplicate
+    assert!(matches!(
+        server_r0.handle(replayed.clone()),
+        Err(ProtocolError::DuplicateMessage(0))
+    ));
+    // next round, replayed envelope → stale, NOT duplicate
+    let mut server_r1 = ServerSession::<Fp61>::for_round(cfg(), 1).unwrap();
+    assert!(matches!(
+        server_r1.handle(replayed),
+        Err(ProtocolError::StaleRound { got: 0, current: 1 })
+    ));
+}
+
+#[test]
+fn replayed_coded_share_and_announcement_also_stale() {
+    let mut rng = StdRng::seed_from_u64(31);
+    // a round-0 coded share delivered to a round-1 client session
+    let sender_r0 = ClientSession::<Fp61>::for_round(0, 0, cfg(), &mut rng);
+    let mut sender_r0 = sender_r0.unwrap();
+    let share = loop {
+        let (to, env) = sender_r0.poll_output().unwrap();
+        if to == lightsecagg::protocol::Recipient::Client(1) {
+            break env;
+        }
+    };
+    let mut receiver_r1 = ClientSession::<Fp61>::for_round(1, 1, cfg(), &mut rng).unwrap();
+    assert!(matches!(
+        receiver_r1.handle(share),
+        Err(ProtocolError::StaleRound { got: 0, current: 1 })
+    ));
+    // a round-0 survivor announcement into a round-1 client session
+    let stale_ann = Envelope::SurvivorAnnouncement(SurvivorAnnouncement {
+        round: 0,
+        survivors: vec![0, 1, 2],
+    });
+    assert!(matches!(
+        receiver_r1.handle(stale_ann),
+        Err(ProtocolError::StaleRound { got: 0, current: 1 })
+    ));
 }
 
 #[test]
