@@ -318,6 +318,7 @@ impl<F: Field> SecAggClient<F> {
         }
         Ok(MaskedModel {
             from: self.id,
+            group: 0,
             round: self.round,
             payload,
         })

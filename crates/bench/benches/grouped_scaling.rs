@@ -1,0 +1,122 @@
+//! Scaling of the grouped (hierarchical) topology versus the flat
+//! protocol: N ∈ {64, 256, 1024} cohorts split into G ∈ {1, 4, 16}
+//! groups (G = 1 *is* the flat topology).
+//!
+//! Two measurements per (N, G):
+//!
+//! * `offline_bytes_per_client/N{N}xG{G}` — the offline mask exchange
+//!   (via `prepare_next`, i.e. exactly what §4.1 overlaps with local
+//!   training) over a `MemTransport`; the Throughput records the
+//!   **measured serialized offline bytes each client sends**. A flat
+//!   cohort sends `N−1` coded shares per client and, once `U−T`
+//!   outgrows `d`, each share bottoms out at one element plus headers —
+//!   so per-client offline traffic floors at Θ(N) bytes. Groups of
+//!   `n_g = N/G` keep `u_g−t_g ≤ d` useful and send `n_g−1` messages,
+//!   dropping per-client offline bytes (and message count) ~G×.
+//! * `round_critical_path/N{N}xG{G}` — one full secure-aggregation
+//!   round end to end (open, submit, recover) at the sizes where the
+//!   flat decode is still cheap enough to iterate.
+//!
+//! Run with `LSA_BENCH_JSON=...` for the JSON-lines artifact; the
+//! `bytes_per_iter` fields of the `offline_bytes_per_client` entries are
+//! the per-client offline communication the grouped topology is judged
+//! on (N=1024: G=16 must sit ≥4× below G=1).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lsa_field::Fp61;
+use lsa_protocol::federation::{RoundPlan, SecureAggregator};
+use lsa_protocol::topology::{GroupTopology, GroupedFederation};
+use lsa_protocol::transport::MemTransport;
+use lsa_protocol::Federation;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+const D: usize = 256;
+/// Per-group collusion tolerance: t_g = n_g/4.
+const T_FRAC: f64 = 0.25;
+/// Per-group survivor requirement: u_g = ⌈0.9·n_g⌉ (10% dropout budget).
+const U_FRAC: f64 = 0.9;
+
+const COHORTS: [usize; 3] = [64, 256, 1024];
+const GROUPS: [usize; 3] = [1, 4, 16];
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(400))
+}
+
+fn topo(n: usize, g: usize) -> GroupTopology {
+    GroupTopology::uniform(n, g, T_FRAC, U_FRAC, D).expect("valid sweep point")
+}
+
+/// One offline mask exchange (the §4.1 overlapped phase) over an
+/// in-memory transport; returns total serialized bytes moved.
+fn run_offline(topology: &GroupTopology) -> usize {
+    let mut fed =
+        GroupedFederation::<Fp61, _>::new(topology.clone(), MemTransport::new(), 7).unwrap();
+    let cohort: Vec<usize> = (0..topology.n()).collect();
+    fed.prepare_next(&cohort).unwrap();
+    fed.transport().bytes_sent()
+}
+
+fn bench_offline_bytes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grouped_scaling");
+    for n in COHORTS {
+        for g in GROUPS {
+            let topology = topo(n, g);
+            let per_client = (run_offline(&topology) / n) as u64;
+            group.throughput(Throughput::Bytes(per_client));
+            group.bench_with_input(
+                BenchmarkId::new("offline_bytes_per_client", format!("N{n}xG{g}")),
+                &topology,
+                |b, topology| b.iter(|| black_box(run_offline(black_box(topology)))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grouped_scaling");
+    // flat decode is O(U³): keep full-round timing to the sizes where
+    // iterating it stays cheap; the 1024-cohort story is told by the
+    // offline sweep above
+    for n in [64usize, 256] {
+        for g in GROUPS {
+            let topology = topo(n, g);
+            let mut rng = StdRng::seed_from_u64(1);
+            let updates: Vec<Vec<Fp61>> = (0..n)
+                .map(|_| lsa_field::ops::random_vector(D, &mut rng))
+                .collect();
+            let cohort: Vec<usize> = (0..n).collect();
+            group.throughput(Throughput::Elements(n as u64));
+            group.bench_with_input(
+                BenchmarkId::new("round_critical_path", format!("N{n}xG{g}")),
+                &topology,
+                |b, topology| {
+                    b.iter(|| {
+                        let grouped =
+                            GroupedFederation::new(topology.clone(), MemTransport::new(), 2)
+                                .expect("valid federation");
+                        let mut fed: Federation<Fp61> = Federation::new(Box::new(grouped));
+                        let mut plan = RoundPlan::new(cohort.clone());
+                        plan.updates = cohort.iter().map(|&i| (i, updates[i].clone())).collect();
+                        let out = fed.run_round(black_box(&plan)).expect("round completes");
+                        black_box(out.aggregate.len())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_offline_bytes, bench_round
+}
+criterion_main!(benches);

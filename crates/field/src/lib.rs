@@ -125,11 +125,15 @@ pub trait Field:
     }
 
     /// Interpret the residue as a signed integer in
-    /// `(-(q-1)/2, (q-1)/2]` — the demapping `φ⁻¹` of the paper.
+    /// `[-(q-1)/2, (q-1)/2]` — the demapping `φ⁻¹` of the paper
+    /// (Eq. 36): residues up to `(q-1)/2` (i.e. `x < q/2`) are positive,
+    /// everything above wraps to the negatives. The boundary residue
+    /// `(q-1)/2` itself is a *legal positive* value — excluding it would
+    /// corrupt the maximum-magnitude aggregate to `-(q+1)/2`.
     fn to_signed(self) -> i64 {
         let r = self.residue();
         let half = (Self::MODULUS - 1) / 2;
-        if r < half {
+        if r <= half {
             r as i64
         } else {
             r as i64 - Self::MODULUS as i64
@@ -179,5 +183,29 @@ mod tests {
             assert_eq!(Fp32::from_i64(v).to_signed(), v);
             assert_eq!(Fp61::from_i64(v).to_signed(), v);
         }
+    }
+
+    /// Eq. (36) boundary regression: the residue `(q−1)/2` satisfies
+    /// `x < q/2` and must decode as the maximum *positive* value, not
+    /// wrap to `−(q+1)/2`; `(q+1)/2` is the first negative residue and
+    /// `q−1` is `−1`.
+    fn signed_boundary<F: Field>() {
+        let half = (F::MODULUS - 1) / 2;
+        assert_eq!(F::from_u64(half).to_signed(), half as i64);
+        assert_eq!(F::from_u64(half + 1).to_signed(), -(half as i64));
+        assert_eq!(F::from_u64(F::MODULUS - 1).to_signed(), -1);
+        // and both extremes round-trip through from_i64
+        assert_eq!(F::from_i64(half as i64).to_signed(), half as i64);
+        assert_eq!(F::from_i64(-(half as i64)).to_signed(), -(half as i64));
+    }
+
+    #[test]
+    fn signed_boundary_fp32() {
+        signed_boundary::<Fp32>();
+    }
+
+    #[test]
+    fn signed_boundary_fp61() {
+        signed_boundary::<Fp61>();
     }
 }

@@ -29,6 +29,9 @@ pub struct TimestampedShare<F> {
     pub from: usize,
     /// Recipient.
     pub to: usize,
+    /// Aggregation group (the buffered-async variant runs flat, so this
+    /// is always 0; non-zero shares are rejected as cross-group).
+    pub group: usize,
     /// Round `t_i` in which the mask was generated.
     pub round: u64,
     /// Coded segment `[~z_from^{(round)}]_to`.
@@ -41,6 +44,8 @@ pub struct TimestampedShare<F> {
 pub struct TimestampedUpdate<F> {
     /// Uploading user.
     pub from: usize,
+    /// Aggregation group (always 0 — see [`TimestampedShare::group`]).
+    pub group: usize,
     /// Round `t_i` the user based its update on.
     pub round: u64,
     /// Masked quantized update, padded length.
@@ -134,6 +139,7 @@ impl<F: Field> AsyncClient<F> {
             .map(|j| TimestampedShare {
                 from: self.id,
                 to: j,
+                group: 0,
                 round,
                 payload: coded[j].clone(),
             })
@@ -146,6 +152,12 @@ impl<F: Field> AsyncClient<F> {
     ///
     /// Mirrors [`crate::Client::receive_share`].
     pub fn receive_share(&mut self, share: TimestampedShare<F>) -> Result<(), ProtocolError> {
+        if share.group != 0 {
+            return Err(ProtocolError::WrongGroup {
+                got: share.group,
+                expected: 0,
+            });
+        }
         if share.to != self.id {
             return Err(ProtocolError::MisroutedShare {
                 expected: self.id,
@@ -207,6 +219,7 @@ impl<F: Field> AsyncClient<F> {
         lsa_field::ops::add_assign(&mut payload, mask);
         Ok(TimestampedUpdate {
             from: self.id,
+            group: 0,
             round,
             payload,
         })
@@ -237,6 +250,7 @@ impl<F: Field> AsyncClient<F> {
         }
         Ok(AggregatedShare {
             from: self.id,
+            group: 0,
             round: announced_round,
             payload: acc,
         })
@@ -338,6 +352,12 @@ impl<F: Field> AsyncServer<F> {
         if self.announced.is_some() || self.buffer.len() >= self.buffer_size {
             return Err(ProtocolError::WrongPhase);
         }
+        if update.group != 0 {
+            return Err(ProtocolError::WrongGroup {
+                got: update.group,
+                expected: 0,
+            });
+        }
         if update.from >= self.cfg.n() {
             return Err(ProtocolError::UnknownUser(update.from));
         }
@@ -431,6 +451,12 @@ impl<F: Field> AsyncServer<F> {
             return Err(ProtocolError::StaleRound {
                 got: msg.round,
                 current: *round,
+            });
+        }
+        if msg.group != 0 {
+            return Err(ProtocolError::WrongGroup {
+                got: msg.group,
+                expected: 0,
             });
         }
         if msg.from >= self.cfg.n() {
@@ -596,6 +622,7 @@ mod tests {
         let mut server = AsyncServer::<Fp61>::new(cfg(), 2, staleness()).unwrap();
         let upd = TimestampedUpdate {
             from: 0,
+            group: 0,
             round: 5,
             payload: vec![Fp61::ZERO; cfg().padded_len()],
         };
@@ -615,6 +642,7 @@ mod tests {
                 .receive_update(
                     TimestampedUpdate {
                         from: id,
+                        group: 0,
                         round,
                         payload: vec![Fp61::ZERO; cfg().padded_len()],
                     },

@@ -37,6 +37,7 @@ use std::collections::BTreeMap;
 pub struct Client<F> {
     id: usize,
     cfg: LsaConfig,
+    group: usize,
     round: u64,
     code: VandermondeCode<F>,
     /// The local random mask `z_i`, padded length.
@@ -76,6 +77,25 @@ impl<F: Field> Client<F> {
         cfg: LsaConfig,
         rng: &mut R,
     ) -> Result<Self, ProtocolError> {
+        Self::for_round_in_group(id, round, 0, cfg, rng)
+    }
+
+    /// As [`Self::for_round`], but serving aggregation group `group` of a
+    /// grouped topology ([`crate::topology`]): `id` is the *group-local*
+    /// index, every emitted message is stamped with `group`, and any
+    /// accepted message must carry it or be rejected as
+    /// [`ProtocolError::WrongGroup`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::InvalidConfig`] if `id >= cfg.n()`.
+    pub fn for_round_in_group<R: Rng + ?Sized>(
+        id: usize,
+        round: u64,
+        group: usize,
+        cfg: LsaConfig,
+        rng: &mut R,
+    ) -> Result<Self, ProtocolError> {
         if id >= cfg.n() {
             return Err(ProtocolError::InvalidConfig(format!(
                 "client id {id} out of range for N={}",
@@ -103,6 +123,7 @@ impl<F: Field> Client<F> {
         Ok(Self {
             id,
             cfg,
+            group,
             round,
             code,
             mask,
@@ -111,7 +132,7 @@ impl<F: Field> Client<F> {
         })
     }
 
-    /// This client's user index.
+    /// This client's user index (group-local in a grouped topology).
     pub fn id(&self) -> usize {
         self.id
     }
@@ -119,6 +140,11 @@ impl<F: Field> Client<F> {
     /// The federation round this client is serving.
     pub fn round(&self) -> u64 {
         self.round
+    }
+
+    /// The aggregation group this client belongs to (0 when flat).
+    pub fn group(&self) -> usize {
+        self.group
     }
 
     /// The protocol configuration.
@@ -134,6 +160,7 @@ impl<F: Field> Client<F> {
             .map(|j| CodedMaskShare {
                 from: self.id,
                 to: j,
+                group: self.group,
                 round: self.round,
                 payload: self.coded_for[j].clone(),
             })
@@ -145,6 +172,9 @@ impl<F: Field> Client<F> {
     ///
     /// # Errors
     ///
+    /// * [`ProtocolError::WrongGroup`] if the share belongs to another
+    ///   aggregation group (checked first: local indices only mean
+    ///   anything within the right group);
     /// * [`ProtocolError::StaleRound`] if the share belongs to another
     ///   round (checked *before* the duplicate check, so a cross-round
     ///   replay is never misreported as a duplicate);
@@ -154,6 +184,12 @@ impl<F: Field> Client<F> {
     /// * [`ProtocolError::DuplicateMessage`] if the sender already shared;
     /// * [`ProtocolError::Coding`] for a wrong payload length.
     pub fn receive_share(&mut self, share: CodedMaskShare<F>) -> Result<(), ProtocolError> {
+        if share.group != self.group {
+            return Err(ProtocolError::WrongGroup {
+                got: share.group,
+                expected: self.group,
+            });
+        }
         if share.round != self.round {
             return Err(ProtocolError::StaleRound {
                 got: share.round,
@@ -210,6 +246,7 @@ impl<F: Field> Client<F> {
         lsa_field::ops::add_assign(&mut payload, &self.mask);
         Ok(MaskedModel {
             from: self.id,
+            group: self.group,
             round: self.round,
             payload,
         })
@@ -254,6 +291,7 @@ impl<F: Field> Client<F> {
         }
         Ok(AggregatedShare {
             from: self.id,
+            group: self.group,
             round: self.round,
             payload: acc,
         })

@@ -174,6 +174,10 @@ pub trait SecureAggregator<F: Field> {
 pub struct FederationClient<F> {
     id: usize,
     cfg: LsaConfig,
+    /// The aggregation group this client belongs to (0 when flat); every
+    /// envelope is stamped with it and cross-group envelopes are
+    /// rejected with [`ProtocolError::WrongGroup`] before any routing.
+    group: usize,
     entropy: StdRng,
     sessions: BTreeMap<u64, ClientSession<F>>,
     /// Early-arriving envelopes for rounds not yet joined.
@@ -198,6 +202,25 @@ impl<F: Field> FederationClient<F> {
     ///
     /// Returns [`ProtocolError::InvalidConfig`] if `id >= cfg.n()`.
     pub fn new(id: usize, cfg: LsaConfig, entropy: StdRng) -> Result<Self, ProtocolError> {
+        Self::in_group(0, id, cfg, entropy)
+    }
+
+    /// Create the persistent client for the *group-local* user `id` of
+    /// aggregation group `group` in a grouped topology
+    /// ([`crate::topology`]): `cfg` is the group's own configuration,
+    /// every emitted envelope is stamped with `group`, and any incoming
+    /// envelope from another group is rejected with
+    /// [`ProtocolError::WrongGroup`] — never buffered, never routed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::InvalidConfig`] if `id >= cfg.n()`.
+    pub fn in_group(
+        group: usize,
+        id: usize,
+        cfg: LsaConfig,
+        entropy: StdRng,
+    ) -> Result<Self, ProtocolError> {
         if id >= cfg.n() {
             return Err(ProtocolError::InvalidConfig(format!(
                 "client id {id} out of range for N={}",
@@ -207,6 +230,7 @@ impl<F: Field> FederationClient<F> {
         Ok(Self {
             id,
             cfg,
+            group,
             entropy,
             sessions: BTreeMap::new(),
             pending: BTreeMap::new(),
@@ -215,9 +239,14 @@ impl<F: Field> FederationClient<F> {
         })
     }
 
-    /// This client's user index.
+    /// This client's user index (group-local in a grouped topology).
     pub fn id(&self) -> usize {
         self.id
+    }
+
+    /// The aggregation group this client belongs to (0 when flat).
+    pub fn group(&self) -> usize {
+        self.group
     }
 
     /// The highest active round, or the retirement horizon when no
@@ -255,7 +284,13 @@ impl<F: Field> FederationClient<F> {
         if self.sessions.contains_key(&round) {
             return Err(ProtocolError::DuplicateMessage(self.id));
         }
-        let mut session = ClientSession::for_round(self.id, round, self.cfg, &mut self.entropy)?;
+        let mut session = ClientSession::for_round_in_group(
+            self.id,
+            round,
+            self.group,
+            self.cfg,
+            &mut self.entropy,
+        )?;
         for envelope in self.pending.remove(&round).unwrap_or_default() {
             self.replies.extend(session.handle(envelope)?);
         }
@@ -296,6 +331,14 @@ impl<F: Field> Session<F> for FederationClient<F> {
     }
 
     fn handle(&mut self, envelope: Envelope<F>) -> Result<Vec<Outgoing<F>>, ProtocolError> {
+        // cross-group traffic is rejected before any routing or
+        // buffering: its local indices mean nothing in this group
+        if envelope.group() != self.group {
+            return Err(ProtocolError::WrongGroup {
+                got: envelope.group(),
+                expected: self.group,
+            });
+        }
         let round = envelope.round();
         let current = self.current_round();
         match self.sessions.get_mut(&round) {
@@ -326,6 +369,7 @@ impl<F: Field> Session<F> for FederationClient<F> {
 #[derive(Debug, Clone)]
 pub struct FederationServer<F> {
     cfg: LsaConfig,
+    group: usize,
     round: u64,
     session: Option<ServerSession<F>>,
 }
@@ -333,8 +377,16 @@ pub struct FederationServer<F> {
 impl<F: Field> FederationServer<F> {
     /// Create the server; no round is open yet.
     pub fn new(cfg: LsaConfig) -> Self {
+        Self::in_group(0, cfg)
+    }
+
+    /// Create the server for aggregation group `group` of a grouped
+    /// topology ([`crate::topology`]); envelopes from any other group
+    /// are rejected with [`ProtocolError::WrongGroup`].
+    pub fn in_group(group: usize, cfg: LsaConfig) -> Self {
         Self {
             cfg,
+            group,
             round: 0,
             session: None,
         }
@@ -343,6 +395,11 @@ impl<F: Field> FederationServer<F> {
     /// The round currently open (or the last one served).
     pub fn round(&self) -> u64 {
         self.round
+    }
+
+    /// The aggregation group this server serves (0 when flat).
+    pub fn group(&self) -> usize {
+        self.group
     }
 
     /// Whether a round is currently open.
@@ -367,7 +424,9 @@ impl<F: Field> FederationServer<F> {
                 current: self.round,
             });
         }
-        self.session = Some(ServerSession::for_round(self.cfg, round)?);
+        self.session = Some(ServerSession::for_round_in_group(
+            self.cfg, round, self.group,
+        )?);
         self.round = round;
         Ok(())
     }
@@ -389,6 +448,14 @@ impl<F: Field> FederationServer<F> {
         self.session
             .as_ref()
             .map_or(0, ServerSession::shares_received)
+    }
+
+    /// Abandon the open round, discarding its session state (used by the
+    /// grouped topology's partial-recovery mode to retire a stalled
+    /// group without blocking the next round). A no-op when no round is
+    /// open.
+    pub fn abort_round(&mut self) {
+        self.session = None;
     }
 
     /// Close the open round, returning the recovered aggregate. The
@@ -423,6 +490,12 @@ impl<F: Field> Session<F> for FederationServer<F> {
     }
 
     fn handle(&mut self, envelope: Envelope<F>) -> Result<Vec<Outgoing<F>>, ProtocolError> {
+        if envelope.group() != self.group {
+            return Err(ProtocolError::WrongGroup {
+                got: envelope.group(),
+                expected: self.group,
+            });
+        }
         match self.session.as_mut() {
             Some(session) => session.handle(envelope),
             None => Err(ProtocolError::StaleRound {
@@ -442,15 +515,24 @@ impl<F: Field> Session<F> for FederationServer<F> {
 // ---------------------------------------------------------------------
 
 #[derive(Debug, Clone)]
-struct OpenRound {
-    round: u64,
-    cohort: BTreeSet<usize>,
-    submitted: BTreeSet<usize>,
-    dropped: BTreeSet<usize>,
+pub(crate) struct OpenRound {
+    pub(crate) round: u64,
+    pub(crate) cohort: BTreeSet<usize>,
+    pub(crate) submitted: BTreeSet<usize>,
+    pub(crate) dropped: BTreeSet<usize>,
 }
 
 impl OpenRound {
-    fn require_member(&self, id: usize) -> Result<(), ProtocolError> {
+    pub(crate) fn new(round: u64, cohort: BTreeSet<usize>) -> Self {
+        Self {
+            round,
+            cohort,
+            submitted: BTreeSet::new(),
+            dropped: BTreeSet::new(),
+        }
+    }
+
+    pub(crate) fn require_member(&self, id: usize) -> Result<(), ProtocolError> {
         if self.cohort.contains(&id) {
             Ok(())
         } else {
@@ -459,7 +541,7 @@ impl OpenRound {
     }
 
     /// Clients still online: cohort members that have not vanished.
-    fn online(&self) -> BTreeSet<usize> {
+    pub(crate) fn online(&self) -> BTreeSet<usize> {
         self.cohort.difference(&self.dropped).copied().collect()
     }
 }
@@ -470,8 +552,9 @@ impl OpenRound {
 /// paid off). `Ok(false)` — never prepared; the caller must run the
 /// offline exchange now. `Err` — prepared with a *different* cohort; the
 /// entry is left intact so a corrected retry can still use it. Shared by
-/// both `SecureAggregator` impls so the retry semantics cannot drift.
-fn claim_prepared(
+/// every `SecureAggregator` impl (including the grouped topology) so
+/// the retry semantics cannot drift.
+pub(crate) fn claim_prepared(
     prepared: &mut BTreeMap<u64, BTreeSet<usize>>,
     round: u64,
     cohort: &BTreeSet<usize>,
@@ -488,9 +571,9 @@ fn claim_prepared(
     }
 }
 
-/// Reject a second preparation of the same round (shared by both
-/// `SecureAggregator` impls).
-fn ensure_unprepared(
+/// Reject a second preparation of the same round (shared by every
+/// `SecureAggregator` impl).
+pub(crate) fn ensure_unprepared(
     prepared: &BTreeMap<u64, BTreeSet<usize>>,
     round: u64,
 ) -> Result<(), ProtocolError> {
@@ -1366,6 +1449,7 @@ mod tests {
         let far = Envelope::CodedMaskShare(crate::messages::CodedMaskShare {
             from: 0,
             to: 1,
+            group: 0,
             round: 50,
             payload: vec![Fp61::ZERO; cfg().segment_len()],
         });

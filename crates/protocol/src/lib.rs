@@ -108,6 +108,7 @@ pub mod federation;
 mod messages;
 mod server;
 pub mod session;
+pub mod topology;
 pub mod transport;
 pub mod wire;
 
@@ -120,6 +121,7 @@ pub use federation::{
 pub use messages::{wire_bytes, AggregatedShare, CodedMaskShare, MaskedModel};
 pub use server::{ServerPhase, ServerRound};
 pub use session::{ClientSession, Recipient, ServerSession, Session};
+pub use topology::{GroupTopology, GroupedFederation};
 pub use transport::{Delivery, MemTransport, PhaseTiming, SimTransport, Transport};
 pub use wire::{Envelope, EnvelopeKind, SurvivorAnnouncement, WireError};
 
@@ -175,6 +177,26 @@ pub enum ProtocolError {
         /// The round the endpoint is serving.
         current: u64,
     },
+    /// An envelope stamped with a different aggregation group than the
+    /// endpoint belongs to — in a grouped topology ([`topology`]) user
+    /// indices are group-local, so a cross-group share must be rejected
+    /// *before* it could be mistaken for a same-group message from the
+    /// same local index.
+    WrongGroup {
+        /// The group id the envelope carries.
+        got: usize,
+        /// The group the endpoint belongs to.
+        expected: usize,
+    },
+    /// An envelope stamped with a group id the deployment does not have
+    /// at all — unroutable, as opposed to [`ProtocolError::WrongGroup`]
+    /// where a real (but different) group's endpoint received it.
+    UnknownGroup {
+        /// The group id the envelope carries.
+        got: usize,
+        /// How many groups the deployment has (valid ids are `0..groups`).
+        groups: usize,
+    },
     /// An envelope kind this endpoint never accepts (e.g. a masked model
     /// delivered to a client) — the session analogue of a wrong-phase or
     /// misaddressed message.
@@ -213,6 +235,18 @@ impl fmt::Display for ProtocolError {
                 write!(
                     f,
                     "envelope stamped for round {got} but the endpoint serves round {current}"
+                )
+            }
+            ProtocolError::WrongGroup { got, expected } => {
+                write!(
+                    f,
+                    "envelope stamped for group {got} but the endpoint belongs to group {expected}"
+                )
+            }
+            ProtocolError::UnknownGroup { got, groups } => {
+                write!(
+                    f,
+                    "envelope stamped for unknown group {got} (deployment has {groups} groups)"
                 )
             }
             ProtocolError::UnexpectedEnvelope { kind } => {

@@ -8,6 +8,14 @@
 //! `t`, §4.1), so sessions must be able to route — and *reject* — by
 //! round. A replayed envelope from an earlier round surfaces as
 //! [`crate::ProtocolError::StaleRound`], never as a silent duplicate.
+//!
+//! Every message also carries the **group id** of the aggregation group
+//! it belongs to ([`crate::topology`]): a grouped topology runs one
+//! independent LightSecAgg instance per group over a shared transport,
+//! with user indices local to each group, so endpoints must reject a
+//! cross-group share with [`crate::ProtocolError::WrongGroup`] before it
+//! could ever be mistaken for a same-group message from the same local
+//! index. The flat topology is simply group 0 everywhere.
 
 use lsa_field::Field;
 
@@ -15,10 +23,12 @@ use lsa_field::Field;
 /// to user `to` over a private channel.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CodedMaskShare<F> {
-    /// Sender (mask owner) index.
+    /// Sender (mask owner) index, local to the group.
     pub from: usize,
-    /// Recipient index.
+    /// Recipient index, local to the group.
     pub to: usize,
+    /// Aggregation group (0 in the flat topology).
+    pub group: usize,
     /// Round the mask was generated for.
     pub round: u64,
     /// The coded segment, length `⌈d/(U−T)⌉`.
@@ -29,8 +39,10 @@ pub struct CodedMaskShare<F> {
 /// `~x_from = x_from + z_from`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MaskedModel<F> {
-    /// Uploading user index.
+    /// Uploading user index, local to the group.
     pub from: usize,
+    /// Aggregation group (0 in the flat topology).
+    pub group: usize,
     /// Round the upload belongs to.
     pub round: u64,
     /// Masked model of padded length.
@@ -41,8 +53,10 @@ pub struct MaskedModel<F> {
 /// mask `Σ_{i∈U₁} [~z_i]_from`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AggregatedShare<F> {
-    /// Uploading user index.
+    /// Uploading user index, local to the group.
     pub from: usize,
+    /// Aggregation group (0 in the flat topology).
+    pub group: usize,
     /// Round (sync) or buffer-flush round (async) being recovered.
     pub round: u64,
     /// Aggregated coded segment, length `⌈d/(U−T)⌉`.

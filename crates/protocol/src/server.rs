@@ -35,6 +35,7 @@ pub enum ServerPhase {
 #[derive(Debug, Clone)]
 pub struct ServerRound<F> {
     cfg: LsaConfig,
+    group: usize,
     round: u64,
     code: VandermondeCode<F>,
     phase: ServerPhase,
@@ -64,9 +65,25 @@ impl<F: Field> ServerRound<F> {
     ///
     /// Propagates invalid configuration as [`ProtocolError::Coding`].
     pub fn for_round(cfg: LsaConfig, round: u64) -> Result<Self, ProtocolError> {
+        Self::for_round_in_group(cfg, round, 0)
+    }
+
+    /// As [`Self::for_round`], but serving aggregation group `group` of a
+    /// grouped topology ([`crate::topology`]): uploads and shares from
+    /// any other group are rejected with [`ProtocolError::WrongGroup`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates invalid configuration as [`ProtocolError::Coding`].
+    pub fn for_round_in_group(
+        cfg: LsaConfig,
+        round: u64,
+        group: usize,
+    ) -> Result<Self, ProtocolError> {
         let code = VandermondeCode::new(cfg.n(), cfg.u())?;
         Ok(Self {
             cfg,
+            group,
             round,
             code,
             phase: ServerPhase::CollectingMaskedModels,
@@ -87,6 +104,11 @@ impl<F: Field> ServerRound<F> {
         self.round
     }
 
+    /// The aggregation group this server round serves (0 when flat).
+    pub fn group(&self) -> usize {
+        self.group
+    }
+
     /// Accept a masked model upload, folding it into the running sum.
     ///
     /// # Errors
@@ -100,6 +122,12 @@ impl<F: Field> ServerRound<F> {
     pub fn receive_masked_model(&mut self, msg: MaskedModel<F>) -> Result<(), ProtocolError> {
         if self.phase != ServerPhase::CollectingMaskedModels {
             return Err(ProtocolError::WrongPhase);
+        }
+        if msg.group != self.group {
+            return Err(ProtocolError::WrongGroup {
+                got: msg.group,
+                expected: self.group,
+            });
         }
         if msg.round != self.round {
             return Err(ProtocolError::StaleRound {
@@ -171,6 +199,12 @@ impl<F: Field> ServerRound<F> {
     ) -> Result<bool, ProtocolError> {
         if self.phase == ServerPhase::CollectingMaskedModels {
             return Err(ProtocolError::WrongPhase);
+        }
+        if msg.group != self.group {
+            return Err(ProtocolError::WrongGroup {
+                got: msg.group,
+                expected: self.group,
+            });
         }
         if msg.round != self.round {
             return Err(ProtocolError::StaleRound {
@@ -254,6 +288,7 @@ mod tests {
         // cannot accept aggregated shares yet
         let share = AggregatedShare {
             from: 0,
+            group: 0,
             round: 0,
             payload: vec![Fp61::ZERO; cfg().segment_len()],
         };
@@ -274,6 +309,7 @@ mod tests {
         for id in 0..2 {
             s.receive_masked_model(MaskedModel {
                 from: id,
+                group: 0,
                 round: 0,
                 payload: vec![Fp61::ZERO; cfg().padded_len()],
             })
@@ -291,6 +327,7 @@ mod tests {
         for id in 0..3 {
             s.receive_masked_model(MaskedModel {
                 from: id,
+                group: 0,
                 round: 0,
                 payload: vec![Fp61::ZERO; cfg().padded_len()],
             })
@@ -298,7 +335,8 @@ mod tests {
         }
         s.close_upload_phase().unwrap();
         let share = AggregatedShare {
-            from: 3, // user 3 dropped before upload
+            from: 3,
+            group: 0, // user 3 dropped before upload
             round: 0,
             payload: vec![Fp61::ZERO; cfg().segment_len()],
         };
@@ -313,6 +351,7 @@ mod tests {
         let mut s = ServerRound::<Fp61>::new(cfg()).unwrap();
         let m = MaskedModel {
             from: 0,
+            group: 0,
             round: 0,
             payload: vec![Fp61::ZERO; cfg().padded_len()],
         };
@@ -332,6 +371,7 @@ mod tests {
         assert_eq!(s.round(), 3);
         let stale = MaskedModel {
             from: 0,
+            group: 0,
             round: 2,
             payload: vec![Fp61::ZERO; cfg().padded_len()],
         };
@@ -341,6 +381,7 @@ mod tests {
         ));
         let current = MaskedModel {
             from: 0,
+            group: 0,
             round: 3,
             payload: vec![Fp61::ZERO; cfg().padded_len()],
         };

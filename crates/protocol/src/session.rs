@@ -151,7 +151,25 @@ impl<F: Field> ClientSession<F> {
         cfg: LsaConfig,
         rng: &mut R,
     ) -> Result<Self, ProtocolError> {
-        let inner = Client::for_round(id, round, cfg, rng)?;
+        Self::for_round_in_group(id, round, 0, cfg, rng)
+    }
+
+    /// As [`Self::for_round`], but serving aggregation group `group` of a
+    /// grouped topology ([`crate::topology`]); `id` is group-local and
+    /// cross-group envelopes are rejected with
+    /// [`ProtocolError::WrongGroup`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::InvalidConfig`] if `id >= cfg.n()`.
+    pub fn for_round_in_group<R: Rng + ?Sized>(
+        id: usize,
+        round: u64,
+        group: usize,
+        cfg: LsaConfig,
+        rng: &mut R,
+    ) -> Result<Self, ProtocolError> {
+        let inner = Client::for_round_in_group(id, round, group, cfg, rng)?;
         let outbox = inner
             .outgoing_shares()
             .into_iter()
@@ -172,6 +190,11 @@ impl<F: Field> ClientSession<F> {
     /// The federation round this session is serving.
     pub fn round(&self) -> u64 {
         self.inner.round()
+    }
+
+    /// The aggregation group this session belongs to (0 when flat).
+    pub fn group(&self) -> usize {
+        self.inner.group()
     }
 
     /// How many coded shares have been received (incl. the self share).
@@ -226,6 +249,12 @@ impl<F: Field> Session<F> for ClientSession<F> {
                 Ok(Vec::new())
             }
             Envelope::SurvivorAnnouncement(ann) => {
+                if ann.group != self.inner.group() {
+                    return Err(ProtocolError::WrongGroup {
+                        got: ann.group,
+                        expected: self.inner.group(),
+                    });
+                }
                 if ann.round != self.inner.round() {
                     return Err(ProtocolError::StaleRound {
                         got: ann.round,
@@ -275,8 +304,23 @@ impl<F: Field> ServerSession<F> {
     ///
     /// Propagates invalid configuration as [`ProtocolError::Coding`].
     pub fn for_round(cfg: LsaConfig, round: u64) -> Result<Self, ProtocolError> {
+        Self::for_round_in_group(cfg, round, 0)
+    }
+
+    /// As [`Self::for_round`], but serving aggregation group `group` of a
+    /// grouped topology ([`crate::topology`]); cross-group envelopes are
+    /// rejected with [`ProtocolError::WrongGroup`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates invalid configuration as [`ProtocolError::Coding`].
+    pub fn for_round_in_group(
+        cfg: LsaConfig,
+        round: u64,
+        group: usize,
+    ) -> Result<Self, ProtocolError> {
         Ok(Self {
-            inner: ServerRound::for_round(cfg, round)?,
+            inner: ServerRound::for_round_in_group(cfg, round, group)?,
             outbox: VecDeque::new(),
             aggregate: None,
         })
@@ -290,6 +334,11 @@ impl<F: Field> ServerSession<F> {
     /// The federation round this session is serving.
     pub fn round(&self) -> u64 {
         self.inner.round()
+    }
+
+    /// The aggregation group this session serves (0 when flat).
+    pub fn group(&self) -> usize {
+        self.inner.group()
     }
 
     /// How many masked models have been received.
@@ -316,11 +365,13 @@ impl<F: Field> ServerSession<F> {
     /// uploaded, [`ProtocolError::WrongPhase`] on a second close.
     pub fn close_upload(&mut self) -> Result<&[usize], ProtocolError> {
         let round = self.inner.round();
+        let group = self.inner.group();
         let survivors = self.inner.close_upload_phase()?.to_vec();
         for &s in &survivors {
             self.outbox.push_back((
                 Recipient::Client(s),
                 Envelope::SurvivorAnnouncement(SurvivorAnnouncement {
+                    group,
                     round,
                     survivors: survivors.clone(),
                 }),
@@ -470,6 +521,12 @@ impl<F: Field> Session<F> for AsyncClientSession<F> {
                 Ok(Vec::new())
             }
             Envelope::BufferAnnouncement(ann) => {
+                if ann.group != 0 {
+                    return Err(ProtocolError::WrongGroup {
+                        got: ann.group,
+                        expected: 0,
+                    });
+                }
                 let share = self.inner.aggregated_share_for(ann.round, &ann.entries)?;
                 Ok(vec![(Recipient::Server, Envelope::AggregatedShare(share))])
             }
@@ -567,6 +624,7 @@ impl<F: Field> AsyncServerSession<F> {
             self.outbox.push_back((
                 Recipient::Client(id),
                 Envelope::BufferAnnouncement(BufferAnnouncement {
+                    group: 0,
                     round: self.now,
                     entries: entries.clone(),
                 }),
@@ -650,6 +708,7 @@ mod tests {
         let mut c = ClientSession::<Fp61>::new(0, cfg(), &mut rng).unwrap();
         let masked = Envelope::MaskedModel(crate::messages::MaskedModel {
             from: 1,
+            group: 0,
             round: 0,
             payload: vec![Fp61::ZERO; cfg().padded_len()],
         });
@@ -665,6 +724,7 @@ mod tests {
     fn server_rejects_client_bound_envelopes() {
         let mut s = ServerSession::<Fp61>::new(cfg()).unwrap();
         let ann = Envelope::SurvivorAnnouncement(SurvivorAnnouncement {
+            group: 0,
             round: 0,
             survivors: vec![0, 1, 2],
         });

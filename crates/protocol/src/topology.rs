@@ -1,0 +1,958 @@
+//! Grouped (hierarchical) aggregation: many small LightSecAgg instances
+//! instead of one huge one.
+//!
+//! The flat protocol's offline phase exchanges coded mask segments
+//! all-to-all, so a cohort of `N` clients moves `N·(N−1)` offline
+//! messages per round and every client talks to `N−1` peers — the wall
+//! between the current benches and a "millions of users" deployment.
+//! The fix is topology, not cryptography (cf. DisAgg-style distributed
+//! aggregators): partition the cohort into `G` groups of `n ≈ N/G`,
+//! run the *unchanged* secure-aggregation protocol independently within
+//! each group, and let the server sum the per-group aggregates. Each
+//! group's aggregate stays masked until that group's own `U_g`-survivor
+//! one-shot decode, so the server still never sees an individual model.
+//!
+//! * [`GroupTopology`] — the partition: per-group [`LsaConfig`]s (each
+//!   group gets its own evaluation points, sized to the group) and the
+//!   global-id ↔ `(group, local)` mapping.
+//! * [`GroupedFederation`] — a [`SecureAggregator`] over one shared
+//!   [`Transport`]: group-scoped routing (every envelope carries a
+//!   group id; cross-group shares are rejected with
+//!   [`ProtocolError::WrongGroup`]), per-group running sums exactly as
+//!   `ServerRound` keeps them, and per-group dropout budgets — each
+//!   group decodes the moment *its* survivor set reaches `U_g`, so one
+//!   stalled group never blocks the others' decode (and, with
+//!   [`GroupedFederation::with_partial_recovery`], not even the round).
+//!
+//! # Privacy model
+//!
+//! `T`-privacy holds **per group**: group `g` tolerates up to `t_g`
+//! colluders *among its own members* (plus the server). Colluders in
+//! other groups learn nothing about group `g` — they never receive its
+//! mask shares. The trade-off for the ~`G`× smaller offline cost is
+//! that the collusion bound within each group is `t_g < n_g`, not the
+//! flat topology's global `T < N`; deployments choose `G` accordingly.
+//!
+//! # Example: 8 clients in 2 groups behind the one `Federation` loop
+//!
+//! ```
+//! use lsa_protocol::federation::{Federation, RoundPlan};
+//! use lsa_protocol::topology::{GroupTopology, GroupedFederation};
+//! use lsa_protocol::transport::MemTransport;
+//! use lsa_field::{Field, Fp61};
+//!
+//! let topo = GroupTopology::uniform(8, 2, 0.25, 0.75, 3).unwrap();
+//! let grouped = GroupedFederation::new(topo, MemTransport::new(), 7).unwrap();
+//! let mut fed = Federation::new(Box::new(grouped));
+//! let out = fed
+//!     .run_round(&RoundPlan::full(8).with_uniform_updates(vec![Fp61::ONE; 3]))
+//!     .unwrap();
+//! assert_eq!(out.aggregate, vec![Fp61::from_u64(8); 3]);
+//! ```
+
+use crate::config::LsaConfig;
+use crate::federation::{
+    claim_prepared, ensure_unprepared, FederationClient, FederationServer, OpenRound, RoundOutcome,
+    SecureAggregator,
+};
+use crate::session::{Outgoing, Recipient, Session};
+use crate::transport::Transport;
+use crate::ProtocolError;
+use lsa_field::Field;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A partition of an `N`-client cohort into `G` aggregation groups,
+/// each running its own independently-parameterised LightSecAgg
+/// instance over a shared transport.
+///
+/// Global client ids are contiguous per group: group `g` owns
+/// `[start_g, start_g + n_g)`. Protocol messages use *group-local*
+/// indices (each group has its own evaluation points `1..=n_g`), so
+/// every envelope also carries the group id for routing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupTopology {
+    configs: Vec<LsaConfig>,
+    /// `starts[g]` — first global id of group `g`.
+    starts: Vec<usize>,
+    n: usize,
+    d: usize,
+    /// Flat summary of the grouped deployment (see
+    /// [`GroupTopology::aggregate_view`]).
+    view: LsaConfig,
+}
+
+impl GroupTopology {
+    /// The trivial topology: one group containing everyone (`G = 1`) —
+    /// byte-for-byte the flat protocol.
+    pub fn flat(cfg: LsaConfig) -> Self {
+        Self::from_configs(vec![cfg]).expect("a single valid config is a valid topology")
+    }
+
+    /// Build a topology from explicit per-group configurations (groups
+    /// may be heterogeneous in size and thresholds, e.g. a high-trust
+    /// group with small `t` next to a large open group).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::InvalidConfig`] if no groups are given
+    /// or the groups disagree on the model dimension `d`.
+    pub fn from_configs(configs: Vec<LsaConfig>) -> Result<Self, ProtocolError> {
+        let Some(first) = configs.first() else {
+            return Err(ProtocolError::InvalidConfig(
+                "topology needs at least one group".into(),
+            ));
+        };
+        let d = first.d();
+        if let Some(bad) = configs.iter().find(|c| c.d() != d) {
+            return Err(ProtocolError::InvalidConfig(format!(
+                "all groups must share the model dimension (got {} and {})",
+                d,
+                bad.d()
+            )));
+        }
+        let mut starts = Vec::with_capacity(configs.len());
+        let mut n = 0usize;
+        for cfg in &configs {
+            starts.push(n);
+            n += cfg.n();
+        }
+        // The flat summary: privacy holds against min t_g colluders
+        // (within any one group), and a round needs every group's U_g
+        // survivors — Σ U_g in total.
+        let t_min = configs.iter().map(LsaConfig::t).min().unwrap_or(0);
+        let u_sum = configs.iter().map(LsaConfig::u).sum::<usize>().min(n);
+        let view = LsaConfig::new(n, t_min, u_sum, d)?;
+        Ok(Self {
+            configs,
+            starts,
+            n,
+            d,
+            view,
+        })
+    }
+
+    /// Partition `n` clients into `groups` near-equal contiguous groups
+    /// (sizes differ by at most one), deriving each group's thresholds
+    /// from the fractions: `t_g = ⌊n_g·t_frac⌋` colluders tolerated and
+    /// `u_g = max(t_g + 1, ⌈n_g·u_frac⌉)` survivors required.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::InvalidConfig`] if `groups == 0`, any
+    /// group would have fewer than 2 members (`n < 2·groups`), the
+    /// fractions are out of range (`0 ≤ t_frac < u_frac ≤ 1`), or a
+    /// derived per-group configuration is invalid.
+    pub fn uniform(
+        n: usize,
+        groups: usize,
+        t_frac: f64,
+        u_frac: f64,
+        d: usize,
+    ) -> Result<Self, ProtocolError> {
+        if groups == 0 {
+            return Err(ProtocolError::InvalidConfig(
+                "topology needs at least one group".into(),
+            ));
+        }
+        if n < 2 * groups {
+            return Err(ProtocolError::InvalidConfig(format!(
+                "{n} clients cannot fill {groups} groups of at least 2"
+            )));
+        }
+        if !(0.0..1.0).contains(&t_frac) || !(0.0..=1.0).contains(&u_frac) || t_frac >= u_frac {
+            return Err(ProtocolError::InvalidConfig(format!(
+                "need 0 <= t_frac < u_frac <= 1 (got t_frac={t_frac}, u_frac={u_frac})"
+            )));
+        }
+        let base = n / groups;
+        let extra = n % groups;
+        let configs = (0..groups)
+            .map(|g| {
+                let m = base + usize::from(g < extra);
+                let t = ((m as f64 * t_frac).floor() as usize).min(m.saturating_sub(2));
+                let u = ((m as f64 * u_frac).ceil() as usize).clamp(t + 1, m);
+                LsaConfig::new(m, t, u, d)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Self::from_configs(configs)
+    }
+
+    /// Number of groups `G`.
+    pub fn num_groups(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// Total clients `N` across all groups.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The (shared) model dimension `d`.
+    pub fn d(&self) -> usize {
+        self.d
+    }
+
+    /// Group `g`'s own protocol configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is out of range.
+    pub fn group_config(&self, g: usize) -> LsaConfig {
+        self.configs[g]
+    }
+
+    /// All per-group configurations, in group order.
+    pub fn configs(&self) -> &[LsaConfig] {
+        &self.configs
+    }
+
+    /// The global-id range owned by group `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is out of range.
+    pub fn group_members(&self, g: usize) -> core::ops::Range<usize> {
+        self.starts[g]..self.starts[g] + self.configs[g].n()
+    }
+
+    /// Map a global client id to its `(group, local index)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::UnknownUser`] for an out-of-range id.
+    pub fn locate(&self, global: usize) -> Result<(usize, usize), ProtocolError> {
+        if global >= self.n {
+            return Err(ProtocolError::UnknownUser(global));
+        }
+        let g = match self.starts.binary_search(&global) {
+            Ok(exact) => exact,
+            Err(insert) => insert - 1,
+        };
+        Ok((g, global - self.starts[g]))
+    }
+
+    /// Map a `(group, local index)` back to the global client id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is out of range (a local index out of range yields
+    /// an id owned by a later group; callers validate against the group
+    /// config).
+    pub fn global_id(&self, g: usize, local: usize) -> usize {
+        self.starts[g] + local
+    }
+
+    /// The flat single-`LsaConfig` summary of this deployment, used
+    /// where an aggregate view is needed (e.g.
+    /// [`SecureAggregator::config`]): `N` total clients, privacy
+    /// against `min_g t_g` colluders within any one group, and
+    /// `Σ_g u_g` survivors required in total.
+    pub fn aggregate_view(&self) -> LsaConfig {
+        self.view
+    }
+
+    /// Offline coded-share messages each client of group `g` sends per
+    /// round (`n_g − 1`) — the quantity grouping shrinks ~`G`×.
+    pub fn offline_messages_per_client(&self, g: usize) -> usize {
+        self.configs[g].n() - 1
+    }
+}
+
+/// One group's persistent endpoints.
+#[derive(Debug, Clone)]
+struct GroupEndpoints<F> {
+    clients: Vec<FederationClient<F>>,
+    server: FederationServer<F>,
+}
+
+/// Route group `g`'s outgoing envelopes onto the shared transport: a
+/// group-local `Recipient::Client` translates to its global id, and
+/// anything addressed to a client outside `online` (global ids) is
+/// discarded undelivered — the one place the translate-then-filter rule
+/// lives, shared by the drain paths and `pump`'s response forwarding.
+fn route_outgoing<F, T>(
+    transport: &mut T,
+    topology: &GroupTopology,
+    g: usize,
+    from: Recipient,
+    outputs: impl IntoIterator<Item = Outgoing<F>>,
+    online: &BTreeSet<usize>,
+) -> Result<(), ProtocolError>
+where
+    F: Field,
+    T: Transport<F>,
+{
+    for (to, envelope) in outputs {
+        let to = match to {
+            Recipient::Client(local) => {
+                let gid = topology.global_id(g, local);
+                if !online.contains(&gid) {
+                    continue;
+                }
+                Recipient::Client(gid)
+            }
+            Recipient::Server => Recipient::Server,
+        };
+        transport.send(from, to, &envelope)?;
+    }
+    Ok(())
+}
+
+/// The grouped multi-round federation: a [`SecureAggregator`] running
+/// `G` independent per-group protocol instances over one shared
+/// transport, summing the per-group aggregates into the global one.
+///
+/// The driver-facing lifecycle (`open_round → submit* → finish_round`)
+/// is identical to the flat [`crate::federation::SyncFederation`], so
+/// the existing [`crate::federation::Federation`] loop drives it
+/// unchanged through `Box<dyn SecureAggregator>`. Internally every
+/// phase runs per group: mask exchange within the group only, one
+/// running sum per group, and recovery that completes group-by-group as
+/// each `U_g`-th aggregated share arrives.
+#[derive(Debug, Clone)]
+pub struct GroupedFederation<F, T> {
+    topology: GroupTopology,
+    transport: T,
+    groups: Vec<GroupEndpoints<F>>,
+    next_round: u64,
+    open: Option<OpenRound>,
+    /// Groups opened for the current round (nonempty sub-cohorts).
+    participating: Vec<usize>,
+    /// Rounds whose offline exchange already ran, with their cohorts.
+    prepared: BTreeMap<u64, BTreeSet<usize>>,
+    /// When set, a group that cannot decode is skipped (its updates are
+    /// lost for the round) instead of failing the whole round.
+    partial_recovery: bool,
+    /// Groups skipped by the last `finish_round` in partial mode.
+    stalled: Vec<usize>,
+}
+
+impl<F: Field, T: Transport<F>> GroupedFederation<F, T> {
+    /// Create the grouped federation over `transport`; all entropy for
+    /// the whole run derives from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates invalid configuration.
+    pub fn new(topology: GroupTopology, transport: T, seed: u64) -> Result<Self, ProtocolError> {
+        let mut master = StdRng::seed_from_u64(seed);
+        let groups = (0..topology.num_groups())
+            .map(|g| {
+                let cfg = topology.group_config(g);
+                let clients = (0..cfg.n())
+                    .map(|local| {
+                        FederationClient::in_group(
+                            g,
+                            local,
+                            cfg,
+                            StdRng::seed_from_u64(master.gen()),
+                        )
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(GroupEndpoints {
+                    clients,
+                    server: FederationServer::in_group(g, cfg),
+                })
+            })
+            .collect::<Result<Vec<_>, ProtocolError>>()?;
+        Ok(Self {
+            topology,
+            transport,
+            groups,
+            next_round: 0,
+            open: None,
+            participating: Vec::new(),
+            prepared: BTreeMap::new(),
+            partial_recovery: false,
+            stalled: Vec::new(),
+        })
+    }
+
+    /// Skip groups that cannot decode (because dropouts exceeded *their*
+    /// budget) instead of failing the round: the surviving groups' sum
+    /// is still emitted, and [`Self::stalled_groups`] reports who was
+    /// left out. Off by default — losing a whole group's updates
+    /// silently is a policy decision, not a default.
+    #[must_use]
+    pub fn with_partial_recovery(mut self) -> Self {
+        self.partial_recovery = true;
+        self
+    }
+
+    /// The topology this federation runs.
+    pub fn topology(&self) -> &GroupTopology {
+        &self.topology
+    }
+
+    /// The underlying transport (for byte/timing statistics).
+    pub fn transport(&self) -> &T {
+        &self.transport
+    }
+
+    /// Mutable access to the transport.
+    pub fn transport_mut(&mut self) -> &mut T {
+        &mut self.transport
+    }
+
+    /// Groups skipped by the most recent [`SecureAggregator::finish_round`]
+    /// under [`Self::with_partial_recovery`] (empty after a full round).
+    pub fn stalled_groups(&self) -> &[usize] {
+        &self.stalled
+    }
+
+    /// Drain one group member's queued envelopes into the shared
+    /// transport (local recipients translated to global ids, offline
+    /// destinations discarded — see [`route_outgoing`]).
+    fn drain_client(
+        &mut self,
+        g: usize,
+        local: usize,
+        online: &BTreeSet<usize>,
+    ) -> Result<(), ProtocolError> {
+        let from = Recipient::Client(self.topology.global_id(g, local));
+        route_outgoing(
+            &mut self.transport,
+            &self.topology,
+            g,
+            from,
+            core::iter::from_fn(|| self.groups[g].clients[local].poll_output()),
+            online,
+        )
+    }
+
+    /// Drain one group server's announcements (addressed to group-local
+    /// survivors) into the shared transport.
+    fn drain_server(&mut self, g: usize, online: &BTreeSet<usize>) -> Result<(), ProtocolError> {
+        route_outgoing(
+            &mut self.transport,
+            &self.topology,
+            g,
+            Recipient::Server,
+            core::iter::from_fn(|| self.groups[g].server.poll_output()),
+            online,
+        )
+    }
+
+    /// Deliver every receivable envelope: client-bound traffic routes by
+    /// the *global* recipient id (then the addressed client validates
+    /// the envelope's group id), server-bound traffic dispatches to the
+    /// per-group server by the envelope's group id.
+    fn pump(&mut self, online: &BTreeSet<usize>) -> Result<(), ProtocolError> {
+        while let Some(delivery) = self.transport.recv()? {
+            let (g, responses) = match delivery.to {
+                Recipient::Client(gid) => {
+                    if !online.contains(&gid) {
+                        continue;
+                    }
+                    let (g, local) = self.topology.locate(gid)?;
+                    (g, self.groups[g].clients[local].handle(delivery.envelope)?)
+                }
+                Recipient::Server => {
+                    let g = delivery.envelope.group();
+                    if g >= self.groups.len() {
+                        return Err(ProtocolError::UnknownGroup {
+                            got: g,
+                            groups: self.groups.len(),
+                        });
+                    }
+                    (g, self.groups[g].server.handle(delivery.envelope)?)
+                }
+            };
+            route_outgoing(
+                &mut self.transport,
+                &self.topology,
+                g,
+                delivery.to,
+                responses,
+                online,
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Run the offline mask exchange for `round`, independently within
+    /// every group that has cohort members.
+    fn exchange_masks(
+        &mut self,
+        round: u64,
+        cohort: &BTreeSet<usize>,
+        label: &'static str,
+    ) -> Result<(), ProtocolError> {
+        for &gid in cohort {
+            let (g, local) = self.topology.locate(gid)?;
+            self.groups[g].clients[local].prepare(round)?;
+        }
+        for &gid in cohort {
+            let (g, local) = self.topology.locate(gid)?;
+            self.drain_client(g, local, cohort)?;
+        }
+        self.transport.flush(label);
+        self.pump(cohort)
+    }
+
+    /// Validate a global cohort: unique in-range ids, and every group
+    /// with members present must field at least its own `U_g` (a group
+    /// below threshold could never decode).
+    fn validate_cohort(
+        &self,
+        cohort: &[usize],
+    ) -> Result<(BTreeSet<usize>, Vec<usize>), ProtocolError> {
+        let set: BTreeSet<usize> = cohort.iter().copied().collect();
+        if set.len() != cohort.len() {
+            return Err(ProtocolError::InvalidConfig(
+                "cohort contains duplicate ids".into(),
+            ));
+        }
+        if let Some(&bad) = set.iter().find(|&&id| id >= self.topology.n()) {
+            return Err(ProtocolError::UnknownUser(bad));
+        }
+        let mut participating = Vec::new();
+        for g in 0..self.topology.num_groups() {
+            let members = self.topology.group_members(g);
+            let present = set.range(members).count();
+            if present == 0 {
+                continue;
+            }
+            let need = self.topology.group_config(g).u();
+            if present < need {
+                return Err(ProtocolError::NotEnoughSurvivors { got: present, need });
+            }
+            participating.push(g);
+        }
+        if participating.is_empty() {
+            return Err(ProtocolError::NotEnoughSurvivors {
+                got: 0,
+                need: self.topology.aggregate_view().u(),
+            });
+        }
+        Ok((set, participating))
+    }
+}
+
+impl<F: Field, T: Transport<F>> SecureAggregator<F> for GroupedFederation<F, T> {
+    fn config(&self) -> LsaConfig {
+        self.topology.aggregate_view()
+    }
+
+    fn round(&self) -> u64 {
+        self.open.as_ref().map_or(self.next_round, |o| o.round)
+    }
+
+    fn open_round(&mut self, cohort: &[usize]) -> Result<u64, ProtocolError> {
+        if self.open.is_some() {
+            return Err(ProtocolError::WrongPhase);
+        }
+        let (cohort, participating) = self.validate_cohort(cohort)?;
+        let round = self.next_round;
+        if !claim_prepared(&mut self.prepared, round, &cohort)? {
+            self.exchange_masks(round, &cohort, "offline")?;
+        }
+        for &g in &participating {
+            self.groups[g].server.open_round(round)?;
+        }
+        self.next_round = round + 1;
+        self.participating = participating;
+        self.open = Some(OpenRound::new(round, cohort));
+        Ok(round)
+    }
+
+    fn prepare_next(&mut self, cohort: &[usize]) -> Result<(), ProtocolError> {
+        let round = self.next_round;
+        ensure_unprepared(&self.prepared, round)?;
+        let (cohort, _) = self.validate_cohort(cohort)?;
+        self.exchange_masks(round, &cohort, "offline-overlap")?;
+        self.prepared.insert(round, cohort);
+        Ok(())
+    }
+
+    fn submit(&mut self, id: usize, update: &[F]) -> Result<(), ProtocolError> {
+        let open = self.open.as_ref().ok_or(ProtocolError::WrongPhase)?;
+        open.require_member(id)?;
+        if open.submitted.contains(&id) {
+            return Err(ProtocolError::DuplicateMessage(id));
+        }
+        let round = open.round;
+        let online = open.online();
+        let (g, local) = self.topology.locate(id)?;
+        self.groups[g].clients[local].upload(round, update)?;
+        self.open
+            .as_mut()
+            .expect("round is open")
+            .submitted
+            .insert(id);
+        self.drain_client(g, local, &online)
+    }
+
+    fn mark_dropped(&mut self, id: usize) -> Result<(), ProtocolError> {
+        let open = self.open.as_mut().ok_or(ProtocolError::WrongPhase)?;
+        open.require_member(id)?;
+        open.dropped.insert(id);
+        Ok(())
+    }
+
+    fn finish_round(&mut self) -> Result<RoundOutcome<F>, ProtocolError> {
+        let open = self.open.clone().ok_or(ProtocolError::WrongPhase)?;
+        let online = open.online();
+        let participating = self.participating.clone();
+
+        // Deliver the (already sent) masked uploads to every group.
+        self.transport.flush("upload");
+        self.pump(&online)?;
+
+        // Fix each group's survivor set independently; a group whose
+        // uploads fell below U_g stalls here.
+        let mut stalled: Vec<usize> = Vec::new();
+        let mut first_error = None;
+        // (group, group-local survivors) for every decodable group
+        let mut decodable: Vec<(usize, Vec<usize>)> = Vec::new();
+        for &g in &participating {
+            match self.groups[g].server.close_upload() {
+                Ok(survivors) => decodable.push((g, survivors)),
+                Err(e) => {
+                    if !self.partial_recovery {
+                        return Err(e);
+                    }
+                    first_error.get_or_insert(e);
+                    stalled.push(g);
+                }
+            }
+        }
+        if decodable.is_empty() {
+            return Err(first_error.expect("at least one group participated"));
+        }
+
+        // Announce per group, then let every group's recovery complete
+        // as its own U_g-th share arrives — no cross-group barrier.
+        for &(g, _) in &decodable {
+            self.drain_server(g, &online)?;
+        }
+        self.transport.flush("announce");
+        self.pump(&online)?;
+        self.transport.flush("recovery");
+        self.pump(&online)?;
+
+        // Sum the per-group aggregates into the global one.
+        let mut aggregate = vec![F::ZERO; self.topology.d()];
+        let mut contributors = Vec::new();
+        for (g, survivors) in decodable {
+            match self.groups[g].server.close_round() {
+                Ok(group_aggregate) => {
+                    lsa_field::ops::add_assign(&mut aggregate, &group_aggregate);
+                    contributors.extend(
+                        survivors
+                            .iter()
+                            .map(|&local| self.topology.global_id(g, local)),
+                    );
+                }
+                Err(e) => {
+                    if !self.partial_recovery {
+                        return Err(e);
+                    }
+                    // too few aggregated shares arrived: retire the
+                    // stalled group's round so the next one can open
+                    self.groups[g].server.abort_round();
+                    stalled.push(g);
+                }
+            }
+        }
+        if contributors.is_empty() {
+            return Err(ProtocolError::NotEnoughSurvivors {
+                got: 0,
+                need: self.topology.aggregate_view().u(),
+            });
+        }
+        for &g in &stalled {
+            self.groups[g].server.abort_round();
+        }
+
+        // Retire the finished round everywhere; prepared next-round
+        // sessions survive (they are >= round + 1).
+        for group in &mut self.groups {
+            for client in &mut group.clients {
+                client.retire_below(open.round + 1);
+            }
+        }
+        contributors.sort_unstable();
+        self.stalled = stalled;
+        self.open = None;
+        self.participating = Vec::new();
+        Ok(RoundOutcome {
+            round: open.round,
+            aggregate,
+            total_weight: contributors.len() as u64,
+            contributors,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::federation::{Federation, RoundPlan, SyncFederation};
+    use crate::messages::CodedMaskShare;
+    use crate::transport::MemTransport;
+    use crate::wire::Envelope;
+    use lsa_field::Fp61;
+
+    fn topo_2x4(d: usize) -> GroupTopology {
+        // two groups of 4: t=1, u=3 each
+        GroupTopology::uniform(8, 2, 0.25, 0.75, d).unwrap()
+    }
+
+    fn updates(ids: &[usize], d: usize) -> Vec<(usize, Vec<Fp61>)> {
+        ids.iter()
+            .map(|&i| (i, vec![Fp61::from_u64(i as u64 + 1); d]))
+            .collect()
+    }
+
+    fn expected(ids: &[usize], d: usize) -> Vec<Fp61> {
+        let total: u64 = ids.iter().map(|&i| i as u64 + 1).sum();
+        vec![Fp61::from_u64(total); d]
+    }
+
+    #[test]
+    fn uniform_topology_partitions_contiguously() {
+        let topo = GroupTopology::uniform(10, 3, 0.25, 0.8, 5).unwrap();
+        assert_eq!(topo.num_groups(), 3);
+        assert_eq!(topo.n(), 10);
+        // 10 = 4 + 3 + 3
+        assert_eq!(topo.group_members(0), 0..4);
+        assert_eq!(topo.group_members(1), 4..7);
+        assert_eq!(topo.group_members(2), 7..10);
+        for global in 0..10 {
+            let (g, local) = topo.locate(global).unwrap();
+            assert!(topo.group_members(g).contains(&global));
+            assert_eq!(topo.global_id(g, local), global);
+        }
+        assert!(matches!(
+            topo.locate(10),
+            Err(ProtocolError::UnknownUser(10))
+        ));
+    }
+
+    #[test]
+    fn invalid_topologies_rejected() {
+        assert!(GroupTopology::uniform(8, 0, 0.2, 0.8, 4).is_err()); // no groups
+        assert!(GroupTopology::uniform(5, 3, 0.2, 0.8, 4).is_err()); // group of 1
+        assert!(GroupTopology::uniform(8, 2, 0.8, 0.5, 4).is_err()); // t >= u
+                                                                     // mixed dimensions
+        let a = LsaConfig::new(4, 1, 3, 6).unwrap();
+        let b = LsaConfig::new(4, 1, 3, 7).unwrap();
+        assert!(GroupTopology::from_configs(vec![a, b]).is_err());
+        assert!(GroupTopology::from_configs(Vec::new()).is_err());
+    }
+
+    #[test]
+    fn grouped_rounds_match_flat_aggregate() {
+        let d = 4;
+        let grouped = GroupedFederation::new(topo_2x4(d), MemTransport::new(), 1).unwrap();
+        let mut fed: Federation<Fp61> = Federation::new(Box::new(grouped));
+        let all: Vec<usize> = (0..8).collect();
+        for round in 0..3u64 {
+            let mut plan = RoundPlan::new(all.clone());
+            plan.updates = updates(&all, d);
+            let out = fed.run_round(&plan).unwrap();
+            assert_eq!(out.round, round);
+            assert_eq!(out.aggregate, expected(&all, d));
+            assert_eq!(out.contributors, all);
+            assert_eq!(out.total_weight, 8);
+        }
+    }
+
+    #[test]
+    fn grouped_matches_flat_federation_result() {
+        // same updates through a flat SyncFederation and the grouped
+        // topology: identical aggregates (masks differ, sums agree)
+        let d = 5;
+        let all: Vec<usize> = (0..8).collect();
+        let mut plan = RoundPlan::new(all.clone());
+        plan.updates = updates(&all, d);
+
+        let flat_cfg = LsaConfig::new(8, 2, 6, d).unwrap();
+        let flat = SyncFederation::new(flat_cfg, MemTransport::new(), 3).unwrap();
+        let mut flat_fed: Federation<Fp61> = Federation::new(Box::new(flat));
+        let flat_out = flat_fed.run_round(&plan).unwrap();
+
+        let grouped = GroupedFederation::new(topo_2x4(d), MemTransport::new(), 4).unwrap();
+        let mut grouped_fed: Federation<Fp61> = Federation::new(Box::new(grouped));
+        let grouped_out = grouped_fed.run_round(&plan).unwrap();
+
+        assert_eq!(flat_out.aggregate, grouped_out.aggregate);
+    }
+
+    #[test]
+    fn per_group_dropout_budgets_are_independent() {
+        // each group of 4 (u=3) tolerates one missing upload; one
+        // missing member per group must not starve the other group
+        let d = 3;
+        let grouped = GroupedFederation::new(topo_2x4(d), MemTransport::new(), 5).unwrap();
+        let mut fed: Federation<Fp61> = Federation::new(Box::new(grouped));
+        let cohort: Vec<usize> = (0..8).collect();
+        let present: Vec<usize> = vec![0, 1, 2, 4, 5, 7]; // 3 & 6 never upload
+        let mut plan = RoundPlan::new(cohort);
+        plan.updates = updates(&present, d);
+        let out = fed.run_round(&plan).unwrap();
+        assert_eq!(out.contributors, present);
+        assert_eq!(out.aggregate, expected(&present, d));
+    }
+
+    #[test]
+    fn after_upload_drops_within_group_budget_recover() {
+        let d = 3;
+        let grouped = GroupedFederation::new(topo_2x4(d), MemTransport::new(), 6).unwrap();
+        let mut fed: Federation<Fp61> = Federation::new(Box::new(grouped));
+        let all: Vec<usize> = (0..8).collect();
+        let mut plan = RoundPlan::new(all.clone());
+        plan.updates = updates(&all, d);
+        plan.drop_after_upload = vec![1, 6]; // one per group — within budget
+        let out = fed.run_round(&plan).unwrap();
+        // uploaded-then-vanished clients stay in the aggregate
+        assert_eq!(out.aggregate, expected(&all, d));
+    }
+
+    #[test]
+    fn stalled_group_fails_strict_but_not_partial() {
+        let d = 3;
+        let all: Vec<usize> = (0..8).collect();
+        // group 1 loses 2 of 4 after upload: only 2 < u=3 recovery
+        // helpers remain, so its decode stalls
+        let mut plan = RoundPlan::new(all.clone());
+        plan.updates = updates(&all, d);
+        plan.drop_after_upload = vec![5, 6];
+
+        let strict = GroupedFederation::new(topo_2x4(d), MemTransport::new(), 7).unwrap();
+        let mut fed: Federation<Fp61> = Federation::new(Box::new(strict));
+        assert!(matches!(
+            fed.run_round(&plan),
+            Err(ProtocolError::NotEnoughSurvivors { .. })
+        ));
+
+        let partial = GroupedFederation::new(topo_2x4(d), MemTransport::new(), 7)
+            .unwrap()
+            .with_partial_recovery();
+        let mut fed: Federation<Fp61> = Federation::new(Box::new(partial));
+        let out = fed.run_round(&plan).unwrap();
+        // group 0 (clients 0..4) decoded alone — group 1 is lost
+        assert_eq!(out.contributors, vec![0, 1, 2, 3]);
+        assert_eq!(out.aggregate, expected(&[0, 1, 2, 3], d));
+        // and the next round still runs
+        let mut next = RoundPlan::new(all.clone());
+        next.updates = updates(&all, d);
+        let out = fed.run_round(&next).unwrap();
+        assert_eq!(out.round, 1);
+        assert_eq!(out.aggregate, expected(&all, d));
+    }
+
+    #[test]
+    fn group_sitting_out_does_not_block_round() {
+        // only group 0's members in the cohort: group 1 sits out
+        let d = 3;
+        let grouped = GroupedFederation::new(topo_2x4(d), MemTransport::new(), 8).unwrap();
+        let mut fed: Federation<Fp61> = Federation::new(Box::new(grouped));
+        let cohort: Vec<usize> = vec![0, 1, 2, 3];
+        let mut plan = RoundPlan::new(cohort.clone());
+        plan.updates = updates(&cohort, d);
+        let out = fed.run_round(&plan).unwrap();
+        assert_eq!(out.contributors, cohort);
+    }
+
+    #[test]
+    fn undersized_group_cohort_rejected() {
+        let d = 3;
+        let grouped =
+            GroupedFederation::<Fp61, _>::new(topo_2x4(d), MemTransport::new(), 9).unwrap();
+        let mut fed = Federation::new(Box::new(grouped));
+        // group 1 fields only 2 members < u=3
+        let err = fed
+            .run_round(&RoundPlan::new(vec![0, 1, 2, 3, 4, 5]))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ProtocolError::NotEnoughSurvivors { got: 2, need: 3 }
+        ));
+    }
+
+    #[test]
+    fn overlapped_preparation_reused_by_next_round() {
+        let d = 4;
+        let grouped = GroupedFederation::new(topo_2x4(d), MemTransport::new(), 10).unwrap();
+        let mut fed: Federation<Fp61> = Federation::new(Box::new(grouped));
+        let all: Vec<usize> = (0..8).collect();
+        let mut p0 = RoundPlan::new(all.clone()).with_prepare_next(all.clone());
+        p0.updates = updates(&all, d);
+        let out0 = fed.run_round(&p0).unwrap();
+        let mut p1 = RoundPlan::new(all.clone());
+        p1.updates = updates(&all, d);
+        let out1 = fed.run_round(&p1).unwrap();
+        assert_eq!(out0.aggregate, out1.aggregate);
+        assert_eq!(out1.round, 1);
+    }
+
+    #[test]
+    fn cross_group_mask_share_rejected_with_typed_error() {
+        // a share stamped for group 1 delivered to a group-0 client must
+        // surface as WrongGroup — never as a routable same-round share
+        let cfg = LsaConfig::new(4, 1, 3, 6).unwrap();
+        let mut client =
+            FederationClient::<Fp61>::in_group(0, 1, cfg, rand::SeedableRng::seed_from_u64(11))
+                .unwrap();
+        client.prepare(0).unwrap();
+        let foreign = Envelope::CodedMaskShare(CodedMaskShare {
+            from: 0,
+            to: 1,
+            group: 1,
+            round: 0,
+            payload: vec![Fp61::ZERO; cfg.segment_len()],
+        });
+        assert!(matches!(
+            client.handle(foreign),
+            Err(ProtocolError::WrongGroup {
+                got: 1,
+                expected: 0
+            })
+        ));
+    }
+
+    #[test]
+    fn server_bound_envelope_for_unknown_group_rejected() {
+        let d = 3;
+        let mut grouped =
+            GroupedFederation::<Fp61, _>::new(topo_2x4(d), MemTransport::new(), 12).unwrap();
+        let all: Vec<usize> = (0..8).collect();
+        grouped.open_round(&all).unwrap();
+        // inject a masked model claiming group 7 (no such group)
+        let cfg = grouped.topology().group_config(0);
+        let ghost = Envelope::MaskedModel(crate::messages::MaskedModel {
+            from: 0,
+            group: 7,
+            round: 0,
+            payload: vec![Fp61::ZERO; cfg.padded_len()],
+        });
+        grouped
+            .transport_mut()
+            .send(Recipient::Client(0), Recipient::Server, &ghost)
+            .unwrap();
+        let online: BTreeSet<usize> = all.iter().copied().collect();
+        assert!(matches!(
+            grouped.pump(&online),
+            Err(ProtocolError::UnknownGroup { got: 7, groups: 2 })
+        ));
+    }
+
+    #[test]
+    fn flat_topology_is_the_single_group_special_case() {
+        let cfg = LsaConfig::new(5, 1, 4, 4).unwrap();
+        let topo = GroupTopology::flat(cfg);
+        assert_eq!(topo.num_groups(), 1);
+        assert_eq!(topo.aggregate_view(), cfg);
+        let grouped = GroupedFederation::new(topo, MemTransport::new(), 13).unwrap();
+        let mut fed: Federation<Fp61> = Federation::new(Box::new(grouped));
+        let all: Vec<usize> = (0..5).collect();
+        let mut plan = RoundPlan::new(all.clone());
+        plan.updates = updates(&all, 4);
+        let out = fed.run_round(&plan).unwrap();
+        assert_eq!(out.aggregate, expected(&all, 4));
+    }
+}

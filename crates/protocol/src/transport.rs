@@ -306,6 +306,7 @@ mod tests {
     fn env(from: usize, elems: usize) -> Envelope<Fp61> {
         Envelope::MaskedModel(MaskedModel {
             from,
+            group: 0,
             round: 0,
             payload: vec![Fp61::from_u64(9); elems],
         })

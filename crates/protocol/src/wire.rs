@@ -15,7 +15,9 @@
 //!
 //! ```text
 //! [0]      tag (one byte per message kind)
-//! [1..]    kind-specific header fields (u32 ids, u64 rounds/weights)
+//! [1..5]   group id as u32 (fixed offset for every kind, so routers
+//!          can dispatch without decoding the payload)
+//! [5..]    kind-specific header fields (u32 ids, u64 rounds/weights)
 //! [..]     element count as u32, then residues, each in
 //!          ceil(F::BITS / 8) bytes
 //! ```
@@ -25,6 +27,12 @@
 //! (offline sharing for round `t+1` overlaps round `t`, §4.1), so
 //! endpoints route by round and reject replays from past rounds with
 //! [`crate::ProtocolError::StaleRound`].
+//!
+//! Every envelope kind also carries a **group id** ([`Envelope::group`]):
+//! a grouped topology ([`crate::topology`]) runs one protocol instance
+//! per group over a shared transport with group-local user indices, so
+//! endpoints reject cross-group traffic with
+//! [`crate::ProtocolError::WrongGroup`]. The flat topology is group 0.
 //!
 //! Residues are validated on decode: a non-canonical value (≥ the field
 //! modulus) is rejected with [`WireError::NonCanonicalElement`] rather
@@ -166,9 +174,11 @@ impl fmt::Display for EnvelopeKind {
 /// coded shares.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SurvivorAnnouncement {
+    /// Aggregation group whose upload phase closed (0 when flat).
+    pub group: usize,
     /// The round whose upload phase just closed.
     pub round: u64,
-    /// The survivor set, ascending.
+    /// The survivor set (group-local indices), ascending.
     pub survivors: Vec<usize>,
 }
 
@@ -177,6 +187,8 @@ pub struct SurvivorAnnouncement {
 /// shares by (Appendix F.3.3).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BufferAnnouncement {
+    /// Aggregation group (the async variant runs flat, so always 0).
+    pub group: usize,
     /// The global round at which the buffer was fixed; clients echo it in
     /// their [`AggregatedShare`] so late responses to an earlier flush
     /// are rejected as stale.
@@ -238,24 +250,44 @@ impl<F: Field> Envelope<F> {
         }
     }
 
+    /// The aggregation group this envelope belongs to — every message
+    /// kind is group-scoped, so a shared transport can dispatch traffic
+    /// from several per-group protocol instances and cross-group shares
+    /// are rejected rather than misdelivered (the flat topology is
+    /// group 0).
+    pub fn group(&self) -> usize {
+        match self {
+            Envelope::CodedMaskShare(m) => m.group,
+            Envelope::MaskedModel(m) => m.group,
+            Envelope::SurvivorAnnouncement(a) => a.group,
+            Envelope::AggregatedShare(m) => m.group,
+            Envelope::TimestampedShare(m) => m.group,
+            Envelope::TimestampedUpdate(m) => m.group,
+            Envelope::BufferAnnouncement(a) => a.group,
+        }
+    }
+
     /// Exact serialized size in bytes (what a transport charges).
     pub fn wire_len(&self) -> usize {
         let eb = Self::elem_bytes();
-        1 + match self {
-            Envelope::CodedMaskShare(m) => 4 + 4 + 8 + 4 + m.payload.len() * eb,
-            Envelope::MaskedModel(m) => 4 + 8 + 4 + m.payload.len() * eb,
-            Envelope::SurvivorAnnouncement(a) => 8 + 4 + a.survivors.len() * 4,
-            Envelope::AggregatedShare(m) => 4 + 8 + 4 + m.payload.len() * eb,
-            Envelope::TimestampedShare(m) => 4 + 4 + 8 + 4 + m.payload.len() * eb,
-            Envelope::TimestampedUpdate(m) => 4 + 8 + 4 + m.payload.len() * eb,
-            Envelope::BufferAnnouncement(a) => 8 + 4 + a.entries.len() * (4 + 8 + 8),
-        }
+        // 1 tag + 4 group id, then the kind-specific header and payload
+        1 + 4
+            + match self {
+                Envelope::CodedMaskShare(m) => 4 + 4 + 8 + 4 + m.payload.len() * eb,
+                Envelope::MaskedModel(m) => 4 + 8 + 4 + m.payload.len() * eb,
+                Envelope::SurvivorAnnouncement(a) => 8 + 4 + a.survivors.len() * 4,
+                Envelope::AggregatedShare(m) => 4 + 8 + 4 + m.payload.len() * eb,
+                Envelope::TimestampedShare(m) => 4 + 4 + 8 + 4 + m.payload.len() * eb,
+                Envelope::TimestampedUpdate(m) => 4 + 8 + 4 + m.payload.len() * eb,
+                Envelope::BufferAnnouncement(a) => 8 + 4 + a.entries.len() * (4 + 8 + 8),
+            }
     }
 
     /// Serialize to the canonical byte encoding.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.wire_len());
         out.push(self.kind().tag());
+        put_u32(&mut out, self.group() as u32);
         match self {
             Envelope::CodedMaskShare(m) => {
                 put_u32(&mut out, m.from as u32);
@@ -314,15 +346,18 @@ impl<F: Field> Envelope<F> {
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, WireError> {
         let mut r = Reader { buf: bytes, pos: 0 };
         let tag = r.u8()?;
+        let group = r.u32()? as usize;
         let env = match tag {
             0x01 => Envelope::CodedMaskShare(CodedMaskShare {
                 from: r.u32()? as usize,
                 to: r.u32()? as usize,
+                group,
                 round: r.u64()?,
                 payload: r.elems::<F>()?,
             }),
             0x02 => Envelope::MaskedModel(MaskedModel {
                 from: r.u32()? as usize,
+                group,
                 round: r.u64()?,
                 payload: r.elems::<F>()?,
             }),
@@ -333,21 +368,28 @@ impl<F: Field> Envelope<F> {
                 for _ in 0..len {
                     survivors.push(r.u32()? as usize);
                 }
-                Envelope::SurvivorAnnouncement(SurvivorAnnouncement { round, survivors })
+                Envelope::SurvivorAnnouncement(SurvivorAnnouncement {
+                    group,
+                    round,
+                    survivors,
+                })
             }
             0x04 => Envelope::AggregatedShare(AggregatedShare {
                 from: r.u32()? as usize,
+                group,
                 round: r.u64()?,
                 payload: r.elems::<F>()?,
             }),
             0x05 => Envelope::TimestampedShare(TimestampedShare {
                 from: r.u32()? as usize,
                 to: r.u32()? as usize,
+                group,
                 round: r.u64()?,
                 payload: r.elems::<F>()?,
             }),
             0x06 => Envelope::TimestampedUpdate(TimestampedUpdate {
                 from: r.u32()? as usize,
+                group,
                 round: r.u64()?,
                 payload: r.elems::<F>()?,
             }),
@@ -362,7 +404,11 @@ impl<F: Field> Envelope<F> {
                         weight: r.u64()?,
                     });
                 }
-                Envelope::BufferAnnouncement(BufferAnnouncement { round, entries })
+                Envelope::BufferAnnouncement(BufferAnnouncement {
+                    group,
+                    round,
+                    entries,
+                })
             }
             other => return Err(WireError::UnknownTag(other)),
         };
@@ -472,6 +518,7 @@ mod tests {
         Envelope::CodedMaskShare(CodedMaskShare {
             from: 3,
             to: 1,
+            group: 2,
             round: 42,
             payload: vec![Fp61::from_u64(7), Fp61::from_u64(u64::MAX / 3)],
         })
@@ -509,9 +556,15 @@ mod tests {
 
     #[test]
     fn unknown_tag_detected() {
+        // tag byte + the fixed group-id field, then the unknown tag
+        // surfaces (a 1-byte buffer is Truncated at the group read)
+        assert!(matches!(
+            Envelope::<Fp61>::from_bytes(&[0xFF, 0, 0, 0, 0]),
+            Err(WireError::UnknownTag(0xFF))
+        ));
         assert!(matches!(
             Envelope::<Fp61>::from_bytes(&[0xFF]),
-            Err(WireError::UnknownTag(0xFF))
+            Err(WireError::Truncated { .. })
         ));
     }
 
@@ -520,6 +573,7 @@ mod tests {
         // an Fp32 element with residue ≥ 2^32 − 5
         let e: Envelope<Fp32> = Envelope::AggregatedShare(AggregatedShare {
             from: 0,
+            group: 0,
             round: 0,
             payload: vec![Fp32::from_u64(1)],
         });
@@ -542,6 +596,7 @@ mod tests {
     fn implausible_length_rejected() {
         // MaskedModel claiming 2^32−1 elements
         let mut bytes = vec![0x02];
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // group
         bytes.extend_from_slice(&0u32.to_le_bytes()); // from
         bytes.extend_from_slice(&0u64.to_le_bytes()); // round
         bytes.extend_from_slice(&u32::MAX.to_le_bytes());
@@ -557,6 +612,7 @@ mod tests {
         // Truncated immediately (no multi-hundred-MB pre-allocation)
         for tag in [0x02u8, 0x03, 0x04, 0x07] {
             let mut bytes = vec![tag];
+            bytes.extend_from_slice(&0u32.to_le_bytes()); // group
             if tag != 0x03 && tag != 0x07 {
                 bytes.extend_from_slice(&0u32.to_le_bytes()); // from
             }
@@ -573,17 +629,38 @@ mod tests {
     }
 
     #[test]
-    fn every_kind_reports_its_round() {
+    fn every_kind_reports_its_round_and_group() {
         assert_eq!(share().round(), 42);
+        assert_eq!(share().group(), 2);
         let ann: Envelope<Fp61> = Envelope::SurvivorAnnouncement(SurvivorAnnouncement {
+            group: 1,
             round: 9,
             survivors: vec![0, 2],
         });
         assert_eq!(ann.round(), 9);
+        assert_eq!(ann.group(), 1);
         let buf: Envelope<Fp61> = Envelope::BufferAnnouncement(BufferAnnouncement {
+            group: 0,
             round: 17,
             entries: Vec::new(),
         });
         assert_eq!(buf.round(), 17);
+        assert_eq!(buf.group(), 0);
+    }
+
+    #[test]
+    fn group_id_sits_at_fixed_offset_for_every_kind() {
+        // routers dispatch server-bound traffic by group without a full
+        // decode — bytes [1..5] must be the group id for every kind
+        let bytes = share().to_bytes();
+        assert_eq!(u32::from_le_bytes(bytes[1..5].try_into().unwrap()), 2);
+        let ann: Envelope<Fp61> = Envelope::SurvivorAnnouncement(SurvivorAnnouncement {
+            group: 7,
+            round: 1,
+            survivors: vec![0],
+        });
+        let bytes = ann.to_bytes();
+        assert_eq!(u32::from_le_bytes(bytes[1..5].try_into().unwrap()), 7);
+        assert_eq!(Envelope::<Fp61>::from_bytes(&bytes).unwrap().group(), 7);
     }
 }

@@ -22,6 +22,7 @@ fn payload<F: Field>(seed: u64, len: usize) -> Vec<F> {
 fn envelopes<F: Field>(
     from: usize,
     to: usize,
+    group: usize,
     round: u64,
     seed: u64,
     len: usize,
@@ -31,35 +32,42 @@ fn envelopes<F: Field>(
         Envelope::CodedMaskShare(CodedMaskShare {
             from,
             to,
+            group,
             round,
             payload: payload(seed, len),
         }),
         Envelope::MaskedModel(MaskedModel {
             from,
+            group,
             round,
             payload: payload(seed.wrapping_add(1), len),
         }),
         Envelope::SurvivorAnnouncement(SurvivorAnnouncement {
+            group,
             round,
             survivors: ids.to_vec(),
         }),
         Envelope::AggregatedShare(AggregatedShare {
             from,
+            group,
             round,
             payload: payload(seed.wrapping_add(2), len),
         }),
         Envelope::TimestampedShare(TimestampedShare {
             from,
             to,
+            group,
             round,
             payload: payload(seed.wrapping_add(3), len),
         }),
         Envelope::TimestampedUpdate(TimestampedUpdate {
             from,
+            group,
             round,
             payload: payload(seed.wrapping_add(4), len),
         }),
         Envelope::BufferAnnouncement(BufferAnnouncement {
+            group,
             round,
             entries: ids
                 .iter()
@@ -82,12 +90,13 @@ proptest! {
     fn roundtrip_fp61(
         from in 0usize..1024,
         to in 0usize..1024,
+        group in 0usize..64,
         round in any::<u64>(),
         seed in any::<u64>(),
         len in 0usize..40,
         ids in vec(0usize..4096, 0..12),
     ) {
-        for e in envelopes::<Fp61>(from, to, round, seed, len, &ids) {
+        for e in envelopes::<Fp61>(from, to, group, round, seed, len, &ids) {
             let bytes = e.to_bytes();
             prop_assert_eq!(bytes.len(), e.wire_len());
             let back = Envelope::<Fp61>::from_bytes(&bytes).unwrap();
@@ -100,12 +109,13 @@ proptest! {
     fn roundtrip_fp32(
         from in 0usize..1024,
         to in 0usize..1024,
+        group in 0usize..64,
         round in any::<u64>(),
         seed in any::<u64>(),
         len in 0usize..40,
         ids in vec(0usize..4096, 0..12),
     ) {
-        for e in envelopes::<Fp32>(from, to, round, seed, len, &ids) {
+        for e in envelopes::<Fp32>(from, to, group, round, seed, len, &ids) {
             let bytes = e.to_bytes();
             prop_assert_eq!(bytes.len(), e.wire_len());
             let back = Envelope::<Fp32>::from_bytes(&bytes).unwrap();
@@ -120,7 +130,7 @@ proptest! {
         len in 1usize..16,
         cut_frac in 0usize..100,
     ) {
-        for e in envelopes::<Fp61>(1, 2, 7, seed, len, &[0, 1, 2]) {
+        for e in envelopes::<Fp61>(1, 2, 3, 7, seed, len, &[0, 1, 2]) {
             let bytes = e.to_bytes();
             let cut = cut_frac * bytes.len() / 100;
             if cut < bytes.len() {
@@ -136,7 +146,7 @@ proptest! {
     /// Appending garbage after a valid envelope is detected.
     #[test]
     fn trailing_bytes_never_ignored(seed in any::<u64>(), extra in 1usize..9) {
-        for e in envelopes::<Fp32>(0, 1, 3, seed, 5, &[4, 5]) {
+        for e in envelopes::<Fp32>(0, 1, 2, 3, seed, 5, &[4, 5]) {
             let mut bytes = e.to_bytes();
             bytes.extend(std::iter::repeat_n(0xAB, extra));
             let r = Envelope::<Fp32>::from_bytes(&bytes);

@@ -34,8 +34,40 @@ pub mod staleness;
 
 pub use staleness::{QuantizedStaleness, StalenessFn};
 
+use core::fmt;
 use lsa_field::Field;
 use rand::Rng;
+
+/// Errors produced by the quantization layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QuantizeError {
+    /// A gradient coordinate was NaN, ±∞, or so large that `c·x`
+    /// overflows the integer grid. None of these may reach the field
+    /// embedding: the saturating `as i64` cast would map them to
+    /// `i64::MIN`/`i64::MAX`/0 and silently poison the masked sum —
+    /// undetectable once aggregated under the mask. (The grid bound is
+    /// checked on the *scaled* value `c·x`: `x` itself being finite is
+    /// not enough, since the product can still overflow.)
+    NonFinite {
+        /// Index of the offending coordinate within its vector (0 for a
+        /// scalar rounding).
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for QuantizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuantizeError::NonFinite { index, value } => {
+                write!(f, "non-finite gradient coordinate {value} at index {index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QuantizeError {}
 
 /// Stochastic rounding `Q_c` of Eq. (29): rounds `x` to the grid `Z/c`,
 /// choosing the upper neighbour with probability equal to the fractional
@@ -43,16 +75,44 @@ use rand::Rng;
 ///
 /// Returns the *integer* `c·Q_c(x)` (i.e. `⌊cx⌋` or `⌊cx⌋+1`), which is
 /// what gets embedded into the field.
-pub fn stochastic_round<R: Rng + ?Sized>(x: f64, c: u64, rng: &mut R) -> i64 {
+///
+/// # Errors
+///
+/// Returns [`QuantizeError::NonFinite`] for NaN or ±∞ inputs — and for
+/// finite inputs whose *scaled* value `c·x` leaves the exactly-castable
+/// `i64` range (`|c·x| ≥ 2^62`): either way there is no grid neighbour,
+/// and the previous behaviour (a saturating float-to-int cast) embedded
+/// garbage into the field undetectably.
+pub fn try_stochastic_round<R: Rng + ?Sized>(
+    x: f64,
+    c: u64,
+    rng: &mut R,
+) -> Result<i64, QuantizeError> {
     let scaled = x * c as f64;
+    // the product is what gets cast: x alone being finite is not enough
+    // (x = 1e308, c = 2^16 scales to +inf; x = 1e30 saturates the cast)
+    if !scaled.is_finite() || scaled.abs() >= (1i64 << 62) as f64 {
+        return Err(QuantizeError::NonFinite { index: 0, value: x });
+    }
     let floor = scaled.floor();
     let frac = scaled - floor;
     let base = floor as i64;
     if rng.gen::<f64>() < frac {
-        base + 1
+        Ok(base + 1)
     } else {
-        base
+        Ok(base)
     }
+}
+
+/// Infallible façade over [`try_stochastic_round`] for trusted inputs.
+///
+/// # Panics
+///
+/// Panics on NaN or ±∞ — a poisoned gradient is a training bug, and
+/// failing loudly here beats corrupting the secure aggregate (use
+/// [`try_stochastic_round`] to handle it as a typed error instead).
+pub fn stochastic_round<R: Rng + ?Sized>(x: f64, c: u64, rng: &mut R) -> i64 {
+    try_stochastic_round(x, c, rng).expect("finite gradient coordinate")
 }
 
 /// A quantizer with fixed scaling level `c` (the paper's `c_l`).
@@ -83,11 +143,34 @@ impl VectorQuantizer {
     }
 
     /// Quantize a real vector into the field: `φ(c·Q_c(x_k))` per
-    /// coordinate.
-    pub fn quantize<F: Field, R: Rng + ?Sized>(&self, xs: &[f64], rng: &mut R) -> Vec<F> {
+    /// coordinate, rejecting non-finite coordinates with a typed error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantizeError::NonFinite`] (with the coordinate index)
+    /// if any input is NaN or ±∞.
+    pub fn try_quantize<F: Field, R: Rng + ?Sized>(
+        &self,
+        xs: &[f64],
+        rng: &mut R,
+    ) -> Result<Vec<F>, QuantizeError> {
         xs.iter()
-            .map(|&x| F::from_i64(stochastic_round(x, self.c, rng)))
+            .enumerate()
+            .map(|(index, &x)| {
+                try_stochastic_round(x, self.c, rng)
+                    .map(F::from_i64)
+                    .map_err(|_| QuantizeError::NonFinite { index, value: x })
+            })
             .collect()
+    }
+
+    /// Infallible façade over [`Self::try_quantize`] for trusted inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate is NaN or ±∞ (see [`stochastic_round`]).
+    pub fn quantize<F: Field, R: Rng + ?Sized>(&self, xs: &[f64], rng: &mut R) -> Vec<F> {
+        self.try_quantize(xs, rng).expect("finite gradient vector")
     }
 
     /// Dequantize a field vector produced by [`Self::quantize`]:
@@ -222,6 +305,42 @@ mod tests {
     #[should_panic(expected = "at least 1")]
     fn zero_level_panics() {
         let _ = VectorQuantizer::new(0);
+    }
+
+    #[test]
+    fn non_finite_inputs_rejected_with_typed_error() {
+        let mut rng = StdRng::seed_from_u64(6);
+        // 1e308 is finite but 1e308·2^16 overflows to +∞; 1e30·2^16 is
+        // finite yet saturates the i64 cast — both must be rejected, not
+        // silently embedded as i64::MAX
+        for bad in [
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            1e308,
+            1e30,
+            -1e30,
+        ] {
+            let err = try_stochastic_round(bad, 1 << 16, &mut rng).unwrap_err();
+            assert!(matches!(err, QuantizeError::NonFinite { index: 0, .. }));
+        }
+        // the vector path reports the offending coordinate
+        let q = VectorQuantizer::new(1 << 16);
+        let err = q
+            .try_quantize::<Fp61, _>(&[0.5, f64::NAN, 1.0], &mut rng)
+            .unwrap_err();
+        assert!(matches!(err, QuantizeError::NonFinite { index: 1, .. }));
+        // finite inputs still round-trip through the fallible path
+        let ok = q.try_quantize::<Fp61, _>(&[0.5, -0.25], &mut rng).unwrap();
+        assert_eq!(q.dequantize(&ok), vec![0.5, -0.25]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite gradient")]
+    fn infallible_quantize_panics_on_nan_instead_of_poisoning() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let q = VectorQuantizer::new(1 << 16);
+        let _ = q.quantize::<Fp61, _>(&[f64::NAN], &mut rng);
     }
 
     #[test]

@@ -2,11 +2,40 @@
 //! paper: unbiasedness and bounded variance, plus exact linearity of the
 //! field embedding).
 
-use lsa_field::Fp61;
+use lsa_field::{Field, Fp32, Fp61};
 use lsa_quantize::{stochastic_round, StalenessFn, VectorQuantizer};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Quantize `clients` copies of bounded vectors, sum them in the field,
+/// and check the sum dequantizes *exactly* to the integer-grid sum —
+/// valid whenever `N·(c·max|x| + 1) ≤ (q−1)/2` (the documented
+/// wrap-around bound, inclusive at the boundary per Eq. 36).
+fn exact_aggregation_roundtrip<F: Field>(clients: usize, xs: &[f64], c: u64, seed: u64) {
+    let q = VectorQuantizer::new(c);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let bound = xs.iter().fold(0.0f64, |m, x| m.max(x.abs()));
+    assert!(
+        (clients as f64) * (bound * c as f64 + 1.0) <= ((F::MODULUS - 1) / 2) as f64,
+        "test parameters must respect the wrap-around bound"
+    );
+    let mut field_sum = vec![F::ZERO; xs.len()];
+    let mut int_sum = vec![0i64; xs.len()];
+    for _ in 0..clients {
+        let vs: Vec<F> = q.quantize(xs, &mut rng);
+        for (k, v) in vs.iter().enumerate() {
+            // each summand is small, so its signed demapping is exact
+            int_sum[k] += v.to_signed();
+        }
+        field_sum = lsa_field::ops::add(&field_sum, &vs);
+    }
+    let back = q.dequantize_sum(&field_sum, 1);
+    for k in 0..xs.len() {
+        assert_eq!(field_sum[k].to_signed(), int_sum[k], "coordinate {k}");
+        assert_eq!(back[k], int_sum[k] as f64 / c as f64, "coordinate {k}");
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -63,6 +92,32 @@ proptest! {
         }
     }
 
+    /// N-client aggregation round-trips exactly (not merely within
+    /// grid error) while `N·c·max|x|` stays below `(q−1)/2` — the
+    /// invariant both the `to_signed` boundary fix and the non-finite
+    /// rejection protect under aggregation.
+    #[test]
+    fn n_client_field_sum_dequantizes_exactly(
+        xs in proptest::collection::vec(-10.0f64..10.0, 1..24),
+        clients in 2usize..12,
+        c_bits in 4u32..17,
+        seed in any::<u64>(),
+    ) {
+        exact_aggregation_roundtrip::<Fp61>(clients, &xs, 1u64 << c_bits, seed);
+    }
+
+    /// The same exactness holds in the small 32-bit field as long as the
+    /// bound is respected (c capped so 12·(2^14·10 + 1) ≪ (q−1)/2).
+    #[test]
+    fn n_client_field_sum_dequantizes_exactly_fp32(
+        xs in proptest::collection::vec(-10.0f64..10.0, 1..24),
+        clients in 2usize..12,
+        c_bits in 4u32..15,
+        seed in any::<u64>(),
+    ) {
+        exact_aggregation_roundtrip::<Fp32>(clients, &xs, 1u64 << c_bits, seed);
+    }
+
     /// All staleness functions stay in (0, 1] and equal 1 at τ = 0.
     #[test]
     fn staleness_range(tau in 0u64..1000, alpha in 0.1f64..4.0, a in 0.1f64..4.0, b in 0u64..20) {
@@ -88,4 +143,30 @@ proptest! {
         let exact = cg as f64 * (1.0 / (1.0 + tau as f64));
         prop_assert!((w - exact).abs() <= 1.0);
     }
+}
+
+/// The wrap-around bound is *tight*: an aggregate landing exactly on the
+/// residue `(q−1)/2` is still the legal maximum positive value (the
+/// `to_signed` boundary fix), and one unit more wraps negative.
+fn wraparound_bound_is_tight<F: Field>() {
+    let half = (F::MODULUS - 1) / 2;
+    let q = VectorQuantizer::new(1);
+    // sum of positive quantized contributions reaching exactly (q−1)/2
+    let at_bound = F::from_u64(half - 1) + F::ONE;
+    assert_eq!(at_bound.to_signed(), half as i64);
+    assert_eq!(q.dequantize(&[at_bound])[0], half as f64);
+    // one more unit crosses q/2 and must wrap to the negatives
+    let over = at_bound + F::ONE;
+    assert_eq!(over.to_signed(), -(half as i64));
+    assert!(q.dequantize(&[over])[0] < 0.0);
+}
+
+#[test]
+fn wraparound_bound_tight_fp32() {
+    wraparound_bound_is_tight::<Fp32>();
+}
+
+#[test]
+fn wraparound_bound_tight_fp61() {
+    wraparound_bound_is_tight::<Fp61>();
 }

@@ -19,6 +19,7 @@ use lsa_field::Field;
 use lsa_fl::{BufferAggregator, BufferedContribution};
 use lsa_net::{Duplex, NetworkConfig};
 use lsa_protocol::federation::{BufferedFederation, Federation, RoundPlan, SyncFederation};
+use lsa_protocol::topology::{GroupTopology, GroupedFederation};
 use lsa_protocol::transport::{MemTransport, SimTransport};
 use lsa_protocol::LsaConfig;
 use lsa_quantize::{QuantizedStaleness, StalenessFn, VectorQuantizer};
@@ -98,6 +99,49 @@ impl<F: Field> SecureFedAvg<F> {
     ) -> Result<Self, lsa_protocol::ProtocolError> {
         let sync = SyncFederation::new(cfg, SimTransport::new(net, duplex), seed)?;
         Ok(Self::new(Federation::new(Box::new(sync)), quantizer, seed))
+    }
+
+    /// Grouped (hierarchical) federation over in-memory queues: the
+    /// cohort is partitioned per `topology`, each group runs its own
+    /// secure aggregation, and the per-group aggregates are summed —
+    /// the scaling topology of [`lsa_protocol::topology`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates invalid configuration.
+    pub fn grouped_mem(
+        topology: GroupTopology,
+        quantizer: VectorQuantizer,
+        seed: u64,
+    ) -> Result<Self, lsa_protocol::ProtocolError> {
+        let grouped = GroupedFederation::new(topology, MemTransport::new(), seed)?;
+        Ok(Self::new(
+            Federation::new(Box::new(grouped)),
+            quantizer,
+            seed,
+        ))
+    }
+
+    /// Grouped federation over the discrete-event network — the grouped
+    /// analogue of [`Self::sync_sim`]; `net` must provide a channel per
+    /// *global* client id.
+    ///
+    /// # Errors
+    ///
+    /// Propagates invalid configuration.
+    pub fn grouped_sim(
+        topology: GroupTopology,
+        quantizer: VectorQuantizer,
+        net: NetworkConfig,
+        duplex: Duplex,
+        seed: u64,
+    ) -> Result<Self, lsa_protocol::ProtocolError> {
+        let grouped = GroupedFederation::new(topology, SimTransport::new(net, duplex), seed)?;
+        Ok(Self::new(
+            Federation::new(Box::new(grouped)),
+            quantizer,
+            seed,
+        ))
     }
 
     /// Buffered-asynchronous federation (unit weights) over in-memory
@@ -244,6 +288,26 @@ mod tests {
             for (a, b) in secure.iter().zip(&mean) {
                 assert!((a - b).abs() < 1e-3, "{a} vs {b}");
             }
+        }
+    }
+
+    #[test]
+    fn grouped_average_agrees_with_plain_mean() {
+        let updates: Vec<Vec<f32>> = (0..8)
+            .map(|i| {
+                (0..5)
+                    .map(|k| (i as f32 - 3.5) * 0.2 + k as f32 * 0.05)
+                    .collect()
+            })
+            .collect();
+        let mean: Vec<f32> = (0..5)
+            .map(|k| updates.iter().map(|u| u[k]).sum::<f32>() / 8.0)
+            .collect();
+        let topo = GroupTopology::uniform(8, 2, 0.25, 0.75, 5).unwrap();
+        let mut grouped =
+            SecureFedAvg::<Fp61>::grouped_mem(topo, VectorQuantizer::new(1 << 16), 6).unwrap();
+        for (a, b) in grouped.aggregate(&updates).iter().zip(&mean) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
         }
     }
 

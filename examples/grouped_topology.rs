@@ -1,0 +1,85 @@
+//! Grouped (hierarchical) aggregation: the same secure sum, a fraction
+//! of the offline traffic.
+//!
+//! Partitions a 32-client cohort into 4 groups of 8. Each group runs
+//! its own LightSecAgg instance (own masks, own evaluation points, own
+//! dropout budget); the server sums the per-group aggregates. Privacy
+//! holds per group: up to `t_g` colluders *within a group* learn
+//! nothing about their peers.
+//!
+//! Run with: `cargo run --example grouped_topology`
+
+use lightsecagg::field::Fp61;
+use lightsecagg::protocol::federation::{Federation, RoundPlan, SecureAggregator};
+use lightsecagg::protocol::topology::{GroupTopology, GroupedFederation};
+use lightsecagg::protocol::transport::MemTransport;
+use lightsecagg::quantize::VectorQuantizer;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn offline_bytes(topology: &GroupTopology, seed: u64) -> usize {
+    let mut fed =
+        GroupedFederation::<Fp61, _>::new(topology.clone(), MemTransport::new(), seed).unwrap();
+    let cohort: Vec<usize> = (0..topology.n()).collect();
+    fed.prepare_next(&cohort).unwrap();
+    fed.transport().bytes_sent()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 32;
+    let d = 64;
+    let quantizer = VectorQuantizer::new(1 << 16);
+    let mut rng = StdRng::seed_from_u64(2024);
+
+    // 4 groups of 8; per group: t_g = 2 colluders tolerated, u_g = 7
+    // survivors required (one dropout per group).
+    let grouped_topo = GroupTopology::uniform(n, 4, 0.25, 0.85, d)?;
+    // the flat baseline with matching thresholds, as a 1-group topology
+    let flat_topo = GroupTopology::uniform(n, 1, 0.25, 0.85, d)?;
+
+    // the offline phase is where the topology pays off: every client
+    // shares masks with its group only, not the whole cohort
+    let flat = offline_bytes(&flat_topo, 1);
+    let grouped = offline_bytes(&grouped_topo, 1);
+    println!("offline mask exchange, N = {n}:");
+    println!("  flat     (G=1): {:>7} bytes/client", flat / n);
+    println!(
+        "  grouped  (G=4): {:>7} bytes/client  ({:.1}x less)",
+        grouped / n,
+        flat as f64 / grouped as f64
+    );
+
+    // one secure round through the same Federation loop the flat
+    // topology uses — the aggregator variant is chosen by value
+    let grouped_fed = GroupedFederation::new(grouped_topo, MemTransport::new(), 7)?;
+    let mut fed: Federation<Fp61> = Federation::new(Box::new(grouped_fed));
+
+    let updates: Vec<Vec<f64>> = (0..n)
+        .map(|i| (0..d).map(|k| ((i * d + k) as f64 * 0.37).sin()).collect())
+        .collect();
+    let quantized: Vec<Vec<Fp61>> = updates
+        .iter()
+        .map(|u| quantizer.quantize(u, &mut rng))
+        .collect();
+
+    let plan = RoundPlan::full(n).with_updates(quantized);
+    let out = fed.run_round(&plan)?;
+    println!(
+        "round {}: {} contributors across 4 groups",
+        out.round,
+        out.contributors.len()
+    );
+
+    // exactness survives the topology: the summed per-group aggregates
+    // dequantize to the true global sum
+    let aggregate = quantizer.dequantize(&out.aggregate);
+    let mut max_err = 0.0f64;
+    for k in 0..d {
+        let truth: f64 = updates.iter().map(|u| u[k]).sum();
+        max_err = max_err.max((aggregate[k] - truth).abs());
+    }
+    println!("max |grouped aggregate − true sum| = {max_err:.2e}");
+    assert!(max_err < 1e-3, "aggregation drifted");
+    println!("OK: per-group decode, global sum, no model ever unmasked");
+    Ok(())
+}

@@ -37,6 +37,7 @@ fn truncated_masked_model_rejected() {
     let mut server = ServerRound::<Fp61>::new(cfg()).unwrap();
     let msg = MaskedModel {
         from: 0,
+        group: 0,
         round: 0,
         payload: vec![Fp61::ZERO; 3], // wrong length
     };
@@ -65,6 +66,7 @@ fn corrupted_share_changes_aggregate_but_protocol_detects_shape_errors() {
     // wrong-length aggregated share rejected
     let bad = AggregatedShare {
         from: 0,
+        group: 0,
         round: 0,
         payload: vec![Fp61::ZERO; 1],
     };
@@ -186,6 +188,7 @@ fn misrouted_envelope_yields_typed_error() {
     let share = Envelope::CodedMaskShare(CodedMaskShare {
         from: 0,
         to: 2,
+        group: 0,
         round: 0,
         payload: vec![Fp61::ZERO; cfg().segment_len()],
     });
@@ -205,6 +208,7 @@ fn duplicate_envelope_yields_typed_error() {
     let dup = Envelope::CodedMaskShare(CodedMaskShare {
         from: 0,
         to: 1,
+        group: 0,
         round: 0,
         payload: vec![Fp61::ZERO; cfg().segment_len()],
     });
@@ -228,6 +232,7 @@ fn wrong_phase_envelope_yields_typed_error() {
     // an aggregated share before the upload phase closed
     let early = Envelope::AggregatedShare(AggregatedShare {
         from: 0,
+        group: 0,
         round: 0,
         payload: vec![Fp61::ZERO; cfg().segment_len()],
     });
@@ -243,6 +248,7 @@ fn wrong_endpoint_envelope_yields_typed_error() {
     let (mut clients, mut server) = built_sessions(13);
     // a survivor announcement delivered to the *server* is nonsense
     let ann = Envelope::SurvivorAnnouncement(SurvivorAnnouncement {
+        group: 0,
         round: 0,
         survivors: vec![0, 1, 2],
     });
@@ -255,6 +261,7 @@ fn wrong_endpoint_envelope_yields_typed_error() {
     // a masked model delivered to a *client* likewise
     let model = Envelope::MaskedModel(MaskedModel {
         from: 2,
+        group: 0,
         round: 0,
         payload: vec![Fp61::ZERO; cfg().padded_len()],
     });
@@ -273,6 +280,7 @@ fn corrupted_wire_bytes_yield_typed_error() {
     use lightsecagg::protocol::wire::WireError;
     let env: Envelope<Fp61> = Envelope::MaskedModel(MaskedModel {
         from: 0,
+        group: 0,
         round: 0,
         payload: vec![Fp61::ONE; cfg().padded_len()],
     });
@@ -288,6 +296,7 @@ fn unknown_user_envelope_yields_typed_error() {
     let (_, mut server) = built_sessions(14);
     let ghost = Envelope::MaskedModel(MaskedModel {
         from: 99,
+        group: 0,
         round: 0,
         payload: vec![Fp61::ZERO; cfg().padded_len()],
     });
@@ -303,6 +312,7 @@ fn failed_handle_leaves_session_usable() {
     let (mut clients, mut server) = built_sessions(15);
     let garbage = Envelope::AggregatedShare(AggregatedShare {
         from: 0,
+        group: 0,
         round: 0,
         payload: vec![Fp61::ZERO; 1],
     });
@@ -447,6 +457,7 @@ fn replayed_coded_share_and_announcement_also_stale() {
     ));
     // a round-0 survivor announcement into a round-1 client session
     let stale_ann = Envelope::SurvivorAnnouncement(SurvivorAnnouncement {
+        group: 0,
         round: 0,
         survivors: vec![0, 1, 2],
     });

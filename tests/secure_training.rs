@@ -143,6 +143,64 @@ fn fedavg_through_federation_over_simtransport_converges() {
 }
 
 #[test]
+fn fedavg_through_grouped_federation_over_simtransport_converges() {
+    // The grouped-topology acceptance bar: secure FedAvg through a
+    // GroupedFederation (two groups of four, each with its own masks,
+    // thresholds and evaluation points) over a simulated network lands
+    // within 5% of the plaintext FedAvg loss on the identical
+    // client-sampling stream.
+    use lightsecagg::protocol::topology::GroupTopology;
+
+    let (train, test) = data();
+    let n_clients = 8;
+    let shards = train.iid_partition(n_clients);
+    let cfg = FedAvgConfig {
+        rounds: 8,
+        ..FedAvgConfig::default()
+    };
+
+    let mut plain_model = LogisticRegression::new(8, 4);
+    let plain = run_fedavg(
+        &mut plain_model,
+        &shards,
+        &test,
+        &cfg,
+        mean_aggregate,
+        &mut StdRng::seed_from_u64(21),
+    );
+
+    let mut secure_model = LogisticRegression::new(8, 4);
+    let d = secure_model.num_params();
+    // two groups of 4: t=1 colluders tolerated per group, u=3 survivors
+    let topo = GroupTopology::uniform(n_clients, 2, 0.25, 0.75, d).unwrap();
+    let mut secure_agg = SecureFedAvg::<Fp61>::grouped_sim(
+        topo,
+        VectorQuantizer::new(1 << 16),
+        NetworkConfig::paper_default(n_clients),
+        Duplex::Full,
+        22,
+    )
+    .unwrap()
+    .with_horizon(cfg.rounds as u64);
+    let secure = run_fedavg(
+        &mut secure_model,
+        &shards,
+        &test,
+        &cfg,
+        |updates: &[Vec<f32>]| secure_agg.aggregate(updates),
+        &mut StdRng::seed_from_u64(21),
+    );
+
+    let plain_loss = plain.last().unwrap().loss;
+    let secure_loss = secure.last().unwrap().loss;
+    assert!(
+        (plain_loss - secure_loss).abs() <= 0.05 * plain_loss,
+        "grouped secure loss {secure_loss} diverged from plaintext loss {plain_loss}"
+    );
+    assert!(secure.last().unwrap().accuracy > 0.8);
+}
+
+#[test]
 fn fedavg_through_buffered_federation_matches_sync_variant() {
     // Same loop, other SecureAggregator variant: the buffered-async
     // federation behind the identical `run_fedavg` seam.
