@@ -1,0 +1,195 @@
+//! Lazy-reduction bulk kernels vs the one-reduction-per-op scalar
+//! reference, and the grouped-decode critical path serial vs parallel.
+//!
+//! Two sweeps, both emitted to `LSA_BENCH_JSON` when set:
+//!
+//! * `field_kernels/{fused_multi_axpy,axpy_sweeps,sum_vectors_{lazy,sweeps}}
+//!   /{fp32,fp61}/d{D}/t{T}` over `d ∈ {2¹⁴, 2¹⁸, 2²⁰}` ×
+//!   `threads ∈ {1, 4}` — the acceptance gate is `fused_multi_axpy`
+//!   (the delayed-reduction kernel behind MDS decode/encode and the
+//!   weighted-buffer folds) beating `axpy_sweeps` (the pre-refactor
+//!   per-element-reduction decode loop) at `d = 2²⁰` on both fields,
+//!   single-threaded; the `t4` rows additionally show the fork-join
+//!   scaling on multi-core hosts.
+//! * `field_kernels/grouped_decode/N1024xG16/t{1,4}` — the decode
+//!   critical path of a grouped round: 16 independent per-group one-shot
+//!   recoveries (`n_g = 64`) mapped serially vs on the scoped pool. On a
+//!   multi-core host the `t4` row is the ROADMAP's parallel-decode
+//!   number.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lsa_coding::VandermondeCode;
+use lsa_field::{ops, par, Field, Fp32, Fp61};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+const SIZES: [usize; 3] = [1 << 14, 1 << 18, 1 << 20];
+const THREADS: [usize; 2] = [1, 4];
+/// Terms in the fused multi-axpy — the shape of a per-group decode at
+/// `n_g ≈ 16` survivors.
+const TERMS: usize = 16;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(500))
+}
+
+fn bench_kernels_for<F: Field>(c: &mut Criterion, field: &str) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut group = c.benchmark_group("field_kernels");
+    for d in SIZES {
+        let x: Vec<F> = ops::random_vector(d, &mut rng);
+        let coef = F::random(&mut rng);
+        let inputs: Vec<Vec<F>> = (0..TERMS)
+            .map(|_| ops::random_vector(d, &mut rng))
+            .collect();
+        let coeffs: Vec<F> = (0..TERMS).map(|_| F::random(&mut rng)).collect();
+        let refs: Vec<&[F]> = inputs.iter().map(Vec::as_slice).collect();
+        let mut acc: Vec<F> = ops::random_vector(d, &mut rng);
+
+        group.throughput(Throughput::Elements(d as u64));
+        for threads in THREADS {
+            group.bench_with_input(
+                BenchmarkId::new(
+                    format!("fused_multi_axpy/{field}"),
+                    format!("d{d}/t{threads}"),
+                ),
+                &d,
+                |b, _| {
+                    par::with_threads(threads, || {
+                        b.iter(|| {
+                            ops::weighted_sum_into(
+                                black_box(&mut acc),
+                                black_box(&coeffs),
+                                black_box(&refs),
+                            )
+                        })
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(
+                    format!("sum_vectors_lazy/{field}"),
+                    format!("d{d}/t{threads}"),
+                ),
+                &d,
+                |b, _| {
+                    par::with_threads(threads, || {
+                        b.iter(|| {
+                            black_box(ops::sum_vectors(black_box(&refs).iter().copied()).unwrap())
+                                .len()
+                        })
+                    })
+                },
+            );
+        }
+        // per-element-reduction baselines (inherently single-threaded)
+        group.bench_with_input(
+            BenchmarkId::new(format!("axpy_sweeps/{field}"), format!("d{d}/t1")),
+            &d,
+            |b, _| {
+                b.iter(|| {
+                    ops::reference::weighted_sum_into(
+                        black_box(&mut acc),
+                        black_box(&coeffs),
+                        black_box(&refs),
+                    )
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("sum_vectors_sweeps/{field}"), format!("d{d}/t1")),
+            &d,
+            |b, _| {
+                b.iter(|| {
+                    black_box(
+                        ops::reference::sum_vectors(black_box(&refs).iter().copied()).unwrap(),
+                    )
+                    .len()
+                })
+            },
+        );
+        // single-axpy context row: one term is one reduction either way
+        group.bench_with_input(
+            BenchmarkId::new(format!("axpy_single/{field}"), format!("d{d}/t1")),
+            &d,
+            |b, _| b.iter(|| ops::axpy(black_box(&mut acc), black_box(coef), black_box(&x))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_field_kernels(c: &mut Criterion) {
+    bench_kernels_for::<Fp32>(c, "fp32");
+    bench_kernels_for::<Fp61>(c, "fp61");
+}
+
+/// One group's decode inputs at the N=1024, G=16 sweep point of
+/// `grouped_scaling` (n_g = 64, t_g = 16, u_g = 58), with a model large
+/// enough that the fused multi-axpy carries real weight next to the
+/// O(u²) basis setup.
+struct DecodeTask<F> {
+    code: VandermondeCode<F>,
+    shares: Vec<(usize, Vec<F>)>,
+    prefix: usize,
+}
+
+fn decode_tasks(groups: usize, seed: u64) -> Vec<DecodeTask<Fp61>> {
+    let n_g = 64;
+    let t_g = 16;
+    let u_g = 58; // ⌈0.9·64⌉ = 58, matches grouped_scaling's fractions
+    let d = 4096usize;
+    let data_segments = u_g - t_g;
+    let seg_len = d.div_ceil(data_segments);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..groups)
+        .map(|_| {
+            let code = VandermondeCode::<Fp61>::new(n_g, u_g).unwrap();
+            let segments: Vec<Vec<Fp61>> = (0..u_g)
+                .map(|_| ops::random_vector(seg_len, &mut rng))
+                .collect();
+            let shares: Vec<(usize, Vec<Fp61>)> = (0..u_g)
+                .map(|j| (j, code.encode_for(&segments, j)))
+                .collect();
+            DecodeTask {
+                code,
+                shares,
+                prefix: data_segments,
+            }
+        })
+        .collect()
+}
+
+fn run_decodes(tasks: &[DecodeTask<Fp61>]) -> usize {
+    let results = par::par_map(tasks, |task| {
+        task.code
+            .decode_prefix(&task.shares, task.prefix)
+            .expect("decodes")
+            .len()
+    });
+    results.into_iter().sum()
+}
+
+fn bench_grouped_decode(c: &mut Criterion) {
+    let tasks = decode_tasks(16, 2);
+    let mut group = c.benchmark_group("field_kernels");
+    group.throughput(Throughput::Elements(16));
+    for threads in THREADS {
+        group.bench_with_input(
+            BenchmarkId::new("grouped_decode/N1024xG16", format!("t{threads}")),
+            &threads,
+            |b, &threads| par::with_threads(threads, || b.iter(|| black_box(run_decodes(&tasks)))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_field_kernels, bench_grouped_decode
+}
+criterion_main!(benches);

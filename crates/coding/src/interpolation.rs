@@ -60,9 +60,8 @@ pub fn interpolate_coefficients<F: Field>(xs: &[F], ys: &[F]) -> Result<Vec<F>, 
     let basis = lagrange_basis_coefficients(xs)?;
     let n = xs.len();
     let mut coeffs = vec![F::ZERO; n];
-    for (i, li) in basis.iter().enumerate() {
-        lsa_field::ops::axpy(&mut coeffs, ys[i], li);
-    }
+    let rows: Vec<&[F]> = basis.iter().map(Vec::as_slice).collect();
+    lsa_field::ops::weighted_sum_into(&mut coeffs, ys, &rows);
     Ok(coeffs)
 }
 

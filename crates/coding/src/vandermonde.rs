@@ -90,6 +90,10 @@ impl<F: Field> VandermondeCode<F> {
     /// Encode the coded segment destined to user `j`:
     /// `Σ_k segments[k] · β_j^k` (one Vandermonde column).
     ///
+    /// The powers of `β_j` are computed once and the segments folded
+    /// through the fused widened-accumulator kernel — one reduction per
+    /// output element instead of one per segment.
+    ///
     /// # Panics
     ///
     /// Panics if `segments.len() != u`, the segments are ragged, or
@@ -141,12 +145,19 @@ impl<F: Field> VandermondeCode<F> {
         let used = &shares[..self.u];
         let mut xs = Vec::with_capacity(self.u);
         let seg_len = used[0].1.len();
+        // Duplicate user indices are detected up front so the error
+        // names the offending *user id* — not the position a later
+        // basis-setup routine happened to trip over.
+        let mut seen = std::collections::BTreeSet::new();
         for (idx, payload) in used {
             if *idx >= self.n {
                 return Err(CodingError::ShareIndexOutOfRange {
                     index: *idx,
                     n: self.n,
                 });
+            }
+            if !seen.insert(*idx) {
+                return Err(CodingError::DuplicateShareIndex(*idx));
             }
             if payload.len() != seg_len {
                 return Err(CodingError::LengthMismatch {
@@ -160,11 +171,14 @@ impl<F: Field> VandermondeCode<F> {
         // degree-k coefficient of L_i, so
         //   coeff_k = Σ_i basis[i][k] · payload_i.
         let basis = interpolation::lagrange_basis_coefficients(&xs)?;
+        // Fused multi-axpy per output segment: coeff_k accumulates all
+        // U payload terms in one widened pass, reduced once per element
+        // (and forked over segment chunks for large segments).
+        let payloads: Vec<&[F]> = used.iter().map(|(_, p)| p.as_slice()).collect();
         let mut out = vec![vec![F::ZERO; seg_len]; prefix];
-        for (i, (_, payload)) in used.iter().enumerate() {
-            for (k, out_k) in out.iter_mut().enumerate() {
-                lsa_field::ops::axpy(out_k, basis[i][k], payload);
-            }
+        for (k, out_k) in out.iter_mut().enumerate() {
+            let coeffs: Vec<F> = basis.iter().map(|row| row[k]).collect();
+            lsa_field::ops::weighted_sum_into(out_k, &coeffs, &payloads);
         }
         Ok(out)
     }
@@ -297,13 +311,14 @@ mod tests {
         let coded = code.encode_all(&segs);
         let shares = vec![
             (0, coded[0].clone()),
-            (0, coded[0].clone()),
-            (1, coded[1].clone()),
+            (2, coded[2].clone()),
+            (2, coded[2].clone()),
         ];
-        assert!(matches!(
+        // the error names the duplicated *user id*, not a basis position
+        assert_eq!(
             code.decode_all(&shares),
-            Err(CodingError::DuplicateShareIndex(_))
-        ));
+            Err(CodingError::DuplicateShareIndex(2))
+        );
     }
 
     #[test]

@@ -43,6 +43,42 @@ impl Field for Fp32 {
     const ONE: Self = Self(1);
     const BITS: u32 = 32;
 
+    type Wide = u64;
+    /// Each partially-folded product is `< 6·2^32` (see
+    /// [`Field::wide_mul_add`]), so `⌊(2^64−1)/(6·2^32)⌋ > 2^29` terms
+    /// fit in a `u64`.
+    const WIDE_CAPACITY: u64 = 1 << 29;
+
+    #[inline]
+    fn to_wide(self) -> u64 {
+        self.0 as u64
+    }
+
+    #[inline]
+    fn wide_add(acc: u64, x: Self) -> u64 {
+        acc + x.0 as u64
+    }
+
+    #[inline]
+    fn wide_mul_add(acc: u64, c: Self, x: Self) -> u64 {
+        // 2^32 ≡ 5 (mod q): one fold brings the u64 product under
+        // 5·(2^32−1) + 2^32 < 6·2^32, with no division anywhere.
+        let t = c.0 as u64 * x.0 as u64;
+        acc + (t >> 32) * 5 + (t & 0xFFFF_FFFF)
+    }
+
+    #[inline]
+    fn wide_reduce(acc: u64) -> Self {
+        // Two folds bring any u64 under 2^32 + 40; one conditional
+        // subtraction finishes.
+        let v = (acc >> 32) * 5 + (acc & 0xFFFF_FFFF); // < 5·2^32 + 2^32
+        let mut w = (v >> 32) * 5 + (v & 0xFFFF_FFFF); // < 2^32 + 40
+        if w >= P32 {
+            w -= P32;
+        }
+        Self(w as u32)
+    }
+
     #[inline]
     fn from_u64(value: u64) -> Self {
         Self((value % P32) as u32)

@@ -53,6 +53,44 @@ impl Field for Fp61 {
     const ONE: Self = Self(1);
     const BITS: u32 = 61;
 
+    type Wide = u128;
+    /// Products are accumulated **unfolded** (see
+    /// [`Field::wide_mul_add`]): each term is `< 2^122`, so 63 of them
+    /// fit in a `u128` (`63·2^122 < 2^128`). The bulk kernels re-fold
+    /// automatically past this bound.
+    const WIDE_CAPACITY: u64 = 63;
+
+    #[inline]
+    fn to_wide(self) -> u128 {
+        self.0 as u128
+    }
+
+    #[inline]
+    fn wide_add(acc: u128, x: Self) -> u128 {
+        acc + x.0 as u128
+    }
+
+    #[inline]
+    fn wide_mul_add(acc: u128, c: Self, x: Self) -> u128 {
+        // No per-term folding at all — the 122-bit product rides in the
+        // u128 accumulator as-is (the kernel re-folds every
+        // `WIDE_CAPACITY` terms), so the inner loop is one widening
+        // multiply and one add.
+        acc + c.0 as u128 * x.0 as u128
+    }
+
+    #[inline]
+    fn wide_reduce(acc: u128) -> Self {
+        // acc < 2^128 ⇒ first fold < 2^67 + 2^61 ⇒ second fold fits u64
+        // and sits below 2^61 + 64; one conditional subtraction finishes.
+        let s = (acc >> 61) + (acc & P61 as u128);
+        let mut t = ((s >> 61) + (s & P61 as u128)) as u64;
+        if t >= P61 {
+            t -= P61;
+        }
+        Self(t)
+    }
+
     #[inline]
     fn from_u64(value: u64) -> Self {
         // value < 2^64 = 8·(2^61) so two folds suffice.

@@ -27,6 +27,7 @@
 mod fp32;
 mod fp61;
 pub mod ops;
+pub mod par;
 
 pub use fp32::Fp32;
 pub use fp61::Fp61;
@@ -79,6 +80,41 @@ pub trait Field:
 
     /// Number of bits needed to store a canonical residue.
     const BITS: u32;
+
+    /// Widened unreduced accumulator for delayed-reduction kernels
+    /// (`u64` for [`Fp32`], `u128` for [`Fp61`]).
+    ///
+    /// The bulk kernels in [`ops`] accumulate many `c·x` terms into a
+    /// `Wide` and reduce **once per output element** instead of once per
+    /// operation. Each term is only *partially* folded (cheap shifts and
+    /// adds, no division), so up to [`Field::WIDE_CAPACITY`] terms fit
+    /// before [`Field::wide_reduce`] (or a re-fold via
+    /// `wide_reduce(..).to_wide()`) must run.
+    type Wide: Copy + Clone + Debug + Default + Send + Sync + 'static;
+
+    /// Maximum number of terms — partially-folded products from
+    /// [`Field::wide_mul_add`] or residues from [`Field::wide_add`] —
+    /// that one `Wide` accumulator can absorb without overflow.
+    ///
+    /// The bound is conservative: it assumes every term attains the
+    /// product-fold worst case.
+    const WIDE_CAPACITY: u64;
+
+    /// Lift a canonical residue into the widened accumulator domain.
+    fn to_wide(self) -> Self::Wide;
+
+    /// `acc + self` without reduction (one term against
+    /// [`Field::WIDE_CAPACITY`]).
+    fn wide_add(acc: Self::Wide, x: Self) -> Self::Wide;
+
+    /// `acc + c·x` with the double-width product partially folded so
+    /// that [`Field::WIDE_CAPACITY`] such terms fit without overflow —
+    /// the inner step of every fused multi-axpy kernel.
+    fn wide_mul_add(acc: Self::Wide, c: Self, x: Self) -> Self::Wide;
+
+    /// Collapse an accumulator to its canonical residue (the one full
+    /// reduction per output element).
+    fn wide_reduce(acc: Self::Wide) -> Self;
 
     /// Construct an element from an unsigned integer, reducing mod `q`.
     fn from_u64(value: u64) -> Self;

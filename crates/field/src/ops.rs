@@ -5,20 +5,53 @@
 //! All functions panic on length mismatch — the callers own shape
 //! invariants and a silent truncation would be a correctness bug in a
 //! secure-aggregation context.
+//!
+//! # Kernel design: delayed reduction + fork-join chunks
+//!
+//! The multiply-accumulate kernels ([`axpy`], [`weighted_sum_into`],
+//! [`horner_eval`], [`dot`], [`sum_vectors`]) do **not** reduce after
+//! every operation. They accumulate partially-folded terms in the
+//! field's widened accumulator ([`Field::Wide`]: `u64` for `Fp32`,
+//! `u128` for `Fp61`) and collapse to a canonical residue **once per
+//! output element** — turning `U` modular reductions per element into
+//! one. [`Field::WIDE_CAPACITY`] bounds how many terms fit before an
+//! intermediate re-fold; the kernels re-fold automatically, so callers
+//! may pass any number of terms.
+//!
+//! Long vectors are processed in cache-sized chunks and, above
+//! [`par::MIN_PAR_LEN`], forked across the [`par`] worker pool
+//! (`LSA_THREADS`). Every kernel computes each output element
+//! independently with a fixed term order, so results are bit-identical
+//! across thread counts.
+//!
+//! The pre-refactor one-reduction-per-op loops survive in
+//! [`reference`] as the oracle for equivalence tests and the baseline
+//! for the `field_kernels` bench.
 
-use crate::Field;
+use crate::{par, Field};
 use rand::Rng;
 
+/// Elements per cache-sized block inside the fused kernels: the widened
+/// scratch buffer stays within L1 (8–16 KiB) while amortising the outer
+/// per-input-vector loop.
+const BLOCK: usize = 1024;
+
 /// `acc[k] += x[k]` for all `k`.
+///
+/// A single addition per element is already one reduction; the kernel
+/// only adds chunked forking for large `d`.
 ///
 /// # Panics
 ///
 /// Panics if the slices have different lengths.
 pub fn add_assign<F: Field>(acc: &mut [F], x: &[F]) {
     assert_eq!(acc.len(), x.len(), "vector length mismatch");
-    for (a, b) in acc.iter_mut().zip(x) {
-        *a += *b;
-    }
+    par::par_chunks_mut(acc, |offset, chunk| {
+        let len = chunk.len();
+        for (a, b) in chunk.iter_mut().zip(&x[offset..offset + len]) {
+            *a += *b;
+        }
+    });
 }
 
 /// `acc[k] -= x[k]` for all `k`.
@@ -28,14 +61,22 @@ pub fn add_assign<F: Field>(acc: &mut [F], x: &[F]) {
 /// Panics if the slices have different lengths.
 pub fn sub_assign<F: Field>(acc: &mut [F], x: &[F]) {
     assert_eq!(acc.len(), x.len(), "vector length mismatch");
-    for (a, b) in acc.iter_mut().zip(x) {
-        *a -= *b;
-    }
+    par::par_chunks_mut(acc, |offset, chunk| {
+        let len = chunk.len();
+        for (a, b) in chunk.iter_mut().zip(&x[offset..offset + len]) {
+            *a -= *b;
+        }
+    });
 }
 
-/// `acc[k] += c * x[k]` for all `k` (fused multiply-accumulate).
+/// `acc[k] += c * x[k]` for all `k` (multiply-accumulate).
 ///
-/// This is the inner loop of MDS encoding/decoding.
+/// A *single* axpy already reduces once per element, and LLVM's
+/// strength-reduced constant modulo beats the widening tricks for one
+/// product — so this stays the plain loop (chunk-forked for large
+/// vectors). The lazy-reduction win lives in [`weighted_sum_into`],
+/// which fuses *many* axpy sweeps into one widened pass; prefer it
+/// whenever more than one term is accumulated.
 ///
 /// # Panics
 ///
@@ -45,9 +86,12 @@ pub fn axpy<F: Field>(acc: &mut [F], c: F, x: &[F]) {
     if c == F::ZERO {
         return;
     }
-    for (a, b) in acc.iter_mut().zip(x) {
-        *a += c * *b;
-    }
+    par::par_chunks_mut(acc, |offset, chunk| {
+        let len = chunk.len();
+        for (a, &b) in chunk.iter_mut().zip(&x[offset..offset + len]) {
+            *a += c * b;
+        }
+    });
 }
 
 /// Element-wise sum of two vectors.
@@ -72,24 +116,103 @@ pub fn sub<F: Field>(x: &[F], y: &[F]) -> Vec<F> {
 
 /// Scale a vector by a constant, in place.
 pub fn scale_assign<F: Field>(x: &mut [F], c: F) {
-    for a in x.iter_mut() {
-        *a *= c;
-    }
+    par::par_chunks_mut(x, |_, chunk| {
+        for a in chunk.iter_mut() {
+            *a *= c;
+        }
+    });
 }
 
 /// Inner product `Σ x[k]·y[k]`.
+///
+/// Accumulates partially-folded products in the widened domain and
+/// reduces once (re-folding every [`Field::WIDE_CAPACITY`] terms).
 ///
 /// # Panics
 ///
 /// Panics if the slices have different lengths.
 pub fn dot<F: Field>(x: &[F], y: &[F]) -> F {
     assert_eq!(x.len(), y.len(), "vector length mismatch");
-    x.iter().zip(y).map(|(a, b)| *a * *b).sum()
+    let mut acc = F::ZERO.to_wide();
+    let mut terms: u64 = 0;
+    for (&a, &b) in x.iter().zip(y) {
+        if terms == F::WIDE_CAPACITY {
+            acc = F::wide_reduce(acc).to_wide();
+            terms = 1;
+        }
+        acc = F::wide_mul_add(acc, a, b);
+        terms += 1;
+    }
+    F::wide_reduce(acc)
+}
+
+/// The fused multi-axpy at the heart of MDS decode and encode:
+/// `out[k] += Σ_i coeffs[i] · inputs[i][k]`, accumulated in the widened
+/// domain and reduced **once per element**.
+///
+/// Zero coefficients are skipped; unit coefficients take the cheaper
+/// add-only path (this makes [`sum_vectors`] the same kernel). Chunked
+/// over `out` and forked across the worker pool for large vectors;
+/// bit-identical across thread counts (fixed term order per element).
+///
+/// # Panics
+///
+/// Panics if `coeffs` and `inputs` differ in length, or any input's
+/// length differs from `out`'s.
+pub fn weighted_sum_into<F: Field>(out: &mut [F], coeffs: &[F], inputs: &[&[F]]) {
+    assert_eq!(coeffs.len(), inputs.len(), "one coefficient per input");
+    for v in inputs {
+        assert_eq!(v.len(), out.len(), "vector length mismatch");
+    }
+    if inputs.is_empty() {
+        return;
+    }
+    par::par_chunks_mut(out, |offset, range| {
+        let mut wide: Vec<F::Wide> = Vec::with_capacity(BLOCK.min(range.len()));
+        let mut start = 0;
+        while start < range.len() {
+            let end = (start + BLOCK).min(range.len());
+            let block = &mut range[start..end];
+            wide.clear();
+            wide.extend(block.iter().map(|x| x.to_wide()));
+            // terms already absorbed per accumulator (the seed residue
+            // counts as one)
+            let mut terms: u64 = 1;
+            for (&c, v) in coeffs.iter().zip(inputs) {
+                if c == F::ZERO {
+                    continue;
+                }
+                if terms == F::WIDE_CAPACITY {
+                    for w in wide.iter_mut() {
+                        *w = F::wide_reduce(*w).to_wide();
+                    }
+                    terms = 1;
+                }
+                let src = &v[offset + start..offset + end];
+                if c == F::ONE {
+                    for (w, &x) in wide.iter_mut().zip(src) {
+                        *w = F::wide_add(*w, x);
+                    }
+                } else {
+                    for (w, &x) in wide.iter_mut().zip(src) {
+                        *w = F::wide_mul_add(*w, c, x);
+                    }
+                }
+                terms += 1;
+            }
+            for (o, &w) in block.iter_mut().zip(wide.iter()) {
+                *o = F::wide_reduce(w);
+            }
+            start = end;
+        }
+    });
 }
 
 /// Sum a collection of equal-length vectors into a fresh vector.
 ///
-/// Returns `None` when the iterator is empty.
+/// Returns `None` when the iterator is empty. All tail vectors are
+/// folded through the widened accumulator in one chunked pass — one
+/// reduction per element, however many vectors are summed.
 ///
 /// # Panics
 ///
@@ -97,8 +220,10 @@ pub fn dot<F: Field>(x: &[F], y: &[F]) -> F {
 pub fn sum_vectors<'a, F: Field>(mut vecs: impl Iterator<Item = &'a [F]>) -> Option<Vec<F>> {
     let first = vecs.next()?;
     let mut acc = first.to_vec();
-    for v in vecs {
-        add_assign(&mut acc, v);
+    let rest: Vec<&[F]> = vecs.collect();
+    if !rest.is_empty() {
+        let ones = vec![F::ONE; rest.len()];
+        weighted_sum_into(&mut acc, &ones, &rest);
     }
     Some(acc)
 }
@@ -141,11 +266,17 @@ pub fn batch_invert<F: Field>(xs: &[F]) -> Option<Vec<F>> {
     Some(out)
 }
 
-/// Evaluate the "vector polynomial" `Σ_k segs[k] · point^k` (Horner form).
+/// Evaluate the "vector polynomial" `Σ_k segs[k] · point^k`.
 ///
 /// Each `segs[k]` is a vector coefficient; the result has the common
 /// segment length. This is exactly one column of the Vandermonde MDS
 /// encoding in Eq. (5) of the paper.
+///
+/// Instead of a Horner sweep (one reduced multiply-add per segment per
+/// element), the powers `point^k` are computed once (`U` scalar
+/// multiplies) and the segments folded through the fused
+/// [`weighted_sum_into`] — one reduction per output element. Field
+/// arithmetic is exact, so the result is identical to the Horner form.
 ///
 /// # Panics
 ///
@@ -153,15 +284,132 @@ pub fn batch_invert<F: Field>(xs: &[F]) -> Option<Vec<F>> {
 pub fn horner_eval<F: Field>(segs: &[Vec<F>], point: F) -> Vec<F> {
     assert!(!segs.is_empty(), "no segments to evaluate");
     let len = segs[0].len();
-    let mut acc = vec![F::ZERO; len];
-    for seg in segs.iter().rev() {
+    for seg in segs {
         assert_eq!(seg.len(), len, "segment length mismatch");
-        // acc = acc * point + seg
-        for (a, s) in acc.iter_mut().zip(seg) {
-            *a = *a * point + *s;
+    }
+    let mut coeffs = Vec::with_capacity(segs.len());
+    let mut p = F::ONE;
+    for _ in 0..segs.len() {
+        coeffs.push(p);
+        p *= point;
+    }
+    let inputs: Vec<&[F]> = segs.iter().map(Vec::as_slice).collect();
+    let mut out = vec![F::ZERO; len];
+    weighted_sum_into(&mut out, &coeffs, &inputs);
+    out
+}
+
+// ---------------------------------------------------------------------
+// Widened-vector helpers (running sums that stay unreduced across calls)
+// ---------------------------------------------------------------------
+
+/// Lift a residue vector into the widened accumulator domain (the shape
+/// of `ServerRound`'s running masked-model sum).
+pub fn wide_from<F: Field>(x: &[F]) -> Vec<F::Wide> {
+    x.iter().map(|v| v.to_wide()).collect()
+}
+
+/// A fresh all-zero widened accumulator vector.
+pub fn wide_zeros<F: Field>(len: usize) -> Vec<F::Wide> {
+    vec![F::ZERO.to_wide(); len]
+}
+
+/// `acc[k] += x[k]` in the widened domain — no reduction at all. The
+/// caller tracks the term count against [`Field::WIDE_CAPACITY`] and
+/// calls [`wide_normalize`] before it overflows.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn wide_accumulate<F: Field>(acc: &mut [F::Wide], x: &[F]) {
+    assert_eq!(acc.len(), x.len(), "vector length mismatch");
+    par::par_chunks_mut(acc, |offset, chunk| {
+        let len = chunk.len();
+        for (a, &b) in chunk.iter_mut().zip(&x[offset..offset + len]) {
+            *a = F::wide_add(*a, b);
+        }
+    });
+}
+
+/// Re-fold every accumulator to a canonical residue in place, resetting
+/// the term count to one.
+pub fn wide_normalize<F: Field>(acc: &mut [F::Wide]) {
+    par::par_chunks_mut(acc, |_, chunk| {
+        for a in chunk.iter_mut() {
+            *a = F::wide_reduce(*a).to_wide();
+        }
+    });
+}
+
+/// Collapse a widened accumulator vector to canonical residues (the one
+/// full reduction per element).
+pub fn wide_collapse<F: Field>(acc: &[F::Wide]) -> Vec<F> {
+    acc.iter().map(|&w| F::wide_reduce(w)).collect()
+}
+
+// ---------------------------------------------------------------------
+// Scalar reference kernels
+// ---------------------------------------------------------------------
+
+/// The pre-refactor one-reduction-per-operation loops, kept as the
+/// oracle for the lazy kernels: property tests assert element-for-element
+/// equality against these, and the `field_kernels` bench uses them as
+/// the baseline the delayed-reduction kernels must beat.
+pub mod reference {
+    use crate::Field;
+
+    /// Scalar `acc[k] += c·x[k]` with a full reduction per element.
+    pub fn axpy<F: Field>(acc: &mut [F], c: F, x: &[F]) {
+        assert_eq!(acc.len(), x.len(), "vector length mismatch");
+        if c == F::ZERO {
+            return;
+        }
+        for (a, b) in acc.iter_mut().zip(x) {
+            *a += c * *b;
         }
     }
-    acc
+
+    /// Scalar inner product, reduced per term.
+    pub fn dot<F: Field>(x: &[F], y: &[F]) -> F {
+        assert_eq!(x.len(), y.len(), "vector length mismatch");
+        x.iter().zip(y).map(|(a, b)| *a * *b).sum()
+    }
+
+    /// Scalar multi-axpy: one reduced axpy sweep per input.
+    pub fn weighted_sum_into<F: Field>(out: &mut [F], coeffs: &[F], inputs: &[&[F]]) {
+        assert_eq!(coeffs.len(), inputs.len(), "one coefficient per input");
+        for (&c, v) in coeffs.iter().zip(inputs) {
+            axpy(out, c, v);
+        }
+    }
+
+    /// Scalar vector sum: one reduced add sweep per vector.
+    pub fn sum_vectors<'a, F: Field>(mut vecs: impl Iterator<Item = &'a [F]>) -> Option<Vec<F>> {
+        let first = vecs.next()?;
+        let mut acc = first.to_vec();
+        for v in vecs {
+            assert_eq!(acc.len(), v.len(), "vector length mismatch");
+            for (a, b) in acc.iter_mut().zip(v) {
+                *a += *b;
+            }
+        }
+        Some(acc)
+    }
+
+    /// Horner-form vector polynomial evaluation (one reduced
+    /// multiply-add per segment per element).
+    pub fn horner_eval<F: Field>(segs: &[Vec<F>], point: F) -> Vec<F> {
+        assert!(!segs.is_empty(), "no segments to evaluate");
+        let len = segs[0].len();
+        let mut acc = vec![F::ZERO; len];
+        for seg in segs.iter().rev() {
+            assert_eq!(seg.len(), len, "segment length mismatch");
+            for (a, s) in acc.iter_mut().zip(seg) {
+                *a = *a * point + *s;
+            }
+        }
+        acc
+    }
 }
 
 #[cfg(test)]
@@ -223,6 +471,35 @@ mod tests {
     }
 
     #[test]
+    fn weighted_sum_matches_axpy_sweeps() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let inputs: Vec<Vec<Fp32>> = (0..5).map(|_| random_vector(40, &mut rng)).collect();
+        let coeffs: Vec<Fp32> = (0..5).map(|_| Fp32::random(&mut rng)).collect();
+        let refs: Vec<&[Fp32]> = inputs.iter().map(Vec::as_slice).collect();
+        let mut fused = random_vector::<Fp32, _>(40, &mut rng);
+        let mut sweep = fused.clone();
+        weighted_sum_into(&mut fused, &coeffs, &refs);
+        reference::weighted_sum_into(&mut sweep, &coeffs, &refs);
+        assert_eq!(fused, sweep);
+    }
+
+    #[test]
+    fn weighted_sum_refolds_past_capacity() {
+        // More terms than a tiny capacity would allow is exercised for
+        // real in the kernel-equivalence suite; here, pin the worst-case
+        // magnitudes: q−1 coefficients times q−1 inputs, many times.
+        let terms = 64usize;
+        let x = vec![Fp61::from_u64(Fp61::MODULUS - 1); 8];
+        let coeffs = vec![Fp61::from_u64(Fp61::MODULUS - 1); terms];
+        let inputs: Vec<&[Fp61]> = (0..terms).map(|_| x.as_slice()).collect();
+        let mut out = vec![Fp61::ZERO; 8];
+        let mut expect = vec![Fp61::ZERO; 8];
+        weighted_sum_into(&mut out, &coeffs, &inputs);
+        reference::weighted_sum_into(&mut expect, &coeffs, &inputs);
+        assert_eq!(out, expect);
+    }
+
+    #[test]
     fn horner_eval_linear() {
         // segs = [c0, c1]; eval at point p gives c0 + c1*p.
         let c0 = v32(&[1, 2]);
@@ -239,6 +516,28 @@ mod tests {
         let out = horner_eval(&[c0, c1, c2], Fp61::from_u64(2));
         // 5 + 7*2 + 11*4 = 63
         assert_eq!(out[0].residue(), 63);
+    }
+
+    #[test]
+    fn horner_eval_at_zero_returns_first_segment() {
+        let c0 = v32(&[9, 8]);
+        let c1 = v32(&[7, 6]);
+        let out = horner_eval(&[c0.clone(), c1], Fp32::ZERO);
+        assert_eq!(out, c0);
+    }
+
+    #[test]
+    fn wide_running_sum_matches_eager_adds() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let vecs: Vec<Vec<Fp32>> = (0..9).map(|_| random_vector(33, &mut rng)).collect();
+        let mut wide = wide_zeros::<Fp32>(33);
+        let mut eager = vec![Fp32::ZERO; 33];
+        for v in &vecs {
+            wide_accumulate(&mut wide, v);
+            add_assign(&mut eager, v);
+        }
+        wide_normalize::<Fp32>(&mut wide);
+        assert_eq!(wide_collapse::<Fp32>(&wide), eager);
     }
 
     #[test]

@@ -1,0 +1,273 @@
+//! Equivalence of every delayed-reduction bulk kernel against the
+//! one-reduction-per-op scalar reference, for both fields.
+//!
+//! The lazy kernels accumulate partially-folded terms in the widened
+//! domain and reduce once per output element; these properties pin that
+//! the optimisation never changes a single residue — including at the
+//! all-`(q−1)` worst case that stresses the accumulator overflow
+//! bounds, and across serial vs forked execution.
+
+use lsa_field::{ops, par, Field, Fp32, Fp61};
+use proptest::prelude::*;
+
+fn fp32() -> impl Strategy<Value = Fp32> {
+    any::<u64>().prop_map(Fp32::from_u64)
+}
+
+fn fp61() -> impl Strategy<Value = Fp61> {
+    any::<u64>().prop_map(Fp61::from_u64)
+}
+
+fn vec32(len: core::ops::Range<usize>) -> impl Strategy<Value = Vec<Fp32>> {
+    proptest::collection::vec(fp32(), len)
+}
+
+fn vec61(len: core::ops::Range<usize>) -> impl Strategy<Value = Vec<Fp61>> {
+    proptest::collection::vec(fp61(), len)
+}
+
+macro_rules! kernel_equivalence {
+    ($modname:ident, $scalar:ident, $vector:ident, $F:ty) => {
+        mod $modname {
+            use super::*;
+
+            proptest! {
+                #[test]
+                fn axpy_matches_reference(
+                    acc in $vector(1..200),
+                    c in $scalar(),
+                ) {
+                    let mut acc = acc;
+                    let x: Vec<$F> = acc.iter().map(|&v| v + c).collect();
+                    let mut expect = acc.clone();
+                    ops::axpy(&mut acc, c, &x);
+                    ops::reference::axpy(&mut expect, c, &x);
+                    prop_assert_eq!(acc, expect);
+                }
+
+                #[test]
+                fn dot_matches_reference(x in $vector(1..200), seed in $scalar()) {
+                    let y: Vec<$F> = x.iter().map(|&v| v * seed + seed).collect();
+                    prop_assert_eq!(ops::dot(&x, &y), ops::reference::dot(&x, &y));
+                }
+
+                #[test]
+                fn weighted_sum_matches_reference(
+                    base in $vector(1..150),
+                    coeffs in proptest::collection::vec($scalar(), 1..12),
+                    mix in $scalar(),
+                ) {
+                    let inputs: Vec<Vec<$F>> = coeffs
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &c)| {
+                            base.iter()
+                                .map(|&v| v * c + mix * <$F>::from_u64(i as u64 + 1))
+                                .collect()
+                        })
+                        .collect();
+                    let refs: Vec<&[$F]> = inputs.iter().map(Vec::as_slice).collect();
+                    let mut fused = base.clone();
+                    let mut sweep = base.clone();
+                    ops::weighted_sum_into(&mut fused, &coeffs, &refs);
+                    ops::reference::weighted_sum_into(&mut sweep, &coeffs, &refs);
+                    prop_assert_eq!(fused, sweep);
+                }
+
+                #[test]
+                fn sum_vectors_matches_reference(
+                    base in $vector(1..150),
+                    count in 1usize..10,
+                    mix in $scalar(),
+                ) {
+                    let vecs: Vec<Vec<$F>> = (0..count)
+                        .map(|i| {
+                            base.iter()
+                                .map(|&v| v + mix * <$F>::from_u64(i as u64))
+                                .collect()
+                        })
+                        .collect();
+                    let lazy =
+                        ops::sum_vectors(vecs.iter().map(Vec::as_slice)).unwrap();
+                    let eager =
+                        ops::reference::sum_vectors(vecs.iter().map(Vec::as_slice))
+                            .unwrap();
+                    prop_assert_eq!(lazy, eager);
+                }
+
+                #[test]
+                fn horner_eval_matches_reference(
+                    base in $vector(1..80),
+                    degree in 1usize..10,
+                    point in $scalar(),
+                    mix in $scalar(),
+                ) {
+                    let segs: Vec<Vec<$F>> = (0..degree)
+                        .map(|k| {
+                            base.iter()
+                                .map(|&v| v * <$F>::from_u64(k as u64 + 1) + mix)
+                                .collect()
+                        })
+                        .collect();
+                    prop_assert_eq!(
+                        ops::horner_eval(&segs, point),
+                        ops::reference::horner_eval(&segs, point)
+                    );
+                }
+
+                #[test]
+                fn wide_running_sum_matches_eager(
+                    base in $vector(1..100),
+                    count in 1usize..12,
+                ) {
+                    let vecs: Vec<Vec<$F>> = (0..count)
+                        .map(|i| {
+                            base.iter()
+                                .map(|&v| v + <$F>::from_u64(i as u64))
+                                .collect()
+                        })
+                        .collect();
+                    let mut wide = ops::wide_zeros::<$F>(base.len());
+                    let mut eager = vec![<$F>::ZERO; base.len()];
+                    for v in &vecs {
+                        ops::wide_accumulate::<$F>(&mut wide, v);
+                        for (a, b) in eager.iter_mut().zip(v) {
+                            *a += *b;
+                        }
+                    }
+                    prop_assert_eq!(ops::wide_collapse::<$F>(&wide), eager);
+                }
+
+                #[test]
+                fn parallel_kernels_bit_identical_to_serial(
+                    seed in $scalar(),
+                    c in $scalar(),
+                ) {
+                    // long enough to clear MIN_PAR_LEN so forking happens
+                    let len = par::MIN_PAR_LEN + 101;
+                    let x: Vec<$F> = (0..len)
+                        .map(|i| seed * <$F>::from_u64(i as u64 + 1) + c)
+                        .collect();
+                    let acc0: Vec<$F> =
+                        (0..len).map(|i| c * <$F>::from_u64(i as u64)).collect();
+                    let mut serial = acc0.clone();
+                    let mut forked = acc0;
+                    par::with_threads(1, || ops::axpy(&mut serial, c, &x));
+                    par::with_threads(4, || ops::axpy(&mut forked, c, &x));
+                    prop_assert_eq!(serial, forked);
+                }
+            }
+
+            /// The all-`(q−1)` worst case: maximum-magnitude coefficients
+            /// times maximum-magnitude inputs, enough terms to stress the
+            /// partial-fold overflow bounds (each folded product attains
+            /// its documented maximum).
+            #[test]
+            fn worst_case_all_q_minus_one() {
+                let q1 = <$F>::from_u64(<$F>::MODULUS - 1);
+                let len = 64usize;
+                let terms = 257usize;
+                let x = vec![q1; len];
+                let coeffs = vec![q1; terms];
+                let inputs: Vec<&[$F]> = (0..terms).map(|_| x.as_slice()).collect();
+                let mut fused = vec![q1; len];
+                let mut sweep = vec![q1; len];
+                ops::weighted_sum_into(&mut fused, &coeffs, &inputs);
+                ops::reference::weighted_sum_into(&mut sweep, &coeffs, &inputs);
+                assert_eq!(fused, sweep);
+                // closed form: q−1 ≡ −1, so out = −1 + terms·(−1)(−1) = terms − 1
+                assert_eq!(fused[0], <$F>::from_u64(terms as u64 - 1));
+
+                // dot of all-(q−1) vectors: Σ (−1)(−1) = len
+                let y = vec![q1; len];
+                assert_eq!(ops::dot(&x, &y), <$F>::from_u64(len as u64));
+                assert_eq!(ops::dot(&x, &y), ops::reference::dot(&x, &y));
+
+                // widened running sum of all-(q−1) uploads
+                let mut wide = ops::wide_zeros::<$F>(len);
+                let rounds = 513usize;
+                for _ in 0..rounds {
+                    ops::wide_accumulate::<$F>(&mut wide, &x);
+                }
+                let collapsed = ops::wide_collapse::<$F>(&wide);
+                // Σ (−1) over `rounds` terms = −rounds
+                assert_eq!(collapsed[0], <$F>::from_i64(-(rounds as i64)));
+            }
+
+            /// Many max-magnitude terms through the fused kernel stay
+            /// exact (the closed form makes wrap-around visible).
+            #[test]
+            fn many_max_terms_stay_exact() {
+                let q1 = <$F>::from_u64(<$F>::MODULUS - 1);
+                let x = vec![q1; 8];
+                let terms = 1200usize;
+                let coeffs = vec![q1; terms];
+                let inputs: Vec<&[$F]> = (0..terms).map(|_| x.as_slice()).collect();
+                let mut out = vec![<$F>::ZERO; 8];
+                ops::weighted_sum_into(&mut out, &coeffs, &inputs);
+                assert_eq!(out[0], <$F>::from_u64(terms as u64));
+            }
+        }
+    };
+}
+
+/// A saturated `u64` accumulator still reduces correctly, and the
+/// documented capacity times the worst-case folded-product magnitude
+/// provably fits the accumulator — the static overflow bound behind
+/// `Fp32::WIDE_CAPACITY`.
+#[test]
+fn fp32_accumulator_bounds_hold_at_extremes() {
+    assert_eq!(
+        Fp32::wide_reduce(u64::MAX).residue(),
+        u64::MAX % Fp32::MODULUS
+    );
+    let q1 = Fp32::MODULUS - 1;
+    let t = u128::from(q1) * u128::from(q1);
+    let max_term = (t >> 32) * 5 + (t & 0xFFFF_FFFF);
+    assert!(u128::from(Fp32::WIDE_CAPACITY) * max_term <= u128::from(u64::MAX));
+}
+
+/// As above for `Fp61`: a saturated `u128` accumulator reduces
+/// correctly, and `WIDE_CAPACITY` unfolded worst-case products
+/// (`(q−1)² < 2^122` each) cannot overflow a `u128`.
+#[test]
+fn fp61_accumulator_bounds_hold_at_extremes() {
+    assert_eq!(
+        u128::from(Fp61::wide_reduce(u128::MAX).residue()),
+        u128::MAX % u128::from(Fp61::MODULUS)
+    );
+    let q1 = u128::from(Fp61::MODULUS - 1);
+    let max_term = q1 * q1;
+    assert!(max_term
+        .checked_mul(u128::from(Fp61::WIDE_CAPACITY))
+        .is_some());
+}
+
+kernel_equivalence!(fp32_kernels, fp32, vec32, Fp32);
+kernel_equivalence!(fp61_kernels, fp61, vec61, Fp61);
+
+/// Serial and forked grouped execution must agree element-for-element on
+/// the fused decode-shaped workload (many coefficients, long vectors).
+#[test]
+fn parallel_weighted_sum_bit_identical_across_thread_counts() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let mut rng = StdRng::seed_from_u64(99);
+    let len = par::MIN_PAR_LEN + 7;
+    let inputs: Vec<Vec<Fp61>> = (0..16).map(|_| ops::random_vector(len, &mut rng)).collect();
+    let coeffs: Vec<Fp61> = (0..16).map(|_| Fp61::random(&mut rng)).collect();
+    let refs: Vec<&[Fp61]> = inputs.iter().map(Vec::as_slice).collect();
+
+    let mut outputs = Vec::new();
+    for threads in [1usize, 2, 4, 7] {
+        let mut out = vec![Fp61::ZERO; len];
+        par::with_threads(threads, || {
+            ops::weighted_sum_into(&mut out, &coeffs, &refs);
+        });
+        outputs.push(out);
+    }
+    for out in &outputs[1..] {
+        assert_eq!(out, &outputs[0]);
+    }
+}

@@ -240,14 +240,18 @@ impl<F: Field> AsyncClient<F> {
         announced_round: u64,
         entries: &[BufferEntry],
     ) -> Result<AggregatedShare<F>, ProtocolError> {
-        let mut acc = vec![F::ZERO; self.cfg.segment_len()];
+        let mut weights = Vec::with_capacity(entries.len());
+        let mut shares: Vec<&[F]> = Vec::with_capacity(entries.len());
         for e in entries {
             let share = self
                 .received
                 .get(&(e.who, e.round))
                 .ok_or(ProtocolError::MissingShares { from: e.who })?;
-            lsa_field::ops::axpy(&mut acc, F::from_u64(e.weight), share);
+            weights.push(F::from_u64(e.weight));
+            shares.push(share);
         }
+        let mut acc = vec![F::ZERO; self.cfg.segment_len()];
+        lsa_field::ops::weighted_sum_into(&mut acc, &weights, &shares);
         Ok(AggregatedShare {
             from: self.id,
             group: 0,
@@ -493,11 +497,16 @@ impl<F: Field> AsyncServer<F> {
                 need: self.cfg.u(),
             });
         }
-        // Σ w_i ~Δ_i over the buffer.
+        // Σ w_i ~Δ_i over the buffer: one fused widened pass, reduced
+        // once per element instead of once per buffered update.
         let mut weighted_sum = vec![F::ZERO; self.cfg.padded_len()];
-        for (entry, payload) in &self.buffer {
-            lsa_field::ops::axpy(&mut weighted_sum, F::from_u64(entry.weight), payload);
-        }
+        let weights: Vec<F> = self
+            .buffer
+            .iter()
+            .map(|(entry, _)| F::from_u64(entry.weight))
+            .collect();
+        let payloads: Vec<&[F]> = self.buffer.iter().map(|(_, p)| p.as_slice()).collect();
+        lsa_field::ops::weighted_sum_into(&mut weighted_sum, &weights, &payloads);
         // One-shot decode of Σ w_i z_i^{(t_i)} (coding commutes with the
         // weighted sum because the weights are scalars).
         let agg_segments = self

@@ -281,14 +281,18 @@ impl<F: Field> Client<F> {
         &self,
         survivors: &[usize],
     ) -> Result<AggregatedShare<F>, ProtocolError> {
-        let mut acc = vec![F::ZERO; self.cfg.segment_len()];
+        let mut shares: Vec<&[F]> = Vec::with_capacity(survivors.len());
         for &i in survivors {
             let share = self
                 .received
                 .get(&i)
                 .ok_or(ProtocolError::MissingShares { from: i })?;
-            lsa_field::ops::add_assign(&mut acc, share);
+            shares.push(share);
         }
+        // one widened pass over all survivor shares, reduced once per
+        // element
+        let acc = lsa_field::ops::sum_vectors(shares.iter().copied())
+            .unwrap_or_else(|| vec![F::ZERO; self.cfg.segment_len()]);
         Ok(AggregatedShare {
             from: self.id,
             group: self.group,

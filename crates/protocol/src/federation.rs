@@ -367,7 +367,7 @@ impl<F: Field> Session<F> for FederationClient<F> {
 /// The persistent federation server: wraps one [`ServerSession`] per
 /// round, opened and closed through the round lifecycle.
 #[derive(Debug, Clone)]
-pub struct FederationServer<F> {
+pub struct FederationServer<F: Field> {
     cfg: LsaConfig,
     group: usize,
     round: u64,
@@ -468,19 +468,19 @@ impl<F: Field> FederationServer<F> {
     /// [`ProtocolError::NotEnoughSurvivors`] if recovery never
     /// completed.
     pub fn close_round(&mut self) -> Result<Vec<F>, ProtocolError> {
-        let session = self.session.take().ok_or(ProtocolError::WrongPhase)?;
-        match session.aggregate() {
-            Some(agg) => Ok(agg.to_vec()),
-            None => {
-                let got = session.shares_received();
-                // leave the round open so the caller can pump more shares
-                self.session = Some(session);
-                Err(ProtocolError::NotEnoughSurvivors {
-                    got,
-                    need: self.cfg.u(),
-                })
-            }
+        let session = self.session.as_mut().ok_or(ProtocolError::WrongPhase)?;
+        if !session.is_complete() {
+            // leave the round open so the caller can pump more shares
+            return Err(ProtocolError::NotEnoughSurvivors {
+                got: session.shares_received(),
+                need: self.cfg.u(),
+            });
         }
+        // the lazy one-shot decode runs here — the owner's thread, which
+        // a grouped topology schedules in parallel across groups
+        let aggregate = session.recover()?.to_vec();
+        self.session = None;
+        Ok(aggregate)
     }
 }
 
@@ -670,7 +670,7 @@ where
 /// per-round sessions with exact (unit-weight) aggregation, overlapped
 /// next-round mask sharing, and `O(d)` server memory.
 #[derive(Debug, Clone)]
-pub struct SyncFederation<F, T> {
+pub struct SyncFederation<F: Field, T> {
     cfg: LsaConfig,
     transport: T,
     clients: Vec<FederationClient<F>>,

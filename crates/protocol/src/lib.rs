@@ -419,13 +419,13 @@ pub fn run_sync_round_over<F: Field, R: Rng + ?Sized, T: Transport<F>>(
     transport.flush("recovery");
     pump_sessions(transport, &mut server, &mut clients, &dropouts.after_upload)?;
 
-    let aggregate = server
-        .aggregate()
-        .ok_or(ProtocolError::NotEnoughSurvivors {
+    if !server.is_complete() {
+        return Err(ProtocolError::NotEnoughSurvivors {
             got: server.shares_received(),
             need: cfg.u(),
-        })?
-        .to_vec();
+        });
+    }
+    let aggregate = server.recover()?.to_vec();
     Ok(SyncRoundOutput {
         aggregate,
         survivors,

@@ -16,6 +16,9 @@ pub enum ServerPhase {
     CollectingAggregatedShares,
     /// `U` shares arrived; aggregate can be recovered.
     ReadyToRecover,
+    /// [`ServerRound::recover_aggregate`] ran; the round is finished and
+    /// its running sum has been consumed.
+    Recovered,
 }
 
 /// One aggregation round at the server (Algorithm 1, server side).
@@ -29,18 +32,28 @@ pub enum ServerPhase {
 /// regardless of how many of the `N` users upload (it used to buffer
 /// every masked model, `O(N·d)`).
 ///
+/// The running sum lives in the field's widened accumulator domain
+/// ([`lsa_field::Field::Wide`]): each upload is folded in with plain
+/// integer adds (no per-element reduction at all), and the whole vector
+/// is reduced exactly once, inside [`ServerRound::recover_aggregate`] —
+/// which also *consumes* the sum rather than cloning `O(d)` state.
+///
 /// # Example
 ///
 /// See [`crate::run_sync_round`] for a full driver.
 #[derive(Debug, Clone)]
-pub struct ServerRound<F> {
+pub struct ServerRound<F: Field> {
     cfg: LsaConfig,
     group: usize,
     round: u64,
     code: VandermondeCode<F>,
     phase: ServerPhase,
-    /// Running `Σ ~x_i` over everything uploaded so far (padded length).
-    sum_masked: Vec<F>,
+    /// Running `Σ ~x_i` over everything uploaded so far (padded length),
+    /// unreduced in the widened domain.
+    sum_masked: Vec<F::Wide>,
+    /// Terms absorbed per `sum_masked` accumulator since the last
+    /// normalisation, checked against [`Field::WIDE_CAPACITY`].
+    sum_terms: u64,
     /// Who has uploaded (the survivor set once the phase closes).
     uploaders: BTreeSet<usize>,
     survivors: Vec<usize>,
@@ -87,7 +100,8 @@ impl<F: Field> ServerRound<F> {
             round,
             code,
             phase: ServerPhase::CollectingMaskedModels,
-            sum_masked: vec![F::ZERO; cfg.padded_len()],
+            sum_masked: lsa_field::ops::wide_zeros::<F>(cfg.padded_len()),
+            sum_terms: 0,
             uploaders: BTreeSet::new(),
             survivors: Vec::new(),
             shares: Vec::new(),
@@ -149,7 +163,15 @@ impl<F: Field> ServerRound<F> {
         if !self.uploaders.insert(msg.from) {
             return Err(ProtocolError::DuplicateMessage(msg.from));
         }
-        lsa_field::ops::add_assign(&mut self.sum_masked, &msg.payload);
+        // Fold into the widened running sum: plain integer adds, no
+        // per-element reduction. Normalise if a (pathologically long)
+        // run of uploads approaches the accumulator capacity.
+        if self.sum_terms >= F::WIDE_CAPACITY {
+            lsa_field::ops::wide_normalize::<F>(&mut self.sum_masked);
+            self.sum_terms = 1;
+        }
+        lsa_field::ops::wide_accumulate::<F>(&mut self.sum_masked, &msg.payload);
+        self.sum_terms += 1;
         Ok(())
     }
 
@@ -237,24 +259,35 @@ impl<F: Field> ServerRound<F> {
     /// `Σ_{i∈U₁} z_i` from the aggregated coded masks, subtract it from
     /// `Σ_{i∈U₁} ~x_i`, and return the aggregate model truncated to `d`.
     ///
+    /// Consumes the running sum (collapsing the widened accumulators in
+    /// one reduction pass) instead of cloning `O(d)` state; the round
+    /// transitions to [`ServerPhase::Recovered`] and a second call is a
+    /// phase error.
+    ///
     /// # Errors
     ///
-    /// Returns [`ProtocolError::WrongPhase`] until `U` shares arrived, or
-    /// a [`ProtocolError::Coding`] decode failure.
-    pub fn recover_aggregate(&self) -> Result<Vec<F>, ProtocolError> {
+    /// Returns [`ProtocolError::WrongPhase`] until `U` shares arrived
+    /// (or after recovery already ran), or a [`ProtocolError::Coding`]
+    /// decode failure.
+    pub fn recover_aggregate(&mut self) -> Result<Vec<F>, ProtocolError> {
         if self.phase != ServerPhase::ReadyToRecover {
             return Err(ProtocolError::WrongPhase);
         }
-        // Σ ~x_i over survivors: the running sum — every uploader is a
-        // survivor once the phase closes, so no per-user buffering.
-        let mut sum_masked = self.sum_masked.clone();
-
-        // Decode Σ z_i: the aggregated shares are evaluations of the
-        // aggregated mask polynomial at the senders' points (Eq. 6).
+        // Decode Σ z_i first: the aggregated shares are evaluations of
+        // the aggregated mask polynomial at the senders' points (Eq. 6).
+        // A decode failure must leave the round intact, so the running
+        // sum is consumed only after it succeeds.
         let agg_segments = self
             .code
             .decode_prefix(&self.shares, self.cfg.data_segments())?;
         let agg_mask = vandermonde::concatenate(&agg_segments);
+
+        // Σ ~x_i over survivors: collapse the widened running sum —
+        // every uploader is a survivor once the phase closes, so no
+        // per-user buffering, and no O(d) clone here.
+        let wide = std::mem::take(&mut self.sum_masked);
+        let mut sum_masked = lsa_field::ops::wide_collapse::<F>(&wide);
+        self.phase = ServerPhase::Recovered;
 
         lsa_field::ops::sub_assign(&mut sum_masked, &agg_mask);
         sum_masked.truncate(self.cfg.d());

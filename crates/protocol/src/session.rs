@@ -56,7 +56,7 @@
 //!         server.handle(reply).unwrap();
 //!     }
 //! }
-//! assert_eq!(server.aggregate().unwrap()[0], Fp61::from_u64(3));
+//! assert_eq!(server.recover().unwrap()[0], Fp61::from_u64(3));
 //! ```
 
 use crate::asynchronous::{AsyncClient, AsyncServer, WeightedAggregate};
@@ -277,10 +277,16 @@ impl<F: Field> Session<F> for ClientSession<F> {
 ///
 /// Collects masked models; [`ServerSession::close_upload`] fixes the
 /// survivor set and queues one [`SurvivorAnnouncement`] per survivor;
-/// once `U` aggregated shares arrive the aggregate is recovered in one
-/// shot and exposed through [`ServerSession::aggregate`].
+/// once `U` aggregated shares arrive, [`ServerSession::recover`] runs
+/// the one-shot decode and caches the aggregate.
+///
+/// Recovery is **deliberately lazy**: receiving the `U`-th share only
+/// marks the session ready. The `O(U²) + O(U·d)` decode runs when the
+/// owner asks for the aggregate — which lets a grouped topology decode
+/// its `G` independent groups on a thread pool instead of inline in the
+/// (serial) message-pump.
 #[derive(Debug, Clone)]
-pub struct ServerSession<F> {
+pub struct ServerSession<F: Field> {
     inner: ServerRound<F>,
     outbox: VecDeque<Outgoing<F>>,
     aggregate: Option<Vec<F>>,
@@ -380,14 +386,30 @@ impl<F: Field> ServerSession<F> {
         Ok(self.inner.survivors())
     }
 
-    /// The recovered aggregate, once `U` aggregated shares have arrived.
+    /// The recovered aggregate. Runs the one-shot decode on first call
+    /// (once `U` aggregated shares have arrived) and caches the result;
+    /// later calls are free.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::WrongPhase`] before `U` shares arrived, or a
+    /// [`ProtocolError::Coding`] decode failure.
+    pub fn recover(&mut self) -> Result<&[F], ProtocolError> {
+        if self.aggregate.is_none() {
+            self.aggregate = Some(self.inner.recover_aggregate()?);
+        }
+        Ok(self.aggregate.as_deref().expect("just recovered"))
+    }
+
+    /// The cached aggregate, if [`Self::recover`] has run.
     pub fn aggregate(&self) -> Option<&[F]> {
         self.aggregate.as_deref()
     }
 
-    /// Whether the one-shot recovery has completed.
+    /// Whether `U` aggregated shares have arrived, i.e. whether
+    /// [`Self::recover`] will succeed (or already has).
     pub fn is_complete(&self) -> bool {
-        self.aggregate.is_some()
+        self.aggregate.is_some() || self.inner.phase() == ServerPhase::ReadyToRecover
     }
 }
 
@@ -403,10 +425,10 @@ impl<F: Field> Session<F> for ServerSession<F> {
                 Ok(Vec::new())
             }
             Envelope::AggregatedShare(s) => {
-                let done = self.inner.receive_aggregated_share(s)?;
-                if done && self.aggregate.is_none() {
-                    self.aggregate = Some(self.inner.recover_aggregate()?);
-                }
+                // receiving the U-th share only marks the session ready;
+                // the decode itself is deferred to `recover()` so owners
+                // can schedule it (e.g. in parallel across groups)
+                self.inner.receive_aggregated_share(s)?;
                 Ok(Vec::new())
             }
             other => Err(ProtocolError::UnexpectedEnvelope { kind: other.kind() }),
@@ -779,6 +801,9 @@ mod tests {
             }
         }
         assert!(server.is_complete());
+        // the decode is lazy: nothing cached until recover() runs
+        assert!(server.aggregate().is_none());
+        assert_eq!(server.recover().unwrap(), vec![Fp61::from_u64(6); 6]);
         assert_eq!(server.aggregate().unwrap(), vec![Fp61::from_u64(6); 6]);
     }
 }

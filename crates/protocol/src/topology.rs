@@ -262,7 +262,7 @@ impl GroupTopology {
 
 /// One group's persistent endpoints.
 #[derive(Debug, Clone)]
-struct GroupEndpoints<F> {
+struct GroupEndpoints<F: Field> {
     clients: Vec<FederationClient<F>>,
     server: FederationServer<F>,
 }
@@ -312,7 +312,7 @@ where
 /// running sum per group, and recovery that completes group-by-group as
 /// each `U_g`-th aggregated share arrives.
 #[derive(Debug, Clone)]
-pub struct GroupedFederation<F, T> {
+pub struct GroupedFederation<F: Field, T> {
     topology: GroupTopology,
     transport: T,
     groups: Vec<GroupEndpoints<F>>,
@@ -633,11 +633,36 @@ impl<F: Field, T: Transport<F>> SecureAggregator<F> for GroupedFederation<F, T> 
         self.transport.flush("recovery");
         self.pump(&online)?;
 
+        // Run the per-group one-shot recoveries on the scoped worker
+        // pool (`LSA_THREADS`): each decode is O((N/G)²) basis setup
+        // plus an O((N/G)·d/G) fused multi-axpy, and the groups share
+        // no state — embarrassingly parallel. Each group's server is
+        // taken out of `self`, decoded on a worker, and put back; the
+        // global fold below stays serial in group order, so the
+        // aggregate is bit-identical for any thread count.
+        let mut work: Vec<(usize, Vec<usize>, FederationServer<F>)> = decodable
+            .into_iter()
+            .map(|(g, survivors)| {
+                let placeholder = FederationServer::in_group(g, self.topology.group_config(g));
+                let server = std::mem::replace(&mut self.groups[g].server, placeholder);
+                (g, survivors, server)
+            })
+            .collect();
+        let outcomes =
+            lsa_field::par::par_map_mut(&mut work, |(_, _, server)| server.close_round());
+        // Every server must go back before any error can return.
+        type GroupRecovery<F> = (usize, Vec<usize>, Result<Vec<F>, ProtocolError>);
+        let mut recovered: Vec<GroupRecovery<F>> = Vec::with_capacity(work.len());
+        for ((g, survivors, server), outcome) in work.into_iter().zip(outcomes) {
+            self.groups[g].server = server;
+            recovered.push((g, survivors, outcome));
+        }
+
         // Sum the per-group aggregates into the global one.
         let mut aggregate = vec![F::ZERO; self.topology.d()];
         let mut contributors = Vec::new();
-        for (g, survivors) in decodable {
-            match self.groups[g].server.close_round() {
+        for (g, survivors, outcome) in recovered {
+            match outcome {
                 Ok(group_aggregate) => {
                     lsa_field::ops::add_assign(&mut aggregate, &group_aggregate);
                     contributors.extend(

@@ -109,6 +109,12 @@ pub fn run_timed_sync_round<F: Field, R: Rng + ?Sized>(
 /// sum — a conservative bound that ignores straggler shares *within* a
 /// group).
 ///
+/// The server-side compute behind those arrivals — the `G` per-group
+/// one-shot decodes inside `finish_round` — runs on the scoped worker
+/// pool (`LSA_THREADS`), so the wall-clock cost of this driver drops on
+/// multi-core hosts while the simulated network timings (and the
+/// aggregate, bit-for-bit) stay identical.
+///
 /// # Errors
 ///
 /// Propagates any [`ProtocolError`] from the grouped federation.

@@ -111,7 +111,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
-    let aggregate = server.aggregate().expect("U shares arrived").to_vec();
+    let aggregate = server.recover().expect("U shares arrived").to_vec();
     assert_eq!(aggregate, expect);
     println!("server work: ONE MDS decode of the aggregate mask (the paper's d)");
     println!("aggregate x2 + x3 recovered correctly");

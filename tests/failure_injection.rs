@@ -338,7 +338,7 @@ fn failed_handle_leaves_session_usable() {
         }
     }
     let want: Fp61 = (0..5).map(Fp61::from_u64).sum();
-    assert_eq!(server.aggregate().unwrap(), vec![want; 8]);
+    assert_eq!(server.recover().unwrap(), vec![want; 8]);
 }
 
 // ---------------------------------------------------------------------
