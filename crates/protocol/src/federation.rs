@@ -152,6 +152,123 @@ pub trait SecureAggregator<F: Field> {
     /// [`ProtocolError::NotEnoughSurvivors`] if dropouts exceeded the
     /// budget; any protocol error from the sessions.
     fn finish_round(&mut self) -> Result<RoundOutcome<F>, ProtocolError>;
+
+    /// Abandon the open round (if any), discarding its per-round state
+    /// so the next round can open. Used by an aggregator tree to retire
+    /// a stalled child after its `finish_round` failed; a no-op when no
+    /// round is open.
+    fn abort_round(&mut self) {}
+
+    /// Re-seat the client-id mapping with a permutation derived from
+    /// `seed`, between rounds. For a flat aggregator there is a single
+    /// privacy domain and nothing to permute (the default no-op); an
+    /// aggregator tree re-assigns clients across its leaf groups so
+    /// slowly-accumulating intra-group collusion never watches the same
+    /// peers for long.
+    ///
+    /// # Errors
+    ///
+    /// Implementations reject a reassignment while a round is open or
+    /// prepared ([`ProtocolError::WrongPhase`] /
+    /// [`ProtocolError::InvalidConfig`]) — the mapping is part of a
+    /// round's identity.
+    fn reassign(&mut self, seed: u64) -> Result<(), ProtocolError> {
+        let _ = seed;
+        Ok(())
+    }
+
+    /// Opt in or out of partial recovery, recursively for composed
+    /// aggregators: a subtree that cannot decode is skipped (and its
+    /// submitted updates re-queued into the next round) instead of
+    /// failing the whole round. Flat aggregators have a single recovery
+    /// domain and ignore this.
+    fn set_partial_recovery(&mut self, enabled: bool) {
+        let _ = enabled;
+    }
+
+    /// Leaf groups (tree-namespaced wire ids) skipped by the most
+    /// recent `finish_round` under partial recovery; empty after a full
+    /// round and for flat aggregators.
+    fn stalled_leaves(&self) -> Vec<usize> {
+        Vec::new()
+    }
+
+    /// Whether this aggregator retains its submitted updates for
+    /// re-queue when its own `finish_round` fails outright. A parent
+    /// node skips its own re-queue for such a child — otherwise the
+    /// same update would be buffered at two levels and land twice.
+    fn requeues_on_failure(&self) -> bool {
+        false
+    }
+
+    /// Whether this aggregator (or any composed child) is holding
+    /// re-queued updates that have not yet landed in an aggregate. A
+    /// parent refuses to reassign its id mapping while a subtree holds
+    /// such updates, because subtree buffers are keyed by seat, not by
+    /// client identity.
+    fn has_pending_requeue(&self) -> bool {
+        false
+    }
+
+    /// Total serialized bytes this aggregator (including any composed
+    /// children) has moved across its transport(s).
+    fn bytes_sent(&self) -> usize {
+        0
+    }
+
+    /// Per-phase timing records from the underlying transport(s), for
+    /// simulated deployments. A composed aggregator merges its
+    /// children's phases label-by-label (starts min'd, ends max'd,
+    /// traffic summed): subtrees run concurrently in a real hierarchy,
+    /// so the merged view is the root's critical path.
+    fn phase_timings(&self) -> Vec<crate::transport::PhaseTiming> {
+        Vec::new()
+    }
+}
+
+/// A [`SecureAggregator`] that can be handed to another thread — the
+/// unit of composition of the aggregator tree ([`crate::topology`]),
+/// where per-subtree `finish_round` decodes run on the scoped worker
+/// pool.
+pub type BoxedAggregator<F> = Box<dyn SecureAggregator<F> + Send>;
+
+/// Merge per-subtree phase timing lists label-by-label: the `k`-th
+/// occurrence of each label across children (children flush identical
+/// phase sequences per round) becomes one phase whose start is the
+/// earliest child start, whose end is the latest child end, and whose
+/// message/byte counts and arrival times are pooled. Children model
+/// independent per-aggregator links, so the merged end is the moment the
+/// *slowest* subtree finished that phase — the root's critical path.
+pub fn merge_phase_timings(
+    per_child: &[Vec<crate::transport::PhaseTiming>],
+) -> Vec<crate::transport::PhaseTiming> {
+    use crate::transport::PhaseTiming;
+    // key = (label, occurrence index of that label within one child)
+    let mut merged: Vec<((&'static str, usize), PhaseTiming)> = Vec::new();
+    for child in per_child {
+        let mut seen: BTreeMap<&'static str, usize> = BTreeMap::new();
+        for phase in child {
+            let occ = seen.entry(phase.label).or_insert(0);
+            let key = (phase.label, *occ);
+            *occ += 1;
+            match merged.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, agg)) => {
+                    agg.start = agg.start.min(phase.start);
+                    agg.end = agg.end.max(phase.end);
+                    agg.messages += phase.messages;
+                    agg.bytes += phase.bytes;
+                    agg.arrivals.extend_from_slice(&phase.arrivals);
+                }
+                None => merged.push((key, phase.clone())),
+            }
+        }
+    }
+    let mut out: Vec<PhaseTiming> = merged.into_iter().map(|(_, p)| p).collect();
+    for phase in &mut out {
+        phase.arrivals.sort_by(f64::total_cmp);
+    }
+    out.sort_by(|a, b| a.start.total_cmp(&b.start));
+    out
 }
 
 // ---------------------------------------------------------------------
@@ -672,6 +789,9 @@ where
 #[derive(Debug, Clone)]
 pub struct SyncFederation<F: Field, T> {
     cfg: LsaConfig,
+    /// The namespaced leaf-group id every envelope is stamped with
+    /// (0 for a standalone flat federation).
+    group: usize,
     transport: T,
     clients: Vec<FederationClient<F>>,
     server: FederationServer<F>,
@@ -689,19 +809,45 @@ impl<F: Field, T: Transport<F>> SyncFederation<F, T> {
     ///
     /// Propagates invalid configuration.
     pub fn new(cfg: LsaConfig, transport: T, seed: u64) -> Result<Self, ProtocolError> {
+        Self::in_group(0, cfg, transport, seed)
+    }
+
+    /// As [`Self::new`], but serving as leaf group `group` of an
+    /// aggregator tree ([`crate::topology`]): every envelope is stamped
+    /// with the tree-namespaced id and traffic stamped for any other
+    /// leaf is rejected with [`ProtocolError::WrongGroup`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates invalid configuration.
+    pub fn in_group(
+        group: usize,
+        cfg: LsaConfig,
+        transport: T,
+        seed: u64,
+    ) -> Result<Self, ProtocolError> {
         let mut master = StdRng::seed_from_u64(seed);
         let clients = (0..cfg.n())
-            .map(|id| FederationClient::new(id, cfg, StdRng::seed_from_u64(master.gen())))
+            .map(|id| {
+                FederationClient::in_group(group, id, cfg, StdRng::seed_from_u64(master.gen()))
+            })
             .collect::<Result<_, _>>()?;
         Ok(Self {
             cfg,
+            group,
             transport,
             clients,
-            server: FederationServer::new(cfg),
+            server: FederationServer::in_group(group, cfg),
             next_round: 0,
             open: None,
             prepared: BTreeMap::new(),
         })
+    }
+
+    /// The namespaced leaf-group id this federation stamps its
+    /// envelopes with (0 when flat).
+    pub fn group(&self) -> usize {
+        self.group
     }
 
     /// The underlying transport (for byte/timing statistics).
@@ -844,6 +990,29 @@ impl<F: Field, T: Transport<F>> SecureAggregator<F> for SyncFederation<F, T> {
             total_weight: survivors.len() as u64,
             contributors: survivors,
         })
+    }
+
+    fn abort_round(&mut self) {
+        if let Some(open) = self.open.take() {
+            self.server.abort_round();
+            // the aborted round's sessions can never complete; retire
+            // them so envelopes for it surface as StaleRound, while any
+            // prepared round >= round + 1 survives
+            for client in &mut self.clients {
+                client.retire_below(open.round + 1);
+            }
+            // discard in-flight traffic of the dead round
+            self.transport.flush("abort");
+            while let Ok(Some(_)) = self.transport.recv() {}
+        }
+    }
+
+    fn bytes_sent(&self) -> usize {
+        self.transport.bytes_sent()
+    }
+
+    fn phase_timings(&self) -> Vec<crate::transport::PhaseTiming> {
+        self.transport.timings().to_vec()
     }
 }
 
@@ -1056,6 +1225,23 @@ impl<F: Field, T: Transport<F>> SecureAggregator<F> for BufferedFederation<F, T>
             total_weight: recovered.total_weight,
         })
     }
+
+    fn abort_round(&mut self) {
+        if self.open.take().is_some() {
+            // the buffered server is persistent (advance_to re-anchors it
+            // on the next open); just discard the round's in-flight traffic
+            self.transport.flush("abort");
+            while let Ok(Some(_)) = self.transport.recv() {}
+        }
+    }
+
+    fn bytes_sent(&self) -> usize {
+        self.transport.bytes_sent()
+    }
+
+    fn phase_timings(&self) -> Vec<crate::transport::PhaseTiming> {
+        self.transport.timings().to_vec()
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -1076,6 +1262,11 @@ pub struct RoundPlan<F> {
     /// When set, the next round's mask exchange runs overlapped with
     /// this round (§4.1).
     pub prepare_next: Option<Vec<usize>>,
+    /// When set, [`SecureAggregator::reassign`] runs with this seed
+    /// *before* the round opens: an aggregator tree permutes its
+    /// global↔leaf id mapping so clients face fresh group peers
+    /// (privacy against slowly-accumulating intra-group collusion).
+    pub reassign_seed: Option<u64>,
 }
 
 impl<F> RoundPlan<F> {
@@ -1086,6 +1277,7 @@ impl<F> RoundPlan<F> {
             updates: Vec::new(),
             drop_after_upload: Vec::new(),
             prepare_next: None,
+            reassign_seed: None,
         }
     }
 
@@ -1136,6 +1328,14 @@ impl<F> RoundPlan<F> {
         self.prepare_next = Some(cohort);
         self
     }
+
+    /// Permute the aggregator's global↔leaf id mapping with this seed
+    /// before the round opens (no-op on flat aggregators).
+    #[must_use]
+    pub fn with_reassignment(mut self, seed: u64) -> Self {
+        self.reassign_seed = Some(seed);
+        self
+    }
 }
 
 /// The multi-round driver: owns a boxed [`SecureAggregator`] (either
@@ -1180,6 +1380,11 @@ impl<F: Field> Federation<F> {
     ///
     /// Propagates any [`ProtocolError`] from the lifecycle.
     pub fn run_round(&mut self, plan: &RoundPlan<F>) -> Result<RoundOutcome<F>, ProtocolError> {
+        // cross-round reassignment happens strictly between rounds: the
+        // permutation is part of the opened round's identity
+        if let Some(seed) = plan.reassign_seed {
+            self.aggregator.reassign(seed)?;
+        }
         self.aggregator.open_round(&plan.cohort)?;
         // §4.1 overlap: the next round's offline phase runs while this
         // round's participants are still computing their updates. It

@@ -115,15 +115,17 @@ pub mod wire;
 pub use client::Client;
 pub use config::LsaConfig;
 pub use federation::{
-    BufferedFederation, Federation, FederationClient, FederationServer, RoundOutcome, RoundPlan,
-    SecureAggregator, SyncFederation,
+    merge_phase_timings, BoxedAggregator, BufferedFederation, Federation, FederationClient,
+    FederationServer, RoundOutcome, RoundPlan, SecureAggregator, SyncFederation,
 };
 pub use messages::{wire_bytes, AggregatedShare, CodedMaskShare, MaskedModel};
 pub use server::{ServerPhase, ServerRound};
 pub use session::{ClientSession, Recipient, ServerSession, Session};
-pub use topology::{GroupTopology, GroupedFederation};
+pub use topology::{GroupTopology, GroupedFederation, TopologyNode};
 pub use transport::{Delivery, MemTransport, PhaseTiming, SimTransport, Transport};
-pub use wire::{Envelope, EnvelopeKind, SurvivorAnnouncement, WireError};
+pub use wire::{
+    Envelope, EnvelopeKind, SurvivorAnnouncement, WireError, GROUP_VERSION_BIT, MAX_GROUP_ID,
+};
 
 use core::fmt;
 use lsa_field::Field;

@@ -1,39 +1,65 @@
-//! Grouped (hierarchical) aggregation: many small LightSecAgg instances
-//! instead of one huge one.
+//! The recursive aggregator tree: hierarchical secure aggregation for
+//! `N = 10⁴+` cohorts.
 //!
 //! The flat protocol's offline phase exchanges coded mask segments
 //! all-to-all, so a cohort of `N` clients moves `N·(N−1)` offline
-//! messages per round and every client talks to `N−1` peers — the wall
-//! between the current benches and a "millions of users" deployment.
-//! The fix is topology, not cryptography (cf. DisAgg-style distributed
-//! aggregators): partition the cohort into `G` groups of `n ≈ N/G`,
-//! run the *unchanged* secure-aggregation protocol independently within
-//! each group, and let the server sum the per-group aggregates. Each
-//! group's aggregate stays masked until that group's own `U_g`-survivor
-//! one-shot decode, so the server still never sees an individual model.
+//! messages per round — the wall between the current benches and a
+//! "millions of users" deployment. LightSecAgg's aggregate-then-decode
+//! structure *composes*: a group's decoded aggregate is just another
+//! model update, so the fix is a topology that nests (cf.
+//! Turbo-Aggregate's multi-group rings and SwiftAgg+'s network-aware
+//! sharing): partition the cohort into groups, run the unchanged
+//! protocol independently within each group, and sum — recursively.
 //!
-//! * [`GroupTopology`] — the partition: per-group [`LsaConfig`]s (each
-//!   group gets its own evaluation points, sized to the group) and the
-//!   global-id ↔ `(group, local)` mapping.
-//! * [`GroupedFederation`] — a [`SecureAggregator`] over one shared
-//!   [`Transport`]: group-scoped routing (every envelope carries a
-//!   group id; cross-group shares are rejected with
-//!   [`ProtocolError::WrongGroup`]), per-group running sums exactly as
-//!   `ServerRound` keeps them, and per-group dropout budgets — each
-//!   group decodes the moment *its* survivor set reaches `U_g`, so one
-//!   stalled group never blocks the others' decode (and, with
-//!   [`GroupedFederation::with_partial_recovery`], not even the round).
+//! * [`TopologyNode`] — the shape: a **leaf** is one [`LsaConfig`]
+//!   running the flat protocol; an **internal node** sums its children.
+//! * [`GroupTopology`] — the flattened view of a tree: per-leaf
+//!   configurations, the global-id ↔ `(leaf, local)` mapping (with a
+//!   reseatable permutation for cross-round reassignment), the
+//!   root→leaf paths, and the **tree-namespaced wire ids** every
+//!   envelope carries.
+//! * [`GroupedFederation`] — the runtime: an internal node holding
+//!   [`BoxedAggregator`] children (each a [`SyncFederation`] leaf or
+//!   another `GroupedFederation`), so hierarchies nest to arbitrary
+//!   depth — two-level (groups of groups) being the supported, benched
+//!   configuration. `finish_round` fans the per-subtree decodes across
+//!   the scoped worker pool (`LSA_THREADS`) and folds the results in
+//!   serial child order, so the aggregate is bit-identical for any
+//!   thread count.
+//!
+//! # Id spaces
+//!
+//! Three id spaces coexist and must never be confused:
+//!
+//! * **global ids** `0..N` — what drivers speak ([`RoundPlan`]
+//!   cohorts, `submit`). Stable client identities across rounds.
+//! * **slots** `0..N` — depth-first-contiguous positions in the tree:
+//!   leaf `g` owns slots `starts[g] .. starts[g] + n_g`. The
+//!   global↔slot permutation ([`GroupTopology::reassign`]) is the
+//!   cross-round group-reassignment hook: re-seating it moves clients
+//!   between leaf groups without touching any protocol state.
+//! * **wire ids** — the `u32` group word of every envelope
+//!   ([`crate::wire::Envelope::group`]), allocated densely across the
+//!   whole tree in depth-first leaf order, with the top bit reserved
+//!   for Wire-v2 version negotiation
+//!   ([`crate::wire::GROUP_VERSION_BIT`]). A share stamped with a
+//!   stale mapping's wire id is rejected as
+//!   [`ProtocolError::WrongGroup`] by the leaf now serving that
+//!   client.
 //!
 //! # Privacy model
 //!
-//! `T`-privacy holds **per group**: group `g` tolerates up to `t_g`
-//! colluders *among its own members* (plus the server). Colluders in
-//! other groups learn nothing about group `g` — they never receive its
-//! mask shares. The trade-off for the ~`G`× smaller offline cost is
-//! that the collusion bound within each group is `t_g < n_g`, not the
-//! flat topology's global `T < N`; deployments choose `G` accordingly.
+//! `T`-privacy holds **per leaf group**: leaf `g` tolerates up to
+//! `t_g` colluders among its own members (plus the server). Colluders
+//! elsewhere in the tree never receive its mask shares and learn
+//! nothing. Internal nodes add no cryptography — they only ever see
+//! per-subtree *aggregates*, each of which already covers ≥ `u_g`
+//! clients. The trade-off for the ~`N/n_g`× smaller offline cost is
+//! that the collusion bound is per leaf (`t_g < n_g`), not global;
+//! [`GroupTopology::reassign`] additionally rotates membership so a
+//! slowly-built intra-group coalition is dissolved every round.
 //!
-//! # Example: 8 clients in 2 groups behind the one `Federation` loop
+//! # Example: 8 clients, two groups, one `Federation` loop
 //!
 //! ```
 //! use lsa_protocol::federation::{Federation, RoundPlan};
@@ -49,48 +75,107 @@
 //!     .unwrap();
 //! assert_eq!(out.aggregate, vec![Fp61::from_u64(8); 3]);
 //! ```
+//!
+//! Two-level at scale: `GroupTopology::hierarchical(16384, &[64, 16],
+//! 0.25, 0.9, d)` builds 64 super-groups of 16 leaf groups of 16
+//! clients — no loop anywhere touches all 16384.
 
 use crate::config::LsaConfig;
 use crate::federation::{
-    claim_prepared, ensure_unprepared, FederationClient, FederationServer, OpenRound, RoundOutcome,
-    SecureAggregator,
+    claim_prepared, ensure_unprepared, merge_phase_timings, BoxedAggregator, OpenRound,
+    RoundOutcome, SecureAggregator, SyncFederation,
 };
-use crate::session::{Outgoing, Recipient, Session};
-use crate::transport::Transport;
+use crate::transport::{PhaseTiming, Transport};
+use crate::wire::MAX_GROUP_ID;
 use crate::ProtocolError;
 use lsa_field::Field;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{BTreeMap, BTreeSet};
 
-/// A partition of an `N`-client cohort into `G` aggregation groups,
-/// each running its own independently-parameterised LightSecAgg
-/// instance over a shared transport.
+/// One node of an aggregator tree: the unit of composition.
 ///
-/// Global client ids are contiguous per group: group `g` owns
-/// `[start_g, start_g + n_g)`. Protocol messages use *group-local*
-/// indices (each group has its own evaluation points `1..=n_g`), so
-/// every envelope also carries the group id for routing.
+/// A leaf runs the flat LightSecAgg protocol with its own
+/// configuration (own evaluation points, own dropout budget); an
+/// internal node sums the aggregates of its children. Because a
+/// decoded aggregate is just another update vector, nesting is
+/// semantically free — only the id bookkeeping deepens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyNode {
+    /// A flat protocol instance over `cfg.n()` clients.
+    Leaf(LsaConfig),
+    /// An aggregation point summing its children.
+    Internal(Vec<TopologyNode>),
+}
+
+impl TopologyNode {
+    /// Number of leaf groups in this subtree.
+    pub fn leaf_count(&self) -> usize {
+        match self {
+            TopologyNode::Leaf(_) => 1,
+            TopologyNode::Internal(kids) => kids.iter().map(TopologyNode::leaf_count).sum(),
+        }
+    }
+
+    /// Number of clients in this subtree.
+    pub fn client_count(&self) -> usize {
+        match self {
+            TopologyNode::Leaf(cfg) => cfg.n(),
+            TopologyNode::Internal(kids) => kids.iter().map(TopologyNode::client_count).sum(),
+        }
+    }
+
+    /// Edge-depth of the subtree (0 for a bare leaf).
+    pub fn depth(&self) -> usize {
+        match self {
+            TopologyNode::Leaf(_) => 0,
+            TopologyNode::Internal(kids) => {
+                1 + kids.iter().map(TopologyNode::depth).max().unwrap_or(0)
+            }
+        }
+    }
+}
+
+/// The flattened view of an aggregator tree: per-leaf configurations in
+/// depth-first order, the global↔`(leaf, local)` id mapping, root→leaf
+/// paths, and the tree-namespaced wire ids.
+///
+/// Wire ids are allocated densely over the leaves in depth-first order
+/// (`wire_id(g) = wire_offset + g`); a root topology has
+/// `wire_offset = 0`. Slots are depth-first contiguous: leaf `g` owns
+/// slots `starts[g] .. starts[g] + n_g`. Global ids map to slots
+/// through a permutation that starts as the identity and is re-seated
+/// by [`GroupTopology::reassign`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GroupTopology {
+    root: TopologyNode,
+    /// Per-leaf configurations, depth-first.
     configs: Vec<LsaConfig>,
-    /// `starts[g]` — first global id of group `g`.
+    /// `starts[g]` — first slot of leaf `g`.
     starts: Vec<usize>,
+    /// Root→leaf child-index paths, depth-first (lexicographic).
+    paths: Vec<Vec<usize>>,
+    /// First wire id of this (sub)tree; leaf `g` is `wire_offset + g`.
+    wire_offset: u32,
     n: usize,
     d: usize,
-    /// Flat summary of the grouped deployment (see
+    /// Flat summary of the whole deployment (see
     /// [`GroupTopology::aggregate_view`]).
     view: LsaConfig,
+    /// `perm[global] = slot`.
+    perm: Vec<usize>,
+    /// `inv[slot] = global`.
+    inv: Vec<usize>,
 }
 
 impl GroupTopology {
-    /// The trivial topology: one group containing everyone (`G = 1`) —
-    /// byte-for-byte the flat protocol.
+    /// The trivial topology: one leaf containing everyone — byte-for-
+    /// byte the flat protocol (a depth-0 tree).
     pub fn flat(cfg: LsaConfig) -> Self {
-        Self::from_configs(vec![cfg]).expect("a single valid config is a valid topology")
+        Self::from_tree(TopologyNode::Leaf(cfg)).expect("a single valid config is a valid tree")
     }
 
-    /// Build a topology from explicit per-group configurations (groups
+    /// A depth-1 tree from explicit per-group configurations (groups
     /// may be heterogeneous in size and thresholds, e.g. a high-trust
     /// group with small `t` next to a large open group).
     ///
@@ -99,6 +184,28 @@ impl GroupTopology {
     /// Returns [`ProtocolError::InvalidConfig`] if no groups are given
     /// or the groups disagree on the model dimension `d`.
     pub fn from_configs(configs: Vec<LsaConfig>) -> Result<Self, ProtocolError> {
+        Self::from_tree(TopologyNode::Internal(
+            configs.into_iter().map(TopologyNode::Leaf).collect(),
+        ))
+    }
+
+    /// Flatten an arbitrary aggregator tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::InvalidConfig`] if the tree has no
+    /// leaves, an internal node is empty, the leaves disagree on the
+    /// model dimension, or the leaf count overflows the wire-id
+    /// namespace (`> MAX_GROUP_ID + 1`).
+    pub fn from_tree(root: TopologyNode) -> Result<Self, ProtocolError> {
+        Self::from_tree_at(root, 0)
+    }
+
+    fn from_tree_at(root: TopologyNode, wire_offset: u32) -> Result<Self, ProtocolError> {
+        let mut configs = Vec::new();
+        let mut paths = Vec::new();
+        let mut path = Vec::new();
+        collect_leaves(&root, &mut path, &mut configs, &mut paths)?;
         let Some(first) = configs.first() else {
             return Err(ProtocolError::InvalidConfig(
                 "topology needs at least one group".into(),
@@ -112,6 +219,13 @@ impl GroupTopology {
                 bad.d()
             )));
         }
+        let leaves = configs.len() as u64 + wire_offset as u64;
+        if leaves > MAX_GROUP_ID as u64 + 1 {
+            return Err(ProtocolError::InvalidConfig(format!(
+                "{leaves} leaves overflow the wire group-id namespace (max {})",
+                MAX_GROUP_ID as u64 + 1
+            )));
+        }
         let mut starts = Vec::with_capacity(configs.len());
         let mut n = 0usize;
         for cfg in &configs {
@@ -119,23 +233,29 @@ impl GroupTopology {
             n += cfg.n();
         }
         // The flat summary: privacy holds against min t_g colluders
-        // (within any one group), and a round needs every group's U_g
-        // survivors — Σ U_g in total.
+        // (within any one leaf), and a full round needs every leaf's
+        // U_g survivors — Σ U_g in total.
         let t_min = configs.iter().map(LsaConfig::t).min().unwrap_or(0);
         let u_sum = configs.iter().map(LsaConfig::u).sum::<usize>().min(n);
         let view = LsaConfig::new(n, t_min, u_sum, d)?;
         Ok(Self {
+            root,
             configs,
             starts,
+            paths,
+            wire_offset,
             n,
             d,
             view,
+            perm: (0..n).collect(),
+            inv: (0..n).collect(),
         })
     }
 
-    /// Partition `n` clients into `groups` near-equal contiguous groups
-    /// (sizes differ by at most one), deriving each group's thresholds
-    /// from the fractions: `t_g = ⌊n_g·t_frac⌋` colluders tolerated and
+    /// Partition `n` clients into `groups` near-equal leaf groups
+    /// (sizes differ by at most one) under one root — a depth-1 tree —
+    /// deriving each leaf's thresholds from the fractions:
+    /// `t_g = ⌊n_g·t_frac⌋` colluders tolerated and
     /// `u_g = max(t_g + 1, ⌈n_g·u_frac⌉)` survivors required.
     ///
     /// # Errors
@@ -151,14 +271,39 @@ impl GroupTopology {
         u_frac: f64,
         d: usize,
     ) -> Result<Self, ProtocolError> {
-        if groups == 0 {
-            return Err(ProtocolError::InvalidConfig(
-                "topology needs at least one group".into(),
-            ));
-        }
-        if n < 2 * groups {
+        Self::hierarchical(n, &[groups], t_frac, u_frac, d)
+    }
+
+    /// A uniform multi-level tree: `branching[0]` children at the root,
+    /// each with `branching[1]` children, and so on; leaves sit at
+    /// depth `branching.len()` and split the `n` clients near-equally.
+    /// Leaf thresholds derive from the fractions as in
+    /// [`GroupTopology::uniform`] (which is `branching = [groups]`).
+    ///
+    /// `hierarchical(16384, &[64, 16], ..)` is the benched two-level
+    /// shape: 64 super-groups × 16 leaf groups × 16 clients.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::InvalidConfig`] if `branching` is empty
+    /// or contains a zero, `n < 2 · Π branching` (a leaf would drop
+    /// below 2 members), or the fractions are out of range.
+    pub fn hierarchical(
+        n: usize,
+        branching: &[usize],
+        t_frac: f64,
+        u_frac: f64,
+        d: usize,
+    ) -> Result<Self, ProtocolError> {
+        if branching.is_empty() || branching.contains(&0) {
             return Err(ProtocolError::InvalidConfig(format!(
-                "{n} clients cannot fill {groups} groups of at least 2"
+                "branching factors must be positive and non-empty (got {branching:?})"
+            )));
+        }
+        let leaf_count: usize = branching.iter().product();
+        if n < 2 * leaf_count {
+            return Err(ProtocolError::InvalidConfig(format!(
+                "{n} clients cannot fill {leaf_count} leaf groups of at least 2"
             )));
         }
         if !(0.0..1.0).contains(&t_frac) || !(0.0..=1.0).contains(&u_frac) || t_frac >= u_frac {
@@ -166,25 +311,58 @@ impl GroupTopology {
                 "need 0 <= t_frac < u_frac <= 1 (got t_frac={t_frac}, u_frac={u_frac})"
             )));
         }
-        let base = n / groups;
-        let extra = n % groups;
-        let configs = (0..groups)
-            .map(|g| {
-                let m = base + usize::from(g < extra);
-                let t = ((m as f64 * t_frac).floor() as usize).min(m.saturating_sub(2));
-                let u = ((m as f64 * u_frac).ceil() as usize).clamp(t + 1, m);
-                LsaConfig::new(m, t, u, d)
-            })
-            .collect::<Result<Vec<_>, _>>()?;
-        Self::from_configs(configs)
+        fn build(
+            n: usize,
+            branching: &[usize],
+            t_frac: f64,
+            u_frac: f64,
+            d: usize,
+        ) -> Result<TopologyNode, ProtocolError> {
+            let Some((&fanout, rest)) = branching.split_first() else {
+                let t = ((n as f64 * t_frac).floor() as usize).min(n.saturating_sub(2));
+                let u = ((n as f64 * u_frac).ceil() as usize).clamp(t + 1, n);
+                return Ok(TopologyNode::Leaf(LsaConfig::new(n, t, u, d)?));
+            };
+            let base = n / fanout;
+            let extra = n % fanout;
+            let kids = (0..fanout)
+                .map(|c| build(base + usize::from(c < extra), rest, t_frac, u_frac, d))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(TopologyNode::Internal(kids))
+        }
+        Self::from_tree(build(n, branching, t_frac, u_frac, d)?)
     }
 
-    /// Number of groups `G`.
+    /// The supported, benched two-level shape: `supers` super-groups of
+    /// `groups_per_super` leaf groups each — shorthand for
+    /// [`GroupTopology::hierarchical`] with `&[supers,
+    /// groups_per_super]`.
+    ///
+    /// # Errors
+    ///
+    /// As [`GroupTopology::hierarchical`].
+    pub fn two_level(
+        n: usize,
+        supers: usize,
+        groups_per_super: usize,
+        t_frac: f64,
+        u_frac: f64,
+        d: usize,
+    ) -> Result<Self, ProtocolError> {
+        Self::hierarchical(n, &[supers, groups_per_super], t_frac, u_frac, d)
+    }
+
+    /// The tree this topology flattens.
+    pub fn root(&self) -> &TopologyNode {
+        &self.root
+    }
+
+    /// Number of leaf groups across the whole tree.
     pub fn num_groups(&self) -> usize {
         self.configs.len()
     }
 
-    /// Total clients `N` across all groups.
+    /// Total clients `N` across all leaves.
     pub fn n(&self) -> usize {
         self.n
     }
@@ -194,7 +372,12 @@ impl GroupTopology {
         self.d
     }
 
-    /// Group `g`'s own protocol configuration.
+    /// Edge-depth of the tree (0 = flat, 1 = grouped, 2 = two-level).
+    pub fn depth(&self) -> usize {
+        self.root.depth()
+    }
+
+    /// Leaf `g`'s own protocol configuration.
     ///
     /// # Panics
     ///
@@ -203,12 +386,15 @@ impl GroupTopology {
         self.configs[g]
     }
 
-    /// All per-group configurations, in group order.
+    /// All per-leaf configurations, depth-first.
     pub fn configs(&self) -> &[LsaConfig] {
         &self.configs
     }
 
-    /// The global-id range owned by group `g`.
+    /// The **slot** range owned by leaf `g` (equal to the global-id
+    /// range while the mapping is the identity; after
+    /// [`GroupTopology::reassign`] use [`GroupTopology::members_of`]
+    /// for the global ids).
     ///
     /// # Panics
     ///
@@ -217,167 +403,371 @@ impl GroupTopology {
         self.starts[g]..self.starts[g] + self.configs[g].n()
     }
 
-    /// Map a global client id to its `(group, local index)`.
+    /// The global client ids currently seated in leaf `g`, ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is out of range.
+    pub fn members_of(&self, g: usize) -> Vec<usize> {
+        let mut ids: Vec<usize> = self.group_members(g).map(|s| self.inv[s]).collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Map a global client id to its current slot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::UnknownUser`] for an out-of-range id.
+    pub fn slot_of(&self, global: usize) -> Result<usize, ProtocolError> {
+        self.perm
+            .get(global)
+            .copied()
+            .ok_or(ProtocolError::UnknownUser(global))
+    }
+
+    /// Map a slot back to the global client id seated there.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= n`.
+    pub fn global_of_slot(&self, slot: usize) -> usize {
+        self.inv[slot]
+    }
+
+    /// Map a global client id to its current `(leaf, local index)`.
     ///
     /// # Errors
     ///
     /// Returns [`ProtocolError::UnknownUser`] for an out-of-range id.
     pub fn locate(&self, global: usize) -> Result<(usize, usize), ProtocolError> {
-        if global >= self.n {
-            return Err(ProtocolError::UnknownUser(global));
-        }
-        let g = match self.starts.binary_search(&global) {
+        let slot = self.slot_of(global)?;
+        let g = match self.starts.binary_search(&slot) {
             Ok(exact) => exact,
             Err(insert) => insert - 1,
         };
-        Ok((g, global - self.starts[g]))
+        Ok((g, slot - self.starts[g]))
     }
 
-    /// Map a `(group, local index)` back to the global client id.
+    /// Map a `(leaf, local index)` back to the global client id seated
+    /// there.
     ///
     /// # Panics
     ///
     /// Panics if `g` is out of range (a local index out of range yields
-    /// an id owned by a later group; callers validate against the group
+    /// an id seated in a later leaf; callers validate against the leaf
     /// config).
     pub fn global_id(&self, g: usize, local: usize) -> usize {
-        self.starts[g] + local
+        self.inv[self.starts[g] + local]
     }
 
-    /// The flat single-`LsaConfig` summary of this deployment, used
+    /// The tree-namespaced wire id leaf `g` stamps its envelopes with.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is out of range.
+    pub fn wire_id(&self, g: usize) -> u32 {
+        assert!(g < self.configs.len(), "leaf {g} out of range");
+        self.wire_offset + g as u32
+    }
+
+    /// Map a wire id back to the leaf index it names.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::UnknownGroup`] for a wire id outside
+    /// this (sub)tree's namespace.
+    pub fn leaf_of_wire(&self, wire: usize) -> Result<usize, ProtocolError> {
+        let lo = self.wire_offset as usize;
+        if (lo..lo + self.configs.len()).contains(&wire) {
+            Ok(wire - lo)
+        } else {
+            Err(ProtocolError::UnknownGroup {
+                got: wire,
+                groups: self.configs.len(),
+            })
+        }
+    }
+
+    /// The root→leaf child-index path of leaf `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is out of range.
+    pub fn path(&self, g: usize) -> &[usize] {
+        &self.paths[g]
+    }
+
+    /// The leaf index at a root→leaf path, if the path names a leaf.
+    pub fn leaf_at_path(&self, path: &[usize]) -> Option<usize> {
+        // paths are depth-first, i.e. lexicographically sorted
+        self.paths.binary_search_by(|p| p.as_slice().cmp(path)).ok()
+    }
+
+    /// The flat single-[`LsaConfig`] summary of this deployment, used
     /// where an aggregate view is needed (e.g.
     /// [`SecureAggregator::config`]): `N` total clients, privacy
-    /// against `min_g t_g` colluders within any one group, and
+    /// against `min_g t_g` colluders within any one leaf, and
     /// `Σ_g u_g` survivors required in total.
     pub fn aggregate_view(&self) -> LsaConfig {
         self.view
     }
 
-    /// Offline coded-share messages each client of group `g` sends per
-    /// round (`n_g − 1`) — the quantity grouping shrinks ~`G`×.
+    /// Offline coded-share messages each client of leaf `g` sends per
+    /// round (`n_g − 1`) — the quantity the tree keeps flat as `N`
+    /// grows at fixed leaf size.
     pub fn offline_messages_per_client(&self, g: usize) -> usize {
         self.configs[g].n() - 1
     }
-}
 
-/// One group's persistent endpoints.
-#[derive(Debug, Clone)]
-struct GroupEndpoints<F: Field> {
-    clients: Vec<FederationClient<F>>,
-    server: FederationServer<F>,
-}
+    /// Re-seat the global↔slot permutation from `seed` (Fisher–Yates
+    /// over a dedicated `StdRng`): clients move between leaf groups, so
+    /// an intra-group coalition accumulated over past rounds faces
+    /// fresh peers. Deterministic in `seed`; the identity of every
+    /// client (its global id) is untouched.
+    pub fn reassign(&mut self, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for i in (1..self.n).rev() {
+            // modulo bias is irrelevant for shuffling quality here
+            let j = (rng.gen::<u64>() % (i as u64 + 1)) as usize;
+            self.perm.swap(i, j);
+        }
+        for (global, &slot) in self.perm.iter().enumerate() {
+            self.inv[slot] = global;
+        }
+    }
 
-/// Route group `g`'s outgoing envelopes onto the shared transport: a
-/// group-local `Recipient::Client` translates to its global id, and
-/// anything addressed to a client outside `online` (global ids) is
-/// discarded undelivered — the one place the translate-then-filter rule
-/// lives, shared by the drain paths and `pump`'s response forwarding.
-fn route_outgoing<F, T>(
-    transport: &mut T,
-    topology: &GroupTopology,
-    g: usize,
-    from: Recipient,
-    outputs: impl IntoIterator<Item = Outgoing<F>>,
-    online: &BTreeSet<usize>,
-) -> Result<(), ProtocolError>
-where
-    F: Field,
-    T: Transport<F>,
-{
-    for (to, envelope) in outputs {
-        let to = match to {
-            Recipient::Client(local) => {
-                let gid = topology.global_id(g, local);
-                if !online.contains(&gid) {
-                    continue;
-                }
-                Recipient::Client(gid)
+    /// One sub-[`GroupTopology`] per child of the root, each carrying
+    /// its absolute wire-id range and an identity permutation (only the
+    /// root of a tree permutes — children see already-mapped slots). A
+    /// leaf root yields a single-leaf clone of itself.
+    pub fn child_topologies(&self) -> Vec<GroupTopology> {
+        match &self.root {
+            TopologyNode::Leaf(_) => {
+                let mut sub = self.clone();
+                sub.perm = (0..sub.n).collect();
+                sub.inv = (0..sub.n).collect();
+                vec![sub]
             }
-            Recipient::Server => Recipient::Server,
-        };
-        transport.send(from, to, &envelope)?;
+            TopologyNode::Internal(kids) => {
+                let mut offset = self.wire_offset;
+                kids.iter()
+                    .map(|kid| {
+                        let sub = Self::from_tree_at(kid.clone(), offset)
+                            .expect("subtree of a valid tree is valid");
+                        offset += sub.configs.len() as u32;
+                        sub
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+/// Depth-first leaf collection; rejects empty internal nodes.
+fn collect_leaves(
+    node: &TopologyNode,
+    path: &mut Vec<usize>,
+    configs: &mut Vec<LsaConfig>,
+    paths: &mut Vec<Vec<usize>>,
+) -> Result<(), ProtocolError> {
+    match node {
+        TopologyNode::Leaf(cfg) => {
+            configs.push(*cfg);
+            paths.push(path.clone());
+        }
+        TopologyNode::Internal(kids) => {
+            if kids.is_empty() {
+                return Err(ProtocolError::InvalidConfig(
+                    "topology needs at least one group".into(),
+                ));
+            }
+            for (i, kid) in kids.iter().enumerate() {
+                path.push(i);
+                collect_leaves(kid, path, configs, paths)?;
+                path.pop();
+            }
+        }
     }
     Ok(())
 }
 
-/// The grouped multi-round federation: a [`SecureAggregator`] running
-/// `G` independent per-group protocol instances over one shared
-/// transport, summing the per-group aggregates into the global one.
+/// One direct child of a [`GroupedFederation`]: a boxed aggregator
+/// subtree plus the slot and leaf ranges it owns.
+struct ChildNode<F: Field> {
+    agg: BoxedAggregator<F>,
+    /// First slot owned by this subtree.
+    start: usize,
+    /// Clients in this subtree.
+    n: usize,
+    /// First (tree-wide) leaf index in this subtree.
+    leaf_start: usize,
+    /// Leaves in this subtree.
+    leaf_count: usize,
+}
+
+/// An internal node of the aggregator tree, behind the same
+/// [`SecureAggregator`] trait as its children: the existing
+/// [`crate::federation::Federation`] loop drives any depth unchanged
+/// through `Box<dyn SecureAggregator>`.
 ///
 /// The driver-facing lifecycle (`open_round → submit* → finish_round`)
-/// is identical to the flat [`crate::federation::SyncFederation`], so
-/// the existing [`crate::federation::Federation`] loop drives it
-/// unchanged through `Box<dyn SecureAggregator>`. Internally every
-/// phase runs per group: mask exchange within the group only, one
-/// running sum per group, and recovery that completes group-by-group as
-/// each `U_g`-th aggregated share arrives.
-#[derive(Debug, Clone)]
-pub struct GroupedFederation<F: Field, T> {
+/// is identical to the flat [`SyncFederation`]. Internally every call
+/// splits by the global↔slot mapping and delegates to the child
+/// subtree owning the slot; `finish_round` runs the children on the
+/// scoped worker pool ([`lsa_field::par::par_map_mut`], `LSA_THREADS`)
+/// and folds their aggregates serially in child order — bit-identical
+/// for any thread count. Each subtree owns its own transport (its own
+/// aggregator link, Turbo-Aggregate style), so one stalled subtree
+/// never blocks another's decode.
+pub struct GroupedFederation<F: Field> {
     topology: GroupTopology,
-    transport: T,
-    groups: Vec<GroupEndpoints<F>>,
+    children: Vec<ChildNode<F>>,
     next_round: u64,
     open: Option<OpenRound>,
-    /// Groups opened for the current round (nonempty sub-cohorts).
+    /// Child indices opened for the current round, ascending.
     participating: Vec<usize>,
     /// Rounds whose offline exchange already ran, with their cohorts.
     prepared: BTreeMap<u64, BTreeSet<usize>>,
-    /// When set, a group that cannot decode is skipped (its updates are
-    /// lost for the round) instead of failing the whole round.
+    /// When set, a subtree that cannot decode is skipped and its
+    /// submitted updates re-queued into the next round.
     partial_recovery: bool,
-    /// Groups skipped by the last `finish_round` in partial mode.
+    /// Leaf wire ids skipped by the last `finish_round` in partial mode.
     stalled: Vec<usize>,
+    /// This round's effective submissions (partial mode only):
+    /// global id → (update incl. merged carryover, weight).
+    round_updates: BTreeMap<usize, (Vec<F>, u64)>,
+    /// Updates from stalled subtrees awaiting re-submission:
+    /// global id → (buffered update, weight). Merged into the owner's
+    /// next submission, exactly once.
+    carryover: BTreeMap<usize, (Vec<F>, u64)>,
+    /// Carryover consumed by this round's submissions, retained until
+    /// the round resolves: global id → (carried update, carried
+    /// weight). On success the weight folds into `total_weight`; on
+    /// [`SecureAggregator::abort_round`] the entry is restored to
+    /// `carryover`, so a cancelled round never destroys a deferred
+    /// update that still owes its exactly-once landing.
+    merged: BTreeMap<usize, (Vec<F>, u64)>,
 }
 
-impl<F: Field, T: Transport<F>> GroupedFederation<F, T> {
-    /// Create the grouped federation over `transport`; all entropy for
-    /// the whole run derives from `seed`.
+impl<F: Field> GroupedFederation<F> {
+    /// Build the aggregator tree described by `topology` over clones of
+    /// `transport` (one independent transport per leaf — its own
+    /// aggregator link); all entropy for the whole run derives from
+    /// `seed`.
     ///
     /// # Errors
     ///
     /// Propagates invalid configuration.
-    pub fn new(topology: GroupTopology, transport: T, seed: u64) -> Result<Self, ProtocolError> {
+    pub fn new<T>(topology: GroupTopology, transport: T, seed: u64) -> Result<Self, ProtocolError>
+    where
+        T: Transport<F> + Clone + Send + 'static,
+    {
         let mut master = StdRng::seed_from_u64(seed);
-        let groups = (0..topology.num_groups())
-            .map(|g| {
-                let cfg = topology.group_config(g);
-                let clients = (0..cfg.n())
-                    .map(|local| {
-                        FederationClient::in_group(
-                            g,
-                            local,
-                            cfg,
-                            StdRng::seed_from_u64(master.gen()),
-                        )
-                    })
-                    .collect::<Result<Vec<_>, _>>()?;
-                Ok(GroupEndpoints {
-                    clients,
-                    server: FederationServer::in_group(g, cfg),
-                })
-            })
-            .collect::<Result<Vec<_>, ProtocolError>>()?;
+        Self::new_inner(topology, &transport, &mut master)
+    }
+
+    fn new_inner<T>(
+        topology: GroupTopology,
+        transport: &T,
+        master: &mut StdRng,
+    ) -> Result<Self, ProtocolError>
+    where
+        T: Transport<F> + Clone + Send + 'static,
+    {
+        let mut children = Vec::new();
+        let mut start = 0usize;
+        let mut leaf_start = 0usize;
+        for sub in topology.child_topologies() {
+            let n = sub.n();
+            let leaf_count = sub.num_groups();
+            let agg: BoxedAggregator<F> = match sub.root() {
+                TopologyNode::Leaf(cfg) => Box::new(SyncFederation::in_group(
+                    sub.wire_id(0) as usize,
+                    *cfg,
+                    transport.clone(),
+                    master.gen(),
+                )?),
+                TopologyNode::Internal(_) => Box::new(Self::new_inner(sub, transport, master)?),
+            };
+            children.push(ChildNode {
+                agg,
+                start,
+                n,
+                leaf_start,
+                leaf_count,
+            });
+            start += n;
+            leaf_start += leaf_count;
+        }
         Ok(Self {
             topology,
-            transport,
-            groups,
+            children,
             next_round: 0,
             open: None,
             participating: Vec::new(),
             prepared: BTreeMap::new(),
             partial_recovery: false,
             stalled: Vec::new(),
+            round_updates: BTreeMap::new(),
+            carryover: BTreeMap::new(),
+            merged: BTreeMap::new(),
         })
     }
 
-    /// Skip groups that cannot decode (because dropouts exceeded *their*
-    /// budget) instead of failing the round: the surviving groups' sum
-    /// is still emitted, and [`Self::stalled_groups`] reports who was
-    /// left out. Off by default — losing a whole group's updates
-    /// silently is a policy decision, not a default.
+    /// Compose pre-built aggregators directly: child `i` serves the
+    /// next `children[i].config().n()` global ids. Each child is one
+    /// opaque recovery domain (reported as one "leaf" with its
+    /// aggregate view); wire-id namespacing across hand-built children
+    /// is the caller's responsibility — prefer
+    /// [`GroupedFederation::new`] with a [`GroupTopology`], which
+    /// allocates the namespace for the whole tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::InvalidConfig`] if no children are
+    /// given or they disagree on the model dimension.
+    pub fn from_children(children: Vec<BoxedAggregator<F>>) -> Result<Self, ProtocolError> {
+        let views: Vec<LsaConfig> = children.iter().map(|c| c.config()).collect();
+        let topology = GroupTopology::from_configs(views)?;
+        let mut nodes = Vec::with_capacity(children.len());
+        let mut start = 0usize;
+        for (i, agg) in children.into_iter().enumerate() {
+            let n = topology.group_config(i).n();
+            nodes.push(ChildNode {
+                agg,
+                start,
+                n,
+                leaf_start: i,
+                leaf_count: 1,
+            });
+            start += n;
+        }
+        Ok(Self {
+            topology,
+            children: nodes,
+            next_round: 0,
+            open: None,
+            participating: Vec::new(),
+            prepared: BTreeMap::new(),
+            partial_recovery: false,
+            stalled: Vec::new(),
+            round_updates: BTreeMap::new(),
+            carryover: BTreeMap::new(),
+            merged: BTreeMap::new(),
+        })
+    }
+
+    /// Skip subtrees that cannot decode (because dropouts exceeded
+    /// *their* budget) instead of failing the round: the surviving
+    /// subtrees' sum is still emitted, the stalled subtrees' submitted
+    /// updates are **re-queued** into the next round (each lands in a
+    /// later aggregate exactly once), and [`Self::stalled_groups`]
+    /// reports who was left out. Off by default — deferring a whole
+    /// subtree's updates silently is a policy decision, not a default.
     #[must_use]
     pub fn with_partial_recovery(mut self) -> Self {
-        self.partial_recovery = true;
+        self.set_partial_recovery(true);
         self
     }
 
@@ -386,115 +776,48 @@ impl<F: Field, T: Transport<F>> GroupedFederation<F, T> {
         &self.topology
     }
 
-    /// The underlying transport (for byte/timing statistics).
-    pub fn transport(&self) -> &T {
-        &self.transport
-    }
-
-    /// Mutable access to the transport.
-    pub fn transport_mut(&mut self) -> &mut T {
-        &mut self.transport
-    }
-
-    /// Groups skipped by the most recent [`SecureAggregator::finish_round`]
-    /// under [`Self::with_partial_recovery`] (empty after a full round).
+    /// Leaf groups (tree-namespaced wire ids) skipped by the most
+    /// recent [`SecureAggregator::finish_round`] under
+    /// [`Self::with_partial_recovery`] (empty after a full round).
     pub fn stalled_groups(&self) -> &[usize] {
         &self.stalled
     }
 
-    /// Drain one group member's queued envelopes into the shared
-    /// transport (local recipients translated to global ids, offline
-    /// destinations discarded — see [`route_outgoing`]).
-    fn drain_client(
-        &mut self,
-        g: usize,
-        local: usize,
-        online: &BTreeSet<usize>,
-    ) -> Result<(), ProtocolError> {
-        let from = Recipient::Client(self.topology.global_id(g, local));
-        route_outgoing(
-            &mut self.transport,
-            &self.topology,
-            g,
-            from,
-            core::iter::from_fn(|| self.groups[g].clients[local].poll_output()),
-            online,
-        )
+    /// Updates currently buffered for re-queue (global ids, ascending).
+    pub fn requeued_clients(&self) -> Vec<usize> {
+        self.carryover.keys().copied().collect()
     }
 
-    /// Drain one group server's announcements (addressed to group-local
-    /// survivors) into the shared transport.
-    fn drain_server(&mut self, g: usize, online: &BTreeSet<usize>) -> Result<(), ProtocolError> {
-        route_outgoing(
-            &mut self.transport,
-            &self.topology,
-            g,
-            Recipient::Server,
-            core::iter::from_fn(|| self.groups[g].server.poll_output()),
-            online,
-        )
-    }
-
-    /// Deliver every receivable envelope: client-bound traffic routes by
-    /// the *global* recipient id (then the addressed client validates
-    /// the envelope's group id), server-bound traffic dispatches to the
-    /// per-group server by the envelope's group id.
-    fn pump(&mut self, online: &BTreeSet<usize>) -> Result<(), ProtocolError> {
-        while let Some(delivery) = self.transport.recv()? {
-            let (g, responses) = match delivery.to {
-                Recipient::Client(gid) => {
-                    if !online.contains(&gid) {
-                        continue;
-                    }
-                    let (g, local) = self.topology.locate(gid)?;
-                    (g, self.groups[g].clients[local].handle(delivery.envelope)?)
-                }
-                Recipient::Server => {
-                    let g = delivery.envelope.group();
-                    if g >= self.groups.len() {
-                        return Err(ProtocolError::UnknownGroup {
-                            got: g,
-                            groups: self.groups.len(),
-                        });
-                    }
-                    (g, self.groups[g].server.handle(delivery.envelope)?)
-                }
-            };
-            route_outgoing(
-                &mut self.transport,
-                &self.topology,
-                g,
-                delivery.to,
-                responses,
-                online,
-            )?;
+    /// The child index owning `slot`.
+    fn child_of_slot(&self, slot: usize) -> usize {
+        match self
+            .children
+            .binary_search_by_key(&slot, |child| child.start)
+        {
+            Ok(exact) => exact,
+            Err(insert) => insert - 1,
         }
-        Ok(())
     }
 
-    /// Run the offline mask exchange for `round`, independently within
-    /// every group that has cohort members.
-    fn exchange_masks(
-        &mut self,
-        round: u64,
-        cohort: &BTreeSet<usize>,
-        label: &'static str,
-    ) -> Result<(), ProtocolError> {
-        for &gid in cohort {
-            let (g, local) = self.topology.locate(gid)?;
-            self.groups[g].clients[local].prepare(round)?;
+    /// Split a global cohort into per-child local cohorts (child-local
+    /// ids, ascending), indexed by child.
+    fn split_cohort(&self, cohort: &BTreeSet<usize>) -> Result<Vec<Vec<usize>>, ProtocolError> {
+        let mut per_child = vec![Vec::new(); self.children.len()];
+        for &id in cohort {
+            let slot = self.topology.slot_of(id)?;
+            let c = self.child_of_slot(slot);
+            per_child[c].push(slot - self.children[c].start);
         }
-        for &gid in cohort {
-            let (g, local) = self.topology.locate(gid)?;
-            self.drain_client(g, local, cohort)?;
+        for local in &mut per_child {
+            local.sort_unstable();
         }
-        self.transport.flush(label);
-        self.pump(cohort)
+        Ok(per_child)
     }
 
-    /// Validate a global cohort: unique in-range ids, and every group
-    /// with members present must field at least its own `U_g` (a group
-    /// below threshold could never decode).
+    /// Validate a global cohort: unique in-range ids, and every leaf
+    /// with members present must field at least its own `U_g` (a leaf
+    /// below threshold could never decode). Returns the cohort set and
+    /// the participating child indices, ascending.
     fn validate_cohort(
         &self,
         cohort: &[usize],
@@ -505,22 +828,31 @@ impl<F: Field, T: Transport<F>> GroupedFederation<F, T> {
                 "cohort contains duplicate ids".into(),
             ));
         }
-        if let Some(&bad) = set.iter().find(|&&id| id >= self.topology.n()) {
-            return Err(ProtocolError::UnknownUser(bad));
+        let mut leaf_present = vec![0usize; self.topology.num_groups()];
+        for &id in &set {
+            let (leaf, _) = self.topology.locate(id)?;
+            leaf_present[leaf] += 1;
         }
-        let mut participating = Vec::new();
-        for g in 0..self.topology.num_groups() {
-            let members = self.topology.group_members(g);
-            let present = set.range(members).count();
+        for (leaf, &present) in leaf_present.iter().enumerate() {
             if present == 0 {
                 continue;
             }
-            let need = self.topology.group_config(g).u();
+            let need = self.topology.group_config(leaf).u();
             if present < need {
                 return Err(ProtocolError::NotEnoughSurvivors { got: present, need });
             }
-            participating.push(g);
         }
+        let participating: Vec<usize> = self
+            .children
+            .iter()
+            .enumerate()
+            .filter(|(_, child)| {
+                leaf_present[child.leaf_start..child.leaf_start + child.leaf_count]
+                    .iter()
+                    .any(|&p| p > 0)
+            })
+            .map(|(c, _)| c)
+            .collect();
         if participating.is_empty() {
             return Err(ProtocolError::NotEnoughSurvivors {
                 got: 0,
@@ -529,9 +861,28 @@ impl<F: Field, T: Transport<F>> GroupedFederation<F, T> {
         }
         Ok((set, participating))
     }
+
+    /// All leaf wire ids of child `c`.
+    fn child_leaf_wires(&self, c: usize) -> Vec<usize> {
+        let child = &self.children[c];
+        (child.leaf_start..child.leaf_start + child.leaf_count)
+            .map(|g| self.topology.wire_id(g) as usize)
+            .collect()
+    }
 }
 
-impl<F: Field, T: Transport<F>> SecureAggregator<F> for GroupedFederation<F, T> {
+impl<F: Field> core::fmt::Debug for GroupedFederation<F> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("GroupedFederation")
+            .field("children", &self.children.len())
+            .field("leaves", &self.topology.num_groups())
+            .field("n", &self.topology.n())
+            .field("next_round", &self.next_round)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<F: Field> SecureAggregator<F> for GroupedFederation<F> {
     fn config(&self) -> LsaConfig {
         self.topology.aggregate_view()
     }
@@ -546,11 +897,23 @@ impl<F: Field, T: Transport<F>> SecureAggregator<F> for GroupedFederation<F, T> 
         }
         let (cohort, participating) = self.validate_cohort(cohort)?;
         let round = self.next_round;
-        if !claim_prepared(&mut self.prepared, round, &cohort)? {
-            self.exchange_masks(round, &cohort, "offline")?;
-        }
-        for &g in &participating {
-            self.groups[g].server.open_round(round)?;
+        // The parent's prepared-round bookkeeping mirrors the
+        // children's: a cohort mismatch errors here, before any child
+        // is touched, leaving every preparation intact for a retry.
+        let _ = claim_prepared(&mut self.prepared, round, &cohort)?;
+        let per_child = self.split_cohort(&cohort)?;
+        let mut opened: Vec<usize> = Vec::with_capacity(participating.len());
+        for &c in &participating {
+            match self.children[c].agg.open_round(&per_child[c]) {
+                Ok(_) => opened.push(c),
+                Err(e) => {
+                    // leave no child half-open behind a failed open
+                    for &o in &opened {
+                        self.children[o].agg.abort_round();
+                    }
+                    return Err(e);
+                }
+            }
         }
         self.next_round = round + 1;
         self.participating = participating;
@@ -561,8 +924,11 @@ impl<F: Field, T: Transport<F>> SecureAggregator<F> for GroupedFederation<F, T> 
     fn prepare_next(&mut self, cohort: &[usize]) -> Result<(), ProtocolError> {
         let round = self.next_round;
         ensure_unprepared(&self.prepared, round)?;
-        let (cohort, _) = self.validate_cohort(cohort)?;
-        self.exchange_masks(round, &cohort, "offline-overlap")?;
+        let (cohort, participating) = self.validate_cohort(cohort)?;
+        let per_child = self.split_cohort(&cohort)?;
+        for &c in &participating {
+            self.children[c].agg.prepare_next(&per_child[c])?;
+        }
         self.prepared.insert(round, cohort);
         Ok(())
     }
@@ -573,150 +939,278 @@ impl<F: Field, T: Transport<F>> SecureAggregator<F> for GroupedFederation<F, T> 
         if open.submitted.contains(&id) {
             return Err(ProtocolError::DuplicateMessage(id));
         }
-        let round = open.round;
-        let online = open.online();
-        let (g, local) = self.topology.locate(id)?;
-        self.groups[g].clients[local].upload(round, update)?;
+        if update.len() != self.topology.d() {
+            return Err(ProtocolError::InvalidConfig(format!(
+                "update length {} != model dimension {}",
+                update.len(),
+                self.topology.d()
+            )));
+        }
+        let slot = self.topology.slot_of(id)?;
+        let c = self.child_of_slot(slot);
+        let local = slot - self.children[c].start;
+        if let Some((carried, w)) = self.carryover.get(&id) {
+            // Merge the re-queued update from a previously stalled
+            // subtree into this submission — through the same mask, so
+            // the server still only ever sees the (deferred + fresh)
+            // sum.
+            let weight = w + 1;
+            let mut effective = carried.clone();
+            lsa_field::ops::add_assign(&mut effective, update);
+            self.children[c].agg.submit(local, &effective)?;
+            // the carryover is consumed only once the child accepted
+            // it — and retained in `merged` until the round resolves,
+            // so an aborted round can hand it back
+            let entry = self.carryover.remove(&id).expect("carryover was just read");
+            self.merged.insert(id, entry);
+            if self.partial_recovery {
+                self.round_updates.insert(id, (effective, weight));
+            }
+        } else {
+            // nothing to merge: the update passes through unboxed (no
+            // per-level copy on the hot path)
+            self.children[c].agg.submit(local, update)?;
+            if self.partial_recovery {
+                self.round_updates.insert(id, (update.to_vec(), 1));
+            }
+        }
         self.open
             .as_mut()
             .expect("round is open")
             .submitted
             .insert(id);
-        self.drain_client(g, local, &online)
+        Ok(())
     }
 
     fn mark_dropped(&mut self, id: usize) -> Result<(), ProtocolError> {
         let open = self.open.as_mut().ok_or(ProtocolError::WrongPhase)?;
         open.require_member(id)?;
         open.dropped.insert(id);
-        Ok(())
+        let slot = self.topology.slot_of(id)?;
+        let c = self.child_of_slot(slot);
+        let local = slot - self.children[c].start;
+        self.children[c].agg.mark_dropped(local)
     }
 
     fn finish_round(&mut self) -> Result<RoundOutcome<F>, ProtocolError> {
         let open = self.open.clone().ok_or(ProtocolError::WrongPhase)?;
-        let online = open.online();
         let participating = self.participating.clone();
 
-        // Deliver the (already sent) masked uploads to every group.
-        self.transport.flush("upload");
-        self.pump(&online)?;
+        // Fan the per-subtree finishes (upload delivery, survivor
+        // announcement, recovery, one-shot decode) across the scoped
+        // worker pool: the subtrees share no state, and a nested
+        // GroupedFederation's own fan-out runs inline on its worker
+        // (nested forking is suppressed), so the machine is never
+        // oversubscribed. Results are collected in child order.
+        let mut refs: Vec<(usize, &mut ChildNode<F>)> = self
+            .children
+            .iter_mut()
+            .enumerate()
+            .filter(|(c, _)| participating.binary_search(c).is_ok())
+            .collect();
+        let outcomes =
+            lsa_field::par::par_map_mut(&mut refs, |(_, child)| child.agg.finish_round());
+        drop(refs);
+        let results: Vec<(usize, Result<RoundOutcome<F>, ProtocolError>)> =
+            participating.iter().copied().zip(outcomes).collect();
 
-        // Fix each group's survivor set independently; a group whose
-        // uploads fell below U_g stalls here.
+        // Serial fold in child order: deterministic, bit-identical
+        // across thread counts.
+        let mut aggregate = vec![F::ZERO; self.topology.d()];
+        let mut contributors: Vec<usize> = Vec::new();
+        let mut total_weight = 0u64;
         let mut stalled: Vec<usize> = Vec::new();
+        let mut succeeded: Vec<usize> = Vec::new();
         let mut first_error = None;
-        // (group, group-local survivors) for every decodable group
-        let mut decodable: Vec<(usize, Vec<usize>)> = Vec::new();
-        for &g in &participating {
-            match self.groups[g].server.close_upload() {
-                Ok(survivors) => decodable.push((g, survivors)),
+        for (c, outcome) in results {
+            match outcome {
+                Ok(out) => {
+                    lsa_field::ops::add_assign(&mut aggregate, &out.aggregate);
+                    let child = &self.children[c];
+                    contributors.extend(
+                        out.contributors
+                            .iter()
+                            .map(|&local| self.topology.global_of_slot(child.start + local)),
+                    );
+                    total_weight += out.total_weight;
+                    // a composed child may itself have skipped leaves
+                    stalled.extend(self.children[c].agg.stalled_leaves());
+                    succeeded.push(c);
+                }
                 Err(e) => {
                     if !self.partial_recovery {
                         return Err(e);
                     }
                     first_error.get_or_insert(e);
-                    stalled.push(g);
-                }
-            }
-        }
-        if decodable.is_empty() {
-            return Err(first_error.expect("at least one group participated"));
-        }
-
-        // Announce per group, then let every group's recovery complete
-        // as its own U_g-th share arrives — no cross-group barrier.
-        for &(g, _) in &decodable {
-            self.drain_server(g, &online)?;
-        }
-        self.transport.flush("announce");
-        self.pump(&online)?;
-        self.transport.flush("recovery");
-        self.pump(&online)?;
-
-        // Run the per-group one-shot recoveries on the scoped worker
-        // pool (`LSA_THREADS`): each decode is O((N/G)²) basis setup
-        // plus an O((N/G)·d/G) fused multi-axpy, and the groups share
-        // no state — embarrassingly parallel. Each group's server is
-        // taken out of `self`, decoded on a worker, and put back; the
-        // global fold below stays serial in group order, so the
-        // aggregate is bit-identical for any thread count.
-        let mut work: Vec<(usize, Vec<usize>, FederationServer<F>)> = decodable
-            .into_iter()
-            .map(|(g, survivors)| {
-                let placeholder = FederationServer::in_group(g, self.topology.group_config(g));
-                let server = std::mem::replace(&mut self.groups[g].server, placeholder);
-                (g, survivors, server)
-            })
-            .collect();
-        let outcomes =
-            lsa_field::par::par_map_mut(&mut work, |(_, _, server)| server.close_round());
-        // Every server must go back before any error can return.
-        type GroupRecovery<F> = (usize, Vec<usize>, Result<Vec<F>, ProtocolError>);
-        let mut recovered: Vec<GroupRecovery<F>> = Vec::with_capacity(work.len());
-        for ((g, survivors, server), outcome) in work.into_iter().zip(outcomes) {
-            self.groups[g].server = server;
-            recovered.push((g, survivors, outcome));
-        }
-
-        // Sum the per-group aggregates into the global one.
-        let mut aggregate = vec![F::ZERO; self.topology.d()];
-        let mut contributors = Vec::new();
-        for (g, survivors, outcome) in recovered {
-            match outcome {
-                Ok(group_aggregate) => {
-                    lsa_field::ops::add_assign(&mut aggregate, &group_aggregate);
-                    contributors.extend(
-                        survivors
+                    // retire the stalled subtree's round so the next one
+                    // can open, and re-queue what it had been submitted —
+                    // unless the subtree buffered its updates itself (a
+                    // nested partial-recovery node that failed outright),
+                    // in which case a second buffer here would make the
+                    // deferred update land twice
+                    self.children[c].agg.abort_round();
+                    stalled.extend(self.child_leaf_wires(c));
+                    let child = &self.children[c];
+                    let range = child.start..child.start + child.n;
+                    if !self.children[c].agg.requeues_on_failure() {
+                        let requeue: Vec<usize> = self
+                            .round_updates
+                            .keys()
+                            .copied()
+                            .filter(|&id| {
+                                self.topology
+                                    .slot_of(id)
+                                    .is_ok_and(|slot| range.contains(&slot))
+                            })
+                            .collect();
+                        for id in requeue {
+                            let (update, weight) =
+                                self.round_updates.remove(&id).expect("key just listed");
+                            self.carryover.insert(id, (update, weight));
+                        }
+                    } else {
+                        // the subtree buffered the merged *values*
+                        // itself, but it recorded them at weight 1 — it
+                        // never saw the carried weight. Keep that weight
+                        // here as zero-valued carryover: the next
+                        // submission merges 0 (value untouched, the
+                        // subtree supplies it) while the weight rides
+                        // along and is counted when the deferred update
+                        // finally lands.
+                        let weight_only: Vec<(usize, u64)> = self
+                            .merged
                             .iter()
-                            .map(|&local| self.topology.global_id(g, local)),
-                    );
-                }
-                Err(e) => {
-                    if !self.partial_recovery {
-                        return Err(e);
+                            .filter(|(&id, _)| {
+                                self.topology
+                                    .slot_of(id)
+                                    .is_ok_and(|slot| range.contains(&slot))
+                            })
+                            .map(|(&id, (_, w))| (id, *w))
+                            .collect();
+                        for (id, w) in weight_only {
+                            self.merged.remove(&id);
+                            self.carryover
+                                .insert(id, (vec![F::ZERO; self.topology.d()], w));
+                        }
                     }
-                    // too few aggregated shares arrived: retire the
-                    // stalled group's round so the next one can open
-                    self.groups[g].server.abort_round();
-                    stalled.push(g);
                 }
             }
-        }
-        if contributors.is_empty() {
-            return Err(ProtocolError::NotEnoughSurvivors {
-                got: 0,
-                need: self.topology.aggregate_view().u(),
-            });
-        }
-        for &g in &stalled {
-            self.groups[g].server.abort_round();
         }
 
-        // Retire the finished round everywhere; prepared next-round
-        // sessions survive (they are >= round + 1).
-        for group in &mut self.groups {
-            for client in &mut group.clients {
-                client.retire_below(open.round + 1);
+        // Carryover merged into a subtree that then stalled went back to
+        // the buffer above (inside the effective update); carryover
+        // merged into a surviving subtree is consumed now and adds its
+        // weight.
+        for (&id, (_, extra)) in &self.merged {
+            let slot = self.topology.slot_of(id)?;
+            if succeeded.contains(&self.child_of_slot(slot)) {
+                total_weight += extra;
             }
         }
-        contributors.sort_unstable();
+
+        self.merged.clear();
+        self.round_updates.clear();
         self.stalled = stalled;
         self.open = None;
         self.participating = Vec::new();
+        if contributors.is_empty() {
+            // every subtree stalled: the round is retired (its updates
+            // are all re-queued), and the caller learns why
+            return Err(first_error.unwrap_or(ProtocolError::NotEnoughSurvivors {
+                got: 0,
+                need: self.topology.aggregate_view().u(),
+            }));
+        }
+        contributors.sort_unstable();
         Ok(RoundOutcome {
             round: open.round,
             aggregate,
-            total_weight: contributors.len() as u64,
+            total_weight,
             contributors,
         })
+    }
+
+    fn abort_round(&mut self) {
+        if self.open.take().is_some() {
+            for &c in &self.participating {
+                self.children[c].agg.abort_round();
+            }
+            self.participating = Vec::new();
+            // an externally cancelled round drops its *fresh*
+            // submissions, but any carryover they had consumed is
+            // restored — the deferred update still owes its
+            // exactly-once landing in a later aggregate
+            for (id, entry) in std::mem::take(&mut self.merged) {
+                self.carryover.insert(id, entry);
+            }
+            self.round_updates.clear();
+        }
+    }
+
+    fn reassign(&mut self, seed: u64) -> Result<(), ProtocolError> {
+        if self.open.is_some() {
+            return Err(ProtocolError::WrongPhase);
+        }
+        if !self.prepared.is_empty() {
+            return Err(ProtocolError::InvalidConfig(
+                "cannot reassign the group mapping while a prepared round is pending".into(),
+            ));
+        }
+        // This node's own carryover is keyed by *global* id and follows
+        // a client to its new leaf — safe. A nested node's carryover is
+        // keyed by its local ids (= this node's slots), which a root
+        // permutation would re-seat under different clients: refuse
+        // until the deferred updates have landed.
+        if self.children.iter().any(|c| c.agg.has_pending_requeue()) {
+            return Err(ProtocolError::InvalidConfig(
+                "cannot reassign the group mapping while a subtree holds re-queued updates".into(),
+            ));
+        }
+        self.topology.reassign(seed);
+        Ok(())
+    }
+
+    fn set_partial_recovery(&mut self, enabled: bool) {
+        self.partial_recovery = enabled;
+        for child in &mut self.children {
+            child.agg.set_partial_recovery(enabled);
+        }
+    }
+
+    fn stalled_leaves(&self) -> Vec<usize> {
+        self.stalled.clone()
+    }
+
+    fn has_pending_requeue(&self) -> bool {
+        !self.carryover.is_empty()
+            || !self.merged.is_empty()
+            || self.children.iter().any(|c| c.agg.has_pending_requeue())
+    }
+
+    fn requeues_on_failure(&self) -> bool {
+        self.partial_recovery
+    }
+
+    fn bytes_sent(&self) -> usize {
+        self.children.iter().map(|c| c.agg.bytes_sent()).sum()
+    }
+
+    fn phase_timings(&self) -> Vec<PhaseTiming> {
+        let per_child: Vec<Vec<PhaseTiming>> = self
+            .children
+            .iter()
+            .map(|c| c.agg.phase_timings())
+            .collect();
+        merge_phase_timings(&per_child)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::federation::{Federation, RoundPlan, SyncFederation};
+    use crate::federation::{Federation, FederationClient, RoundPlan};
     use crate::messages::CodedMaskShare;
+    use crate::session::Session;
     use crate::transport::MemTransport;
     use crate::wire::Envelope;
     use lsa_field::Fp61;
@@ -742,6 +1236,7 @@ mod tests {
         let topo = GroupTopology::uniform(10, 3, 0.25, 0.8, 5).unwrap();
         assert_eq!(topo.num_groups(), 3);
         assert_eq!(topo.n(), 10);
+        assert_eq!(topo.depth(), 1);
         // 10 = 4 + 3 + 3
         assert_eq!(topo.group_members(0), 0..4);
         assert_eq!(topo.group_members(1), 4..7);
@@ -767,6 +1262,36 @@ mod tests {
         let b = LsaConfig::new(4, 1, 3, 7).unwrap();
         assert!(GroupTopology::from_configs(vec![a, b]).is_err());
         assert!(GroupTopology::from_configs(Vec::new()).is_err());
+        // empty internal node anywhere in the tree
+        assert!(GroupTopology::from_tree(TopologyNode::Internal(vec![
+            TopologyNode::Leaf(a),
+            TopologyNode::Internal(Vec::new()),
+        ]))
+        .is_err());
+        // zero branching factor
+        assert!(GroupTopology::hierarchical(16, &[2, 0], 0.25, 0.75, 4).is_err());
+    }
+
+    #[test]
+    fn hierarchical_tree_namespace_is_dense_depth_first() {
+        // 2 super-groups x 2 leaf groups x 4 clients
+        let topo = GroupTopology::hierarchical(16, &[2, 2], 0.25, 0.75, 3).unwrap();
+        assert_eq!(topo.depth(), 2);
+        assert_eq!(topo.num_groups(), 4);
+        for g in 0..4 {
+            assert_eq!(topo.wire_id(g) as usize, g);
+            assert_eq!(topo.leaf_of_wire(g).unwrap(), g);
+            assert_eq!(topo.leaf_at_path(topo.path(g)), Some(g));
+        }
+        assert_eq!(topo.path(0), &[0, 0]);
+        assert_eq!(topo.path(1), &[0, 1]);
+        assert_eq!(topo.path(2), &[1, 0]);
+        assert_eq!(topo.path(3), &[1, 1]);
+        assert_eq!(topo.leaf_at_path(&[0]), None);
+        assert!(matches!(
+            topo.leaf_of_wire(4),
+            Err(ProtocolError::UnknownGroup { got: 4, groups: 4 })
+        ));
     }
 
     #[test]
@@ -787,24 +1312,39 @@ mod tests {
     }
 
     #[test]
-    fn grouped_matches_flat_federation_result() {
-        // same updates through a flat SyncFederation and the grouped
-        // topology: identical aggregates (masks differ, sums agree)
+    fn two_level_hierarchy_matches_flat_and_depth_one() {
         let d = 5;
-        let all: Vec<usize> = (0..8).collect();
+        let all: Vec<usize> = (0..16).collect();
         let mut plan = RoundPlan::new(all.clone());
         plan.updates = updates(&all, d);
 
-        let flat_cfg = LsaConfig::new(8, 2, 6, d).unwrap();
+        let flat_cfg = LsaConfig::new(16, 4, 12, d).unwrap();
         let flat = SyncFederation::new(flat_cfg, MemTransport::new(), 3).unwrap();
         let mut flat_fed: Federation<Fp61> = Federation::new(Box::new(flat));
         let flat_out = flat_fed.run_round(&plan).unwrap();
 
-        let grouped = GroupedFederation::new(topo_2x4(d), MemTransport::new(), 4).unwrap();
-        let mut grouped_fed: Federation<Fp61> = Federation::new(Box::new(grouped));
-        let grouped_out = grouped_fed.run_round(&plan).unwrap();
+        let depth1 = GroupedFederation::new(
+            GroupTopology::uniform(16, 4, 0.25, 0.75, d).unwrap(),
+            MemTransport::new(),
+            4,
+        )
+        .unwrap();
+        let mut depth1_fed: Federation<Fp61> = Federation::new(Box::new(depth1));
+        let depth1_out = depth1_fed.run_round(&plan).unwrap();
 
-        assert_eq!(flat_out.aggregate, grouped_out.aggregate);
+        let two_level = GroupedFederation::new(
+            GroupTopology::two_level(16, 2, 2, 0.25, 0.75, d).unwrap(),
+            MemTransport::new(),
+            5,
+        )
+        .unwrap();
+        let mut two_fed: Federation<Fp61> = Federation::new(Box::new(two_level));
+        let two_out = two_fed.run_round(&plan).unwrap();
+
+        assert_eq!(flat_out.aggregate, depth1_out.aggregate);
+        assert_eq!(flat_out.aggregate, two_out.aggregate);
+        assert_eq!(two_out.contributors, all);
+        assert_eq!(two_out.total_weight, 16);
     }
 
     #[test]
@@ -838,7 +1378,7 @@ mod tests {
     }
 
     #[test]
-    fn stalled_group_fails_strict_but_not_partial() {
+    fn stalled_group_fails_strict_but_requeues_partial() {
         let d = 3;
         let all: Vec<usize> = (0..8).collect();
         // group 1 loses 2 of 4 after upload: only 2 < u=3 recovery
@@ -859,15 +1399,223 @@ mod tests {
             .with_partial_recovery();
         let mut fed: Federation<Fp61> = Federation::new(Box::new(partial));
         let out = fed.run_round(&plan).unwrap();
-        // group 0 (clients 0..4) decoded alone — group 1 is lost
+        // group 0 (clients 0..4) decoded alone — group 1 is deferred
         assert_eq!(out.contributors, vec![0, 1, 2, 3]);
         assert_eq!(out.aggregate, expected(&[0, 1, 2, 3], d));
-        // and the next round still runs
+        assert_eq!(out.total_weight, 4);
+        assert_eq!(fed.aggregator().stalled_leaves(), vec![1]);
+        // round 1: group 1's round-0 updates ride along, exactly once
         let mut next = RoundPlan::new(all.clone());
         next.updates = updates(&all, d);
         let out = fed.run_round(&next).unwrap();
         assert_eq!(out.round, 1);
+        let mut want = expected(&all, d);
+        lsa_field::ops::add_assign(&mut want, &expected(&[4, 5, 6, 7], d));
+        assert_eq!(out.aggregate, want);
+        assert_eq!(out.total_weight, 8 + 4);
+        assert!(fed.aggregator().stalled_leaves().is_empty());
+        // round 2: nothing re-queued is left over
+        let mut last = RoundPlan::new(all.clone());
+        last.updates = updates(&all, d);
+        let out = fed.run_round(&last).unwrap();
         assert_eq!(out.aggregate, expected(&all, d));
+        assert_eq!(out.total_weight, 8);
+    }
+
+    #[test]
+    fn nested_stall_requeues_at_the_owning_subtree() {
+        // two-level: 2 super-groups x 2 leaf groups x 4 clients, t=1,u=3
+        let d = 3;
+        let all: Vec<usize> = (0..16).collect();
+        let topo = GroupTopology::two_level(16, 2, 2, 0.25, 0.75, d).unwrap();
+        let grouped = GroupedFederation::new(topo, MemTransport::new(), 11)
+            .unwrap()
+            .with_partial_recovery();
+        let mut fed: Federation<Fp61> = Federation::new(Box::new(grouped));
+        // leaf 0 (clients 0..4) loses 2 after upload and stalls; its
+        // sibling leaf 1 and the whole second super-group keep decoding
+        let mut plan = RoundPlan::new(all.clone());
+        plan.updates = updates(&all, d);
+        plan.drop_after_upload = vec![0, 1];
+        let out = fed.run_round(&plan).unwrap();
+        assert_eq!(out.contributors, (4..16).collect::<Vec<_>>());
+        assert_eq!(out.aggregate, expected(&(4..16).collect::<Vec<_>>(), d));
+        assert_eq!(fed.aggregator().stalled_leaves(), vec![0]);
+        // next round: leaf 0's deferred updates land exactly once
+        let mut next = RoundPlan::new(all.clone());
+        next.updates = updates(&all, d);
+        let out = fed.run_round(&next).unwrap();
+        let mut want = expected(&all, d);
+        lsa_field::ops::add_assign(&mut want, &expected(&[0, 1, 2, 3], d));
+        assert_eq!(out.aggregate, want);
+        assert_eq!(out.total_weight, 16 + 4);
+        // and exactly once means gone afterwards
+        let mut last = RoundPlan::new(all.clone());
+        last.updates = updates(&all, d);
+        let out = fed.run_round(&last).unwrap();
+        assert_eq!(out.aggregate, expected(&all, d));
+        assert_eq!(out.total_weight, 16);
+    }
+
+    #[test]
+    fn aborted_round_restores_merged_carryover() {
+        // carryover consumed by a round that is then cancelled must go
+        // back to the buffer: the deferred update still lands exactly
+        // once in the next completed round
+        let d = 3;
+        let all: Vec<usize> = (0..8).collect();
+        let mut grouped = GroupedFederation::<Fp61>::new(topo_2x4(d), MemTransport::new(), 16)
+            .unwrap()
+            .with_partial_recovery();
+        // round 0: group 1 stalls, its updates are buffered
+        grouped.open_round(&all).unwrap();
+        for (id, u) in updates(&all, d) {
+            grouped.submit(id, &u).unwrap();
+        }
+        for id in [5, 6] {
+            grouped.mark_dropped(id).unwrap();
+        }
+        grouped.finish_round().unwrap();
+        assert_eq!(grouped.requeued_clients(), vec![4, 5, 6, 7]);
+        // round 1: submissions merge the carryover — then the round is
+        // cancelled
+        grouped.open_round(&all).unwrap();
+        for (id, u) in updates(&all, d) {
+            grouped.submit(id, &u).unwrap();
+        }
+        assert!(grouped.requeued_clients().is_empty());
+        grouped.abort_round();
+        assert_eq!(
+            grouped.requeued_clients(),
+            vec![4, 5, 6, 7],
+            "abort must hand consumed carryover back"
+        );
+        // round 2 completes: deferred updates land exactly once
+        grouped.open_round(&all).unwrap();
+        for (id, u) in updates(&all, d) {
+            grouped.submit(id, &u).unwrap();
+        }
+        let out = grouped.finish_round().unwrap();
+        let mut want = expected(&all, d);
+        lsa_field::ops::add_assign(&mut want, &expected(&[4, 5, 6, 7], d));
+        assert_eq!(out.aggregate, want);
+        assert_eq!(out.total_weight, 8 + 4);
+        assert!(grouped.requeued_clients().is_empty());
+    }
+
+    #[test]
+    fn carried_weight_survives_failure_of_a_self_requeuing_child() {
+        // Mixed tree: root = [Leaf(4), Internal[Leaf(4)]]. Round 0
+        // stalls the direct leaf (root buffers its updates by global
+        // id); a reassignment then moves some of those clients under
+        // the nested child; round 1 merges their carryover there and
+        // the nested child fails outright (it self-requeues the merged
+        // *values* at weight 1, the root must keep the carried
+        // *weights*). By round 2 everything has landed: across the
+        // three rounds both total value and total weight are conserved
+        // — 24 unit-weight submissions in, 24 weight out.
+        let d = 3;
+        let cfg = LsaConfig::new(4, 1, 3, d).unwrap();
+        let topo = GroupTopology::from_tree(TopologyNode::Internal(vec![
+            TopologyNode::Leaf(cfg),
+            TopologyNode::Internal(vec![TopologyNode::Leaf(cfg)]),
+        ]))
+        .unwrap();
+        // a seed that provably moves one of round 0's buffered clients
+        // (ids 0..4) into the nested child's slot range (4..8)
+        let seed = (0..100u64)
+            .find(|&s| {
+                let mut t = topo.clone();
+                t.reassign(s);
+                (0..4).any(|id| t.slot_of(id).unwrap() >= 4)
+            })
+            .expect("some seed moves a buffered client");
+        let all: Vec<usize> = (0..8).collect();
+        let mut grouped = GroupedFederation::<Fp61>::new(topo, MemTransport::new(), 18)
+            .unwrap()
+            .with_partial_recovery();
+        let mut total_value = vec![Fp61::ZERO; d];
+        let mut total_weight = 0u64;
+        // round 0: the direct leaf (clients 0..4) stalls
+        grouped.open_round(&all).unwrap();
+        for (id, u) in updates(&all, d) {
+            grouped.submit(id, &u).unwrap();
+        }
+        for id in [0, 1] {
+            grouped.mark_dropped(id).unwrap();
+        }
+        let out = grouped.finish_round().unwrap();
+        lsa_field::ops::add_assign(&mut total_value, &out.aggregate);
+        total_weight += out.total_weight;
+        assert_eq!(grouped.requeued_clients(), vec![0, 1, 2, 3]);
+        // between rounds: re-seat the mapping (root-level carryover is
+        // keyed by identity, so this is allowed)
+        grouped.reassign(seed).unwrap();
+        // round 1: the nested child fails outright after merging the
+        // moved clients' carryover
+        let nested_members = grouped.topology().members_of(1);
+        grouped.open_round(&all).unwrap();
+        for (id, u) in updates(&all, d) {
+            grouped.submit(id, &u).unwrap();
+        }
+        for &id in &nested_members[..2] {
+            grouped.mark_dropped(id).unwrap();
+        }
+        let out = grouped.finish_round().unwrap();
+        lsa_field::ops::add_assign(&mut total_value, &out.aggregate);
+        total_weight += out.total_weight;
+        // round 2: everything lands
+        grouped.open_round(&all).unwrap();
+        for (id, u) in updates(&all, d) {
+            grouped.submit(id, &u).unwrap();
+        }
+        let out = grouped.finish_round().unwrap();
+        lsa_field::ops::add_assign(&mut total_value, &out.aggregate);
+        total_weight += out.total_weight;
+        assert!(!grouped.has_pending_requeue());
+        // conservation: 3 full submission waves, nothing lost, nothing
+        // double-counted — in value or in weight
+        let want: Vec<Fp61> = expected(&all, d)
+            .into_iter()
+            .map(|x| x * Fp61::from_u64(3))
+            .collect();
+        assert_eq!(total_value, want, "every update lands exactly once");
+        assert_eq!(total_weight, 24, "every unit weight lands exactly once");
+    }
+
+    #[test]
+    fn reassignment_refused_while_subtree_holds_requeued_updates() {
+        // a nested node's re-queue buffer is keyed by seat (its local
+        // ids); re-seating the root permutation underneath it would
+        // merge a deferred update into the wrong client's submission
+        let d = 3;
+        let all: Vec<usize> = (0..16).collect();
+        let topo = GroupTopology::two_level(16, 2, 2, 0.25, 0.75, d).unwrap();
+        let mut grouped = GroupedFederation::<Fp61>::new(topo, MemTransport::new(), 17)
+            .unwrap()
+            .with_partial_recovery();
+        grouped.open_round(&all).unwrap();
+        for (id, u) in updates(&all, d) {
+            grouped.submit(id, &u).unwrap();
+        }
+        for id in [0, 1] {
+            grouped.mark_dropped(id).unwrap(); // leaf 0 stalls
+        }
+        grouped.finish_round().unwrap();
+        assert_eq!(grouped.stalled_leaves(), vec![0]);
+        assert!(grouped.has_pending_requeue());
+        assert!(matches!(
+            grouped.reassign(5),
+            Err(ProtocolError::InvalidConfig(_))
+        ));
+        // once the deferred updates land, reassignment is allowed again
+        grouped.open_round(&all).unwrap();
+        for (id, u) in updates(&all, d) {
+            grouped.submit(id, &u).unwrap();
+        }
+        grouped.finish_round().unwrap();
+        assert!(!grouped.has_pending_requeue());
+        grouped.reassign(5).unwrap();
     }
 
     #[test]
@@ -886,8 +1634,7 @@ mod tests {
     #[test]
     fn undersized_group_cohort_rejected() {
         let d = 3;
-        let grouped =
-            GroupedFederation::<Fp61, _>::new(topo_2x4(d), MemTransport::new(), 9).unwrap();
+        let grouped = GroupedFederation::<Fp61>::new(topo_2x4(d), MemTransport::new(), 9).unwrap();
         let mut fed = Federation::new(Box::new(grouped));
         // group 1 fields only 2 members < u=3
         let err = fed
@@ -941,29 +1688,118 @@ mod tests {
     }
 
     #[test]
-    fn server_bound_envelope_for_unknown_group_rejected() {
-        let d = 3;
-        let mut grouped =
-            GroupedFederation::<Fp61, _>::new(topo_2x4(d), MemTransport::new(), 12).unwrap();
+    fn reassignment_moves_clients_and_keeps_sums_exact() {
+        let d = 4;
         let all: Vec<usize> = (0..8).collect();
-        grouped.open_round(&all).unwrap();
-        // inject a masked model claiming group 7 (no such group)
-        let cfg = grouped.topology().group_config(0);
-        let ghost = Envelope::MaskedModel(crate::messages::MaskedModel {
+        let grouped = GroupedFederation::new(topo_2x4(d), MemTransport::new(), 12).unwrap();
+        let mut fed: Federation<Fp61> = Federation::new(Box::new(grouped));
+        let mut p0 = RoundPlan::new(all.clone());
+        p0.updates = updates(&all, d);
+        let out0 = fed.run_round(&p0).unwrap();
+        assert_eq!(out0.aggregate, expected(&all, d));
+        // round 1 under a reseated mapping: same clients, fresh peers
+        let mut p1 = RoundPlan::new(all.clone()).with_reassignment(99);
+        p1.updates = updates(&all, d);
+        let out1 = fed.run_round(&p1).unwrap();
+        assert_eq!(out1.aggregate, expected(&all, d));
+        assert_eq!(out1.contributors, all);
+    }
+
+    #[test]
+    fn reassignment_permutes_the_mapping_deterministically() {
+        let mut a = topo_2x4(3);
+        let identity = a.clone();
+        a.reassign(42);
+        let mut b = topo_2x4(3);
+        b.reassign(42);
+        assert_eq!(a, b, "same seed, same permutation");
+        assert_ne!(a, identity, "seed 42 must actually move someone");
+        // the permutation is a bijection: every global id seats exactly once
+        let mut seen = [false; 8];
+        for g in 0..2 {
+            for id in a.members_of(g) {
+                assert!(!seen[id]);
+                seen[id] = true;
+                let (leaf, local) = a.locate(id).unwrap();
+                assert_eq!(leaf, g);
+                assert_eq!(a.global_id(leaf, local), id);
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn stale_mapping_share_rejected_as_wrong_group() {
+        // a share stamped under the pre-reassignment mapping must be
+        // rejected by the leaf now serving the moved client
+        let mut topo = topo_2x4(6);
+        let stale = topo.clone();
+        topo.reassign(42);
+        let moved = (0..8)
+            .find(|&id| topo.locate(id).unwrap().0 != stale.locate(id).unwrap().0)
+            .expect("seed 42 moves at least one client across groups");
+        let (new_leaf, new_local) = topo.locate(moved).unwrap();
+        let (old_leaf, _) = stale.locate(moved).unwrap();
+        let cfg = topo.group_config(new_leaf);
+        let mut endpoint = FederationClient::<Fp61>::in_group(
+            topo.wire_id(new_leaf) as usize,
+            new_local,
+            cfg,
+            rand::SeedableRng::seed_from_u64(13),
+        )
+        .unwrap();
+        endpoint.prepare(0).unwrap();
+        let stale_share = Envelope::CodedMaskShare(CodedMaskShare {
             from: 0,
-            group: 7,
+            to: new_local,
+            group: stale.wire_id(old_leaf) as usize,
             round: 0,
-            payload: vec![Fp61::ZERO; cfg.padded_len()],
+            payload: vec![Fp61::ZERO; cfg.segment_len()],
         });
-        grouped
-            .transport_mut()
-            .send(Recipient::Client(0), Recipient::Server, &ghost)
-            .unwrap();
-        let online: BTreeSet<usize> = all.iter().copied().collect();
+        let err = endpoint.handle(stale_share).unwrap_err();
+        assert!(
+            matches!(err, ProtocolError::WrongGroup { got, expected }
+                if got == stale.wire_id(old_leaf) as usize
+                && expected == topo.wire_id(new_leaf) as usize),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn reassignment_rejected_mid_round_or_prepared() {
+        let d = 3;
+        let all: Vec<usize> = (0..8).collect();
+        let mut grouped =
+            GroupedFederation::<Fp61>::new(topo_2x4(d), MemTransport::new(), 14).unwrap();
+        grouped.open_round(&all).unwrap();
         assert!(matches!(
-            grouped.pump(&online),
-            Err(ProtocolError::UnknownGroup { got: 7, groups: 2 })
+            grouped.reassign(1),
+            Err(ProtocolError::WrongPhase)
         ));
+        grouped.abort_round();
+        grouped.prepare_next(&all).unwrap();
+        assert!(matches!(
+            grouped.reassign(1),
+            Err(ProtocolError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn from_children_composes_prebuilt_aggregators() {
+        let d = 4;
+        let cfg = LsaConfig::new(4, 1, 3, d).unwrap();
+        let children: Vec<BoxedAggregator<Fp61>> = vec![
+            Box::new(SyncFederation::in_group(0, cfg, MemTransport::new(), 20).unwrap()),
+            Box::new(SyncFederation::in_group(1, cfg, MemTransport::new(), 21).unwrap()),
+        ];
+        let grouped = GroupedFederation::from_children(children).unwrap();
+        let mut fed: Federation<Fp61> = Federation::new(Box::new(grouped));
+        let all: Vec<usize> = (0..8).collect();
+        let mut plan = RoundPlan::new(all.clone());
+        plan.updates = updates(&all, d);
+        let out = fed.run_round(&plan).unwrap();
+        assert_eq!(out.aggregate, expected(&all, d));
+        assert_eq!(out.contributors, all);
     }
 
     #[test]
@@ -971,6 +1807,7 @@ mod tests {
         let cfg = LsaConfig::new(5, 1, 4, 4).unwrap();
         let topo = GroupTopology::flat(cfg);
         assert_eq!(topo.num_groups(), 1);
+        assert_eq!(topo.depth(), 0);
         assert_eq!(topo.aggregate_view(), cfg);
         let grouped = GroupedFederation::new(topo, MemTransport::new(), 13).unwrap();
         let mut fed: Federation<Fp61> = Federation::new(Box::new(grouped));
@@ -979,5 +1816,25 @@ mod tests {
         plan.updates = updates(&all, 4);
         let out = fed.run_round(&plan).unwrap();
         assert_eq!(out.aggregate, expected(&all, 4));
+    }
+
+    #[test]
+    fn bytes_accounting_survives_composition() {
+        let d = 16;
+        let mut grouped =
+            GroupedFederation::<Fp61>::new(topo_2x4(d), MemTransport::new(), 15).unwrap();
+        assert_eq!(grouped.bytes_sent(), 0);
+        let all: Vec<usize> = (0..8).collect();
+        grouped.prepare_next(&all).unwrap();
+        // each group of 4 moves 4*3 coded shares; bytes sum across leaves
+        assert!(grouped.bytes_sent() > 0);
+        let share = Envelope::<Fp61>::CodedMaskShare(CodedMaskShare {
+            from: 0,
+            to: 1,
+            group: 0,
+            round: 0,
+            payload: vec![Fp61::ZERO; topo_2x4(d).group_config(0).segment_len()],
+        });
+        assert_eq!(grouped.bytes_sent(), 2 * 4 * 3 * share.wire_len());
     }
 }

@@ -65,6 +65,25 @@ pub trait Transport<F: Field> {
     fn flush(&mut self, label: &'static str) {
         let _ = label;
     }
+
+    /// Total serialized bytes ever sent through this transport. An
+    /// aggregator tree sums this across its per-subtree transports, so
+    /// communication accounting survives the composition. Backends that
+    /// don't track traffic report 0.
+    fn bytes_sent(&self) -> usize {
+        0
+    }
+
+    /// Per-phase wall-clock records, for transports with a notion of
+    /// simulated time (empty otherwise).
+    fn timings(&self) -> &[PhaseTiming] {
+        &[]
+    }
+
+    /// Current simulated time in seconds (0 for untimed backends).
+    fn elapsed(&self) -> f64 {
+        0.0
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -133,6 +152,10 @@ impl<F: Field> Transport<F> for MemTransport {
             wire_bytes: bytes.len(),
         }))
     }
+
+    fn bytes_sent(&self) -> usize {
+        self.bytes_sent
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -190,6 +213,7 @@ pub struct SimTransport {
     pending: Vec<(Recipient, Recipient, Vec<u8>)>,
     inbox: VecDeque<(Recipient, Recipient, Vec<u8>)>,
     timings: Vec<PhaseTiming>,
+    bytes_sent: usize,
 }
 
 impl SimTransport {
@@ -201,6 +225,7 @@ impl SimTransport {
             pending: Vec::new(),
             inbox: VecDeque::new(),
             timings: Vec::new(),
+            bytes_sent: 0,
         }
     }
 
@@ -236,7 +261,9 @@ impl<F: Field> Transport<F> for SimTransport {
         to: Recipient,
         envelope: &Envelope<F>,
     ) -> Result<(), ProtocolError> {
-        self.pending.push((from, to, envelope.to_bytes()));
+        let bytes = envelope.to_bytes();
+        self.bytes_sent += bytes.len();
+        self.pending.push((from, to, bytes));
         Ok(())
     }
 
@@ -294,6 +321,18 @@ impl<F: Field> Transport<F> for SimTransport {
             bytes: bytes_total,
             arrivals,
         });
+    }
+
+    fn bytes_sent(&self) -> usize {
+        self.bytes_sent
+    }
+
+    fn timings(&self) -> &[PhaseTiming] {
+        &self.timings
+    }
+
+    fn elapsed(&self) -> f64 {
+        self.clock
     }
 }
 

@@ -30,9 +30,19 @@
 //!
 //! Every envelope kind also carries a **group id** ([`Envelope::group`]):
 //! a grouped topology ([`crate::topology`]) runs one protocol instance
-//! per group over a shared transport with group-local user indices, so
-//! endpoints reject cross-group traffic with
-//! [`crate::ProtocolError::WrongGroup`]. The flat topology is group 0.
+//! per leaf group with group-local user indices, so endpoints reject
+//! cross-group traffic with [`crate::ProtocolError::WrongGroup`]. The
+//! id is **namespaced across the whole aggregator tree**: every leaf of
+//! a (possibly nested) topology is allocated a unique id in depth-first
+//! order, so an envelope names its leaf unambiguously no matter how
+//! deep the hierarchy is. The flat topology is group 0.
+//!
+//! The top bit of the group word is **reserved** as the Wire-v2
+//! version/feature bit ([`GROUP_VERSION_BIT`]): this revision always
+//! writes it as 0 and rejects envelopes that set it with
+//! [`WireError::ReservedVersionBit`], so a future version negotiation
+//! can flip it without any byte moving offset. Usable group ids are
+//! `0 ..= MAX_GROUP_ID`.
 //!
 //! Residues are validated on decode: a non-canonical value (≥ the field
 //! modulus) is rejected with [`WireError::NonCanonicalElement`] rather
@@ -43,6 +53,17 @@ use crate::asynchronous::{BufferEntry, TimestampedShare, TimestampedUpdate};
 use crate::messages::{AggregatedShare, CodedMaskShare, MaskedModel};
 use core::fmt;
 use lsa_field::Field;
+
+/// The reserved Wire-v2 version/feature bit of the group-id word
+/// (bytes `[1..5]` of every envelope). Always 0 in this revision; a
+/// future wire version flips it to signal the negotiated layout, so
+/// decoders reject it today rather than misread tomorrow's envelopes.
+pub const GROUP_VERSION_BIT: u32 = 1 << 31;
+
+/// Largest group id the wire encoding can carry (the version bit is not
+/// part of the id namespace): an aggregator tree may hold at most
+/// `MAX_GROUP_ID + 1` leaves.
+pub const MAX_GROUP_ID: u32 = GROUP_VERSION_BIT - 1;
 
 /// Errors produced while encoding or decoding an [`Envelope`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -73,6 +94,13 @@ pub enum WireError {
         /// The claimed element count.
         claimed: u64,
     },
+    /// The group word sets the reserved Wire-v2 version/feature bit
+    /// ([`GROUP_VERSION_BIT`]), which this revision never writes — the
+    /// envelope comes from a future (or corrupted) wire version.
+    ReservedVersionBit {
+        /// The raw group word read from the wire.
+        raw: u32,
+    },
 }
 
 impl fmt::Display for WireError {
@@ -93,6 +121,12 @@ impl fmt::Display for WireError {
             }
             WireError::ImplausibleLength { claimed } => {
                 write!(f, "implausible element count {claimed}")
+            }
+            WireError::ReservedVersionBit { raw } => {
+                write!(
+                    f,
+                    "group word {raw:#010x} sets the reserved wire-version bit"
+                )
             }
         }
     }
@@ -287,6 +321,11 @@ impl<F: Field> Envelope<F> {
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.wire_len());
         out.push(self.kind().tag());
+        debug_assert!(
+            self.group() as u64 <= MAX_GROUP_ID as u64,
+            "group id {} collides with the reserved wire-version bit",
+            self.group()
+        );
         put_u32(&mut out, self.group() as u32);
         match self {
             Envelope::CodedMaskShare(m) => {
@@ -346,7 +385,11 @@ impl<F: Field> Envelope<F> {
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, WireError> {
         let mut r = Reader { buf: bytes, pos: 0 };
         let tag = r.u8()?;
-        let group = r.u32()? as usize;
+        let raw_group = r.u32()?;
+        if raw_group & GROUP_VERSION_BIT != 0 {
+            return Err(WireError::ReservedVersionBit { raw: raw_group });
+        }
+        let group = raw_group as usize;
         let env = match tag {
             0x01 => Envelope::CodedMaskShare(CodedMaskShare {
                 from: r.u32()? as usize,
@@ -646,6 +689,43 @@ mod tests {
         });
         assert_eq!(buf.round(), 17);
         assert_eq!(buf.group(), 0);
+    }
+
+    #[test]
+    fn group_id_namespace_edges() {
+        // the largest usable id round-trips untouched...
+        let e: Envelope<Fp61> = Envelope::SurvivorAnnouncement(SurvivorAnnouncement {
+            group: MAX_GROUP_ID as usize,
+            round: 1,
+            survivors: vec![0],
+        });
+        let bytes = e.to_bytes();
+        assert_eq!(
+            Envelope::<Fp61>::from_bytes(&bytes).unwrap().group(),
+            MAX_GROUP_ID as usize
+        );
+        // ...while the very next value sets the reserved version bit and
+        // is rejected for every message kind
+        for tag in [0x01u8, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07] {
+            let mut bad = vec![tag];
+            bad.extend_from_slice(&GROUP_VERSION_BIT.to_le_bytes());
+            assert!(
+                matches!(
+                    Envelope::<Fp61>::from_bytes(&bad),
+                    Err(WireError::ReservedVersionBit {
+                        raw: GROUP_VERSION_BIT
+                    })
+                ),
+                "tag {tag:#04x}"
+            );
+        }
+        // the all-ones word fails on the version bit, not on truncation
+        let mut bad = vec![0x01u8];
+        bad.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            Envelope::<Fp61>::from_bytes(&bad),
+            Err(WireError::ReservedVersionBit { raw: u32::MAX })
+        ));
     }
 
     #[test]

@@ -20,7 +20,7 @@ const D: usize = 64;
 
 fn run_round<F: Field>(threads: usize, seed: u64) -> RoundOutcome<F> {
     let topo = GroupTopology::uniform(N, G, 0.25, 0.9, D).unwrap();
-    let grouped = GroupedFederation::<F, _>::new(topo, MemTransport::new(), seed).unwrap();
+    let grouped = GroupedFederation::<F>::new(topo, MemTransport::new(), seed).unwrap();
     let mut fed = Federation::new(Box::new(grouped));
     let mut rng = StdRng::seed_from_u64(seed ^ 0xfeed);
     let cohort: Vec<usize> = (0..N).collect();
@@ -63,7 +63,7 @@ fn parallel_recovery_bit_identical_n256_g4_fp32() {
 #[test]
 fn parallel_recovery_is_exact() {
     let topo = GroupTopology::uniform(N, G, 0.25, 0.9, D).unwrap();
-    let grouped = GroupedFederation::<Fp61, _>::new(topo, MemTransport::new(), 3).unwrap();
+    let grouped = GroupedFederation::<Fp61>::new(topo, MemTransport::new(), 3).unwrap();
     let mut fed = Federation::new(Box::new(grouped));
     let cohort: Vec<usize> = (0..N).collect();
     let out = par::with_threads(4, || {
@@ -72,4 +72,74 @@ fn parallel_recovery_is_exact() {
     });
     assert_eq!(out.aggregate, vec![Fp61::from_u64(N as u64); D]);
     assert_eq!(out.total_weight, N as u64);
+}
+
+/// The tree-parallel decode path: a two-level hierarchy's
+/// `finish_round` fans its super-groups across the pool (each
+/// super-group's own fan-out runs inline on the worker), and the
+/// aggregate stays bit-identical across thread counts — the acceptance
+/// pin for `LSA_THREADS ∈ {1, 4}`.
+fn run_hierarchical_round<F: Field>(threads: usize, seed: u64) -> RoundOutcome<F> {
+    // 4 super-groups x 4 leaf groups x 16 clients
+    let topo = GroupTopology::hierarchical(N, &[4, 4], 0.25, 0.9, D).unwrap();
+    assert_eq!(topo.depth(), 2);
+    let grouped = GroupedFederation::<F>::new(topo, MemTransport::new(), seed).unwrap();
+    let mut fed = Federation::new(Box::new(grouped));
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xbeef);
+    let cohort: Vec<usize> = (0..N).collect();
+    let mut plan = RoundPlan::new(cohort.clone());
+    plan.updates = cohort
+        .iter()
+        .map(|&i| (i, lsa_field::ops::random_vector(D, &mut rng)))
+        .collect();
+    // one straggler per leaf group vanishes after upload
+    plan.drop_after_upload = (0..16).map(|g| g * (N / 16)).collect();
+    par::with_threads(threads, || fed.run_round(&plan).unwrap())
+}
+
+#[test]
+fn tree_parallel_recovery_bit_identical_two_level_fp61() {
+    let serial = run_hierarchical_round::<Fp61>(1, 9);
+    for threads in [4usize, 8] {
+        let parallel = run_hierarchical_round::<Fp61>(threads, 9);
+        assert_eq!(
+            serial.aggregate, parallel.aggregate,
+            "aggregate diverged at {threads} threads"
+        );
+        assert_eq!(serial.contributors, parallel.contributors);
+        assert_eq!(serial.total_weight, parallel.total_weight);
+    }
+}
+
+#[test]
+fn tree_parallel_recovery_bit_identical_two_level_fp32() {
+    let serial = run_hierarchical_round::<Fp32>(1, 10);
+    let parallel = run_hierarchical_round::<Fp32>(4, 10);
+    assert_eq!(serial.aggregate, parallel.aggregate);
+    assert_eq!(serial.contributors, parallel.contributors);
+}
+
+/// Hierarchy is sum-preserving: the two-level aggregate equals the
+/// depth-1 aggregate over the same updates (masks differ, sums agree).
+#[test]
+fn two_level_matches_depth_one_aggregate() {
+    let mut rng = StdRng::seed_from_u64(31);
+    let cohort: Vec<usize> = (0..N).collect();
+    let updates: Vec<(usize, Vec<Fp61>)> = cohort
+        .iter()
+        .map(|&i| (i, lsa_field::ops::random_vector(D, &mut rng)))
+        .collect();
+    let mut outs = Vec::new();
+    for topo in [
+        GroupTopology::uniform(N, 16, 0.25, 0.9, D).unwrap(),
+        GroupTopology::hierarchical(N, &[4, 4], 0.25, 0.9, D).unwrap(),
+    ] {
+        let grouped = GroupedFederation::<Fp61>::new(topo, MemTransport::new(), 5).unwrap();
+        let mut fed = Federation::new(Box::new(grouped));
+        let mut plan = RoundPlan::new(cohort.clone());
+        plan.updates = updates.clone();
+        outs.push(fed.run_round(&plan).unwrap());
+    }
+    assert_eq!(outs[0].aggregate, outs[1].aggregate);
+    assert_eq!(outs[0].contributors, outs[1].contributors);
 }

@@ -1,0 +1,171 @@
+//! Property tests for the aggregator tree's id namespace: global id ↔
+//! tree path ↔ wire id must round-trip over arbitrary tree shapes
+//! (uneven children, depth 1–3), and the wire-id namespace must behave
+//! at its u32 edges.
+
+use lsa_protocol::topology::{GroupTopology, TopologyNode};
+use lsa_protocol::wire::{Envelope, WireError, GROUP_VERSION_BIT, MAX_GROUP_ID};
+use lsa_protocol::{CodedMaskShare, LsaConfig, ProtocolError};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Grow a random tree: at each level an internal node holds 2–4
+/// children (uneven — each child re-rolls its own shape), leaves hold
+/// 2–6 clients with thresholds valid for their size. `depth` bounds the
+/// recursion; a node may stop early, so real depths vary per branch.
+fn random_tree(rng: &mut StdRng, depth: usize, d: usize) -> TopologyNode {
+    let go_deeper = depth > 0 && rng.gen::<u64>() % 4 != 0;
+    if !go_deeper {
+        let n = 2 + (rng.gen::<u64>() % 5) as usize; // 2..=6
+        let t = (rng.gen::<u64>() % n as u64) as usize % n.saturating_sub(1).max(1);
+        let t = t.min(n - 2);
+        let u = t + 1 + (rng.gen::<u64>() % (n - t) as u64) as usize;
+        let u = u.min(n);
+        return TopologyNode::Leaf(LsaConfig::new(n, t, u, d).expect("valid random leaf"));
+    }
+    let kids = 2 + (rng.gen::<u64>() % 3) as usize; // 2..=4
+    TopologyNode::Internal((0..kids).map(|_| random_tree(rng, depth - 1, d)).collect())
+}
+
+proptest! {
+    /// Over random tree shapes: every global id locates to exactly one
+    /// (leaf, local) seat and back; every leaf's path resolves back to
+    /// the same leaf; wire ids are dense, unique, and invert.
+    #[test]
+    fn id_mapping_roundtrips_over_random_trees(
+        seed in any::<u64>(),
+        depth in 1usize..4,
+        d in 1usize..9,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut tree = random_tree(&mut rng, depth, d);
+        // force at least one internal level so depth >= 1
+        if matches!(tree, TopologyNode::Leaf(_)) {
+            tree = TopologyNode::Internal(vec![tree, random_tree(&mut rng, 0, d)]);
+        }
+        let topo = GroupTopology::from_tree(tree).expect("random tree is valid");
+        prop_assert!(topo.depth() >= 1 && topo.depth() <= 3);
+
+        // global id -> (leaf, local) -> global id
+        let mut seen_seats = std::collections::BTreeSet::new();
+        for id in 0..topo.n() {
+            let (leaf, local) = topo.locate(id).unwrap();
+            prop_assert!(leaf < topo.num_groups());
+            prop_assert!(local < topo.group_config(leaf).n());
+            prop_assert_eq!(topo.global_id(leaf, local), id);
+            prop_assert!(seen_seats.insert((leaf, local)), "seat taken twice");
+        }
+        prop_assert!(matches!(
+            topo.locate(topo.n()),
+            Err(ProtocolError::UnknownUser(_))
+        ));
+
+        // leaf -> path -> leaf, and leaf -> wire id -> leaf
+        for g in 0..topo.num_groups() {
+            prop_assert_eq!(topo.leaf_at_path(topo.path(g)), Some(g));
+            let wire = topo.wire_id(g);
+            prop_assert_eq!(wire as usize, g, "root namespace is dense from 0");
+            prop_assert!(wire <= MAX_GROUP_ID);
+            prop_assert_eq!(topo.leaf_of_wire(wire as usize).unwrap(), g);
+        }
+        prop_assert!(topo.leaf_of_wire(topo.num_groups()).is_err());
+
+        // subtrees carry absolute wire ids: the k-th leaf of the whole
+        // tree keeps wire id k inside whichever child owns it
+        let mut next_wire = 0usize;
+        for sub in topo.child_topologies() {
+            for g in 0..sub.num_groups() {
+                prop_assert_eq!(sub.wire_id(g) as usize, next_wire);
+                prop_assert_eq!(sub.leaf_of_wire(next_wire).unwrap(), g);
+                next_wire += 1;
+            }
+        }
+        prop_assert_eq!(next_wire, topo.num_groups());
+    }
+
+    /// The permutation preserves the bijection over random trees and
+    /// seeds: after `reassign`, every global id still maps to exactly
+    /// one seat and back.
+    #[test]
+    fn reassignment_stays_bijective(
+        seed in any::<u64>(),
+        perm_seed in any::<u64>(),
+        depth in 1usize..4,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tree = random_tree(&mut rng, depth, 4);
+        let mut topo = GroupTopology::from_tree(tree).expect("random tree is valid");
+        topo.reassign(perm_seed);
+        let mut seen = vec![false; topo.n()];
+        for g in 0..topo.num_groups() {
+            for id in topo.members_of(g) {
+                prop_assert!(!seen[id]);
+                seen[id] = true;
+                let (leaf, local) = topo.locate(id).unwrap();
+                prop_assert_eq!(leaf, g);
+                prop_assert_eq!(topo.global_id(leaf, local), id);
+            }
+        }
+        prop_assert!(seen.into_iter().all(|s| s));
+    }
+
+    /// Any group id below the reserved bit survives an encode/decode
+    /// round-trip at a fixed offset; anything at or above it is
+    /// rejected before payload parsing.
+    #[test]
+    fn wire_group_id_namespace_boundary(raw in any::<u32>()) {
+        let group = (raw & MAX_GROUP_ID) as usize;
+        let share: Envelope<lsa_field::Fp61> = Envelope::CodedMaskShare(CodedMaskShare {
+            from: 0,
+            to: 1,
+            group,
+            round: 3,
+            payload: Vec::new(),
+        });
+        let bytes = share.to_bytes();
+        prop_assert_eq!(
+            u32::from_le_bytes(bytes[1..5].try_into().unwrap()) as usize,
+            group
+        );
+        prop_assert_eq!(
+            Envelope::<lsa_field::Fp61>::from_bytes(&bytes).unwrap().group(),
+            group
+        );
+        // flipping the version bit on the same bytes must be rejected
+        let mut versioned = bytes;
+        let word = (group as u32) | GROUP_VERSION_BIT;
+        versioned[1..5].copy_from_slice(&word.to_le_bytes());
+        prop_assert!(matches!(
+            Envelope::<lsa_field::Fp61>::from_bytes(&versioned),
+            Err(WireError::ReservedVersionBit { raw }) if raw == word
+        ));
+    }
+}
+
+/// The u32 edge cannot be reached by building 2³¹ leaves; pin the
+/// arithmetic at the boundary through a wire-offset subtree instead.
+#[test]
+fn namespace_edge_arithmetic() {
+    // a topology's leaf count is bounded by the namespace
+    let cfg = LsaConfig::new(2, 0, 2, 1).unwrap();
+    let topo = GroupTopology::flat(cfg);
+    assert_eq!(topo.wire_id(0), 0);
+    assert!(topo.leaf_of_wire(MAX_GROUP_ID as usize).is_err());
+    // the largest id the wire carries is MAX_GROUP_ID — the envelope
+    // layer pins the exact boundary
+    let e: Envelope<lsa_field::Fp61> = Envelope::CodedMaskShare(CodedMaskShare {
+        from: 0,
+        to: 0,
+        group: MAX_GROUP_ID as usize,
+        round: 0,
+        payload: Vec::new(),
+    });
+    let bytes = e.to_bytes();
+    assert_eq!(
+        Envelope::<lsa_field::Fp61>::from_bytes(&bytes)
+            .unwrap()
+            .group(),
+        MAX_GROUP_ID as usize
+    );
+}

@@ -18,8 +18,17 @@
 //! When the `LSA_BENCH_JSON` environment variable names a file, every
 //! measurement is also appended there as one JSON object per line
 //! (`{"name": ..., "ns_per_iter": ..., "elements_per_iter": ...,
-//! "bytes_per_iter": ...}`), so CI can upload a machine-readable perf
-//! artifact and the trajectory accumulates across commits.
+//! "bytes_per_iter": ..., "available_parallelism": ...,
+//! "lsa_threads": ...}`), so CI can upload a machine-readable perf
+//! artifact and the trajectory accumulates across commits. The last two
+//! fields record the host's core count and the **process-level**
+//! `LSA_THREADS` resolution (the env var when set, else the core
+//! count). Benches that sweep thread counts via scoped
+//! `par::with_threads` overrides encode the *requested* count in the
+//! row name (`.../t4`) — the JSON fields say what hardware backed it:
+//! a `t4` row measured where `available_parallelism == 1` says nothing
+//! about the parallel speedup target — re-measure where the recorded
+//! core count exceeds the requested thread count.
 
 use std::io::Write as _;
 use std::time::{Duration, Instant};
@@ -310,8 +319,22 @@ impl Criterion {
             Some(Throughput::Bytes(n)) => ("null".into(), n.to_string()),
             None => ("null".into(), String::from("null")),
         };
+        // Execution-environment metadata: the host's core count and the
+        // process-level `LSA_THREADS` resolution (mirroring lsa-field's
+        // env fallback: the variable when set and >= 1, else the
+        // available parallelism). Scoped `with_threads` overrides are
+        // per-row and live in the benchmark *name*; these fields say
+        // what hardware backed the run — without them a flat `t4` row
+        // from a 1-core CI container is indistinguishable from a real
+        // parallel-speedup regression.
+        let cores = std::thread::available_parallelism().map_or(1, usize::from);
+        let lsa_threads = std::env::var("LSA_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or(cores);
         let line = format!(
-            "{{\"name\":\"{name}\",\"ns_per_iter\":{ns:.1},\"elements_per_iter\":{elements},\"bytes_per_iter\":{bytes}}}\n",
+            "{{\"name\":\"{name}\",\"ns_per_iter\":{ns:.1},\"elements_per_iter\":{elements},\"bytes_per_iter\":{bytes},\"available_parallelism\":{cores},\"lsa_threads\":{lsa_threads}}}\n",
         );
         if let Ok(mut file) = std::fs::OpenOptions::new()
             .create(true)

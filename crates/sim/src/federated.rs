@@ -144,6 +144,56 @@ impl<F: Field> SecureFedAvg<F> {
         ))
     }
 
+    /// Two-level hierarchical federation over in-memory queues:
+    /// `supers × groups_per_super` leaf groups splitting the `n`
+    /// clients near-equally, per-leaf thresholds from the fractions as
+    /// in [`GroupTopology::uniform`] — the `N = 10⁴+` scaling shape
+    /// where no single sum loop touches all clients.
+    ///
+    /// # Errors
+    ///
+    /// Propagates invalid configuration.
+    #[allow(clippy::too_many_arguments)]
+    pub fn hierarchical_mem(
+        n: usize,
+        supers: usize,
+        groups_per_super: usize,
+        t_frac: f64,
+        u_frac: f64,
+        d: usize,
+        quantizer: VectorQuantizer,
+        seed: u64,
+    ) -> Result<Self, lsa_protocol::ProtocolError> {
+        let topology = GroupTopology::two_level(n, supers, groups_per_super, t_frac, u_frac, d)?;
+        Self::grouped_mem(topology, quantizer, seed)
+    }
+
+    /// Two-level hierarchical federation over the discrete-event
+    /// network — the hierarchical analogue of [`Self::sync_sim`]. Each
+    /// leaf group runs over its own simulated link (its own aggregator
+    /// node); `net` needs a channel per leaf-local client, so sizing it
+    /// for the largest leaf (or, conventionally, for `n`) works.
+    ///
+    /// # Errors
+    ///
+    /// Propagates invalid configuration.
+    #[allow(clippy::too_many_arguments)]
+    pub fn hierarchical_sim(
+        n: usize,
+        supers: usize,
+        groups_per_super: usize,
+        t_frac: f64,
+        u_frac: f64,
+        d: usize,
+        quantizer: VectorQuantizer,
+        net: NetworkConfig,
+        duplex: Duplex,
+        seed: u64,
+    ) -> Result<Self, lsa_protocol::ProtocolError> {
+        let topology = GroupTopology::two_level(n, supers, groups_per_super, t_frac, u_frac, d)?;
+        Self::grouped_sim(topology, quantizer, net, duplex, seed)
+    }
+
     /// Buffered-asynchronous federation (unit weights) over in-memory
     /// queues — same training semantics as [`Self::sync_mem`], different
     /// protocol underneath.
@@ -307,6 +357,37 @@ mod tests {
         let mut grouped =
             SecureFedAvg::<Fp61>::grouped_mem(topo, VectorQuantizer::new(1 << 16), 6).unwrap();
         for (a, b) in grouped.aggregate(&updates).iter().zip(&mean) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn hierarchical_average_agrees_with_plain_mean() {
+        let n = 16;
+        let d = 5;
+        let updates: Vec<Vec<f32>> = (0..n)
+            .map(|i| {
+                (0..d)
+                    .map(|k| (i as f32 - 7.5) * 0.1 + k as f32 * 0.05)
+                    .collect()
+            })
+            .collect();
+        let mean: Vec<f32> = (0..d)
+            .map(|k| updates.iter().map(|u| u[k]).sum::<f32>() / n as f32)
+            .collect();
+        // 2 super-groups x 2 leaf groups x 4 clients
+        let mut hier = SecureFedAvg::<Fp61>::hierarchical_mem(
+            n,
+            2,
+            2,
+            0.25,
+            0.75,
+            d,
+            VectorQuantizer::new(1 << 16),
+            9,
+        )
+        .unwrap();
+        for (a, b) in hier.aggregate(&updates).iter().zip(&mean) {
             assert!((a - b).abs() < 1e-3, "{a} vs {b}");
         }
     }

@@ -98,18 +98,21 @@ pub fn run_timed_sync_round<F: Field, R: Rng + ?Sized>(
     })
 }
 
-/// Run one full-participation **grouped** round
+/// Run one full-participation **grouped** (tree-topology) round
 /// ([`lsa_protocol::topology`]) over the discrete-event network: every
-/// group's offline exchange, upload and recovery pay simulated
-/// bandwidth/latency on the shared network, so the per-phase
-/// byte/timing records quantify exactly what the topology saves.
+/// leaf group runs over its own simulated link (its own aggregator
+/// node, Turbo-Aggregate style), so the per-phase byte/timing records
+/// quantify exactly what the topology saves.
 ///
-/// `total` is the last recovery arrival across all groups (groups decode
-/// independently, so the slowest group's `U_g`-th share gates the global
-/// sum — a conservative bound that ignores straggler shares *within* a
-/// group).
+/// The per-leaf phase records are merged label-by-label
+/// ([`lsa_protocol::merge_phase_timings`]): message and byte counts are
+/// summed across leaves, while each phase's `end` is the moment the
+/// *slowest* leaf finished it — subtrees run concurrently in a real
+/// hierarchy, so the merged end is the root's critical path. `total` is
+/// the merged recovery end (a conservative bound that ignores straggler
+/// shares *within* a leaf).
 ///
-/// The server-side compute behind those arrivals — the `G` per-group
+/// The server-side compute behind those arrivals — the per-subtree
 /// one-shot decodes inside `finish_round` — runs on the scoped worker
 /// pool (`LSA_THREADS`), so the wall-clock cost of this driver drops on
 /// multi-core hosts while the simulated network timings (and the
@@ -121,7 +124,10 @@ pub fn run_timed_sync_round<F: Field, R: Rng + ?Sized>(
 ///
 /// # Panics
 ///
-/// Panics if `net.clients < topology.n()`.
+/// Panics if `net.clients` is smaller than the largest leaf group:
+/// each leaf's cloned network indexes channels by leaf-local id, so a
+/// `net` sized for the largest leaf suffices (sizing for `n`, the old
+/// flat calling convention, always works too).
 pub fn run_timed_grouped_round<F: Field>(
     topology: &GroupTopology,
     models: &[Vec<F>],
@@ -129,11 +135,17 @@ pub fn run_timed_grouped_round<F: Field>(
     net: NetworkConfig,
     duplex: Duplex,
 ) -> Result<TimedRoundOutput<F>, ProtocolError> {
+    let largest_leaf = topology
+        .configs()
+        .iter()
+        .map(lsa_protocol::LsaConfig::n)
+        .max()
+        .unwrap_or(0);
     assert!(
-        net.clients >= topology.n(),
-        "network has {} client channels but the topology needs {}",
+        net.clients >= largest_leaf,
+        "network has {} client channels but the largest leaf group needs {}",
         net.clients,
-        topology.n()
+        largest_leaf
     );
     assert_eq!(models.len(), topology.n(), "one model per client");
     let mut grouped =
@@ -144,11 +156,11 @@ pub fn run_timed_grouped_round<F: Field>(
         grouped.submit(id, model)?;
     }
     let outcome = grouped.finish_round()?;
-    let phases = grouped.transport().timings().to_vec();
-    let total = phases
-        .iter()
-        .find(|p| p.label == "recovery")
-        .map_or_else(|| grouped.transport().elapsed(), |p| p.end);
+    let phases = grouped.phase_timings();
+    let total = phases.iter().find(|p| p.label == "recovery").map_or_else(
+        || phases.last().map_or(0.0, |p| p.end),
+        |p: &PhaseTiming| p.end,
+    );
     Ok(TimedRoundOutput {
         output: SyncRoundOutput {
             aggregate: outcome.aggregate,
@@ -157,6 +169,33 @@ pub fn run_timed_grouped_round<F: Field>(
         phases,
         total,
     })
+}
+
+/// Convenience wrapper for the supported two-level shape: build
+/// `GroupTopology::hierarchical(n, branching, ..)` and run one timed
+/// round ([`run_timed_grouped_round`]) over it.
+///
+/// # Errors
+///
+/// Propagates invalid topology parameters and any [`ProtocolError`]
+/// from the federation.
+///
+/// # Panics
+///
+/// As [`run_timed_grouped_round`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_timed_hierarchical_round<F: Field>(
+    n: usize,
+    branching: &[usize],
+    t_frac: f64,
+    u_frac: f64,
+    models: &[Vec<F>],
+    seed: u64,
+    net: NetworkConfig,
+    duplex: Duplex,
+) -> Result<TimedRoundOutput<F>, ProtocolError> {
+    let topology = GroupTopology::hierarchical(n, branching, t_frac, u_frac, models[0].len())?;
+    run_timed_grouped_round(&topology, models, seed, net, duplex)
 }
 
 #[cfg(test)]
@@ -309,6 +348,61 @@ mod tests {
         assert_eq!(timed.output.aggregate, want);
         assert_eq!(timed.output.survivors.len(), 8);
         assert!(timed.total > 0.0);
+    }
+
+    #[test]
+    fn hierarchical_timed_round_recovers_exact_sum() {
+        // two-level: 2 super-groups x 2 leaf groups x 4 clients; every
+        // phase priced per leaf link, aggregate exact
+        let n = 16;
+        let d = 10;
+        let ms = models(n, d, 21);
+        let timed = run_timed_hierarchical_round(
+            n,
+            &[2, 2],
+            0.25,
+            0.75,
+            &ms,
+            6,
+            NetworkConfig::paper_default(n),
+            Duplex::Full,
+        )
+        .unwrap();
+        let mut want = vec![Fp61::ZERO; d];
+        for m in &ms {
+            lsa_field::ops::add_assign(&mut want, m);
+        }
+        assert_eq!(timed.output.aggregate, want);
+        assert_eq!(timed.output.survivors.len(), n);
+        assert!(timed.total > 0.0);
+        // each of the 4 leaves of 4 clients moves 4*3 offline shares;
+        // the merged record pools them
+        assert_eq!(timed.phase("offline").unwrap().messages, 4 * 4 * 3);
+    }
+
+    #[test]
+    fn hierarchical_round_accepts_leaf_sized_network() {
+        // channels are leaf-local: a net sized for the largest leaf (4)
+        // must serve a 16-client two-level tree
+        let n = 16;
+        let d = 6;
+        let ms = models(n, d, 23);
+        let timed = run_timed_hierarchical_round(
+            n,
+            &[2, 2],
+            0.25,
+            0.75,
+            &ms,
+            7,
+            NetworkConfig::paper_default(4),
+            Duplex::Full,
+        )
+        .unwrap();
+        let mut want = vec![Fp61::ZERO; d];
+        for m in &ms {
+            lsa_field::ops::add_assign(&mut want, m);
+        }
+        assert_eq!(timed.output.aggregate, want);
     }
 
     #[test]

@@ -19,10 +19,10 @@ use rand::SeedableRng;
 
 fn offline_bytes(topology: &GroupTopology, seed: u64) -> usize {
     let mut fed =
-        GroupedFederation::<Fp61, _>::new(topology.clone(), MemTransport::new(), seed).unwrap();
+        GroupedFederation::<Fp61>::new(topology.clone(), MemTransport::new(), seed).unwrap();
     let cohort: Vec<usize> = (0..topology.n()).collect();
     fed.prepare_next(&cohort).unwrap();
-    fed.transport().bytes_sent()
+    fed.bytes_sent()
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -81,5 +81,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("max |grouped aggregate − true sum| = {max_err:.2e}");
     assert!(max_err < 1e-3, "aggregation drifted");
     println!("OK: per-group decode, global sum, no model ever unmasked");
+
+    // The topology recurses: a two-level tree (groups of groups) keeps
+    // per-client offline traffic *constant* as the cohort grows, because
+    // each client only ever talks to its leaf-group peers.
+    println!("\nhierarchy: per-client offline bytes at leaf size 8");
+    for (cohort, branching) in [
+        (64usize, vec![8usize]),
+        (256, vec![8, 4]),
+        (512, vec![8, 8]),
+    ] {
+        let topo = GroupTopology::hierarchical(cohort, &branching, 0.25, 0.85, d)?;
+        let per_client = offline_bytes(&topo, 1) / cohort;
+        println!(
+            "  N = {cohort:>4}, depth {}: {per_client:>6} bytes/client",
+            topo.depth()
+        );
+    }
+    println!("flat per-client cost as N grows — the tree's scaling claim");
     Ok(())
 }

@@ -201,6 +201,79 @@ fn fedavg_through_grouped_federation_over_simtransport_converges() {
 }
 
 #[test]
+fn fedavg_through_two_level_hierarchy_at_n4096_converges() {
+    // The aggregator-tree acceptance bar (ISSUE 5): a two-level
+    // hierarchical secure-FedAvg run at N = 4096 (16 super-groups x 16
+    // leaf groups x 16 clients) over SimTransport — every leaf group on
+    // its own simulated link — lands within 5% of the plaintext FedAvg
+    // loss on the identical client-sampling stream. No loop anywhere
+    // touches all 4096 clients: the root folds 16 child aggregates,
+    // each child folds 16 leaf aggregates of 16 clients.
+    let n_clients = 4096;
+    let mut rng = StdRng::seed_from_u64(31);
+    let (train, test) = Dataset::synthetic(8192, 8, 2, 2.0, &mut rng).split_test(0.25);
+    let shards = train.iid_partition(n_clients);
+    let cfg = FedAvgConfig {
+        rounds: 3,
+        ..FedAvgConfig::default()
+    };
+
+    let mut plain_model = LogisticRegression::new(8, 2);
+    let plain = run_fedavg(
+        &mut plain_model,
+        &shards,
+        &test,
+        &cfg,
+        mean_aggregate,
+        &mut StdRng::seed_from_u64(32),
+    );
+
+    let mut secure_model = LogisticRegression::new(8, 2);
+    let d = secure_model.num_params();
+    // leaf groups of 16: t=4 colluders tolerated, u=15 survivors; the
+    // network only needs a channel per leaf-local client
+    let mut secure_agg = SecureFedAvg::<Fp61>::hierarchical_sim(
+        n_clients,
+        16,
+        16,
+        0.25,
+        0.9,
+        d,
+        VectorQuantizer::new(1 << 16),
+        NetworkConfig::paper_default(16),
+        Duplex::Full,
+        33,
+    )
+    .unwrap()
+    .with_horizon(cfg.rounds as u64);
+    let secure = run_fedavg(
+        &mut secure_model,
+        &shards,
+        &test,
+        &cfg,
+        |updates: &[Vec<f32>]| secure_agg.aggregate(updates),
+        &mut StdRng::seed_from_u64(32),
+    );
+
+    let plain_loss = plain.last().unwrap().loss;
+    let secure_loss = secure.last().unwrap().loss;
+    assert!(
+        (plain_loss - secure_loss).abs() <= 0.05 * plain_loss,
+        "hierarchical secure loss {secure_loss} diverged from plaintext loss {plain_loss}"
+    );
+    // the trajectory must match round-for-round, not just at the end
+    for (p, s) in plain.iter().zip(&secure) {
+        assert!(
+            (p.loss - s.loss).abs() <= 0.05 * p.loss,
+            "round {}: plain loss {} vs secure loss {}",
+            p.round,
+            p.loss,
+            s.loss
+        );
+    }
+}
+
+#[test]
 fn fedavg_through_buffered_federation_matches_sync_variant() {
     // Same loop, other SecureAggregator variant: the buffered-async
     // federation behind the identical `run_fedavg` seam.
