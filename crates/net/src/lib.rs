@@ -1,4 +1,6 @@
-//! A discrete-event network simulator for cross-device FL timing.
+//! Network backends for cross-device FL: a discrete-event simulator
+//! (this module) and a real blocking TCP transport ([`tcp`]), sharing
+//! the [`timing::PhaseTiming`] accounting currency.
 //!
 //! Substitutes for the paper's AWS EC2 `m3.medium` testbed (DESIGN.md §4):
 //! every node owns transmit/receive channels with finite bandwidth, every
@@ -31,6 +33,12 @@
 //! let report = net.run_phase(0.0, &transfers);
 //! assert!(report.phase_end > 0.0);
 //! ```
+
+pub mod tcp;
+pub mod timing;
+
+pub use tcp::{TcpDelivery, TcpTransport};
+pub use timing::PhaseTiming;
 
 use std::collections::BTreeMap;
 

@@ -1,0 +1,44 @@
+//! Phase timing records shared by every transport backend.
+//!
+//! A [`PhaseTiming`] is the common currency between the discrete-event
+//! simulator (where times are simulated seconds) and the real TCP
+//! backend (where times are wall-clock seconds since the transport was
+//! created). Protocol drivers consume the records identically either
+//! way: `start`/`end` bound the phase, `arrivals` supports "proceed
+//! after any `k` arrivals" semantics.
+
+/// Wall-clock record of one protocol phase as observed by a transport.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseTiming {
+    /// The driver-supplied phase label.
+    pub label: &'static str,
+    /// Time the phase started (s).
+    pub start: f64,
+    /// Time the last byte of the phase arrived (s).
+    pub end: f64,
+    /// Messages moved during the phase.
+    pub messages: usize,
+    /// Serialized bytes moved during the phase.
+    pub bytes: usize,
+    /// Arrival time of every message in the phase, ascending — supports
+    /// "receiver proceeds after any `k` arrivals" semantics.
+    pub arrivals: Vec<f64>,
+}
+
+impl PhaseTiming {
+    /// Phase duration in seconds (until the *last* arrival).
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+
+    /// Completion time of the `k`-th earliest arrival (0-based) — e.g.
+    /// the moment the server holds `U` aggregated shares even though
+    /// stragglers are still transmitting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= self.messages`.
+    pub fn kth_completion(&self, k: usize) -> f64 {
+        self.arrivals[k]
+    }
+}

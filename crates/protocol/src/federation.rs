@@ -312,6 +312,17 @@ impl<F: Field> FederationClient<F> {
     /// against misbehaving peers).
     pub const LOOKAHEAD: u64 = 2;
 
+    /// Hard cap on envelopes buffered across all lookahead rounds. A
+    /// legitimate future round delivers at most `n − 1` coded shares
+    /// plus a couple of server announcements, so `2n + 2` per lookahead
+    /// round is generous for both protocol variants — while keeping the
+    /// worst case a peer can pin at `O(LOOKAHEAD · n)` envelopes
+    /// instead of unbounded (the memory-amplification vector once
+    /// untrusted sockets feed [`Session::handle`]).
+    pub fn pending_cap(&self) -> usize {
+        Self::LOOKAHEAD as usize * (2 * self.cfg.n() + 2)
+    }
+
     /// Create the persistent client for user `id` with its own entropy
     /// stream (the only randomness it will ever use).
     ///
@@ -460,8 +471,17 @@ impl<F: Field> Session<F> for FederationClient<F> {
         let current = self.current_round();
         match self.sessions.get_mut(&round) {
             Some(session) => session.handle(envelope),
-            // a peer raced ahead: hold the envelope for prepare()
+            // a peer raced ahead: hold the envelope for prepare() —
+            // within the bounded budget
             None if round > current && round <= current + Self::LOOKAHEAD => {
+                let cap = self.pending_cap();
+                if self.pending.values().map(Vec::len).sum::<usize>() >= cap {
+                    return Err(ProtocolError::PendingOverflow {
+                        client: self.id,
+                        round,
+                        cap,
+                    });
+                }
                 self.pending.entry(round).or_default().push(envelope);
                 Ok(Vec::new())
             }
@@ -1662,6 +1682,52 @@ mod tests {
             b.handle(far),
             Err(ProtocolError::StaleRound { got: 50, .. })
         ));
+    }
+
+    #[test]
+    fn future_round_buffer_is_bounded_with_typed_rejection() {
+        // an untrusted peer flooding near-future envelopes hits the cap
+        // instead of growing the buffer without bound
+        let mut b = FederationClient::<Fp61>::new(1, cfg(), StdRng::seed_from_u64(9)).unwrap();
+        b.prepare(0).unwrap();
+        let cap = b.pending_cap();
+        assert_eq!(cap, 2 * (2 * cfg().n() + 2), "cap is O(LOOKAHEAD · n)");
+        let flood = |round: u64| {
+            Envelope::CodedMaskShare(crate::messages::CodedMaskShare {
+                from: 0,
+                to: 1,
+                group: 0,
+                round,
+                payload: vec![Fp61::ZERO; cfg().segment_len()],
+            })
+        };
+        for i in 0..cap {
+            // alternate between the two lookahead rounds: the cap is
+            // shared, not per-round
+            let round = 1 + (i as u64 % 2);
+            assert_eq!(
+                b.handle(flood(round)).unwrap(),
+                Vec::new(),
+                "under cap at {i}"
+            );
+        }
+        assert!(matches!(
+            b.handle(flood(1)),
+            Err(ProtocolError::PendingOverflow { client: 1, round: 1, cap: c }) if c == cap
+        ));
+        assert!(matches!(
+            b.handle(flood(2)),
+            Err(ProtocolError::PendingOverflow {
+                client: 1,
+                round: 2,
+                ..
+            })
+        ));
+        // joining round 1 drains its share of the buffer: new round-2
+        // traffic fits again (the replay of duplicate shares errors —
+        // only the buffering policy is under test here)
+        let _ = b.prepare(1);
+        assert!(b.handle(flood(2)).is_ok(), "buffer frees as rounds open");
     }
 
     #[test]

@@ -124,7 +124,8 @@ pub use session::{ClientSession, Recipient, ServerSession, Session};
 pub use topology::{GroupTopology, GroupedFederation, TopologyNode};
 pub use transport::{Delivery, MemTransport, PhaseTiming, SimTransport, Transport};
 pub use wire::{
-    Envelope, EnvelopeKind, SurvivorAnnouncement, WireError, GROUP_VERSION_BIT, MAX_GROUP_ID,
+    peek_group, peek_version, Envelope, EnvelopeKind, SurvivorAnnouncement, WireError,
+    GROUP_VERSION_BIT, MAX_GROUP_ID, WIRE_VERSION,
 };
 
 use core::fmt;
@@ -210,6 +211,21 @@ pub enum ProtocolError {
     Wire(wire::WireError),
     /// An underlying coding error (share decode, length mismatch, …).
     Coding(lsa_coding::CodingError),
+    /// A client's buffer of near-future envelopes hit its cap — the
+    /// envelope is rejected instead of amplifying memory (once
+    /// untrusted sockets feed the session, a peer racing ahead must not
+    /// grow the lookahead queue without bound).
+    PendingOverflow {
+        /// The client whose buffer is full.
+        client: usize,
+        /// The future round the rejected envelope was stamped for.
+        round: u64,
+        /// The cap that was hit (envelopes buffered across all
+        /// lookahead rounds).
+        cap: usize,
+    },
+    /// An operating-system I/O failure on a real network transport.
+    Io(String),
 }
 
 impl fmt::Display for ProtocolError {
@@ -256,6 +272,14 @@ impl fmt::Display for ProtocolError {
             }
             ProtocolError::Wire(e) => write!(f, "wire error: {e}"),
             ProtocolError::Coding(e) => write!(f, "coding error: {e}"),
+            ProtocolError::PendingOverflow { client, round, cap } => {
+                write!(
+                    f,
+                    "client {client}: future-round buffer full (cap {cap} envelopes); \
+                     rejected an envelope for round {round}"
+                )
+            }
+            ProtocolError::Io(msg) => write!(f, "transport I/O error: {msg}"),
         }
     }
 }
@@ -279,6 +303,12 @@ impl From<wire::WireError> for ProtocolError {
 impl From<lsa_coding::CodingError> for ProtocolError {
     fn from(e: lsa_coding::CodingError) -> Self {
         ProtocolError::Coding(e)
+    }
+}
+
+impl From<std::io::Error> for ProtocolError {
+    fn from(e: std::io::Error) -> Self {
+        ProtocolError::Io(e.to_string())
     }
 }
 

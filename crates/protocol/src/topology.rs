@@ -40,8 +40,8 @@
 //!   between leaf groups without touching any protocol state.
 //! * **wire ids** — the `u32` group word of every envelope
 //!   ([`crate::wire::Envelope::group`]), allocated densely across the
-//!   whole tree in depth-first leaf order, with the top bit reserved
-//!   for Wire-v2 version negotiation
+//!   whole tree in depth-first leaf order, with the top bit carrying
+//!   the Wire-v2 version stamp
 //!   ([`crate::wire::GROUP_VERSION_BIT`]). A share stamped with a
 //!   stale mapping's wire id is rejected as
 //!   [`ProtocolError::WrongGroup`] by the leaf now serving that

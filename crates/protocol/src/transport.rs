@@ -6,21 +6,30 @@
 //! every hop and a transport knows the exact size of everything it
 //! moves.
 //!
-//! Two backends ship with the crate:
+//! Three backends ship with the workspace:
 //!
 //! * [`MemTransport`] — ordered in-memory queues; the default for tests,
 //!   drivers and the reference [`crate::run_sync_round`];
 //! * [`SimTransport`] — drives the [`lsa_net`] discrete-event network so
 //!   protocol bytes pay simulated bandwidth and latency; phase timings
 //!   come from the *actual serialized envelope sizes*, not a
-//!   side-channel cost model.
+//!   side-channel cost model;
+//! * [`lsa_net::TcpTransport`] — real blocking sockets over `std::net`;
+//!   this module implements [`Transport`] for it so the same poll-based
+//!   sessions run unchanged across OS processes (Wire-v2 envelopes in
+//!   length-prefixed frames).
 
 use crate::session::Recipient;
 use crate::wire::Envelope;
 use crate::ProtocolError;
 use lsa_field::Field;
-use lsa_net::{Duplex, Network, NetworkConfig, NodeId, Transfer};
+use lsa_net::{Duplex, Network, NetworkConfig, NodeId, TcpTransport, Transfer};
 use std::collections::VecDeque;
+
+// The timing currency lives with the network backends so both the
+// simulator and the TCP transport can mint records; re-exported here so
+// `lsa_protocol::transport::PhaseTiming` keeps working.
+pub use lsa_net::timing::PhaseTiming;
 
 /// One received envelope with its routing metadata.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -162,43 +171,6 @@ impl<F: Field> Transport<F> for MemTransport {
 // SimTransport
 // ---------------------------------------------------------------------
 
-/// Wall-clock record of one protocol phase as observed by a
-/// [`SimTransport`].
-#[derive(Debug, Clone, PartialEq)]
-pub struct PhaseTiming {
-    /// The driver-supplied phase label.
-    pub label: &'static str,
-    /// Simulated time the phase started (s).
-    pub start: f64,
-    /// Simulated time the last byte of the phase arrived (s).
-    pub end: f64,
-    /// Messages moved during the phase.
-    pub messages: usize,
-    /// Serialized bytes moved during the phase.
-    pub bytes: usize,
-    /// Arrival time of every message in the phase, ascending — supports
-    /// "receiver proceeds after any `k` arrivals" semantics.
-    pub arrivals: Vec<f64>,
-}
-
-impl PhaseTiming {
-    /// Phase duration in seconds (until the *last* arrival).
-    pub fn duration(&self) -> f64 {
-        self.end - self.start
-    }
-
-    /// Completion time of the `k`-th earliest arrival (0-based) — e.g.
-    /// the moment the server holds `U` aggregated shares even though
-    /// stragglers are still transmitting.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `k >= self.messages`.
-    pub fn kth_completion(&self, k: usize) -> f64 {
-        self.arrivals[k]
-    }
-}
-
 /// A transport whose deliveries pay simulated bandwidth and latency
 /// through the [`lsa_net`] discrete-event network.
 ///
@@ -336,6 +308,65 @@ impl<F: Field> Transport<F> for SimTransport {
     }
 }
 
+// ---------------------------------------------------------------------
+// TcpTransport
+// ---------------------------------------------------------------------
+
+fn recipient_of(node: NodeId) -> Recipient {
+    match node {
+        NodeId::Client(i) => Recipient::Client(i),
+        NodeId::Server => Recipient::Server,
+    }
+}
+
+/// Real sockets speak the same [`Transport`] contract as the in-memory
+/// and simulated backends: `send` serializes the envelope into one
+/// length-prefixed frame, `recv` polls the shared inbox without
+/// blocking (use [`TcpTransport::recv_bytes_timeout`] directly when a
+/// driver wants to park), and `flush` cuts a wall-clock
+/// [`PhaseTiming`].
+impl<F: Field> Transport<F> for TcpTransport {
+    fn send(
+        &mut self,
+        from: Recipient,
+        to: Recipient,
+        envelope: &Envelope<F>,
+    ) -> Result<(), ProtocolError> {
+        let bytes = envelope.to_bytes();
+        self.send_bytes(SimTransport::node(from), SimTransport::node(to), &bytes)?;
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Option<Delivery<F>>, ProtocolError> {
+        let Some(delivery) = self.recv_bytes()? else {
+            return Ok(None);
+        };
+        let envelope = Envelope::from_bytes(&delivery.payload).map_err(ProtocolError::Wire)?;
+        Ok(Some(Delivery {
+            from: recipient_of(delivery.from),
+            to: recipient_of(delivery.to),
+            envelope,
+            wire_bytes: delivery.payload.len(),
+        }))
+    }
+
+    fn flush(&mut self, label: &'static str) {
+        self.flush_phase(label);
+    }
+
+    fn bytes_sent(&self) -> usize {
+        TcpTransport::bytes_sent(self)
+    }
+
+    fn timings(&self) -> &[PhaseTiming] {
+        TcpTransport::timings(self)
+    }
+
+    fn elapsed(&self) -> f64 {
+        TcpTransport::elapsed(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -413,6 +444,42 @@ mod tests {
             t_big / t_small
         );
         assert_eq!(big.timings()[0].bytes, env(0, 10_000).wire_len());
+    }
+
+    #[test]
+    fn tcp_transport_roundtrips_envelopes_over_loopback() {
+        let mut server = TcpTransport::bind(NodeId::Server, "127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap();
+        let mut client = TcpTransport::new(NodeId::Client(2));
+        client
+            .dial_retry(NodeId::Server, addr, std::time::Duration::from_secs(5))
+            .unwrap();
+        Transport::<Fp61>::send(
+            &mut client,
+            Recipient::Client(2),
+            Recipient::Server,
+            &env(2, 16),
+        )
+        .unwrap();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        let d: Delivery<Fp61> = loop {
+            if let Some(d) = Transport::<Fp61>::recv(&mut server).unwrap() {
+                break d;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "no delivery within 5s"
+            );
+            std::thread::yield_now();
+        };
+        assert_eq!(d.from, Recipient::Client(2));
+        assert_eq!(d.to, Recipient::Server);
+        assert_eq!(d.envelope, env(2, 16));
+        assert_eq!(d.wire_bytes, env(2, 16).wire_len());
+        assert_eq!(
+            Transport::<Fp61>::bytes_sent(&client),
+            env(2, 16).wire_len()
+        );
     }
 
     #[test]

@@ -15,8 +15,10 @@
 //!
 //! ```text
 //! [0]      tag (one byte per message kind)
-//! [1..5]   group id as u32 (fixed offset for every kind, so routers
-//!          can dispatch without decoding the payload)
+//! [1..5]   group word as u32: the wire-version bit (bit 31, always
+//!          set in v2) | the tree-namespaced group id (fixed offset
+//!          for every kind, so routers can dispatch without decoding
+//!          the payload)
 //! [5..]    kind-specific header fields (u32 ids, u64 rounds/weights)
 //! [..]     element count as u32, then residues, each in
 //!          ceil(F::BITS / 8) bytes
@@ -37,12 +39,15 @@
 //! order, so an envelope names its leaf unambiguously no matter how
 //! deep the hierarchy is. The flat topology is group 0.
 //!
-//! The top bit of the group word is **reserved** as the Wire-v2
-//! version/feature bit ([`GROUP_VERSION_BIT`]): this revision always
-//! writes it as 0 and rejects envelopes that set it with
-//! [`WireError::ReservedVersionBit`], so a future version negotiation
-//! can flip it without any byte moving offset. Usable group ids are
-//! `0 ..= MAX_GROUP_ID`.
+//! The top bit of the group word is the **wire version bit**
+//! ([`GROUP_VERSION_BIT`]). This crate speaks **Wire v2**
+//! ([`WIRE_VERSION`]): every encoder sets the bit, and the byte layout
+//! documented here is **frozen** — these are the first bytes that leave
+//! the address space over [`lsa_net::tcp`], so any change must claim a
+//! new version, not move an existing byte. Decoders reject a clear bit
+//! (a legacy v1 envelope, or a corrupted word) with
+//! [`WireError::UnsupportedVersion`] before looking at anything else.
+//! Usable group ids are `0 ..= MAX_GROUP_ID`.
 //!
 //! Residues are validated on decode: a non-canonical value (≥ the field
 //! modulus) is rejected with [`WireError::NonCanonicalElement`] rather
@@ -54,10 +59,17 @@ use crate::messages::{AggregatedShare, CodedMaskShare, MaskedModel};
 use core::fmt;
 use lsa_field::Field;
 
-/// The reserved Wire-v2 version/feature bit of the group-id word
-/// (bytes `[1..5]` of every envelope). Always 0 in this revision; a
-/// future wire version flips it to signal the negotiated layout, so
-/// decoders reject it today rather than misread tomorrow's envelopes.
+/// The wire version this crate speaks. Version 2 froze the byte layout
+/// when envelopes first crossed a process boundary (the
+/// [`lsa_net::tcp`] backend); v1 was the in-process era whose encoding
+/// kept the version bit clear.
+pub const WIRE_VERSION: u32 = 2;
+
+/// The wire-version bit of the group-id word (bytes `[1..5]` of every
+/// envelope). Wire v2 **sets** this bit on every encode; a clear bit
+/// marks a legacy v1 envelope and is rejected with
+/// [`WireError::UnsupportedVersion`]. Routers can thus check the
+/// version and the group id from the same fixed-offset word.
 pub const GROUP_VERSION_BIT: u32 = 1 << 31;
 
 /// Largest group id the wire encoding can carry (the version bit is not
@@ -94,10 +106,13 @@ pub enum WireError {
         /// The claimed element count.
         claimed: u64,
     },
-    /// The group word sets the reserved Wire-v2 version/feature bit
-    /// ([`GROUP_VERSION_BIT`]), which this revision never writes — the
-    /// envelope comes from a future (or corrupted) wire version.
-    ReservedVersionBit {
+    /// The group word claims a wire version other than
+    /// [`WIRE_VERSION`] — a legacy v1 envelope (version bit clear), or
+    /// a corrupted word. Rejected before any payload parsing: the byte
+    /// layout of another version cannot be assumed.
+    UnsupportedVersion {
+        /// The version the envelope claims (1 when the bit is clear).
+        got: u32,
         /// The raw group word read from the wire.
         raw: u32,
     },
@@ -122,10 +137,11 @@ impl fmt::Display for WireError {
             WireError::ImplausibleLength { claimed } => {
                 write!(f, "implausible element count {claimed}")
             }
-            WireError::ReservedVersionBit { raw } => {
+            WireError::UnsupportedVersion { got, raw } => {
                 write!(
                     f,
-                    "group word {raw:#010x} sets the reserved wire-version bit"
+                    "unsupported wire version {got} (group word {raw:#010x}); \
+                     this endpoint speaks only v{WIRE_VERSION}"
                 )
             }
         }
@@ -323,10 +339,10 @@ impl<F: Field> Envelope<F> {
         out.push(self.kind().tag());
         debug_assert!(
             self.group() as u64 <= MAX_GROUP_ID as u64,
-            "group id {} collides with the reserved wire-version bit",
+            "group id {} collides with the wire-version bit",
             self.group()
         );
-        put_u32(&mut out, self.group() as u32);
+        put_u32(&mut out, self.group() as u32 | GROUP_VERSION_BIT);
         match self {
             Envelope::CodedMaskShare(m) => {
                 put_u32(&mut out, m.from as u32);
@@ -386,10 +402,13 @@ impl<F: Field> Envelope<F> {
         let mut r = Reader { buf: bytes, pos: 0 };
         let tag = r.u8()?;
         let raw_group = r.u32()?;
-        if raw_group & GROUP_VERSION_BIT != 0 {
-            return Err(WireError::ReservedVersionBit { raw: raw_group });
+        if raw_group & GROUP_VERSION_BIT == 0 {
+            return Err(WireError::UnsupportedVersion {
+                got: 1,
+                raw: raw_group,
+            });
         }
-        let group = raw_group as usize;
+        let group = (raw_group & MAX_GROUP_ID) as usize;
         let env = match tag {
             0x01 => Envelope::CodedMaskShare(CodedMaskShare {
                 from: r.u32()? as usize,
@@ -462,6 +481,23 @@ impl<F: Field> Envelope<F> {
         }
         Ok(env)
     }
+}
+
+/// Read the wire version claimed by an encoded envelope without
+/// decoding it (`None` if the buffer cannot even hold the fixed
+/// header). Routers use this to drop foreign-version traffic before
+/// touching the payload.
+pub fn peek_version(bytes: &[u8]) -> Option<u32> {
+    let word = u32::from_le_bytes(bytes.get(1..5)?.try_into().ok()?);
+    Some(if word & GROUP_VERSION_BIT != 0 { 2 } else { 1 })
+}
+
+/// Read the tree-namespaced group id from an encoded envelope's
+/// fixed-offset group word without decoding the payload (`None` when
+/// the buffer is too short or the version is not [`WIRE_VERSION`]).
+pub fn peek_group(bytes: &[u8]) -> Option<u32> {
+    let word = u32::from_le_bytes(bytes.get(1..5)?.try_into().ok()?);
+    (word & GROUP_VERSION_BIT != 0).then_some(word & MAX_GROUP_ID)
 }
 
 fn put_u32(out: &mut Vec<u8>, v: u32) {
@@ -599,16 +635,35 @@ mod tests {
 
     #[test]
     fn unknown_tag_detected() {
-        // tag byte + the fixed group-id field, then the unknown tag
+        // tag byte + a valid v2 group word, then the unknown tag
         // surfaces (a 1-byte buffer is Truncated at the group read)
+        let mut bytes = vec![0xFFu8];
+        bytes.extend_from_slice(&GROUP_VERSION_BIT.to_le_bytes());
         assert!(matches!(
-            Envelope::<Fp61>::from_bytes(&[0xFF, 0, 0, 0, 0]),
+            Envelope::<Fp61>::from_bytes(&bytes),
             Err(WireError::UnknownTag(0xFF))
         ));
         assert!(matches!(
             Envelope::<Fp61>::from_bytes(&[0xFF]),
             Err(WireError::Truncated { .. })
         ));
+    }
+
+    #[test]
+    fn v1_envelope_rejected_before_tag_dispatch() {
+        // a clear version bit is rejected for every tag — even unknown
+        // ones: the version gate runs before the tag is interpreted
+        for tag in [0x01u8, 0x03, 0x07, 0xFF] {
+            let mut bytes = vec![tag];
+            bytes.extend_from_slice(&7u32.to_le_bytes()); // v1 group word
+            assert!(
+                matches!(
+                    Envelope::<Fp61>::from_bytes(&bytes),
+                    Err(WireError::UnsupportedVersion { got: 1, raw: 7 })
+                ),
+                "tag {tag:#04x}"
+            );
+        }
     }
 
     #[test]
@@ -639,7 +694,7 @@ mod tests {
     fn implausible_length_rejected() {
         // MaskedModel claiming 2^32−1 elements
         let mut bytes = vec![0x02];
-        bytes.extend_from_slice(&0u32.to_le_bytes()); // group
+        bytes.extend_from_slice(&GROUP_VERSION_BIT.to_le_bytes()); // group 0, v2
         bytes.extend_from_slice(&0u32.to_le_bytes()); // from
         bytes.extend_from_slice(&0u64.to_le_bytes()); // round
         bytes.extend_from_slice(&u32::MAX.to_le_bytes());
@@ -655,7 +710,7 @@ mod tests {
         // Truncated immediately (no multi-hundred-MB pre-allocation)
         for tag in [0x02u8, 0x03, 0x04, 0x07] {
             let mut bytes = vec![tag];
-            bytes.extend_from_slice(&0u32.to_le_bytes()); // group
+            bytes.extend_from_slice(&GROUP_VERSION_BIT.to_le_bytes()); // group 0, v2
             if tag != 0x03 && tag != 0x07 {
                 bytes.extend_from_slice(&0u32.to_le_bytes()); // from
             }
@@ -704,43 +759,61 @@ mod tests {
             Envelope::<Fp61>::from_bytes(&bytes).unwrap().group(),
             MAX_GROUP_ID as usize
         );
-        // ...while the very next value sets the reserved version bit and
-        // is rejected for every message kind
+        // ...while clearing the version bit demotes the same bytes to a
+        // rejected v1 envelope for every message kind
         for tag in [0x01u8, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07] {
             let mut bad = vec![tag];
-            bad.extend_from_slice(&GROUP_VERSION_BIT.to_le_bytes());
+            bad.extend_from_slice(&MAX_GROUP_ID.to_le_bytes());
             assert!(
                 matches!(
                     Envelope::<Fp61>::from_bytes(&bad),
-                    Err(WireError::ReservedVersionBit {
-                        raw: GROUP_VERSION_BIT
+                    Err(WireError::UnsupportedVersion {
+                        got: 1,
+                        raw: MAX_GROUP_ID
                     })
                 ),
                 "tag {tag:#04x}"
             );
         }
-        // the all-ones word fails on the version bit, not on truncation
+        // the all-ones word is a valid v2 header naming MAX_GROUP_ID;
+        // the failure is the missing payload, not the version
         let mut bad = vec![0x01u8];
         bad.extend_from_slice(&u32::MAX.to_le_bytes());
         assert!(matches!(
             Envelope::<Fp61>::from_bytes(&bad),
-            Err(WireError::ReservedVersionBit { raw: u32::MAX })
+            Err(WireError::Truncated { .. })
         ));
     }
 
     #[test]
     fn group_id_sits_at_fixed_offset_for_every_kind() {
         // routers dispatch server-bound traffic by group without a full
-        // decode — bytes [1..5] must be the group id for every kind
+        // decode — bytes [1..5] must be the versioned group word for
+        // every kind, and the peek helpers must agree with the decoder
         let bytes = share().to_bytes();
-        assert_eq!(u32::from_le_bytes(bytes[1..5].try_into().unwrap()), 2);
+        assert_eq!(
+            u32::from_le_bytes(bytes[1..5].try_into().unwrap()),
+            2 | GROUP_VERSION_BIT
+        );
+        assert_eq!(peek_group(&bytes), Some(2));
+        assert_eq!(peek_version(&bytes), Some(WIRE_VERSION));
         let ann: Envelope<Fp61> = Envelope::SurvivorAnnouncement(SurvivorAnnouncement {
             group: 7,
             round: 1,
             survivors: vec![0],
         });
         let bytes = ann.to_bytes();
-        assert_eq!(u32::from_le_bytes(bytes[1..5].try_into().unwrap()), 7);
+        assert_eq!(peek_group(&bytes), Some(7));
         assert_eq!(Envelope::<Fp61>::from_bytes(&bytes).unwrap().group(), 7);
+    }
+
+    #[test]
+    fn peek_helpers_reject_short_or_v1_buffers() {
+        assert_eq!(peek_version(&[0x01, 0, 0]), None);
+        assert_eq!(peek_group(&[0x01, 0, 0]), None);
+        let mut v1 = vec![0x01u8];
+        v1.extend_from_slice(&9u32.to_le_bytes());
+        assert_eq!(peek_version(&v1), Some(1));
+        assert_eq!(peek_group(&v1), None, "v1 group ids are not ours to read");
     }
 }

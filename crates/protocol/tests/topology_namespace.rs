@@ -110,9 +110,10 @@ proptest! {
         prop_assert!(seen.into_iter().all(|s| s));
     }
 
-    /// Any group id below the reserved bit survives an encode/decode
-    /// round-trip at a fixed offset; anything at or above it is
-    /// rejected before payload parsing.
+    /// Any group id below the version bit survives an encode/decode
+    /// round-trip at a fixed offset under the v2 stamp; clearing the
+    /// stamp demotes the same bytes to a rejected v1 envelope before
+    /// payload parsing.
     #[test]
     fn wire_group_id_namespace_boundary(raw in any::<u32>()) {
         let group = (raw & MAX_GROUP_ID) as usize;
@@ -125,20 +126,20 @@ proptest! {
         });
         let bytes = share.to_bytes();
         prop_assert_eq!(
-            u32::from_le_bytes(bytes[1..5].try_into().unwrap()) as usize,
-            group
+            u32::from_le_bytes(bytes[1..5].try_into().unwrap()),
+            group as u32 | GROUP_VERSION_BIT
         );
         prop_assert_eq!(
             Envelope::<lsa_field::Fp61>::from_bytes(&bytes).unwrap().group(),
             group
         );
-        // flipping the version bit on the same bytes must be rejected
-        let mut versioned = bytes;
-        let word = (group as u32) | GROUP_VERSION_BIT;
-        versioned[1..5].copy_from_slice(&word.to_le_bytes());
+        // clearing the version bit on the same bytes must be rejected
+        let mut legacy = bytes;
+        let word = group as u32;
+        legacy[1..5].copy_from_slice(&word.to_le_bytes());
         prop_assert!(matches!(
-            Envelope::<lsa_field::Fp61>::from_bytes(&versioned),
-            Err(WireError::ReservedVersionBit { raw }) if raw == word
+            Envelope::<lsa_field::Fp61>::from_bytes(&legacy),
+            Err(WireError::UnsupportedVersion { got: 1, raw }) if raw == word
         ));
     }
 }

@@ -1,0 +1,205 @@
+//! Golden-bytes compatibility: the Wire-v2 encoding of every envelope
+//! variant is **frozen**. The fixtures in `tests/fixtures/wire_v2.txt`
+//! were produced when v2 first crossed a process boundary; this test
+//! fails on any byte-level drift in either direction (encode must
+//! reproduce the fixture, the fixture must decode to the original
+//! value).
+//!
+//! If a change legitimately needs a new layout, it must claim a new
+//! wire version — regenerating these fixtures in place is exactly the
+//! compatibility break they exist to catch. (Maintenance escape hatch:
+//! run with `LSA_BLESS_WIRE=1` to rewrite the file, then justify the
+//! diff in review.)
+
+use lsa_field::{Field, Fp32, Fp61};
+use lsa_protocol::asynchronous::{BufferEntry, TimestampedShare, TimestampedUpdate};
+use lsa_protocol::wire::{BufferAnnouncement, Envelope, SurvivorAnnouncement, MAX_GROUP_ID};
+use lsa_protocol::{AggregatedShare, CodedMaskShare, MaskedModel};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join("wire_v2.txt")
+}
+
+fn hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        write!(s, "{b:02x}").unwrap();
+    }
+    s
+}
+
+fn elems<F: Field>(residues: &[u64]) -> Vec<F> {
+    residues.iter().map(|&r| F::from_u64(r)).collect()
+}
+
+/// The frozen corpus: every envelope variant in both fields, plus the
+/// namespace edges (empty payload, max group id, max round).
+fn golden<F: Field>() -> Vec<(String, Envelope<F>)> {
+    let pay = elems::<F>(&[0, 1, 7, 0xDEAD, F::MODULUS - 1]);
+    let f = std::any::type_name::<F>().rsplit("::").next().unwrap();
+    let name = |kind: &str| format!("{f}/{kind}");
+    vec![
+        (
+            name("coded_mask_share"),
+            Envelope::CodedMaskShare(CodedMaskShare {
+                from: 3,
+                to: 1,
+                group: 2,
+                round: 42,
+                payload: pay.clone(),
+            }),
+        ),
+        (
+            name("masked_model"),
+            Envelope::MaskedModel(MaskedModel {
+                from: 11,
+                group: 0,
+                round: 7,
+                payload: pay.clone(),
+            }),
+        ),
+        (
+            name("survivor_announcement"),
+            Envelope::SurvivorAnnouncement(SurvivorAnnouncement {
+                group: 5,
+                round: 9,
+                survivors: vec![0, 2, 3, 8],
+            }),
+        ),
+        (
+            name("aggregated_share"),
+            Envelope::AggregatedShare(AggregatedShare {
+                from: 6,
+                group: 1,
+                round: 13,
+                payload: pay.clone(),
+            }),
+        ),
+        (
+            name("timestamped_share"),
+            Envelope::TimestampedShare(TimestampedShare {
+                from: 4,
+                to: 9,
+                group: 3,
+                round: 21,
+                payload: pay.clone(),
+            }),
+        ),
+        (
+            name("timestamped_update"),
+            Envelope::TimestampedUpdate(TimestampedUpdate {
+                from: 8,
+                group: 6,
+                round: 34,
+                payload: pay,
+            }),
+        ),
+        (
+            name("buffer_announcement"),
+            Envelope::BufferAnnouncement(BufferAnnouncement {
+                group: 0,
+                round: 55,
+                entries: vec![
+                    BufferEntry {
+                        who: 1,
+                        round: 54,
+                        weight: 1,
+                    },
+                    BufferEntry {
+                        who: 2,
+                        round: 50,
+                        weight: 5,
+                    },
+                ],
+            }),
+        ),
+        (
+            name("masked_model_empty_payload"),
+            Envelope::MaskedModel(MaskedModel {
+                from: 0,
+                group: 0,
+                round: 0,
+                payload: Vec::new(),
+            }),
+        ),
+        (
+            name("survivor_announcement_max_ids"),
+            Envelope::SurvivorAnnouncement(SurvivorAnnouncement {
+                group: MAX_GROUP_ID as usize,
+                round: u64::MAX,
+                survivors: vec![u32::MAX as usize],
+            }),
+        ),
+    ]
+}
+
+fn render() -> String {
+    let mut out = String::from(
+        "# Frozen Wire-v2 envelope encodings. Any diff here is a wire\n\
+         # compatibility break — see tests/wire_compat.rs.\n",
+    );
+    for (name, e) in golden::<Fp61>() {
+        writeln!(out, "{name} {}", hex(&e.to_bytes())).unwrap();
+    }
+    for (name, e) in golden::<Fp32>() {
+        writeln!(out, "{name} {}", hex(&e.to_bytes())).unwrap();
+    }
+    out
+}
+
+#[test]
+fn golden_bytes_have_not_drifted() {
+    let path = fixture_path();
+    let rendered = render();
+    if std::env::var_os("LSA_BLESS_WIRE").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &rendered).unwrap();
+        panic!("fixtures re-blessed at {path:?} — remove LSA_BLESS_WIRE and justify the diff");
+    }
+    let frozen = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden fixture {path:?}: {e}"));
+    assert_eq!(
+        frozen, rendered,
+        "Wire-v2 encodings drifted from the frozen fixtures — this is a \
+         compatibility break, not a test to update"
+    );
+}
+
+#[test]
+fn golden_bytes_decode_to_original_values() {
+    let frozen = std::fs::read_to_string(fixture_path()).expect("golden fixture present");
+    let mut lines = frozen
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.is_empty());
+    for (name, e) in golden::<Fp61>() {
+        let line = lines.next().expect("fixture line");
+        let bytes = unhex(line.split_whitespace().nth(1).unwrap());
+        assert_eq!(
+            Envelope::<Fp61>::from_bytes(&bytes).unwrap(),
+            e,
+            "fixture {name} no longer decodes to its original value"
+        );
+    }
+    for (name, e) in golden::<Fp32>() {
+        let line = lines.next().expect("fixture line");
+        let bytes = unhex(line.split_whitespace().nth(1).unwrap());
+        assert_eq!(
+            Envelope::<Fp32>::from_bytes(&bytes).unwrap(),
+            e,
+            "fixture {name} no longer decodes to its original value"
+        );
+    }
+    assert!(lines.next().is_none(), "stray fixture lines");
+}
+
+fn unhex(s: &str) -> Vec<u8> {
+    s.as_bytes()
+        .chunks(2)
+        .map(|p| u8::from_str_radix(std::str::from_utf8(p).unwrap(), 16).unwrap())
+        .collect()
+}
