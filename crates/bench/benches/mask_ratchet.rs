@@ -1,0 +1,141 @@
+//! Stable-cohort mask ratchet: steady-state cost with and without the
+//! fast path.
+//!
+//! Sweep: N ∈ {256, 1024} cohorts in leaf-16 grouped topologies, R = 20
+//! steady-state rounds per point, under both modes:
+//!
+//! * `rekey` — `LSA_RATCHET=off`: every round runs the full offline
+//!   coded-mask exchange (the pre-ratchet behaviour).
+//! * `ratchet` — default: round 0 pays the full exchange, every later
+//!   round of the unchanged cohort re-derives its masks locally and the
+//!   only offline traffic is the 33-byte `RatchetAnnouncement`
+//!   commit/ack handshake.
+//!
+//! Each benchmark times one steady-state round end to end (open,
+//! submit, recover) on a persistent federation, so 1/ns_per_iter is the
+//! steady-state rounds/sec. The recorded `Throughput::Bytes` is the
+//! **measured per-round offline bytes** averaged over the R = 20
+//! stretch (byte counts are deterministic), which is where the
+//! ROADMAP acceptance lives: the `ratchet` row at N = 1024 must sit
+//! ≥ 5× below the `rekey` row. The stderr summary also prints total
+//! per-round bytes (offline + masked uploads + recovery) and the
+//! reduction ratio.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lsa_field::Fp61;
+use lsa_protocol::federation::SecureAggregator;
+use lsa_protocol::topology::{GroupTopology, GroupedFederation};
+use lsa_protocol::transport::MemTransport;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+const D: usize = 256;
+const T_FRAC: f64 = 0.25;
+const U_FRAC: f64 = 0.9;
+const LEAF: usize = 16;
+/// Steady-state rounds averaged for the per-round byte measurement.
+const ROUNDS: usize = 20;
+const COHORTS: [usize; 2] = [256, 1024];
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(400))
+}
+
+/// A federation past its base round, ready to run steady-state rounds
+/// of an unchanged cohort (which ratchet iff `LSA_RATCHET` allows).
+struct SteadyFed {
+    fed: GroupedFederation<Fp61>,
+    cohort: Vec<usize>,
+    updates: Vec<Vec<Fp61>>,
+}
+
+impl SteadyFed {
+    fn new(topology: &GroupTopology, seed: u64) -> Self {
+        let fed = GroupedFederation::new(topology.clone(), MemTransport::new(), seed)
+            .expect("valid sweep point");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5aa5);
+        let updates = (0..topology.n())
+            .map(|_| lsa_field::ops::random_vector(D, &mut rng))
+            .collect();
+        let mut steady = Self {
+            fed,
+            cohort: (0..topology.n()).collect(),
+            updates,
+        };
+        // base round: always a full exchange, whatever the mode
+        steady.round();
+        steady
+    }
+
+    /// One full round; returns (offline bytes, total bytes) it moved.
+    fn round(&mut self) -> (usize, usize) {
+        let before = self.fed.bytes_sent();
+        self.fed.open_round(&self.cohort).expect("round opens");
+        let offline = self.fed.bytes_sent() - before;
+        for &id in &self.cohort {
+            self.fed
+                .submit(id, &self.updates[id])
+                .expect("update accepted");
+        }
+        self.fed.finish_round().expect("round decodes");
+        (offline, self.fed.bytes_sent() - before)
+    }
+}
+
+/// Average (offline, total) bytes per round over a steady stretch.
+fn stretch_bytes(topology: &GroupTopology) -> (usize, usize) {
+    let mut steady = SteadyFed::new(topology, 11);
+    let (mut offline, mut total) = (0usize, 0usize);
+    for _ in 0..ROUNDS {
+        let (o, t) = steady.round();
+        offline += o;
+        total += t;
+    }
+    (offline / ROUNDS, total / ROUNDS)
+}
+
+fn bench_steady_rounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mask_ratchet");
+    for n in COHORTS {
+        let topology =
+            GroupTopology::uniform(n, n / LEAF, T_FRAC, U_FRAC, D).expect("valid sweep point");
+        let mut offline_by_mode = [0usize; 2];
+        for (slot, mode) in ["rekey", "ratchet"].into_iter().enumerate() {
+            std::env::set_var("LSA_RATCHET", if mode == "rekey" { "off" } else { "on" });
+            let (offline, total) = stretch_bytes(&topology);
+            offline_by_mode[slot] = offline;
+            eprintln!(
+                "mask_ratchet/{mode}/N{n}: {offline} offline B/round, \
+                 {total} total B/round over {ROUNDS} steady rounds"
+            );
+            group.throughput(Throughput::Bytes(offline as u64));
+            let mut steady = SteadyFed::new(&topology, 5);
+            group.bench_function(
+                BenchmarkId::new("steady_round", format!("{mode}_N{n}")),
+                |b| b.iter(|| black_box(steady.round())),
+            );
+        }
+        let ratio = offline_by_mode[0] as f64 / offline_by_mode[1].max(1) as f64;
+        eprintln!("mask_ratchet/N{n}: offline-byte reduction {ratio:.1}x (target >= 5x)");
+        assert!(
+            offline_by_mode[1] * 5 <= offline_by_mode[0],
+            "ratchet rounds at N={n} must move at least 5x fewer offline bytes \
+             than always-rekey (got {} vs {})",
+            offline_by_mode[1],
+            offline_by_mode[0],
+        );
+        std::env::set_var("LSA_RATCHET", "on");
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_steady_rounds
+}
+criterion_main!(benches);

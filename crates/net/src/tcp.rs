@@ -307,8 +307,19 @@ impl TcpTransport {
         Ok(())
     }
 
+    /// First pause of [`TcpTransport::dial_retry`]'s exponential
+    /// backoff.
+    const DIAL_BACKOFF_INITIAL: Duration = Duration::from_millis(10);
+    /// Backoff ceiling: retries settle at this cadence instead of
+    /// hammering a peer that is slow to come up.
+    const DIAL_BACKOFF_CAP: Duration = Duration::from_millis(500);
+
     /// [`TcpTransport::dial`] retried until `deadline` elapses — the
     /// peer's listener may not be up yet when processes start together.
+    /// Retries back off exponentially (10 ms doubling to a 500 ms cap),
+    /// so a fleet of late joiners doesn't saturate the listener's accept
+    /// queue with connect storms; the pause never overshoots the
+    /// deadline, and one final attempt always runs at it.
     ///
     /// # Errors
     ///
@@ -320,12 +331,17 @@ impl TcpTransport {
         deadline: Duration,
     ) -> io::Result<()> {
         let start = Instant::now();
+        let mut backoff = Self::DIAL_BACKOFF_INITIAL;
         loop {
             match self.dial(peer, addr.clone()) {
                 Ok(()) => return Ok(()),
                 Err(e) if start.elapsed() < deadline => {
                     let _ = e;
-                    std::thread::sleep(Duration::from_millis(25));
+                    // sleep the current backoff, clipped to the time
+                    // left so the deadline attempt isn't delayed past it
+                    let left = deadline.saturating_sub(start.elapsed());
+                    std::thread::sleep(backoff.min(left));
+                    backoff = (backoff * 2).min(Self::DIAL_BACKOFF_CAP);
                 }
                 Err(e) => return Err(e),
             }
@@ -572,6 +588,53 @@ mod tests {
         };
         assert_eq!(err.kind(), io::ErrorKind::ConnectionAborted);
         assert!(err.to_string().contains("outside"), "got: {err}");
+    }
+
+    #[test]
+    fn dial_retry_connects_when_listener_arrives_late() {
+        // reserve a port, free it, and bring the listener up only after
+        // the dialer has already burned through its first few backoffs
+        let probe = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = probe.local_addr().unwrap();
+        drop(probe);
+        let accept = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(250));
+            let listener = TcpListener::bind(addr).expect("rebind reserved port");
+            let _conn = listener.accept().expect("accept late dialer");
+        });
+        let mut client = TcpTransport::new(NodeId::Client(0));
+        let start = Instant::now();
+        client
+            .dial_retry(NodeId::Server, addr, Duration::from_secs(10))
+            .expect("dial succeeds once the listener is up");
+        assert!(
+            start.elapsed() >= Duration::from_millis(200),
+            "connected before the listener could have existed"
+        );
+        accept.join().unwrap();
+    }
+
+    #[test]
+    fn dial_retry_deadline_is_not_overshot_by_backoff() {
+        // no listener ever comes up: the error must land close to the
+        // deadline — the growing backoff is clipped to the time left,
+        // never parking past it
+        let probe = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = probe.local_addr().unwrap();
+        drop(probe);
+        let deadline = Duration::from_millis(300);
+        let mut client = TcpTransport::new(NodeId::Client(0));
+        let start = Instant::now();
+        let err = client
+            .dial_retry(NodeId::Server, addr, deadline)
+            .unwrap_err();
+        let elapsed = start.elapsed();
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionRefused, "got: {err}");
+        assert!(elapsed >= deadline, "gave up early at {elapsed:?}");
+        assert!(
+            elapsed < deadline + TcpTransport::DIAL_BACKOFF_CAP,
+            "overshot the deadline: {elapsed:?}"
+        );
     }
 
     #[test]

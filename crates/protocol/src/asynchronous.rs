@@ -79,6 +79,11 @@ pub struct AsyncClient<F> {
     masks: BTreeMap<u64, Vec<F>>,
     /// Received coded shares keyed by `(sender, round)`.
     received: BTreeMap<(usize, u64), Vec<F>>,
+    /// Own coded shares as sent, keyed by `(recipient, round)` —
+    /// retained so a stable cohort can derive pairwise ratchet pads
+    /// from the share material both edge endpoints already hold
+    /// ([`crate::ratchet`]).
+    sent: BTreeMap<(usize, u64), Vec<F>>,
 }
 
 impl<F: Field> AsyncClient<F> {
@@ -101,6 +106,7 @@ impl<F: Field> AsyncClient<F> {
             code,
             masks: BTreeMap::new(),
             received: BTreeMap::new(),
+            sent: BTreeMap::new(),
         })
     }
 
@@ -134,6 +140,11 @@ impl<F: Field> AsyncClient<F> {
         self.masks.insert(round, mask);
         self.received
             .insert((self.id, round), coded[self.id].clone());
+        for (j, share) in coded.iter().enumerate() {
+            if j != self.id {
+                self.sent.insert((j, round), share.clone());
+            }
+        }
         Ok((0..self.cfg.n())
             .filter(|&j| j != self.id)
             .map(|j| TimestampedShare {
@@ -265,11 +276,90 @@ impl<F: Field> AsyncClient<F> {
     pub fn discard_before(&mut self, keep_from: u64) {
         self.masks.retain(|&r, _| r >= keep_from);
         self.received.retain(|&(_, r), _| r >= keep_from);
+        self.sent.retain(|&(_, r), _| r >= keep_from);
     }
 
     /// Number of stored (sender, round) coded shares.
     pub fn shares_stored(&self) -> usize {
         self.received.len()
+    }
+
+    /// The most recent round a mask exists for, if any.
+    pub fn latest_mask_round(&self) -> Option<u64> {
+        self.masks.keys().next_back().copied()
+    }
+
+    /// Drop exactly one round's mask and share state — rollback of a
+    /// half-built ratcheted round before falling back to a full
+    /// exchange (which regenerates the round from scratch).
+    pub fn forget_round(&mut self, round: u64) {
+        self.masks.remove(&round);
+        self.received.retain(|&(_, r), _| r != round);
+        self.sent.retain(|&(_, r), _| r != round);
+    }
+
+    /// Derive the mask for `round` by ratcheting `base_round`'s retained
+    /// state under `nonce` ([`crate::ratchet`]): the new mask is the
+    /// base mask plus pairwise-cancelling PRG pads, and the base round's
+    /// coded shares are re-filed under `round` so aggregation requests
+    /// naming `(who, round)` resolve to the base shares. No share
+    /// traffic is produced. State from earlier *ratcheted* rounds
+    /// (between the base and `round`) is dropped — only the base must
+    /// stay resident.
+    ///
+    /// # Errors
+    ///
+    /// * [`ProtocolError::DuplicateMessage`] if `round` already has a
+    ///   mask;
+    /// * [`ProtocolError::RatchetMismatch`] if the base round's mask or
+    ///   any peer's base share material is missing.
+    pub fn ratchet_round_mask(
+        &mut self,
+        round: u64,
+        base_round: u64,
+        nonce: u64,
+    ) -> Result<(), ProtocolError> {
+        if self.masks.contains_key(&round) {
+            return Err(ProtocolError::DuplicateMessage(self.id));
+        }
+        let Some(base_mask) = self.masks.get(&base_round) else {
+            return Err(ProtocolError::RatchetMismatch);
+        };
+        let peers: Vec<usize> = self
+            .received
+            .keys()
+            .filter(|&&(_, r)| r == base_round)
+            .map(|&(j, _)| j)
+            .collect();
+        let mut mask = base_mask.clone();
+        for &j in &peers {
+            if j == self.id {
+                continue;
+            }
+            let Some(sent) = self.sent.get(&(j, base_round)) else {
+                return Err(ProtocolError::RatchetMismatch);
+            };
+            let recv = &self.received[&(j, base_round)];
+            crate::ratchet::add_pair_pad(&mut mask, 0, base_round, nonce, self.id, j, sent, recv);
+        }
+        for &j in &peers {
+            let share = self.received[&(j, base_round)].clone();
+            self.received.insert((j, round), share);
+        }
+        self.masks.insert(round, mask);
+        Ok(())
+    }
+
+    /// As [`Self::discard_before`], but additionally keeping exactly
+    /// round `keep` resident — the ratchet base round, which must
+    /// outlive every round derived from it. Intermediate ratcheted
+    /// rounds between the base and `keep_from` are evicted, so a long
+    /// stable stretch stays `O(1)` rounds of state.
+    pub fn discard_before_keeping(&mut self, keep_from: u64, keep: u64) {
+        self.masks.retain(|&r, _| r >= keep_from || r == keep);
+        self.received
+            .retain(|&(_, r), _| r >= keep_from || r == keep);
+        self.sent.retain(|&(_, r), _| r >= keep_from || r == keep);
     }
 }
 
@@ -680,6 +770,65 @@ mod tests {
         // masking with a pruned round now fails
         assert!(c.mask_update(0, &[Fp61::ZERO; 6]).is_err());
         assert!(c.mask_update(2, &[Fp61::ZERO; 6]).is_ok());
+    }
+
+    #[test]
+    fn ratcheted_masks_cancel_and_refile_shares() {
+        // Full exchange at round 0, then ratchet round 1 on every client:
+        // the pairwise pads must cancel over the cohort (Σ z_i^1 == Σ z_i^0)
+        // and the base shares must be re-filed so aggregation requests
+        // naming round 1 resolve without any new share traffic.
+        let mut rng = StdRng::seed_from_u64(17);
+        let cfg = cfg();
+        let mut clients: Vec<AsyncClient<Fp61>> = (0..4)
+            .map(|id| AsyncClient::new(id, cfg).unwrap())
+            .collect();
+        let mut pending = Vec::new();
+        for c in clients.iter_mut() {
+            pending.extend(c.generate_round_mask(0, &mut rng).unwrap());
+        }
+        for s in pending {
+            clients[s.to].receive_share(s).unwrap();
+        }
+        let base_sum: Vec<Fp61> = {
+            let mut acc = vec![Fp61::ZERO; cfg.padded_len()];
+            for c in &clients {
+                lsa_field::ops::add_assign(&mut acc, &c.masks[&0]);
+            }
+            acc
+        };
+        for c in clients.iter_mut() {
+            c.ratchet_round_mask(1, 0, 0xfeed).unwrap();
+            // shares re-filed under the new round, none sent
+            assert_eq!(c.shares_stored(), 8);
+        }
+        let mut ratchet_sum = vec![Fp61::ZERO; cfg.padded_len()];
+        for c in &clients {
+            lsa_field::ops::add_assign(&mut ratchet_sum, &c.masks[&1]);
+            // each individual mask is fresh, not the base replayed
+            assert_ne!(c.masks[&1], c.masks[&0]);
+            assert_eq!(c.received[&(0, 1)], c.received[&(0, 0)]);
+        }
+        assert_eq!(ratchet_sum, base_sum);
+        // a second ratchet from the same base coexists with round 1
+        // until eviction; discard_before_keeping then retires the
+        // intermediate ratcheted round while pinning the base
+        for c in clients.iter_mut() {
+            c.ratchet_round_mask(2, 0, 0xbeef).unwrap();
+            c.discard_before_keeping(2, 0);
+            assert!(!c.masks.contains_key(&1));
+            assert!(c.masks.contains_key(&0), "base stays resident");
+            assert_eq!(c.shares_stored(), 8);
+        }
+        // duplicate and missing-base cases are typed
+        assert!(matches!(
+            clients[0].ratchet_round_mask(2, 0, 1),
+            Err(ProtocolError::DuplicateMessage(0))
+        ));
+        assert!(matches!(
+            clients[0].ratchet_round_mask(5, 3, 1),
+            Err(ProtocolError::RatchetMismatch)
+        ));
     }
 
     #[test]

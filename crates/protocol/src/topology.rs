@@ -85,6 +85,7 @@ use crate::federation::{
     claim_prepared, ensure_unprepared, merge_phase_timings, BoxedAggregator, OpenRound,
     RoundOutcome, SecureAggregator, SyncFederation,
 };
+use crate::ratchet::CohortFingerprint;
 use crate::transport::{PhaseTiming, Transport};
 use crate::wire::MAX_GROUP_ID;
 use crate::ProtocolError;
@@ -1167,7 +1168,34 @@ impl<F: Field> SecureAggregator<F> for GroupedFederation<F> {
             ));
         }
         self.topology.reassign(seed);
+        // a leaf sees only local seat indices, which look identical
+        // across a reassignment even though different clients now sit in
+        // them — its retained ratchet bases must not survive the permute
+        for child in &mut self.children {
+            child.agg.clear_ratchet();
+        }
         Ok(())
+    }
+
+    fn clear_ratchet(&mut self) {
+        for child in &mut self.children {
+            child.agg.clear_ratchet();
+        }
+    }
+
+    fn cohort_fingerprint(&self, cohort: &[usize]) -> Option<CohortFingerprint> {
+        let mut members = Vec::with_capacity(cohort.len());
+        for &id in cohort {
+            let slot = self.topology.slot_of(id).ok()?;
+            let (leaf, _) = self.topology.locate(id).ok()?;
+            members.push((
+                self.topology.wire_id(leaf) as usize,
+                self.topology.group_config(leaf),
+                id,
+                slot,
+            ));
+        }
+        Some(CohortFingerprint::of_members(members))
     }
 
     fn set_partial_recovery(&mut self, enabled: bool) {

@@ -106,6 +106,8 @@ pub struct MemTransport {
     queue: VecDeque<(Recipient, Recipient, Vec<u8>)>,
     bytes_sent: usize,
     messages_sent: usize,
+    /// Messages ever sent, per envelope kind (indexed by `tag() - 1`).
+    counts: [usize; crate::wire::EnvelopeKind::ALL.len()],
 }
 
 impl MemTransport {
@@ -133,6 +135,13 @@ impl MemTransport {
     pub fn messages_sent(&self) -> usize {
         self.messages_sent
     }
+
+    /// Messages ever sent carrying the given envelope kind. Lets tests
+    /// assert traffic *shape* — e.g. that a ratcheted round moved zero
+    /// [`crate::wire::EnvelopeKind::CodedMaskShare`]s.
+    pub fn kind_count(&self, kind: crate::wire::EnvelopeKind) -> usize {
+        self.counts[(kind.tag() - 1) as usize]
+    }
 }
 
 impl<F: Field> Transport<F> for MemTransport {
@@ -145,6 +154,7 @@ impl<F: Field> Transport<F> for MemTransport {
         let bytes = envelope.to_bytes();
         self.bytes_sent += bytes.len();
         self.messages_sent += 1;
+        self.counts[(envelope.kind().tag() - 1) as usize] += 1;
         self.queue.push_back((from, to, bytes));
         Ok(())
     }

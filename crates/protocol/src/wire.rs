@@ -56,6 +56,7 @@
 
 use crate::asynchronous::{BufferEntry, TimestampedShare, TimestampedUpdate};
 use crate::messages::{AggregatedShare, CodedMaskShare, MaskedModel};
+use crate::ratchet::RatchetAnnouncement;
 use core::fmt;
 use lsa_field::Field;
 
@@ -172,11 +173,15 @@ pub enum EnvelopeKind {
     TimestampedUpdate,
     /// Server's buffered-entry announcement (async).
     BufferAnnouncement,
+    /// Stable-cohort ratchet nonce commit / fingerprint ack (both
+    /// variants). Appended to the frozen v2 layout: a new tag extends
+    /// the namespace without moving any existing byte.
+    RatchetAnnouncement,
 }
 
 impl EnvelopeKind {
     /// All message kinds, in tag order.
-    pub const ALL: [EnvelopeKind; 7] = [
+    pub const ALL: [EnvelopeKind; 8] = [
         EnvelopeKind::CodedMaskShare,
         EnvelopeKind::MaskedModel,
         EnvelopeKind::SurvivorAnnouncement,
@@ -184,6 +189,7 @@ impl EnvelopeKind {
         EnvelopeKind::TimestampedShare,
         EnvelopeKind::TimestampedUpdate,
         EnvelopeKind::BufferAnnouncement,
+        EnvelopeKind::RatchetAnnouncement,
     ];
 
     /// Stable wire tag.
@@ -196,6 +202,7 @@ impl EnvelopeKind {
             EnvelopeKind::TimestampedShare => 0x05,
             EnvelopeKind::TimestampedUpdate => 0x06,
             EnvelopeKind::BufferAnnouncement => 0x07,
+            EnvelopeKind::RatchetAnnouncement => 0x08,
         }
     }
 
@@ -209,6 +216,7 @@ impl EnvelopeKind {
             EnvelopeKind::TimestampedShare => "TimestampedShare",
             EnvelopeKind::TimestampedUpdate => "TimestampedUpdate",
             EnvelopeKind::BufferAnnouncement => "BufferAnnouncement",
+            EnvelopeKind::RatchetAnnouncement => "RatchetAnnouncement",
         }
     }
 }
@@ -264,6 +272,8 @@ pub enum Envelope<F> {
     TimestampedUpdate(TimestampedUpdate<F>),
     /// Buffered-entry announcement (async).
     BufferAnnouncement(BufferAnnouncement),
+    /// Stable-cohort ratchet nonce commit / fingerprint ack.
+    RatchetAnnouncement(RatchetAnnouncement),
 }
 
 impl<F: Field> Envelope<F> {
@@ -282,6 +292,7 @@ impl<F: Field> Envelope<F> {
             Envelope::TimestampedShare(_) => EnvelopeKind::TimestampedShare,
             Envelope::TimestampedUpdate(_) => EnvelopeKind::TimestampedUpdate,
             Envelope::BufferAnnouncement(_) => EnvelopeKind::BufferAnnouncement,
+            Envelope::RatchetAnnouncement(_) => EnvelopeKind::RatchetAnnouncement,
         }
     }
 
@@ -297,6 +308,7 @@ impl<F: Field> Envelope<F> {
             Envelope::TimestampedShare(m) => m.round,
             Envelope::TimestampedUpdate(m) => m.round,
             Envelope::BufferAnnouncement(a) => a.round,
+            Envelope::RatchetAnnouncement(a) => a.round,
         }
     }
 
@@ -314,6 +326,7 @@ impl<F: Field> Envelope<F> {
             Envelope::TimestampedShare(m) => m.group,
             Envelope::TimestampedUpdate(m) => m.group,
             Envelope::BufferAnnouncement(a) => a.group,
+            Envelope::RatchetAnnouncement(a) => a.group,
         }
     }
 
@@ -330,6 +343,7 @@ impl<F: Field> Envelope<F> {
                 Envelope::TimestampedShare(m) => 4 + 4 + 8 + 4 + m.payload.len() * eb,
                 Envelope::TimestampedUpdate(m) => 4 + 8 + 4 + m.payload.len() * eb,
                 Envelope::BufferAnnouncement(a) => 8 + 4 + a.entries.len() * (4 + 8 + 8),
+                Envelope::RatchetAnnouncement(_) => 4 + 8 + 8 + 8,
             }
     }
 
@@ -386,6 +400,12 @@ impl<F: Field> Envelope<F> {
                     put_u64(&mut out, e.round);
                     put_u64(&mut out, e.weight);
                 }
+            }
+            Envelope::RatchetAnnouncement(a) => {
+                put_u32(&mut out, a.from);
+                put_u64(&mut out, a.round);
+                put_u64(&mut out, a.nonce);
+                put_u64(&mut out, a.fingerprint);
             }
         }
         debug_assert_eq!(out.len(), self.wire_len());
@@ -472,6 +492,13 @@ impl<F: Field> Envelope<F> {
                     entries,
                 })
             }
+            0x08 => Envelope::RatchetAnnouncement(RatchetAnnouncement {
+                from: r.u32()?,
+                group,
+                round: r.u64()?,
+                nonce: r.u64()?,
+                fingerprint: r.u64()?,
+            }),
             other => return Err(WireError::UnknownTag(other)),
         };
         if r.pos != bytes.len() {
@@ -761,7 +788,7 @@ mod tests {
         );
         // ...while clearing the version bit demotes the same bytes to a
         // rejected v1 envelope for every message kind
-        for tag in [0x01u8, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07] {
+        for tag in [0x01u8, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08] {
             let mut bad = vec![tag];
             bad.extend_from_slice(&MAX_GROUP_ID.to_le_bytes());
             assert!(
@@ -805,6 +832,26 @@ mod tests {
         let bytes = ann.to_bytes();
         assert_eq!(peek_group(&bytes), Some(7));
         assert_eq!(Envelope::<Fp61>::from_bytes(&bytes).unwrap().group(), 7);
+    }
+
+    #[test]
+    fn ratchet_announcement_roundtrips_with_fixed_length() {
+        let e: Envelope<Fp61> = Envelope::RatchetAnnouncement(RatchetAnnouncement {
+            from: crate::ratchet::RATCHET_FROM_SERVER,
+            group: 3,
+            round: 11,
+            nonce: 0xDEAD_BEEF_CAFE_F00D,
+            fingerprint: u64::MAX,
+        });
+        let bytes = e.to_bytes();
+        // fixed 33-byte frame: tag + group word + from + round + nonce
+        // + fingerprint, no length prefix
+        assert_eq!(bytes.len(), 33);
+        assert_eq!(bytes.len(), e.wire_len());
+        assert_eq!(Envelope::<Fp61>::from_bytes(&bytes).unwrap(), e);
+        assert_eq!(e.round(), 11);
+        assert_eq!(e.group(), 3);
+        assert_eq!(e.kind().tag(), 0x08);
     }
 
     #[test]

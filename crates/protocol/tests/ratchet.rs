@@ -1,0 +1,391 @@
+//! Failure-injection tests of the stable-cohort mask ratchet
+//! ([`lsa_protocol::ratchet`]): steady stretches must move **zero**
+//! coded-share envelopes, and every divergence — churn, poisoned
+//! fingerprints, dropouts mid-ratchet, reassignment — must fall back to
+//! the full offline exchange with the aggregate still exact.
+
+use lsa_field::{Field, Fp61};
+use lsa_protocol::federation::{
+    BufferedFederation, RoundOutcome, RoundPlan, SecureAggregator, SyncFederation,
+};
+use lsa_protocol::topology::{GroupTopology, GroupedFederation};
+use lsa_protocol::transport::MemTransport;
+use lsa_protocol::wire::EnvelopeKind;
+use lsa_protocol::{ratchet_enabled, CohortFingerprint, Federation, LsaConfig, ProtocolError};
+
+fn cfg() -> LsaConfig {
+    LsaConfig::new(8, 2, 6, 16).unwrap()
+}
+
+/// Most tests here assert that the fast path *fires*; under the CI
+/// `LSA_RATCHET=off` lane they would degenerate into always-rekey runs
+/// already covered by the rest of the suite, so they self-skip.
+macro_rules! requires_ratchet {
+    () => {
+        if !ratchet_enabled() {
+            eprintln!("LSA_RATCHET is off: skipping ratchet-behaviour test");
+            return;
+        }
+    };
+}
+
+/// Deterministic per-(member, round) update so every round's expected
+/// aggregate is computable in closed form.
+fn update(id: usize, round: u64) -> Vec<Fp61> {
+    vec![Fp61::from_u64((id as u64 + 1) * (round + 3)); 16]
+}
+
+fn expected_sum(ids: &[usize], round: u64) -> Vec<Fp61> {
+    let mut want = vec![Fp61::ZERO; 16];
+    for &id in ids {
+        lsa_field::ops::add_assign(&mut want, &update(id, round));
+    }
+    want
+}
+
+/// Drive one full round through the [`SecureAggregator`] trait.
+fn run_round(
+    fed: &mut dyn SecureAggregator<Fp61>,
+    cohort: &[usize],
+    drop_after: &[usize],
+) -> Result<RoundOutcome<Fp61>, ProtocolError> {
+    let round = fed.open_round(cohort)?;
+    for &id in cohort {
+        fed.submit(id, &update(id, round))?;
+    }
+    for &id in drop_after {
+        fed.mark_dropped(id)?;
+    }
+    fed.finish_round()
+}
+
+fn coded_shares(fed: &SyncFederation<Fp61, MemTransport>) -> usize {
+    fed.transport().kind_count(EnvelopeKind::CodedMaskShare)
+}
+
+fn announcements(fed: &SyncFederation<Fp61, MemTransport>) -> usize {
+    fed.transport()
+        .kind_count(EnvelopeKind::RatchetAnnouncement)
+}
+
+/// A 12-round stable stretch: after the base round, not one more
+/// `CodedMaskShare` crosses the wire, the only offline traffic is the
+/// commit/ack handshake, and every aggregate is bit-identical to an
+/// always-rekey twin of the same seed.
+#[test]
+fn stable_stretch_ratchets_with_zero_share_traffic() {
+    requires_ratchet!();
+    let mut fast = SyncFederation::<Fp61, _>::new(cfg(), MemTransport::new(), 7).unwrap();
+    let mut rekey = SyncFederation::<Fp61, _>::new(cfg(), MemTransport::new(), 7).unwrap();
+    let cohort: Vec<usize> = (0..8).collect();
+
+    let base_fast = run_round(&mut fast, &cohort, &[]).unwrap();
+    let base_rekey = run_round(&mut rekey, &cohort, &[]).unwrap();
+    assert_eq!(base_fast.aggregate, base_rekey.aggregate);
+
+    let shares_after_base = coded_shares(&fast);
+    let ann_after_base = announcements(&fast);
+    let rekey_shares_after_base = coded_shares(&rekey);
+
+    for r in 1..=12u64 {
+        rekey.clear_ratchet(); // the twin re-keys every round
+        let a = run_round(&mut fast, &cohort, &[]).unwrap();
+        let b = run_round(&mut rekey, &cohort, &[]).unwrap();
+        assert_eq!(a.round, r);
+        assert_eq!(a.aggregate, b.aggregate, "round {r} diverged from rekey");
+        assert_eq!(a.aggregate, expected_sum(&cohort, r));
+        assert_eq!(a.contributors, cohort);
+    }
+
+    assert_eq!(
+        coded_shares(&fast),
+        shares_after_base,
+        "a ratcheted stretch must exchange zero coded mask shares"
+    );
+    // one commit + one ack per member per ratcheted round
+    assert_eq!(announcements(&fast), ann_after_base + 12 * 2 * 8);
+    assert!(
+        coded_shares(&rekey) >= rekey_shares_after_base + 12 * 8 * 7,
+        "the rekey twin must have paid the full exchange every round"
+    );
+    assert_eq!(announcements(&rekey), 0);
+}
+
+/// Cohort churn mid-stretch: the changed round silently falls back to a
+/// full exchange, and the *new* cohort ratchets from then on.
+#[test]
+fn churn_mid_stretch_falls_back_then_ratchets_again() {
+    requires_ratchet!();
+    let mut fed = SyncFederation::<Fp61, _>::new(cfg(), MemTransport::new(), 11).unwrap();
+    let full: Vec<usize> = (0..8).collect();
+    let reduced: Vec<usize> = (0..7).collect();
+
+    run_round(&mut fed, &full, &[]).unwrap();
+    let s0 = coded_shares(&fed);
+    run_round(&mut fed, &full, &[]).unwrap();
+    assert_eq!(coded_shares(&fed), s0, "stable round 1 must ratchet");
+
+    // churn: member 7 gone — fingerprint mismatch, full exchange
+    let out = run_round(&mut fed, &reduced, &[]).unwrap();
+    assert!(coded_shares(&fed) > s0, "churned round must re-key");
+    assert_eq!(out.aggregate, expected_sum(&reduced, 2));
+
+    // the reduced cohort is the new stable cohort
+    let s1 = coded_shares(&fed);
+    let out = run_round(&mut fed, &reduced, &[]).unwrap();
+    assert_eq!(
+        coded_shares(&fed),
+        s1,
+        "post-churn stable round must ratchet"
+    );
+    assert_eq!(out.aggregate, expected_sum(&reduced, 3));
+
+    // growing back to the full cohort is churn again
+    let out = run_round(&mut fed, &full, &[]).unwrap();
+    assert!(coded_shares(&fed) > s1);
+    assert_eq!(out.aggregate, expected_sum(&full, 4));
+}
+
+/// A poisoned client fingerprint makes the handshake fail: the round
+/// silently re-keys (correct aggregate, share traffic present) and the
+/// repaired state ratchets again the round after.
+#[test]
+fn poisoned_fingerprint_falls_back_to_full_exchange() {
+    requires_ratchet!();
+    let mut fed = SyncFederation::<Fp61, _>::new(cfg(), MemTransport::new(), 13).unwrap();
+    let cohort: Vec<usize> = (0..8).collect();
+
+    run_round(&mut fed, &cohort, &[]).unwrap();
+    fed.poison_ratchet(2, 0xDEAD_BEEF);
+
+    let s0 = coded_shares(&fed);
+    let out = run_round(&mut fed, &cohort, &[]).unwrap();
+    assert!(
+        coded_shares(&fed) > s0,
+        "a failed handshake must fall back to the full exchange"
+    );
+    assert_eq!(out.aggregate, expected_sum(&cohort, 1));
+
+    let s1 = coded_shares(&fed);
+    let out = run_round(&mut fed, &cohort, &[]).unwrap();
+    assert_eq!(
+        coded_shares(&fed),
+        s1,
+        "the re-keyed base must ratchet again"
+    );
+    assert_eq!(out.aggregate, expected_sum(&cohort, 2));
+}
+
+/// An after-upload dropout during a *ratcheted* round: recovery decodes
+/// exactly from the retained base shares, still with zero share traffic.
+#[test]
+fn after_upload_dropout_in_ratcheted_round_decodes_exactly() {
+    requires_ratchet!();
+    let mut fed = SyncFederation::<Fp61, _>::new(cfg(), MemTransport::new(), 17).unwrap();
+    let cohort: Vec<usize> = (0..8).collect();
+
+    run_round(&mut fed, &cohort, &[]).unwrap();
+    let s0 = coded_shares(&fed);
+
+    let out = run_round(&mut fed, &cohort, &[3]).unwrap();
+    assert_eq!(coded_shares(&fed), s0, "the dropout round itself ratcheted");
+    // the dropout uploaded before vanishing: its update is included and
+    // the partial-recovery path reconstructed Σz without its help
+    assert_eq!(out.contributors, cohort);
+    assert_eq!(out.aggregate, expected_sum(&cohort, 1));
+}
+
+/// A *before*-upload dropout poisons a ratcheted round (the pairwise
+/// pads no longer cancel): `Federation::run_round` gets the typed
+/// mismatch, burns the round, and replays the plan over a full exchange.
+#[test]
+fn before_upload_dropout_falls_back_via_typed_mismatch() {
+    requires_ratchet!();
+    let sync = SyncFederation::<Fp61, _>::new(cfg(), MemTransport::new(), 19).unwrap();
+    let mut fed = Federation::new(Box::new(sync));
+    let cohort: Vec<usize> = (0..8).collect();
+
+    let mut plan = RoundPlan::new(cohort.clone());
+    for &id in &cohort {
+        plan = plan.with_update(id, update(id, 0));
+    }
+    assert_eq!(fed.run_round(&plan).unwrap().round, 0);
+
+    // round 1 would ratchet, but member 5 never uploads
+    let submitters: Vec<usize> = cohort.iter().copied().filter(|&id| id != 5).collect();
+    let mut plan = RoundPlan::new(cohort.clone());
+    for &id in &submitters {
+        plan = plan.with_update(id, update(id, 2));
+    }
+    let out = fed.run_round(&plan).unwrap();
+    assert_eq!(out.round, 2, "the failed ratcheted round number is burned");
+    assert_eq!(out.contributors, submitters);
+    assert_eq!(out.aggregate, expected_sum(&submitters, 2));
+
+    // and the federation keeps working afterwards
+    let mut plan = RoundPlan::new(cohort.clone());
+    for &id in &cohort {
+        plan = plan.with_update(id, update(id, 3));
+    }
+    let out = fed.run_round(&plan).unwrap();
+    assert_eq!(out.aggregate, expected_sum(&cohort, 3));
+}
+
+/// A plan pinned to a stale [`CohortFingerprint`] fails typed without
+/// consuming a round; re-pinning to the live fingerprint succeeds.
+#[test]
+fn plan_fingerprint_mismatch_fails_typed_without_retry() {
+    let sync = SyncFederation::<Fp61, _>::new(cfg(), MemTransport::new(), 23).unwrap();
+    let mut fed = Federation::new(Box::new(sync));
+    let cohort: Vec<usize> = (0..8).collect();
+
+    let mut plan = RoundPlan::new(cohort.clone());
+    for &id in &cohort {
+        plan = plan.with_update(id, update(id, 0));
+    }
+    let stale = plan
+        .clone()
+        .with_fingerprint(CohortFingerprint::from_raw(0xBAD));
+    assert!(matches!(
+        fed.run_round(&stale),
+        Err(ProtocolError::RatchetMismatch)
+    ));
+    assert_eq!(fed.round(), 0, "a pinning failure must not consume a round");
+
+    let live = fed.aggregator().cohort_fingerprint(&cohort).unwrap();
+    let out = fed.run_round(&plan.with_fingerprint(live)).unwrap();
+    assert_eq!(out.aggregate, expected_sum(&cohort, 0));
+}
+
+/// The buffered-asynchronous variant ratchets the same way: a stable
+/// stretch moves no timestamped mask shares, only announcements.
+#[test]
+fn buffered_variant_ratchets_stable_stretch() {
+    requires_ratchet!();
+    let mut fast =
+        BufferedFederation::<Fp61, _>::unit_weight(cfg(), MemTransport::new(), 29).unwrap();
+    let mut rekey =
+        BufferedFederation::<Fp61, _>::unit_weight(cfg(), MemTransport::new(), 29).unwrap();
+    let cohort: Vec<usize> = (0..8).collect();
+
+    let a = run_round(&mut fast, &cohort, &[]).unwrap();
+    let b = run_round(&mut rekey, &cohort, &[]).unwrap();
+    assert_eq!(a.aggregate, b.aggregate);
+    let shares = fast.transport().kind_count(EnvelopeKind::TimestampedShare);
+
+    for r in 1..=10u64 {
+        rekey.clear_ratchet();
+        let a = run_round(&mut fast, &cohort, &[]).unwrap();
+        let b = run_round(&mut rekey, &cohort, &[]).unwrap();
+        assert_eq!(a.aggregate, b.aggregate, "round {r} diverged from rekey");
+        assert_eq!(a.aggregate, expected_sum(&cohort, r));
+    }
+    assert_eq!(
+        fast.transport().kind_count(EnvelopeKind::TimestampedShare),
+        shares,
+        "ratcheted buffered rounds must move zero mask shares"
+    );
+    assert_eq!(
+        fast.transport()
+            .kind_count(EnvelopeKind::RatchetAnnouncement),
+        10 * 2 * 8
+    );
+}
+
+/// In an aggregator tree, a stable subtree keeps ratcheting even while
+/// a sibling leaf churns and re-keys.
+#[test]
+fn grouped_stable_subtree_ratchets_while_sibling_churns() {
+    requires_ratchet!();
+    let topology = GroupTopology::uniform(16, 2, 0.25, 0.75, 16).unwrap();
+    let mut fed = GroupedFederation::<Fp61>::new(topology, MemTransport::new(), 31).unwrap();
+    let full: Vec<usize> = (0..16).collect();
+    let reduced: Vec<usize> = (0..15).collect(); // drops one member of one leaf
+
+    let offline = |fed: &mut GroupedFederation<Fp61>, cohort: &[usize]| {
+        let before = fed.bytes_sent();
+        let round = fed.open_round(cohort).unwrap();
+        let offline = fed.bytes_sent() - before;
+        for &id in cohort {
+            fed.submit(id, &update(id, round)).unwrap();
+        }
+        let out = fed.finish_round().unwrap();
+        assert_eq!(out.aggregate, expected_sum(cohort, round));
+        offline
+    };
+
+    let b_full = offline(&mut fed, &full);
+    let b_stable = offline(&mut fed, &full);
+    assert!(
+        b_stable * 5 < b_full,
+        "a fully stable tree must ratchet everywhere ({b_stable} vs {b_full})"
+    );
+    // churn confined to one leaf: only that leaf re-keys
+    let b_mixed = offline(&mut fed, &reduced);
+    assert!(
+        b_stable < b_mixed && b_mixed < b_full,
+        "a lone churned leaf must re-key alone ({b_stable} < {b_mixed} < {b_full})"
+    );
+    // both leaves are stable again on the reduced cohort
+    let b_again = offline(&mut fed, &reduced);
+    assert!(b_again * 5 < b_full, "post-churn cohort must ratchet");
+}
+
+/// Reassigning the tree's seating permutes local seat indices: every
+/// retained base is cleared and the next round pays a full exchange.
+#[test]
+fn reassignment_clears_ratchet_state() {
+    requires_ratchet!();
+    let topology = GroupTopology::uniform(16, 2, 0.25, 0.75, 16).unwrap();
+    let mut fed = GroupedFederation::<Fp61>::new(topology, MemTransport::new(), 37).unwrap();
+    let full: Vec<usize> = (0..16).collect();
+
+    let offline = |fed: &mut GroupedFederation<Fp61>, cohort: &[usize]| {
+        let before = fed.bytes_sent();
+        let round = fed.open_round(cohort).unwrap();
+        let offline = fed.bytes_sent() - before;
+        for &id in cohort {
+            fed.submit(id, &update(id, round)).unwrap();
+        }
+        let out = fed.finish_round().unwrap();
+        assert_eq!(out.aggregate, expected_sum(cohort, round));
+        offline
+    };
+
+    let b_full = offline(&mut fed, &full);
+    let b_stable = offline(&mut fed, &full);
+    assert!(b_stable * 5 < b_full);
+
+    fed.reassign(99).unwrap();
+    let b_permuted = offline(&mut fed, &full);
+    assert!(
+        b_stable * 5 < b_permuted,
+        "a reassigned tree must not reuse pre-permutation bases \
+         ({b_permuted} vs stable {b_stable})"
+    );
+}
+
+/// The grouped fingerprint pins the *seating*: after a reassignment the
+/// same cohort fingerprints differently, so a pinned plan fails typed.
+#[test]
+fn grouped_fingerprint_changes_under_reassignment() {
+    let topology = GroupTopology::uniform(16, 4, 0.25, 0.75, 16).unwrap();
+    let grouped = GroupedFederation::<Fp61>::new(topology, MemTransport::new(), 41).unwrap();
+    let mut fed = Federation::new(Box::new(grouped));
+    let cohort: Vec<usize> = (0..16).collect();
+
+    let before = fed.aggregator().cohort_fingerprint(&cohort).unwrap();
+    let mut plan = RoundPlan::new(cohort.clone()).with_fingerprint(before);
+    for &id in &cohort {
+        plan = plan.with_update(id, update(id, 0));
+    }
+    fed.run_round(&plan).unwrap();
+
+    fed.aggregator_mut().reassign(7).unwrap();
+    let after = fed.aggregator().cohort_fingerprint(&cohort).unwrap();
+    assert_ne!(before, after, "reassignment must change the fingerprint");
+    assert!(matches!(
+        fed.run_round(&plan),
+        Err(ProtocolError::RatchetMismatch)
+    ));
+}

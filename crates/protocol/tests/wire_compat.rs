@@ -14,7 +14,9 @@
 use lsa_field::{Field, Fp32, Fp61};
 use lsa_protocol::asynchronous::{BufferEntry, TimestampedShare, TimestampedUpdate};
 use lsa_protocol::wire::{BufferAnnouncement, Envelope, SurvivorAnnouncement, MAX_GROUP_ID};
-use lsa_protocol::{AggregatedShare, CodedMaskShare, MaskedModel};
+use lsa_protocol::{
+    AggregatedShare, CodedMaskShare, MaskedModel, RatchetAnnouncement, RATCHET_FROM_SERVER,
+};
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
@@ -133,6 +135,29 @@ fn golden<F: Field>() -> Vec<(String, Envelope<F>)> {
                 group: MAX_GROUP_ID as usize,
                 round: u64::MAX,
                 survivors: vec![u32::MAX as usize],
+            }),
+        ),
+        // Tag 0x08, appended to the frozen v2 layout by the stable-cohort
+        // ratchet PR: the server's nonce commit and a client ack. The
+        // pre-existing entries above must stay byte-identical.
+        (
+            name("ratchet_announcement_commit"),
+            Envelope::RatchetAnnouncement(RatchetAnnouncement {
+                from: RATCHET_FROM_SERVER,
+                group: 4,
+                round: 77,
+                nonce: 0xC0FF_EE00_1234_5678,
+                fingerprint: 0x9ABC_DEF0_1122_3344,
+            }),
+        ),
+        (
+            name("ratchet_announcement_ack"),
+            Envelope::RatchetAnnouncement(RatchetAnnouncement {
+                from: 12,
+                group: MAX_GROUP_ID as usize,
+                round: u64::MAX,
+                nonce: u64::MAX,
+                fingerprint: 0,
             }),
         ),
     ]

@@ -12,7 +12,9 @@
 use lsa_field::{Field, Fp32, Fp61};
 use lsa_protocol::asynchronous::{BufferEntry, TimestampedShare, TimestampedUpdate};
 use lsa_protocol::wire::{BufferAnnouncement, Envelope, SurvivorAnnouncement, WireError};
-use lsa_protocol::{AggregatedShare, CodedMaskShare, MaskedModel};
+use lsa_protocol::{
+    AggregatedShare, CodedMaskShare, MaskedModel, RatchetAnnouncement, RATCHET_FROM_SERVER,
+};
 use proptest::collection::vec;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -72,6 +74,13 @@ fn envelopes<F: Field>(group: usize, round: u64, seed: u64, len: usize) -> Vec<E
                 round: round.wrapping_sub(1),
                 weight: 2,
             }],
+        }),
+        Envelope::RatchetAnnouncement(RatchetAnnouncement {
+            from: RATCHET_FROM_SERVER,
+            group,
+            round,
+            nonce: seed,
+            fingerprint: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15),
         }),
     ]
 }
@@ -137,7 +146,7 @@ proptest! {
         round in any::<u64>(),
         seed in any::<u64>(),
         len in 0usize..12,
-        kind in 0usize..7,
+        kind in 0usize..8,
         flip_seed in any::<u64>(),
     ) {
         let e = envelopes::<Fp61>(group, round, seed, len).swap_remove(kind);
@@ -194,7 +203,7 @@ fn seeded_corpus_is_rejected_typed() {
         corpus.push(b);
     }
     // v1 group words under every real tag
-    for tag in 1..=7u8 {
+    for tag in 1..=8u8 {
         let mut b = vec![tag];
         b.extend_from_slice(&0x0000_0007u32.to_le_bytes());
         corpus.push(b);
