@@ -1,0 +1,73 @@
+//! The scenario-matrix runner: every cell of the {sync, buffered} ×
+//! {flat, grouped, hierarchical} × {ratchet on/off} × {partial
+//! recovery on/off} × {Fp32, Fp61} cross-product, plus the SecAgg
+//! baseline, each driving the identical workload and emitting one
+//! JSON-lines record (printed to stdout and, when `LSA_BENCH_JSON`
+//! names a file, appended there — the same artifact the criterion shim
+//! writes).
+//!
+//! `--quick` shrinks the workload to CI size. The process exits
+//! non-zero if any cell errors or emits a malformed record, so a CI
+//! lane can gate on it directly.
+
+use lsa_bench::scenario::{run_cell, run_secagg_baseline, validate_json_line, MatrixParams, Mode};
+use std::io::Write;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let params = if quick {
+        MatrixParams::quick()
+    } else {
+        MatrixParams::full()
+    };
+    eprintln!(
+        "scenario_matrix: N={} d={} rounds={} reps={} ({} cells + baseline)",
+        params.n,
+        params.d,
+        params.rounds,
+        params.reps,
+        Mode::all().len(),
+    );
+
+    let mut sink = std::env::var_os("LSA_BENCH_JSON").map(|path| {
+        std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .unwrap_or_else(|e| panic!("open {}: {e}", std::path::Path::new(&path).display()))
+    });
+    let mut failures = 0usize;
+    let mut emit = |name: &str, outcome: Result<String, String>| match outcome {
+        Ok(json) => match validate_json_line(&json) {
+            Ok(()) => {
+                println!("{json}");
+                if let Some(f) = &mut sink {
+                    writeln!(f, "{json}").expect("append LSA_BENCH_JSON");
+                }
+            }
+            Err(why) => {
+                eprintln!("scenario_matrix: {name}: malformed record: {why}");
+                failures += 1;
+            }
+        },
+        Err(why) => {
+            eprintln!("scenario_matrix: {name}: {why}");
+            failures += 1;
+        }
+    };
+
+    for mode in Mode::all() {
+        let name = mode.name();
+        let outcome = run_cell(&mode, &params)
+            .map(|cell| cell.json)
+            .map_err(|e| e.to_string());
+        emit(&name, outcome);
+    }
+    let baseline = run_secagg_baseline(&params).map(|cell| cell.json);
+    emit("matrix/baseline/secagg/fp61", baseline);
+
+    if failures > 0 {
+        eprintln!("scenario_matrix: {failures} cell(s) failed");
+        std::process::exit(1);
+    }
+}

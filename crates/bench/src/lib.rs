@@ -6,6 +6,8 @@
 
 use std::path::PathBuf;
 
+pub mod scenario;
+
 /// Directory where binaries drop their TSV outputs (created on demand).
 pub fn results_dir() -> PathBuf {
     let dir = std::env::var("LSA_RESULTS_DIR")

@@ -37,7 +37,7 @@
 pub mod tcp;
 pub mod timing;
 
-pub use tcp::{TcpDelivery, TcpTransport};
+pub use tcp::{TcpDelivery, TcpTransport, FRAME_OVERHEAD};
 pub use timing::PhaseTiming;
 
 use std::collections::BTreeMap;

@@ -55,6 +55,12 @@ pub const DEFAULT_MAX_FRAME: usize = 1 << 26;
 /// Bytes of routing header inside every frame (after the length word).
 const HEADER_LEN: usize = 10;
 
+/// Framing overhead per payload frame: the 4-byte length word plus the
+/// routing header. [`TcpTransport::framing_bytes`] accumulates this per
+/// sent frame so byte accounting can separate payload (comparable
+/// across transport backends) from wire overhead (TCP-only).
+pub const FRAME_OVERHEAD: usize = 4 + HEADER_LEN;
+
 const KIND_CLIENT: u8 = 0;
 const KIND_SERVER: u8 = 1;
 
@@ -204,6 +210,7 @@ pub struct TcpTransport {
     local_addr: Option<SocketAddr>,
     bytes_sent: usize,
     messages_sent: usize,
+    framing_bytes: usize,
     timings: Vec<PhaseTiming>,
     phase_mark: f64,
     phase_messages: usize,
@@ -225,6 +232,7 @@ impl TcpTransport {
             local_addr: None,
             bytes_sent: 0,
             messages_sent: 0,
+            framing_bytes: 0,
             timings: Vec::new(),
             phase_mark: 0.0,
             phase_messages: 0,
@@ -377,6 +385,7 @@ impl TcpTransport {
         drop(routes);
         self.bytes_sent += payload.len();
         self.messages_sent += 1;
+        self.framing_bytes += FRAME_OVERHEAD;
         self.phase_messages += 1;
         self.phase_bytes += payload.len();
         Ok(())
@@ -466,6 +475,14 @@ impl TcpTransport {
     /// Total payload frames ever sent.
     pub fn messages_sent(&self) -> usize {
         self.messages_sent
+    }
+
+    /// Total framing overhead sent: [`FRAME_OVERHEAD`] per payload
+    /// frame. Hello/route-announcement frames (empty payloads sent by
+    /// `dial`) are control traffic and excluded, so this is exactly
+    /// `messages_sent() * FRAME_OVERHEAD`.
+    pub fn framing_bytes(&self) -> usize {
+        self.framing_bytes
     }
 
     /// Phase records cut so far.

@@ -61,6 +61,7 @@ use crate::ratchet::{
 };
 use crate::session::{AsyncClientSession, AsyncServerSession, Outgoing, Recipient, Session};
 use crate::session::{ClientSession, ServerSession};
+use crate::telemetry::{RoundReport, TrafficMark};
 use crate::transport::Transport;
 use crate::wire::{Envelope, EnvelopeKind};
 use crate::ProtocolError;
@@ -237,13 +238,14 @@ pub trait SecureAggregator<F: Field> {
         0
     }
 
-    /// Per-phase timing records from the underlying transport(s), for
-    /// simulated deployments. A composed aggregator merges its
-    /// children's phases label-by-label (starts min'd, ends max'd,
-    /// traffic summed): subtrees run concurrently in a real hierarchy,
-    /// so the merged view is the root's critical path.
-    fn phase_timings(&self) -> Vec<crate::transport::PhaseTiming> {
-        Vec::new()
+    /// The [`RoundReport`] of the most recent *finished* round —
+    /// per-phase timings, traffic and event counters — or `None` before
+    /// any round completed. A composed aggregator returns the
+    /// [`RoundReport::merge`] of its children's reports: subtrees run
+    /// concurrently in a real hierarchy, so the merged view is the
+    /// root's critical path.
+    fn round_report(&self) -> Option<RoundReport> {
+        None
     }
 }
 
@@ -252,45 +254,6 @@ pub trait SecureAggregator<F: Field> {
 /// where per-subtree `finish_round` decodes run on the scoped worker
 /// pool.
 pub type BoxedAggregator<F> = Box<dyn SecureAggregator<F> + Send>;
-
-/// Merge per-subtree phase timing lists label-by-label: the `k`-th
-/// occurrence of each label across children (children flush identical
-/// phase sequences per round) becomes one phase whose start is the
-/// earliest child start, whose end is the latest child end, and whose
-/// message/byte counts and arrival times are pooled. Children model
-/// independent per-aggregator links, so the merged end is the moment the
-/// *slowest* subtree finished that phase — the root's critical path.
-pub fn merge_phase_timings(
-    per_child: &[Vec<crate::transport::PhaseTiming>],
-) -> Vec<crate::transport::PhaseTiming> {
-    use crate::transport::PhaseTiming;
-    // key = (label, occurrence index of that label within one child)
-    let mut merged: Vec<((&'static str, usize), PhaseTiming)> = Vec::new();
-    for child in per_child {
-        let mut seen: BTreeMap<&'static str, usize> = BTreeMap::new();
-        for phase in child {
-            let occ = seen.entry(phase.label).or_insert(0);
-            let key = (phase.label, *occ);
-            *occ += 1;
-            match merged.iter_mut().find(|(k, _)| *k == key) {
-                Some((_, agg)) => {
-                    agg.start = agg.start.min(phase.start);
-                    agg.end = agg.end.max(phase.end);
-                    agg.messages += phase.messages;
-                    agg.bytes += phase.bytes;
-                    agg.arrivals.extend_from_slice(&phase.arrivals);
-                }
-                None => merged.push((key, phase.clone())),
-            }
-        }
-    }
-    let mut out: Vec<PhaseTiming> = merged.into_iter().map(|(_, p)| p).collect();
-    for phase in &mut out {
-        phase.arrivals.sort_by(f64::total_cmp);
-    }
-    out.sort_by(|a, b| a.start.total_cmp(&b.start));
-    out
-}
 
 // ---------------------------------------------------------------------
 // Persistent endpoints
@@ -620,7 +583,26 @@ pub struct FederationServer<F: Field> {
     /// In-flight ratchet commit:
     /// `(round, nonce, fingerprint, acks, expected)`.
     ratchet: Option<InFlightCommit>,
+    /// Rejected-envelope strikes per claimed sender, reset at each
+    /// `open_round` — the per-round ingress quota state.
+    strikes: BTreeMap<usize, usize>,
+    /// Strikes a client may accumulate per round before crossing the
+    /// quota.
+    quota: usize,
+    /// Envelopes rejected with a typed error, cumulatively.
+    rejections: usize,
+    /// Envelopes silently discarded from over-quota senders,
+    /// cumulatively.
+    quarantined: usize,
 }
+
+/// Default per-client ingress quota: rejected envelopes a client may
+/// accumulate in one round before the server raises
+/// [`ProtocolError::QuotaExceeded`] and quarantines its further
+/// traffic. A well-behaved client triggers at most a handful of typed
+/// rejections per round (races around phase boundaries), so eight
+/// strikes separates glitches from floods.
+pub const DEFAULT_INGRESS_QUOTA: usize = 8;
 
 /// A server's in-flight ratchet commit:
 /// `(round, nonce, fingerprint, acks, expected)`.
@@ -643,6 +625,10 @@ impl<F: Field> FederationServer<F> {
             session: None,
             outbox: VecDeque::new(),
             ratchet: None,
+            strikes: BTreeMap::new(),
+            quota: DEFAULT_INGRESS_QUOTA,
+            rejections: 0,
+            quarantined: 0,
         }
     }
 
@@ -682,7 +668,34 @@ impl<F: Field> FederationServer<F> {
             self.cfg, round, self.group,
         )?);
         self.round = round;
+        // the ingress quota is per round: a client that misbehaved last
+        // round starts the new one with a clean slate
+        self.strikes.clear();
         Ok(())
+    }
+
+    /// The per-client ingress quota in force (rejected envelopes per
+    /// round before [`ProtocolError::QuotaExceeded`]).
+    pub fn ingress_quota(&self) -> usize {
+        self.quota
+    }
+
+    /// Override the per-client ingress quota (minimum 1).
+    pub fn set_ingress_quota(&mut self, quota: usize) {
+        self.quota = quota.max(1);
+    }
+
+    /// Envelopes rejected with a typed error so far, cumulatively
+    /// across rounds (a round's delta lands in
+    /// [`crate::telemetry::EventCounters::rejections`]).
+    pub fn rejections(&self) -> usize {
+        self.rejections
+    }
+
+    /// Envelopes silently discarded from over-quota senders so far,
+    /// cumulatively across rounds.
+    pub fn quarantined(&self) -> usize {
+        self.quarantined
     }
 
     /// Close the upload phase of the open round, fixing the survivor set
@@ -782,6 +795,28 @@ impl<F: Field> FederationServer<F> {
         self.outbox.clear();
     }
 
+    /// Group check → ratchet-ack routing → session routing, without the
+    /// ingress-quota accounting that [`Session::handle`] wraps around
+    /// it.
+    fn handle_inner(&mut self, envelope: Envelope<F>) -> Result<Vec<Outgoing<F>>, ProtocolError> {
+        if envelope.group() != self.group {
+            return Err(ProtocolError::WrongGroup {
+                got: envelope.group(),
+                expected: self.group,
+            });
+        }
+        if let Envelope::RatchetAnnouncement(ann) = &envelope {
+            return self.handle_ratchet_ack(ann).map(|()| Vec::new());
+        }
+        match self.session.as_mut() {
+            Some(session) => session.handle(envelope),
+            None => Err(ProtocolError::StaleRound {
+                got: envelope.round(),
+                current: self.round,
+            }),
+        }
+    }
+
     /// A client's fingerprint-agreement ack for the in-flight commit.
     fn handle_ratchet_ack(&mut self, ann: &RatchetAnnouncement) -> Result<(), ProtocolError> {
         let Some((round, nonce, fingerprint, acks, expected)) = self.ratchet.as_mut() else {
@@ -813,22 +848,34 @@ impl<F: Field> Session<F> for FederationServer<F> {
     }
 
     fn handle(&mut self, envelope: Envelope<F>) -> Result<Vec<Outgoing<F>>, ProtocolError> {
-        if envelope.group() != self.group {
-            return Err(ProtocolError::WrongGroup {
-                got: envelope.group(),
-                expected: self.group,
-            });
+        // Ingress quota: key on the claimed sender when it is at least
+        // a plausible client id. An over-quota sender's traffic is
+        // dropped *silently* — erroring on every flooded envelope
+        // would let the flood wedge the round it failed to corrupt.
+        let sender = envelope.sender().filter(|&id| id < self.cfg.n());
+        if let Some(id) = sender {
+            if self.strikes.get(&id).copied().unwrap_or(0) >= self.quota {
+                self.quarantined += 1;
+                return Ok(Vec::new());
+            }
         }
-        if let Envelope::RatchetAnnouncement(ann) = &envelope {
-            return self.handle_ratchet_ack(ann).map(|()| Vec::new());
+        let result = self.handle_inner(envelope);
+        if result.is_err() {
+            self.rejections += 1;
+            if let Some(id) = sender {
+                let strikes = self.strikes.entry(id).or_insert(0);
+                *strikes += 1;
+                if *strikes >= self.quota {
+                    // the crossing envelope surfaces typed, once
+                    return Err(ProtocolError::QuotaExceeded {
+                        client: id,
+                        strikes: *strikes,
+                        cap: self.quota,
+                    });
+                }
+            }
         }
-        match self.session.as_mut() {
-            Some(session) => session.handle(envelope),
-            None => Err(ProtocolError::StaleRound {
-                got: envelope.round(),
-                current: self.round,
-            }),
-        }
+        result
     }
 
     fn poll_output(&mut self) -> Option<Outgoing<F>> {
@@ -1025,6 +1072,16 @@ pub struct SyncFederation<F: Field, T> {
     /// Fingerprint of the cohort whose base masks the clients retain,
     /// set after each successful round ([`crate::ratchet`]).
     ratchet_fp: Option<u64>,
+    /// Transport counters snapshotted when the open round started (its
+    /// traffic delta becomes the round's [`RoundReport`]). Traffic from
+    /// an overlapped `prepare_next` is billed to the round it ran
+    /// *during* — the paper's point is exactly that this cost hides
+    /// inside the current round.
+    mark: TrafficMark,
+    /// Server rejection/quarantine totals at the same snapshot.
+    mark_rejections: (usize, usize),
+    /// Telemetry of the most recent finished round.
+    last_report: Option<RoundReport>,
 }
 
 impl<F: Field, T: Transport<F>> SyncFederation<F, T> {
@@ -1073,6 +1130,9 @@ impl<F: Field, T: Transport<F>> SyncFederation<F, T> {
             prepared_ratcheted: BTreeSet::new(),
             entropy,
             ratchet_fp: None,
+            mark: TrafficMark::default(),
+            mark_rejections: (0, 0),
+            last_report: None,
         })
     }
 
@@ -1080,6 +1140,23 @@ impl<F: Field, T: Transport<F>> SyncFederation<F, T> {
     /// envelopes with (0 when flat).
     pub fn group(&self) -> usize {
         self.group
+    }
+
+    /// Snapshot the transport and server counters as the open round's
+    /// baseline.
+    fn mark_round_start(&mut self) {
+        self.mark = TrafficMark::of::<F, T>(&self.transport);
+        self.mark_rejections = (self.server.rejections(), self.server.quarantined());
+    }
+
+    /// Cut the finished round's [`RoundReport`] from the baseline.
+    fn cut_report(&mut self, open: &OpenRound) -> RoundReport {
+        let mut report = self.mark.cut::<F, T>(&self.transport, open.round);
+        report.events.dropouts = open.dropped.len();
+        report.events.ratchets = usize::from(open.ratcheted);
+        report.events.rejections = self.server.rejections() - self.mark_rejections.0;
+        report.events.quarantined = self.server.quarantined() - self.mark_rejections.1;
+        report
     }
 
     /// The underlying transport (for byte/timing statistics).
@@ -1209,6 +1286,9 @@ impl<F: Field, T: Transport<F>> SecureAggregator<F> for SyncFederation<F, T> {
         }
         let cohort = validate_cohort(&self.cfg, cohort)?;
         let round = self.next_round;
+        // telemetry baseline: everything from here to `finish_round`
+        // (including an overlapped `prepare_next`) bills to this round
+        self.mark_round_start();
         let ratcheted = if claim_prepared(&mut self.prepared, round, &cohort)? {
             self.prepared_ratcheted.remove(&round)
         } else if self.try_ratchet(round, &cohort, "offline") {
@@ -1322,6 +1402,7 @@ impl<F: Field, T: Transport<F>> SecureAggregator<F> for SyncFederation<F, T> {
         for client in &mut self.clients {
             client.retire_below(open.round + 1);
         }
+        self.last_report = Some(self.cut_report(&open));
         self.open = None;
         Ok(RoundOutcome {
             round: open.round,
@@ -1377,8 +1458,8 @@ impl<F: Field, T: Transport<F>> SecureAggregator<F> for SyncFederation<F, T> {
         self.transport.bytes_sent()
     }
 
-    fn phase_timings(&self) -> Vec<crate::transport::PhaseTiming> {
-        self.transport.timings().to_vec()
+    fn round_report(&self) -> Option<RoundReport> {
+        self.last_report.clone()
     }
 }
 
@@ -1406,6 +1487,11 @@ pub struct BufferedFederation<F, T> {
     entropy: StdRng,
     /// Fingerprint of the cohort whose base masks the clients retain.
     ratchet_fp: Option<u64>,
+    /// Transport counters snapshotted when the open round started (see
+    /// [`SyncFederation`]'s field of the same name).
+    mark: TrafficMark,
+    /// Telemetry of the most recent finished round.
+    last_report: Option<RoundReport>,
 }
 
 impl<F: Field, T: Transport<F>> BufferedFederation<F, T> {
@@ -1444,6 +1530,8 @@ impl<F: Field, T: Transport<F>> BufferedFederation<F, T> {
             prepared_ratcheted: BTreeSet::new(),
             entropy,
             ratchet_fp: None,
+            mark: TrafficMark::default(),
+            last_report: None,
         })
     }
 
@@ -1568,6 +1656,8 @@ impl<F: Field, T: Transport<F>> SecureAggregator<F> for BufferedFederation<F, T>
         }
         let cohort = validate_cohort(&self.cfg, cohort)?;
         let round = self.next_round;
+        // telemetry baseline (see [`SyncFederation::open_round`])
+        self.mark = TrafficMark::of::<F, T>(&self.transport);
         self.server.advance_to(round);
         let ratcheted = if claim_prepared(&mut self.prepared, round, &cohort)? {
             self.prepared_ratcheted.remove(&round)
@@ -1682,6 +1772,10 @@ impl<F: Field, T: Transport<F>> SecureAggregator<F> for BufferedFederation<F, T>
         for client in &mut self.clients {
             client.discard_before(open.round + 1);
         }
+        let mut report = self.mark.cut::<F, T>(&self.transport, open.round);
+        report.events.dropouts = open.dropped.len();
+        report.events.ratchets = usize::from(open.ratcheted);
+        self.last_report = Some(report);
         self.open = None;
         let mut contributors: Vec<usize> = recovered.entries.iter().map(|e| e.who).collect();
         contributors.sort_unstable();
@@ -1734,8 +1828,8 @@ impl<F: Field, T: Transport<F>> SecureAggregator<F> for BufferedFederation<F, T>
         self.transport.bytes_sent()
     }
 
-    fn phase_timings(&self) -> Vec<crate::transport::PhaseTiming> {
-        self.transport.timings().to_vec()
+    fn round_report(&self) -> Option<RoundReport> {
+        self.last_report.clone()
     }
 }
 
@@ -1854,12 +1948,26 @@ impl<F> RoundPlan<F> {
 /// synchronous and buffered-asynchronous federations.
 pub struct Federation<F> {
     aggregator: Box<dyn SecureAggregator<F>>,
+    /// Telemetry of the most recent successful [`Federation::run_round`],
+    /// with driver-level events (ratchet fallbacks) folded in.
+    last_report: Option<RoundReport>,
 }
 
 impl<F: Field> Federation<F> {
     /// Wrap an aggregator variant chosen by value.
     pub fn new(aggregator: Box<dyn SecureAggregator<F>>) -> Self {
-        Self { aggregator }
+        Self {
+            aggregator,
+            last_report: None,
+        }
+    }
+
+    /// The [`RoundReport`] of the most recent successful
+    /// [`Federation::run_round`]: the aggregator's own report plus the
+    /// driver's event view (a ratchet fast path that failed mid-round
+    /// and was replayed with a full exchange counts as one `fallbacks`).
+    pub fn last_report(&self) -> Option<&RoundReport> {
+        self.last_report.as_ref()
     }
 
     /// The protocol configuration.
@@ -1911,14 +2019,21 @@ impl<F: Field> Federation<F> {
         if let Some(seed) = plan.reassign_seed {
             self.aggregator.reassign(seed)?;
         }
-        match attempt_round(self.aggregator.as_mut(), plan) {
+        let (out, fell_back) = match attempt_round(self.aggregator.as_mut(), plan) {
             Err(ProtocolError::RatchetMismatch) => {
                 self.aggregator.clear_ratchet();
                 self.aggregator.abort_round();
-                attempt_round(self.aggregator.as_mut(), plan)
+                (attempt_round(self.aggregator.as_mut(), plan), true)
             }
-            out => out,
+            out => (out, false),
+        };
+        let out = out?;
+        let mut report = self.aggregator.round_report();
+        if let Some(r) = &mut report {
+            r.events.fallbacks += usize::from(fell_back);
         }
+        self.last_report = report;
+        Ok(out)
     }
 }
 

@@ -109,6 +109,7 @@ mod messages;
 pub mod ratchet;
 mod server;
 pub mod session;
+pub mod telemetry;
 pub mod topology;
 pub mod transport;
 pub mod wire;
@@ -116,13 +117,14 @@ pub mod wire;
 pub use client::Client;
 pub use config::LsaConfig;
 pub use federation::{
-    merge_phase_timings, BoxedAggregator, BufferedFederation, Federation, FederationClient,
-    FederationServer, RoundOutcome, RoundPlan, SecureAggregator, SyncFederation,
+    BoxedAggregator, BufferedFederation, Federation, FederationClient, FederationServer,
+    RoundOutcome, RoundPlan, SecureAggregator, SyncFederation,
 };
 pub use messages::{wire_bytes, AggregatedShare, CodedMaskShare, MaskedModel};
 pub use ratchet::{ratchet_enabled, CohortFingerprint, RatchetAnnouncement, RATCHET_FROM_SERVER};
 pub use server::{ServerPhase, ServerRound};
 pub use session::{ClientSession, Recipient, ServerSession, Session};
+pub use telemetry::{EventCounters, RoundReport, TrafficMark};
 pub use topology::{GroupTopology, GroupedFederation, TopologyNode};
 pub use transport::{Delivery, MemTransport, PhaseTiming, SimTransport, Transport};
 pub use wire::{
@@ -231,6 +233,20 @@ pub enum ProtocolError {
     /// from the retained round state. The round must fall back to the
     /// full offline mask exchange ([`ratchet`]).
     RatchetMismatch,
+    /// A client crossed its per-round ingress quota of rejected
+    /// envelopes at the server ([`federation::FederationServer`]).
+    /// Raised once, on the crossing envelope; everything further from
+    /// that client this round is silently quarantined (counted in
+    /// [`telemetry::EventCounters::quarantined`]) so a flooding client
+    /// cannot wedge the round.
+    QuotaExceeded {
+        /// The offending client.
+        client: usize,
+        /// Rejected envelopes accumulated by that client this round.
+        strikes: usize,
+        /// The quota that was crossed.
+        cap: usize,
+    },
     /// An operating-system I/O failure on a real network transport.
     Io(String),
 }
@@ -290,6 +306,17 @@ impl fmt::Display for ProtocolError {
                 write!(
                     f,
                     "stable-cohort ratchet state diverged; the round requires a full mask exchange"
+                )
+            }
+            ProtocolError::QuotaExceeded {
+                client,
+                strikes,
+                cap,
+            } => {
+                write!(
+                    f,
+                    "client {client}: ingress quota exceeded ({strikes} rejected envelopes, \
+                     cap {cap}); further traffic from it is quarantined this round"
                 )
             }
             ProtocolError::Io(msg) => write!(f, "transport I/O error: {msg}"),

@@ -82,11 +82,12 @@
 
 use crate::config::LsaConfig;
 use crate::federation::{
-    claim_prepared, ensure_unprepared, merge_phase_timings, BoxedAggregator, OpenRound,
-    RoundOutcome, SecureAggregator, SyncFederation,
+    claim_prepared, ensure_unprepared, BoxedAggregator, OpenRound, RoundOutcome, SecureAggregator,
+    SyncFederation,
 };
 use crate::ratchet::CohortFingerprint;
-use crate::transport::{PhaseTiming, Transport};
+use crate::telemetry::RoundReport;
+use crate::transport::Transport;
 use crate::wire::MAX_GROUP_ID;
 use crate::ProtocolError;
 use lsa_field::Field;
@@ -649,6 +650,10 @@ pub struct GroupedFederation<F: Field> {
     /// `carryover`, so a cancelled round never destroys a deferred
     /// update that still owes its exactly-once landing.
     merged: BTreeMap<usize, (Vec<F>, u64)>,
+    /// Telemetry of the most recent finished round: the
+    /// [`RoundReport::merge`] of the participating children's reports
+    /// (the root's critical path) plus this node's own requeue events.
+    last_report: Option<RoundReport>,
 }
 
 impl<F: Field> GroupedFederation<F> {
@@ -713,6 +718,7 @@ impl<F: Field> GroupedFederation<F> {
             round_updates: BTreeMap::new(),
             carryover: BTreeMap::new(),
             merged: BTreeMap::new(),
+            last_report: None,
         })
     }
 
@@ -756,6 +762,7 @@ impl<F: Field> GroupedFederation<F> {
             round_updates: BTreeMap::new(),
             carryover: BTreeMap::new(),
             merged: BTreeMap::new(),
+            last_report: None,
         })
     }
 
@@ -1023,6 +1030,8 @@ impl<F: Field> SecureAggregator<F> for GroupedFederation<F> {
         let mut stalled: Vec<usize> = Vec::new();
         let mut succeeded: Vec<usize> = Vec::new();
         let mut first_error = None;
+        let mut requeued = 0usize;
+        let mut child_reports: Vec<RoundReport> = Vec::new();
         for (c, outcome) in results {
             match outcome {
                 Ok(out) => {
@@ -1036,6 +1045,10 @@ impl<F: Field> SecureAggregator<F> for GroupedFederation<F> {
                     total_weight += out.total_weight;
                     // a composed child may itself have skipped leaves
                     stalled.extend(self.children[c].agg.stalled_leaves());
+                    // the child's finish_round just succeeded, so its
+                    // report is fresh (its local round number may lag the
+                    // parent's when it skipped empty-cohort rounds)
+                    child_reports.extend(self.children[c].agg.round_report());
                     succeeded.push(c);
                 }
                 Err(e) => {
@@ -1068,6 +1081,7 @@ impl<F: Field> SecureAggregator<F> for GroupedFederation<F> {
                             let (update, weight) =
                                 self.round_updates.remove(&id).expect("key just listed");
                             self.carryover.insert(id, (update, weight));
+                            requeued += 1;
                         }
                     } else {
                         // the subtree buffered the merged *values*
@@ -1092,6 +1106,7 @@ impl<F: Field> SecureAggregator<F> for GroupedFederation<F> {
                             self.merged.remove(&id);
                             self.carryover
                                 .insert(id, (vec![F::ZERO; self.topology.d()], w));
+                            requeued += 1;
                         }
                     }
                 }
@@ -1108,6 +1123,16 @@ impl<F: Field> SecureAggregator<F> for GroupedFederation<F> {
                 total_weight += extra;
             }
         }
+
+        // Root telemetry: merge the succeeded children's reports into
+        // the root's critical path, and fold in this node's own requeue
+        // events. Dropout/ratchet events live in the child reports and
+        // sum through the merge. The report is cut even when every
+        // subtree stalled — the all-requeued round is exactly the one
+        // an operator wants telemetry for.
+        let mut report = RoundReport::merge(open.round, &child_reports);
+        report.events.requeues += requeued;
+        self.last_report = Some(report);
 
         self.merged.clear();
         self.round_updates.clear();
@@ -1223,13 +1248,8 @@ impl<F: Field> SecureAggregator<F> for GroupedFederation<F> {
         self.children.iter().map(|c| c.agg.bytes_sent()).sum()
     }
 
-    fn phase_timings(&self) -> Vec<PhaseTiming> {
-        let per_child: Vec<Vec<PhaseTiming>> = self
-            .children
-            .iter()
-            .map(|c| c.agg.phase_timings())
-            .collect();
-        merge_phase_timings(&per_child)
+    fn round_report(&self) -> Option<RoundReport> {
+        self.last_report.clone()
     }
 }
 

@@ -83,6 +83,21 @@ pub trait Transport<F: Field> {
         0
     }
 
+    /// Total envelopes ever sent through this transport (0 for
+    /// backends that don't count).
+    fn messages_sent(&self) -> usize {
+        0
+    }
+
+    /// Transport framing overhead sent on top of [`Self::bytes_sent`]:
+    /// 0 for in-memory and simulated backends (an envelope *is* its
+    /// payload there), [`lsa_net::FRAME_OVERHEAD`] per frame for TCP.
+    /// Kept separate so the payload-byte column is identical across
+    /// backends for the same round.
+    fn framing_bytes(&self) -> usize {
+        0
+    }
+
     /// Per-phase wall-clock records, for transports with a notion of
     /// simulated time (empty otherwise).
     fn timings(&self) -> &[PhaseTiming] {
@@ -175,6 +190,10 @@ impl<F: Field> Transport<F> for MemTransport {
     fn bytes_sent(&self) -> usize {
         self.bytes_sent
     }
+
+    fn messages_sent(&self) -> usize {
+        self.messages_sent
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -196,6 +215,7 @@ pub struct SimTransport {
     inbox: VecDeque<(Recipient, Recipient, Vec<u8>)>,
     timings: Vec<PhaseTiming>,
     bytes_sent: usize,
+    messages_sent: usize,
 }
 
 impl SimTransport {
@@ -208,6 +228,7 @@ impl SimTransport {
             inbox: VecDeque::new(),
             timings: Vec::new(),
             bytes_sent: 0,
+            messages_sent: 0,
         }
     }
 
@@ -245,6 +266,7 @@ impl<F: Field> Transport<F> for SimTransport {
     ) -> Result<(), ProtocolError> {
         let bytes = envelope.to_bytes();
         self.bytes_sent += bytes.len();
+        self.messages_sent += 1;
         self.pending.push((from, to, bytes));
         Ok(())
     }
@@ -309,6 +331,10 @@ impl<F: Field> Transport<F> for SimTransport {
         self.bytes_sent
     }
 
+    fn messages_sent(&self) -> usize {
+        self.messages_sent
+    }
+
     fn timings(&self) -> &[PhaseTiming] {
         &self.timings
     }
@@ -366,6 +392,14 @@ impl<F: Field> Transport<F> for TcpTransport {
 
     fn bytes_sent(&self) -> usize {
         TcpTransport::bytes_sent(self)
+    }
+
+    fn messages_sent(&self) -> usize {
+        TcpTransport::messages_sent(self)
+    }
+
+    fn framing_bytes(&self) -> usize {
+        TcpTransport::framing_bytes(self)
     }
 
     fn timings(&self) -> &[PhaseTiming] {

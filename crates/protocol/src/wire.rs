@@ -330,6 +330,27 @@ impl<F: Field> Envelope<F> {
         }
     }
 
+    /// The client id that claims to have originated this envelope, or
+    /// `None` for server-announced kinds (survivor/buffer
+    /// announcements, and ratchet commits stamped
+    /// [`crate::ratchet::RATCHET_FROM_SERVER`]). This is the *claimed*
+    /// sender off the wire — ingress accounting (per-client quotas)
+    /// keys on it, while the sessions still validate it against the
+    /// round's membership.
+    pub fn sender(&self) -> Option<usize> {
+        match self {
+            Envelope::CodedMaskShare(m) => Some(m.from),
+            Envelope::MaskedModel(m) => Some(m.from),
+            Envelope::SurvivorAnnouncement(_) | Envelope::BufferAnnouncement(_) => None,
+            Envelope::AggregatedShare(m) => Some(m.from),
+            Envelope::TimestampedShare(m) => Some(m.from),
+            Envelope::TimestampedUpdate(m) => Some(m.from),
+            Envelope::RatchetAnnouncement(a) => {
+                (a.from != crate::ratchet::RATCHET_FROM_SERVER).then_some(a.from as usize)
+            }
+        }
+    }
+
     /// Exact serialized size in bytes (what a transport charges).
     pub fn wire_len(&self) -> usize {
         let eb = Self::elem_bytes();

@@ -26,14 +26,17 @@
 //! byte of disagreement.
 
 use lsa_field::{Field, Fp61};
-use lsa_net::{NodeId, TcpTransport};
+use lsa_net::{NodeId, TcpTransport, FRAME_OVERHEAD};
+use lsa_protocol::telemetry::{EventCounters, RoundReport};
 use lsa_protocol::topology::{GroupTopology, GroupedFederation};
+use lsa_protocol::transport::PhaseTiming;
 use lsa_protocol::{
     Envelope, MaskedModel, MemTransport, ProtocolError, Recipient, SecureAggregator, Transport,
 };
 use std::collections::BTreeMap;
+use std::io::Write;
 use std::process::ExitCode;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Threshold/survivor fractions for every leaf: tolerate `n_g/4`
 /// colluders, require 90% survivors (the paper's robust operating
@@ -255,20 +258,37 @@ fn subtree(
 // Root: collect G aggregates per round, sum, report
 // ---------------------------------------------------------------------
 
-/// Per-round sums collected by the root, in round order.
+/// One round's in-flight state at the root: the running sum plus the
+/// traffic the root's [`RoundReport`] is cut from.
+struct RoundCollect {
+    sum: Vec<Fp61>,
+    seen: usize,
+    bytes: usize,
+    arrivals: Vec<f64>,
+}
+
+/// Per-round sums collected by the root, in round order, each paired
+/// with the root's telemetry for that round: the payload bytes and
+/// frame count the children uploaded, TCP framing overhead reported
+/// separately (one header per frame), and a `"collect"` phase spanning
+/// the wall-clock window from the round's first child arrival to its
+/// last.
 fn collect_root(
     tcp: &mut TcpTransport,
     children: usize,
     rounds: u64,
     d: usize,
-) -> Result<Vec<Vec<Fp61>>, String> {
-    let mut sums: BTreeMap<u64, (Vec<Fp61>, usize)> = BTreeMap::new();
+) -> Result<Vec<(Vec<Fp61>, RoundReport)>, String> {
+    let clock = Instant::now();
+    let mut slots: BTreeMap<u64, RoundCollect> = BTreeMap::new();
     let mut done = 0u64;
     while done < rounds {
         let delivery = tcp
             .recv_bytes_timeout(ROUND_TIMEOUT)
             .map_err(|e| format!("root: receive failed: {e}"))?
             .ok_or_else(|| format!("root: timed out with {done}/{rounds} rounds complete"))?;
+        let arrived = clock.elapsed().as_secs_f64();
+        let frame_bytes = delivery.payload.len();
         let envelope = Envelope::<Fp61>::from_bytes(&delivery.payload)
             .map_err(|e| format!("root: undecodable frame from {:?}: {e}", delivery.from))?;
         let Envelope::MaskedModel(m) = envelope else {
@@ -291,18 +311,70 @@ fn collect_root(
                 m.payload.len()
             ));
         }
-        let (sum, seen) = sums
-            .entry(m.round)
-            .or_insert_with(|| (vec![Fp61::ZERO; d], 0));
-        for (acc, x) in sum.iter_mut().zip(&m.payload) {
+        let slot = slots.entry(m.round).or_insert_with(|| RoundCollect {
+            sum: vec![Fp61::ZERO; d],
+            seen: 0,
+            bytes: 0,
+            arrivals: Vec::new(),
+        });
+        for (acc, x) in slot.sum.iter_mut().zip(&m.payload) {
             *acc += *x;
         }
-        *seen += 1;
-        if *seen == children {
+        slot.seen += 1;
+        slot.bytes += frame_bytes;
+        slot.arrivals.push(arrived);
+        if slot.seen == children {
             done += 1;
         }
     }
-    Ok(sums.into_values().map(|(sum, _)| sum).collect())
+    Ok(slots
+        .into_iter()
+        .map(|(round, slot)| {
+            let phase = PhaseTiming {
+                label: "collect",
+                start: slot.arrivals.first().copied().unwrap_or(0.0),
+                end: slot.arrivals.last().copied().unwrap_or(0.0),
+                messages: slot.seen,
+                bytes: slot.bytes,
+                arrivals: slot.arrivals,
+            };
+            let report = RoundReport {
+                round,
+                phases: vec![phase],
+                payload_bytes: slot.bytes,
+                framing_bytes: slot.seen * FRAME_OVERHEAD,
+                envelopes: slot.seen,
+                events: EventCounters::default(),
+            };
+            (slot.sum, report)
+        })
+        .collect())
+}
+
+/// Print each collected round: the shell-comparable digest line plus
+/// the same one-line `RoundReport` JSON record the `scenario_matrix`
+/// bench emits, appended to `LSA_BENCH_JSON` when set so distributed
+/// runs land in the same artifact as in-memory benches.
+fn report_rounds(collected: &[(Vec<Fp61>, RoundReport)]) -> Result<(), String> {
+    let mut sink = match std::env::var_os("LSA_BENCH_JSON") {
+        Some(path) => Some(
+            std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .map_err(|e| format!("root: opening LSA_BENCH_JSON: {e}"))?,
+        ),
+        None => None,
+    };
+    for (t, (sum, report)) in collected.iter().enumerate() {
+        println!("round={t} digest={:#018x}", digest(sum));
+        let json = report.to_json("runner/root", 1);
+        println!("{json}");
+        if let Some(f) = &mut sink {
+            writeln!(f, "{json}").map_err(|e| format!("root: appending LSA_BENCH_JSON: {e}"))?;
+        }
+    }
+    Ok(())
 }
 
 fn run_root(opts: &Opts) -> Result<(), String> {
@@ -312,11 +384,8 @@ fn run_root(opts: &Opts) -> Result<(), String> {
     let d: usize = opts.num("d", Some(32))?;
     let mut tcp = TcpTransport::bind(NodeId::Server, listen)
         .map_err(|e| format!("root: binding {listen}: {e}"))?;
-    let sums = collect_root(&mut tcp, children, rounds, d)?;
-    for (t, sum) in sums.iter().enumerate() {
-        println!("round={t} digest={:#018x}", digest(sum));
-    }
-    Ok(())
+    let collected = collect_root(&mut tcp, children, rounds, d)?;
+    report_rounds(&collected)
 }
 
 // ---------------------------------------------------------------------
@@ -384,18 +453,19 @@ fn run_local(opts: &Opts) -> Result<(), String> {
 
     let reference = reference_run(n, &branch, rounds, d, seed)?;
     for t in 0..rounds as usize {
-        if distributed[t] != reference[t] {
+        if distributed[t].0 != reference[t] {
             return Err(format!(
                 "round {t}: distributed aggregate diverges from the in-memory run \
                  (digest {:#018x} vs {:#018x})",
-                digest(&distributed[t]),
+                digest(&distributed[t].0),
                 digest(&reference[t])
             ));
         }
         println!(
             "round={t} digest={:#018x} children={children} MATCH",
-            digest(&distributed[t])
+            digest(&distributed[t].0)
         );
+        println!("{}", distributed[t].1.to_json("runner/root", 1));
     }
     Ok(())
 }

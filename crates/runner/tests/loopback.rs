@@ -28,6 +28,28 @@ fn two_level_loopback_matches_in_memory_run() {
         2,
         "expected 2 matched rounds:\n{stdout}"
     );
+    // the root emits one RoundReport JSON line per round, in the same
+    // schema as the scenario_matrix bench records
+    let reports: Vec<&str> = stdout
+        .lines()
+        .filter(|l| l.contains("\"name\":\"runner/root\""))
+        .collect();
+    assert_eq!(reports.len(), 2, "expected 2 telemetry lines:\n{stdout}");
+    for line in reports {
+        for key in [
+            "\"round\":",
+            "\"phases\":",
+            "\"collect\":",
+            "\"payload_bytes\":",
+            "\"framing_bytes\":",
+            "\"envelopes\":4",
+            "\"events\":",
+            "\"available_parallelism\":",
+            "\"lsa_threads\":",
+        ] {
+            assert!(line.contains(key), "missing {key} in {line}");
+        }
+    }
 }
 
 #[test]

@@ -16,6 +16,7 @@
 use lsa_field::Field;
 use lsa_net::{Duplex, NetworkConfig};
 use lsa_protocol::federation::SecureAggregator;
+use lsa_protocol::telemetry::RoundReport;
 use lsa_protocol::topology::{GroupTopology, GroupedFederation};
 use lsa_protocol::transport::{PhaseTiming, SimTransport};
 use lsa_protocol::{
@@ -23,35 +24,38 @@ use lsa_protocol::{
 };
 use rand::Rng;
 
-/// One measured synchronous round: the exact aggregate plus wall-clock
-/// phase timings derived from serialized envelope sizes.
+/// One measured synchronous round: the exact aggregate plus the round's
+/// [`RoundReport`], with phase timings derived from serialized envelope
+/// sizes.
 #[derive(Debug, Clone)]
 pub struct TimedRoundOutput<F> {
     /// The protocol output (aggregate + survivors), byte-identical to a
     /// [`lsa_protocol::run_sync_round`] run with the same seed.
     pub output: SyncRoundOutput<F>,
-    /// Per-phase simulated wall-clock (`"offline"`, `"upload"`,
-    /// `"announce"`, `"recovery"`). Each phase's `end` is the *last*
+    /// The round's telemetry: per-phase simulated wall-clock
+    /// (`"offline"`, `"upload"`, `"announce"`, `"recovery"`), traffic
+    /// totals and event counters. Each phase's `end` is the *last*
     /// arrival of the phase; see [`TimedRoundOutput::total`] for the
     /// protocol-semantic round time.
-    pub phases: Vec<PhaseTiming>,
+    pub report: RoundReport,
     /// Round completion time (s): the server proceeds as soon as the
     /// `U`-th aggregated share arrives (Algorithm 1 line 24 — matching
     /// the analytic model's `kth_completion(U−1)`), even while straggler
     /// shares are still in flight. The full drain time of every message
-    /// is `phases.last().end`.
+    /// is `report.phases.last().end`.
     pub total: f64,
 }
 
 impl<F> TimedRoundOutput<F> {
     /// The timing of the named phase.
     pub fn phase(&self, label: &str) -> Option<&PhaseTiming> {
-        self.phases.iter().find(|p| p.label == label)
+        self.report.phase(label)
     }
 
-    /// Total serialized bytes moved across all phases.
+    /// Total serialized bytes moved across all phases (payload plus
+    /// framing — zero framing on the simulated network).
     pub fn total_bytes(&self) -> usize {
-        self.phases.iter().map(|p| p.bytes).sum()
+        self.report.total_bytes()
     }
 }
 
@@ -82,19 +86,18 @@ pub fn run_timed_sync_round<F: Field, R: Rng + ?Sized>(
     );
     let mut transport = SimTransport::new(net, duplex);
     let output = run_sync_round_over(cfg, models, dropouts, rng, &mut transport)?;
-    let phases = transport.timings().to_vec();
+    let report = RoundReport::of_transport::<F, SimTransport>(&transport, 0);
     // The server decodes at the U-th aggregated-share arrival; helpers
     // beyond U keep transmitting but don't gate the round (the analytic
     // model's `kth_completion(u - 1)` — see sim::round).
-    let total = phases
-        .iter()
-        .find(|p| p.label == "recovery")
+    let total = report
+        .phase("recovery")
         .filter(|p| p.messages >= cfg.u())
         .map_or(transport.elapsed(), |p| p.kth_completion(cfg.u() - 1));
     Ok(TimedRoundOutput {
         output,
         total,
-        phases,
+        report,
     })
 }
 
@@ -105,12 +108,12 @@ pub fn run_timed_sync_round<F: Field, R: Rng + ?Sized>(
 /// quantify exactly what the topology saves.
 ///
 /// The per-leaf phase records are merged label-by-label
-/// ([`lsa_protocol::merge_phase_timings`]): message and byte counts are
-/// summed across leaves, while each phase's `end` is the moment the
-/// *slowest* leaf finished it — subtrees run concurrently in a real
-/// hierarchy, so the merged end is the root's critical path. `total` is
-/// the merged recovery end (a conservative bound that ignores straggler
-/// shares *within* a leaf).
+/// ([`RoundReport::merge`]): message and byte counts are summed across
+/// leaves, while each phase's `end` is the moment the *slowest* leaf
+/// finished it — subtrees run concurrently in a real hierarchy, so the
+/// merged end is the root's critical path. `total` is the merged
+/// recovery end (a conservative bound that ignores straggler shares
+/// *within* a leaf).
 ///
 /// The server-side compute behind those arrivals — the per-subtree
 /// one-shot decodes inside `finish_round` — runs on the scoped worker
@@ -156,9 +159,9 @@ pub fn run_timed_grouped_round<F: Field>(
         grouped.submit(id, model)?;
     }
     let outcome = grouped.finish_round()?;
-    let phases = grouped.phase_timings();
-    let total = phases.iter().find(|p| p.label == "recovery").map_or_else(
-        || phases.last().map_or(0.0, |p| p.end),
+    let report = grouped.round_report().unwrap_or_default();
+    let total = report.phase("recovery").map_or_else(
+        || report.phases.last().map_or(0.0, |p| p.end),
         |p: &PhaseTiming| p.end,
     );
     Ok(TimedRoundOutput {
@@ -166,7 +169,7 @@ pub fn run_timed_grouped_round<F: Field>(
             aggregate: outcome.aggregate,
             survivors: outcome.contributors,
         },
-        phases,
+        report,
         total,
     })
 }

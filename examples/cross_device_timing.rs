@@ -74,7 +74,7 @@ fn main() {
         Duplex::Full,
     )
     .expect("round completes");
-    for phase in &timed.phases {
+    for phase in &timed.report.phases {
         println!(
             "  {:<10} {:>8.4} s  ({} envelopes, {} bytes)",
             phase.label,

@@ -481,3 +481,137 @@ fn aggregate_differs_from_any_individual_model() {
         assert_ne!(&out.aggregate, m);
     }
 }
+
+// ---------------------------------------------------------------------
+// Per-client ingress quota: a flooding client is struck, typed-errored
+// once at the quota crossing, then silently quarantined — and the round
+// completes without it.
+// ---------------------------------------------------------------------
+
+use lightsecagg::protocol::FederationServer;
+
+#[test]
+fn flooding_client_is_quarantined_and_the_round_completes() {
+    let mut server = FederationServer::<Fp61>::new(cfg());
+    server.open_round(0).unwrap();
+    let quota = server.ingress_quota();
+    assert!(quota >= 2);
+
+    // The flood: endlessly repeated malformed uploads claiming to come
+    // from client 3 (wrong payload length → typed Coding rejection).
+    let flood = || {
+        Envelope::MaskedModel(MaskedModel {
+            from: 3,
+            group: 0,
+            round: 0,
+            payload: vec![Fp61::ZERO; 3],
+        })
+    };
+    // Below the quota every rejection surfaces with its own typed error.
+    for _ in 0..quota - 1 {
+        assert!(matches!(
+            server.handle(flood()),
+            Err(ProtocolError::Coding(_))
+        ));
+    }
+    // The crossing envelope surfaces as the quota error, exactly once.
+    match server.handle(flood()) {
+        Err(ProtocolError::QuotaExceeded {
+            client,
+            strikes,
+            cap,
+        }) => {
+            assert_eq!(client, 3);
+            assert_eq!(strikes, quota);
+            assert_eq!(cap, quota);
+        }
+        other => panic!("expected QuotaExceeded, got {other:?}"),
+    }
+    assert_eq!(server.rejections(), quota);
+    // Everything further from the flooder is silently discarded — an
+    // erroring server would let the flood wedge the round instead.
+    for _ in 0..20 {
+        assert!(server.handle(flood()).unwrap().is_empty());
+    }
+    assert_eq!(server.quarantined(), 20);
+
+    // The round completes without the flooder: its own (valid!) upload
+    // is quarantined too, so it drops before upload; the other four
+    // survivors recover their exact sum.
+    let clients = built_clients(40);
+    let models: Vec<Vec<Fp61>> = (0..5).map(|i| vec![Fp61::from_u64(i as u64); 8]).collect();
+    for (id, c) in clients.iter().enumerate() {
+        let upload = Envelope::MaskedModel(c.mask_model(&models[id]).unwrap());
+        assert!(server.handle(upload).unwrap().is_empty());
+    }
+    assert_eq!(server.quarantined(), 21, "the flooder's upload was binned");
+    let survivors = server.close_upload().unwrap();
+    assert_eq!(survivors, vec![0, 1, 2, 4]);
+    for id in [0usize, 1, 2, 4] {
+        let share =
+            Envelope::AggregatedShare(clients[id].aggregated_share_for(&survivors).unwrap());
+        server.handle(share).unwrap();
+    }
+    let aggregate = server.close_round().unwrap();
+    let want: Fp61 = [0u64, 1, 2, 4].iter().map(|&i| Fp61::from_u64(i)).sum();
+    assert_eq!(aggregate, vec![want; 8]);
+}
+
+#[test]
+fn quota_is_per_round_and_configurable() {
+    let mut server = FederationServer::<Fp61>::new(cfg());
+    server.set_ingress_quota(2);
+    server.open_round(0).unwrap();
+    let flood = || {
+        Envelope::MaskedModel(MaskedModel {
+            from: 1,
+            group: 0,
+            round: 0,
+            payload: vec![Fp61::ZERO; 3],
+        })
+    };
+    assert!(matches!(
+        server.handle(flood()),
+        Err(ProtocolError::Coding(_))
+    ));
+    assert!(matches!(
+        server.handle(flood()),
+        Err(ProtocolError::QuotaExceeded { client: 1, .. })
+    ));
+    assert!(server.handle(flood()).unwrap().is_empty());
+
+    // A fresh round wipes the strikes: the same client is heard again.
+    server.abort_round();
+    server.open_round(1).unwrap();
+    let stale = Envelope::MaskedModel(MaskedModel {
+        from: 1,
+        group: 0,
+        round: 0,
+        payload: vec![Fp61::ZERO; 8],
+    });
+    // heard (and typed-rejected as stale), not silently quarantined
+    assert!(matches!(
+        server.handle(stale),
+        Err(ProtocolError::StaleRound { .. })
+    ));
+}
+
+#[test]
+fn telemetry_round_report_reaches_the_federation_api() {
+    // The unified telemetry layer's top-level surface: after a round,
+    // `Federation::last_report` carries phases-or-traffic and the
+    // round's event counters (here: one after-upload dropout, no
+    // rejections, nothing quarantined).
+    for (name, mut fed) in federations() {
+        let plan = RoundPlan::new(vec![0, 1, 2, 3, 4])
+            .with_uniform_updates(vec![Fp61::ONE; 8])
+            .with_drop_after_upload(2);
+        fed.run_round(&plan).unwrap();
+        let report = fed.last_report().expect("round produced a report");
+        assert_eq!(report.events.dropouts, 1, "{name}");
+        assert_eq!(report.events.rejections, 0, "{name}");
+        assert_eq!(report.events.quarantined, 0, "{name}");
+        assert!(report.envelopes > 0, "{name}: envelope traffic recorded");
+        assert!(report.payload_bytes > 0, "{name}: payload bytes recorded");
+    }
+}
