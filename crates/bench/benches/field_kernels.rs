@@ -4,22 +4,25 @@
 //! Two sweeps, both emitted to `LSA_BENCH_JSON` when set:
 //!
 //! * `field_kernels/{fused_multi_axpy,axpy_sweeps,sum_vectors_{lazy,sweeps}}
-//!   /{fp32,fp61}/d{D}/t{T}` over `d ∈ {2¹⁴, 2¹⁸, 2²⁰}` ×
-//!   `threads ∈ {1, 4}` — the acceptance gate is `fused_multi_axpy`
-//!   (the delayed-reduction kernel behind MDS decode/encode and the
-//!   weighted-buffer folds) beating `axpy_sweeps` (the pre-refactor
-//!   per-element-reduction decode loop) at `d = 2²⁰` on both fields,
-//!   single-threaded; the `t4` rows additionally show the fork-join
-//!   scaling on multi-core hosts.
-//! * `field_kernels/grouped_decode/N1024xG16/t{1,4}` — the decode
-//!   critical path of a grouped round: 16 independent per-group one-shot
-//!   recoveries (`n_g = 64`) mapped serially vs on the scoped pool. On a
-//!   multi-core host the `t4` row is the ROADMAP's parallel-decode
-//!   number.
+//!   /{fp32,fp61}/d{D}/t{T}[/{backend}]` over `d ∈ {2¹⁴, 2¹⁸, 2²⁰}` ×
+//!   `threads ∈ {1, 4}` × the compiled-in SIMD backends — the
+//!   acceptance gates are `fused_multi_axpy` (the delayed-reduction
+//!   kernel behind MDS decode/encode and the weighted-buffer folds)
+//!   beating `axpy_sweeps` (the pre-refactor per-element-reduction
+//!   decode loop) at `d = 2²⁰` on both fields single-threaded, and the
+//!   SIMD backend rows beating their `scalar` twins at `d = 2²⁰` on an
+//!   AVX2 host (≥1.5× measured on the reference machine). The `t4`
+//!   rows additionally show that fork-join scaling stacks with lanes
+//!   on multi-core hosts.
+//! * `field_kernels/grouped_decode/N1024xG16/t{1,4}/{backend}` — the
+//!   decode critical path of a grouped round: 16 independent per-group
+//!   one-shot recoveries (`n_g = 64`) mapped serially vs on the scoped
+//!   pool, per backend. On a multi-core host the `t4` row is the
+//!   ROADMAP's parallel-decode number.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use lsa_coding::VandermondeCode;
-use lsa_field::{ops, par, Field, Fp32, Fp61};
+use lsa_field::{ops, par, simd, Field, Fp32, Fp61};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Duration;
@@ -52,39 +55,47 @@ fn bench_kernels_for<F: Field>(c: &mut Criterion, field: &str) {
 
         group.throughput(Throughput::Elements(d as u64));
         for threads in THREADS {
-            group.bench_with_input(
-                BenchmarkId::new(
-                    format!("fused_multi_axpy/{field}"),
-                    format!("d{d}/t{threads}"),
-                ),
-                &d,
-                |b, _| {
-                    par::with_threads(threads, || {
-                        b.iter(|| {
-                            ops::weighted_sum_into(
-                                black_box(&mut acc),
-                                black_box(&coeffs),
-                                black_box(&refs),
-                            )
+            for backend in simd::available() {
+                group.bench_with_input(
+                    BenchmarkId::new(
+                        format!("fused_multi_axpy/{field}"),
+                        format!("d{d}/t{threads}/{}", backend.name()),
+                    ),
+                    &d,
+                    |b, _| {
+                        simd::with_backend(backend, || {
+                            par::with_threads(threads, || {
+                                b.iter(|| {
+                                    ops::weighted_sum_into(
+                                        black_box(&mut acc),
+                                        black_box(&coeffs),
+                                        black_box(&refs),
+                                    )
+                                })
+                            })
                         })
-                    })
-                },
-            );
-            group.bench_with_input(
-                BenchmarkId::new(
-                    format!("sum_vectors_lazy/{field}"),
-                    format!("d{d}/t{threads}"),
-                ),
-                &d,
-                |b, _| {
-                    par::with_threads(threads, || {
-                        b.iter(|| {
-                            black_box(ops::sum_vectors(black_box(&refs).iter().copied()).unwrap())
-                                .len()
+                    },
+                );
+                group.bench_with_input(
+                    BenchmarkId::new(
+                        format!("sum_vectors_lazy/{field}"),
+                        format!("d{d}/t{threads}/{}", backend.name()),
+                    ),
+                    &d,
+                    |b, _| {
+                        simd::with_backend(backend, || {
+                            par::with_threads(threads, || {
+                                b.iter(|| {
+                                    black_box(
+                                        ops::sum_vectors(black_box(&refs).iter().copied()).unwrap(),
+                                    )
+                                    .len()
+                                })
+                            })
                         })
-                    })
-                },
-            );
+                    },
+                );
+            }
         }
         // per-element-reduction baselines (inherently single-threaded)
         group.bench_with_input(
@@ -178,11 +189,20 @@ fn bench_grouped_decode(c: &mut Criterion) {
     let mut group = c.benchmark_group("field_kernels");
     group.throughput(Throughput::Elements(16));
     for threads in THREADS {
-        group.bench_with_input(
-            BenchmarkId::new("grouped_decode/N1024xG16", format!("t{threads}")),
-            &threads,
-            |b, &threads| par::with_threads(threads, || b.iter(|| black_box(run_decodes(&tasks)))),
-        );
+        for backend in simd::available() {
+            group.bench_with_input(
+                BenchmarkId::new(
+                    "grouped_decode/N1024xG16",
+                    format!("t{threads}/{}", backend.name()),
+                ),
+                &threads,
+                |b, &threads| {
+                    simd::with_backend(backend, || {
+                        par::with_threads(threads, || b.iter(|| black_box(run_decodes(&tasks))))
+                    })
+                },
+            );
+        }
     }
     group.finish();
 }

@@ -20,15 +20,24 @@
 //! ≥ 5× below the `rekey` row. The stderr summary also prints total
 //! per-round bytes (offline + masked uploads + recovery) and the
 //! reduction ratio.
+//!
+//! The ratcheted round's bytes are tiny but its CPU is PRG-bound: each
+//! member expands `n_g − 1` full-length ChaCha20 pads locally. The
+//! `ratchet` rows therefore carry a SIMD-backend axis
+//! (`steady_round/ratchet_N{n}/{backend}`), and on hosts where a SIMD
+//! backend is detected the bench additionally asserts the CPU side:
+//! the ratcheted round's wall-clock at N = 1024 under the SIMD backend
+//! must beat the forced-scalar run (skipped, with a stderr note, on
+//! scalar-only hosts).
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use lsa_field::Fp61;
+use lsa_field::{simd, Fp61};
 use lsa_protocol::federation::SecureAggregator;
 use lsa_protocol::topology::{GroupTopology, GroupedFederation};
 use lsa_protocol::transport::MemTransport;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 const D: usize = 256;
 const T_FRAC: f64 = 0.25;
@@ -113,11 +122,30 @@ fn bench_steady_rounds(c: &mut Criterion) {
                  {total} total B/round over {ROUNDS} steady rounds"
             );
             group.throughput(Throughput::Bytes(offline as u64));
-            let mut steady = SteadyFed::new(&topology, 5);
-            group.bench_function(
-                BenchmarkId::new("steady_round", format!("{mode}_N{n}")),
-                |b| b.iter(|| black_box(steady.round())),
-            );
+            if mode == "rekey" {
+                let mut steady = SteadyFed::new(&topology, 5);
+                group.bench_function(
+                    BenchmarkId::new("steady_round", format!("{mode}_N{n}")),
+                    |b| b.iter(|| black_box(steady.round())),
+                );
+            } else {
+                // The ratcheted round is PRG-bound, so it gets the
+                // backend axis. PRG streams capture their backend at
+                // construction: the federation must be built inside
+                // the pin, not just iterated there.
+                for backend in simd::available() {
+                    simd::with_backend(backend, || {
+                        let mut steady = SteadyFed::new(&topology, 5);
+                        group.bench_function(
+                            BenchmarkId::new(
+                                "steady_round",
+                                format!("{mode}_N{n}/{}", backend.name()),
+                            ),
+                            |b| b.iter(|| black_box(steady.round())),
+                        );
+                    });
+                }
+            }
         }
         let ratio = offline_by_mode[0] as f64 / offline_by_mode[1].max(1) as f64;
         eprintln!("mask_ratchet/N{n}: offline-byte reduction {ratio:.1}x (target >= 5x)");
@@ -129,8 +157,58 @@ fn bench_steady_rounds(c: &mut Criterion) {
             offline_by_mode[0],
         );
         std::env::set_var("LSA_RATCHET", "on");
+        if n == 1024 {
+            assert_simd_beats_scalar(&topology, n);
+        }
     }
     group.finish();
+}
+
+/// Best per-round wall-clock of a steady ratcheted stretch under the
+/// given backend (minimum over `ROUNDS` rounds — robust against
+/// scheduler noise on shared CI hosts). Called with `LSA_RATCHET=on`
+/// in force, so every timed round takes the mask-re-derivation path.
+fn best_ratchet_round(topology: &GroupTopology, backend: simd::Backend) -> Duration {
+    simd::with_backend(backend, || {
+        let mut steady = SteadyFed::new(topology, 7);
+        (0..ROUNDS)
+            .map(|_| {
+                let start = Instant::now();
+                black_box(steady.round());
+                start.elapsed()
+            })
+            .min()
+            .expect("ROUNDS > 0")
+    })
+}
+
+/// The CPU side of the ratchet acceptance: the PRG-bound ratcheted
+/// round must get faster under the detected SIMD backend. Guarded —
+/// on hosts where only the scalar backend exists the comparison is
+/// meaningless and is skipped with a stderr note.
+fn assert_simd_beats_scalar(topology: &GroupTopology, n: usize) {
+    match simd::detected() {
+        simd::Backend::Scalar => eprintln!(
+            "mask_ratchet/N{n}: no SIMD backend detected on this host; \
+             skipping the SIMD-vs-scalar wall-clock assert"
+        ),
+        simd_backend => {
+            let scalar = best_ratchet_round(topology, simd::Backend::Scalar);
+            let vectored = best_ratchet_round(topology, simd_backend);
+            eprintln!(
+                "mask_ratchet/N{n}: ratcheted round wall-clock {vectored:?} ({}) \
+                 vs {scalar:?} (scalar)",
+                simd_backend.name(),
+            );
+            assert!(
+                vectored < scalar,
+                "the PRG-bound ratcheted round at N={n} must be faster under the \
+                 detected {} backend than forced-scalar \
+                 (got {vectored:?} vs {scalar:?})",
+                simd_backend.name(),
+            );
+        }
+    }
 }
 
 criterion_group! {

@@ -13,6 +13,58 @@
 use lsa_bench::scenario::{run_cell, run_secagg_baseline, validate_json_line, MatrixParams, Mode};
 use std::io::Write;
 
+/// SIMD-relevant CPU features this host reports, for the `matrix/host`
+/// record — so a flat SIMD-vs-scalar row from a host without the
+/// feature is readable as "not supported here" rather than a
+/// regression.
+fn cpu_features() -> Vec<&'static str> {
+    #[allow(unused_mut)]
+    let mut feats: Vec<&'static str> = Vec::new();
+    #[cfg(target_arch = "x86_64")]
+    {
+        macro_rules! probe {
+            ($($f:tt),+ $(,)?) => {
+                $(if std::arch::is_x86_feature_detected!($f) { feats.push($f); })+
+            };
+        }
+        probe!(
+            "sse2",
+            "ssse3",
+            "sse4.1",
+            "avx",
+            "avx2",
+            "avx512f",
+            "avx512vl",
+            "avx512ifma",
+        );
+    }
+    feats
+}
+
+/// The execution-environment record emitted before the matrix cells:
+/// core count, knob resolutions, and detected CPU features. The
+/// threads note makes multi-thread cells from a 1-core container
+/// interpretable.
+fn host_record() -> String {
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let lsa_threads = std::env::var("LSA_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(cores);
+    let feats: Vec<String> = cpu_features().iter().map(|f| format!("\"{f}\"")).collect();
+    format!(
+        "{{\"name\":\"matrix/host\",\"available_parallelism\":{cores},\
+         \"lsa_threads\":{lsa_threads},\"simd_backend\":\"{}\",\
+         \"cpu_features\":[{}],\
+         \"threads_note\":\"thread-axis cells exceed real speedup only when \
+         available_parallelism > 1; simd-axis cells need the named feature in \
+         cpu_features\"}}",
+        lsa_field::simd::backend().name(),
+        feats.join(","),
+    )
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let params = if quick {
@@ -36,6 +88,14 @@ fn main() {
             .open(&path)
             .unwrap_or_else(|e| panic!("open {}: {e}", std::path::Path::new(&path).display()))
     });
+    // Execution-environment header: one host record ahead of the cells
+    // (same stdout + LSA_BENCH_JSON routing, different schema).
+    let host = host_record();
+    println!("{host}");
+    if let Some(f) = &mut sink {
+        writeln!(f, "{host}").expect("append LSA_BENCH_JSON");
+    }
+
     let mut failures = 0usize;
     let mut emit = |name: &str, outcome: Result<String, String>| match outcome {
         Ok(json) => match validate_json_line(&json) {

@@ -498,6 +498,7 @@ pub fn validate_json_line(line: &str) -> Result<(), String> {
         "\"quarantined\":",
         "\"available_parallelism\":",
         "\"lsa_threads\":",
+        "\"simd_backend\":\"",
     ] {
         if !trimmed.contains(key) {
             return Err(format!("missing key {key}"));

@@ -2,14 +2,42 @@
 //!
 //! Used as the protocol PRG. Only the keystream is needed (we never
 //! encrypt), so the API exposes a byte stream.
+//!
+//! # Backends
+//!
+//! Two keystream generators share one state schedule:
+//!
+//! * the scalar path computes one 64-byte block per refill — the oracle
+//!   every other path must match byte-for-byte;
+//! * the SIMD path (selected through [`lsa_field::simd`] at
+//!   construction time) computes **four consecutive blocks per call**,
+//!   holding one `__m128i` per ChaCha state word with the four block
+//!   counters spread across its lanes, so every `add`/`xor`/`rotate` of
+//!   the round function runs on all four blocks at once.
+//!
+//! Blocks are emitted in counter order either way, so the byte streams
+//! are identical; `counter_boundary_equivalence` and the RFC 8439
+//! vector tests pin this.
+
+use lsa_field::simd::{self, Backend};
+
+/// Keystream bytes buffered per SIMD refill (four 64-byte blocks).
+const BUF: usize = 256;
 
 /// ChaCha20 keystream generator.
 #[derive(Debug, Clone)]
 pub struct ChaCha20 {
     state: [u32; 16],
-    buffer: [u8; 64],
+    buffer: [u8; BUF],
+    /// Bytes of `buffer` holding valid keystream (64 per scalar refill,
+    /// [`BUF`] per SIMD refill).
+    buf_len: usize,
+    /// Bytes of `buffer` already handed out.
     offset: usize,
     counter: u32,
+    /// Captured once at construction — a `ChaCha20` never re-dispatches
+    /// mid-stream, so a scoped backend override cannot tear a stream.
+    backend: Backend,
 }
 
 const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
@@ -41,13 +69,15 @@ impl ChaCha20 {
         }
         Self {
             state,
-            buffer: [0u8; 64],
-            offset: 64, // force refill on first byte
+            buffer: [0u8; BUF],
+            buf_len: 0,
+            offset: 0, // buf_len == offset forces a refill on first byte
             counter: 0,
+            backend: simd::backend(),
         }
     }
 
-    /// The 64-byte block for a given counter value.
+    /// The 64-byte block for a given counter value (the scalar oracle).
     fn block(&self, counter: u32) -> [u8; 64] {
         let mut working = self.state;
         working[12] = counter;
@@ -72,23 +102,149 @@ impl ChaCha20 {
         out
     }
 
+    /// Refill the keystream buffer: four blocks at once on the SIMD
+    /// path, one on the scalar path.
+    fn refill(&mut self) {
+        #[cfg(target_arch = "x86_64")]
+        if self.backend == Backend::Avx2 {
+            // SAFETY: `Backend::Avx2` is only produced by
+            // `lsa_field::simd` after `is_x86_feature_detected!("avx2")`.
+            unsafe { x4::blocks4(&self.state, self.counter, &mut self.buffer) };
+            self.counter = self.counter.wrapping_add(4);
+            self.buf_len = BUF;
+            self.offset = 0;
+            return;
+        }
+        let block = self.block(self.counter);
+        self.buffer[..64].copy_from_slice(&block);
+        self.counter = self.counter.wrapping_add(1);
+        self.buf_len = 64;
+        self.offset = 0;
+    }
+
     /// Next keystream byte.
     #[inline]
     pub fn next_byte(&mut self) -> u8 {
-        if self.offset == 64 {
-            self.buffer = self.block(self.counter);
-            self.counter = self.counter.wrapping_add(1);
-            self.offset = 0;
+        if self.offset == self.buf_len {
+            self.refill();
         }
         let b = self.buffer[self.offset];
         self.offset += 1;
         b
     }
 
-    /// Fill a slice with keystream bytes.
+    /// Next `nbytes ≤ 8` keystream bytes as a little-endian `u64` — the
+    /// word-sized draw rejection sampling makes, pulled from the buffer
+    /// in one copy instead of `nbytes` calls.
+    #[inline]
+    pub fn next_word_le(&mut self, nbytes: usize) -> u64 {
+        debug_assert!(nbytes <= 8);
+        let mut word = [0u8; 8];
+        if self.buf_len - self.offset >= nbytes {
+            word[..nbytes].copy_from_slice(&self.buffer[self.offset..self.offset + nbytes]);
+            self.offset += nbytes;
+        } else {
+            for b in word.iter_mut().take(nbytes) {
+                *b = self.next_byte();
+            }
+        }
+        u64::from_le_bytes(word)
+    }
+
+    /// Fill a slice with keystream bytes (buffer-sized copies, not a
+    /// per-byte loop).
     pub fn fill(&mut self, out: &mut [u8]) {
-        for b in out.iter_mut() {
-            *b = self.next_byte();
+        let mut written = 0;
+        while written < out.len() {
+            if self.offset == self.buf_len {
+                self.refill();
+            }
+            let n = (out.len() - written).min(self.buf_len - self.offset);
+            out[written..written + n].copy_from_slice(&self.buffer[self.offset..self.offset + n]);
+            self.offset += n;
+            written += n;
+        }
+    }
+}
+
+/// Four-block SIMD kernel: one `__m128i` per ChaCha state word, block
+/// counters `ctr..ctr+3` spread across the lanes.
+#[cfg(target_arch = "x86_64")]
+mod x4 {
+    use core::arch::x86_64::*;
+
+    /// Lanewise 32-bit rotate-left (no variable-rotate below AVX-512, so
+    /// shift/shift/or).
+    macro_rules! rotl {
+        ($x:expr, $n:literal) => {{
+            let x = $x;
+            _mm_or_si128(_mm_slli_epi32::<$n>(x), _mm_srli_epi32::<{ 32 - $n }>(x))
+        }};
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn qr(v: &mut [__m128i; 16], a: usize, b: usize, c: usize, d: usize) {
+        v[a] = _mm_add_epi32(v[a], v[b]);
+        v[d] = rotl!(_mm_xor_si128(v[d], v[a]), 16);
+        v[c] = _mm_add_epi32(v[c], v[d]);
+        v[b] = rotl!(_mm_xor_si128(v[b], v[c]), 12);
+        v[a] = _mm_add_epi32(v[a], v[b]);
+        v[d] = rotl!(_mm_xor_si128(v[d], v[a]), 8);
+        v[c] = _mm_add_epi32(v[c], v[d]);
+        v[b] = rotl!(_mm_xor_si128(v[b], v[c]), 7);
+    }
+
+    /// Blocks `counter..counter+3` (wrapping), serialized in counter
+    /// order — byte-identical to four scalar `block` calls.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure AVX2 is available.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn blocks4(state: &[u32; 16], counter: u32, out: &mut [u8; 256]) {
+        let mut v = [_mm_setzero_si128(); 16];
+        for (lane, &word) in v.iter_mut().zip(state.iter()) {
+            *lane = _mm_set1_epi32(word as i32);
+        }
+        v[12] = _mm_setr_epi32(
+            counter as i32,
+            counter.wrapping_add(1) as i32,
+            counter.wrapping_add(2) as i32,
+            counter.wrapping_add(3) as i32,
+        );
+        let init = v;
+        for _ in 0..10 {
+            // column rounds
+            qr(&mut v, 0, 4, 8, 12);
+            qr(&mut v, 1, 5, 9, 13);
+            qr(&mut v, 2, 6, 10, 14);
+            qr(&mut v, 3, 7, 11, 15);
+            // diagonal rounds
+            qr(&mut v, 0, 5, 10, 15);
+            qr(&mut v, 1, 6, 11, 12);
+            qr(&mut v, 2, 7, 8, 13);
+            qr(&mut v, 3, 4, 9, 14);
+        }
+        for (lane, seed) in v.iter_mut().zip(init.iter()) {
+            *lane = _mm_add_epi32(*lane, *seed);
+        }
+        // Rows hold the same word of all four blocks; each group of four
+        // rows transposes into one 16-byte run per block.
+        for g in 0..4 {
+            let t0 = _mm_unpacklo_epi32(v[4 * g], v[4 * g + 1]);
+            let t1 = _mm_unpacklo_epi32(v[4 * g + 2], v[4 * g + 3]);
+            let t2 = _mm_unpackhi_epi32(v[4 * g], v[4 * g + 1]);
+            let t3 = _mm_unpackhi_epi32(v[4 * g + 2], v[4 * g + 3]);
+            let rows = [
+                _mm_unpacklo_epi64(t0, t1), // block 0: words 4g..4g+3
+                _mm_unpackhi_epi64(t0, t1), // block 1
+                _mm_unpacklo_epi64(t2, t3), // block 2
+                _mm_unpackhi_epi64(t2, t3), // block 3
+            ];
+            for (b, row) in rows.iter().enumerate() {
+                _mm_storeu_si128(out.as_mut_ptr().add(b * 64 + g * 16) as *mut __m128i, *row);
+            }
         }
     }
 }
@@ -96,11 +252,9 @@ impl ChaCha20 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lsa_field::simd::{available, detected, with_backend};
 
-    /// RFC 8439 §2.3.2 test vector: key = 00..1f, nonce =
-    /// 000000090000004a00000000, counter = 1.
-    #[test]
-    fn rfc8439_block_test_vector() {
+    fn test_key() -> ([u8; 32], [u8; 12]) {
         let mut key = [0u8; 32];
         for (i, k) in key.iter_mut().enumerate() {
             *k = i as u8;
@@ -108,16 +262,115 @@ mod tests {
         let nonce = [
             0x00, 0x00, 0x00, 0x09, 0x00, 0x00, 0x00, 0x4a, 0x00, 0x00, 0x00, 0x00,
         ];
+        (key, nonce)
+    }
+
+    const RFC8439_BLOCK1: [u8; 64] = [
+        0x10, 0xf1, 0xe7, 0xe4, 0xd1, 0x3b, 0x59, 0x15, 0x50, 0x0f, 0xdd, 0x1f, 0xa3, 0x20, 0x71,
+        0xc4, 0xc7, 0xd1, 0xf4, 0xc7, 0x33, 0xc0, 0x68, 0x03, 0x04, 0x22, 0xaa, 0x9a, 0xc3, 0xd4,
+        0x6c, 0x4e, 0xd2, 0x82, 0x64, 0x46, 0x07, 0x9f, 0xaa, 0x09, 0x14, 0xc2, 0xd7, 0x05, 0xd9,
+        0x8b, 0x02, 0xa2, 0xb5, 0x12, 0x9c, 0xd1, 0xde, 0x16, 0x4e, 0xb9, 0xcb, 0xd0, 0x83, 0xe8,
+        0xa2, 0x50, 0x3c, 0x4e,
+    ];
+
+    /// RFC 8439 §2.3.2 test vector: key = 00..1f, nonce =
+    /// 000000090000004a00000000, counter = 1.
+    #[test]
+    fn rfc8439_block_test_vector() {
+        let (key, nonce) = test_key();
         let cipher = ChaCha20::new(&key, &nonce);
-        let block = cipher.block(1);
-        let expected: [u8; 64] = [
-            0x10, 0xf1, 0xe7, 0xe4, 0xd1, 0x3b, 0x59, 0x15, 0x50, 0x0f, 0xdd, 0x1f, 0xa3, 0x20,
-            0x71, 0xc4, 0xc7, 0xd1, 0xf4, 0xc7, 0x33, 0xc0, 0x68, 0x03, 0x04, 0x22, 0xaa, 0x9a,
-            0xc3, 0xd4, 0x6c, 0x4e, 0xd2, 0x82, 0x64, 0x46, 0x07, 0x9f, 0xaa, 0x09, 0x14, 0xc2,
-            0xd7, 0x05, 0xd9, 0x8b, 0x02, 0xa2, 0xb5, 0x12, 0x9c, 0xd1, 0xde, 0x16, 0x4e, 0xb9,
-            0xcb, 0xd0, 0x83, 0xe8, 0xa2, 0x50, 0x3c, 0x4e,
-        ];
-        assert_eq!(block, expected);
+        assert_eq!(cipher.block(1), RFC8439_BLOCK1);
+    }
+
+    /// The same RFC vector through the public keystream (bytes 64..128
+    /// are the counter-1 block), pinned on every compiled-in backend.
+    #[test]
+    fn rfc8439_vector_on_every_backend() {
+        let (key, nonce) = test_key();
+        for b in available() {
+            with_backend(b, || {
+                let mut cipher = ChaCha20::new(&key, &nonce);
+                let mut stream = [0u8; 128];
+                cipher.fill(&mut stream);
+                assert_eq!(&stream[64..], &RFC8439_BLOCK1[..], "backend {}", b.name());
+            });
+        }
+    }
+
+    /// The 4-block kernel must be byte-identical to four scalar block
+    /// calls, including across non-multiple-of-4 read patterns.
+    #[test]
+    fn multi_block_keystream_matches_scalar() {
+        let key = [0xabu8; 32];
+        let nonce = [0x17u8; 12];
+        // 1000 bytes: crosses three 256-byte SIMD refills with a tail
+        // that is neither 64- nor 256-aligned
+        let mut want = vec![0u8; 1000];
+        with_backend(lsa_field::simd::Backend::Scalar, || {
+            ChaCha20::new(&key, &nonce).fill(&mut want);
+        });
+        for b in available() {
+            with_backend(b, || {
+                let mut got = vec![0u8; 1000];
+                ChaCha20::new(&key, &nonce).fill(&mut got);
+                assert_eq!(got, want, "backend {}", b.name());
+            });
+        }
+    }
+
+    /// Odd-sized interleaved draws (bytes and words) see the same stream
+    /// as one bulk fill, on every backend.
+    #[test]
+    fn counter_boundary_equivalence() {
+        let key = [3u8; 32];
+        let nonce = [5u8; 12];
+        for b in available() {
+            with_backend(b, || {
+                let mut bulk = vec![0u8; 700];
+                ChaCha20::new(&key, &nonce).fill(&mut bulk);
+                let mut piecemeal = Vec::with_capacity(700);
+                let mut cipher = ChaCha20::new(&key, &nonce);
+                // 7-byte words + 13-byte fills + single bytes: straddles
+                // every 64-byte block boundary unaligned
+                while piecemeal.len() + 21 <= 700 {
+                    let w = cipher.next_word_le(7);
+                    piecemeal.extend_from_slice(&w.to_le_bytes()[..7]);
+                    let mut chunk = [0u8; 13];
+                    cipher.fill(&mut chunk);
+                    piecemeal.extend_from_slice(&chunk);
+                    piecemeal.push(cipher.next_byte());
+                }
+                while piecemeal.len() < 700 {
+                    piecemeal.push(cipher.next_byte());
+                }
+                assert_eq!(piecemeal, bulk, "backend {}", b.name());
+            });
+        }
+    }
+
+    /// The 32-bit block counter wraps identically on both paths (the
+    /// SIMD refill spreads `ctr..ctr+3` with wrapping adds).
+    #[test]
+    fn counter_wrap_matches_scalar() {
+        if detected() == lsa_field::simd::Backend::Scalar {
+            return;
+        }
+        let key = [0x42u8; 32];
+        let nonce = [9u8; 12];
+        let start = u32::MAX - 2; // refill spans MAX-2, MAX-1, MAX, 0
+        let mut want = vec![0u8; 512];
+        with_backend(lsa_field::simd::Backend::Scalar, || {
+            let mut cipher = ChaCha20::new(&key, &nonce);
+            cipher.counter = start;
+            cipher.fill(&mut want);
+        });
+        with_backend(detected(), || {
+            let mut cipher = ChaCha20::new(&key, &nonce);
+            cipher.counter = start;
+            let mut got = vec![0u8; 512];
+            cipher.fill(&mut got);
+            assert_eq!(got, want);
+        });
     }
 
     /// RFC 8439 §2.4.2 keystream (first bytes of counter-1 block with the

@@ -103,11 +103,7 @@ impl FieldPrg {
         // Draw ceil(BITS/8)-byte words; reject values >= MODULUS.
         let nbytes = usize::max(1, F::BITS.div_ceil(8) as usize);
         loop {
-            let mut word = [0u8; 8];
-            for b in word.iter_mut().take(nbytes) {
-                *b = self.stream.next_byte();
-            }
-            let v = u64::from_le_bytes(word);
+            let v = self.stream.next_word_le(nbytes);
             // mask off excess bits to keep the rejection rate low
             let v = if F::BITS >= 64 {
                 v

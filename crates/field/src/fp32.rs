@@ -22,6 +22,7 @@ pub const P32: u64 = 4_294_967_291;
 /// assert_eq!(x + Fp32::ONE, Fp32::ZERO);
 /// ```
 #[derive(Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(transparent)]
 pub struct Fp32(u32);
 
 impl Fp32 {
@@ -105,6 +106,257 @@ impl Field for Fp32 {
             if (v as u64) < P32 {
                 return Self(v);
             }
+        }
+    }
+
+    fn simd_weighted_block(
+        backend: crate::simd::Backend,
+        block: &mut [Self],
+        coeffs: &[Self],
+        inputs: &[&[Self]],
+        offset: usize,
+    ) -> bool {
+        #[cfg(target_arch = "x86_64")]
+        if backend == crate::simd::Backend::Avx2 {
+            // SAFETY: `Backend::Avx2` is only ever produced by
+            // `crate::simd` after `is_x86_feature_detected!("avx2")`.
+            unsafe { avx2::weighted_block(block, coeffs, inputs, offset) };
+            return true;
+        }
+        let _ = (backend, block, coeffs, inputs, offset);
+        false
+    }
+
+    fn simd_dot(backend: crate::simd::Backend, x: &[Self], y: &[Self]) -> Option<Self> {
+        #[cfg(target_arch = "x86_64")]
+        if backend == crate::simd::Backend::Avx2 {
+            // SAFETY: as in `simd_weighted_block`.
+            return Some(unsafe { avx2::dot(x, y) });
+        }
+        let _ = (backend, x, y);
+        None
+    }
+}
+
+/// AVX2 kernels: four `u64` accumulator lanes per instruction, using the
+/// **same** partial-fold arithmetic (`acc += (t >> 32)·5 + (t & 2³²−1)`)
+/// and the same [`Field::WIDE_CAPACITY`] re-fold cadence as the scalar
+/// `wide_*` primitives — so the accumulator contents, not just the
+/// reduced outputs, match the scalar path exactly.
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::{Fp32, P32};
+    use crate::ops::BLOCK;
+    use crate::Field;
+    use core::arch::x86_64::*;
+
+    /// One partial fold: `(t >> 32)·5 + (t & 2³²−1)`, lanewise.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn fold(t: __m256i, mask32: __m256i) -> __m256i {
+        let hi = _mm256_srli_epi64::<32>(t);
+        let hi5 = _mm256_add_epi64(hi, _mm256_slli_epi64::<2>(hi));
+        _mm256_add_epi64(hi5, _mm256_and_si256(t, mask32))
+    }
+
+    /// Canonical lanewise reduction: two folds, then one conditional
+    /// subtraction (values stay far below `2^63`, so the signed compare
+    /// is exact). Lanes keep their `u64` width.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn reduce_vec(acc: __m256i, mask32: __m256i, p: __m256i) -> __m256i {
+        let v = fold(acc, mask32); // < 6·2^32
+        let w = fold(v, mask32); // < 2^32 + 25
+        let lt = _mm256_cmpgt_epi64(p, w);
+        let sub = _mm256_andnot_si256(lt, p); // p where w >= p
+        _mm256_sub_epi64(w, sub)
+    }
+
+    /// The fused weighted-sum block kernel
+    /// (see [`Field::simd_weighted_block`] for the contract).
+    ///
+    /// Strip-major: each 16-element strip keeps its accumulators in four
+    /// registers across *all* terms, so the only per-term memory traffic
+    /// is the input load — the scalar path's widened scratch (and its
+    /// per-term load/store of the accumulator) disappears entirely.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure AVX2 is available.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn weighted_block(
+        block: &mut [Fp32],
+        coeffs: &[Fp32],
+        inputs: &[&[Fp32]],
+        offset: usize,
+    ) {
+        let n = block.len();
+        debug_assert!(n <= BLOCK);
+        let mask32 = _mm256_set1_epi64x(0xFFFF_FFFF);
+        let p = _mm256_set1_epi64x(P32 as i64);
+        let idx = _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0);
+        let mut k = 0;
+        while k + 16 <= n {
+            let base = block.as_ptr().add(k);
+            let mut a0 = _mm256_cvtepu32_epi64(_mm_loadu_si128(base as *const __m128i));
+            let mut a1 = _mm256_cvtepu32_epi64(_mm_loadu_si128(base.add(4) as *const __m128i));
+            let mut a2 = _mm256_cvtepu32_epi64(_mm_loadu_si128(base.add(8) as *const __m128i));
+            let mut a3 = _mm256_cvtepu32_epi64(_mm_loadu_si128(base.add(12) as *const __m128i));
+            // seed residue counts as one absorbed term
+            let mut terms: u64 = 1;
+            for (&c, v) in coeffs.iter().zip(inputs) {
+                if c == Fp32::ZERO {
+                    continue;
+                }
+                if terms == Fp32::WIDE_CAPACITY {
+                    a0 = reduce_vec(a0, mask32, p);
+                    a1 = reduce_vec(a1, mask32, p);
+                    a2 = reduce_vec(a2, mask32, p);
+                    a3 = reduce_vec(a3, mask32, p);
+                    terms = 1;
+                }
+                let src = v.as_ptr().add(offset + k);
+                let x0 = _mm256_cvtepu32_epi64(_mm_loadu_si128(src as *const __m128i));
+                let x1 = _mm256_cvtepu32_epi64(_mm_loadu_si128(src.add(4) as *const __m128i));
+                let x2 = _mm256_cvtepu32_epi64(_mm_loadu_si128(src.add(8) as *const __m128i));
+                let x3 = _mm256_cvtepu32_epi64(_mm_loadu_si128(src.add(12) as *const __m128i));
+                if c == Fp32::ONE {
+                    a0 = _mm256_add_epi64(a0, x0);
+                    a1 = _mm256_add_epi64(a1, x1);
+                    a2 = _mm256_add_epi64(a2, x2);
+                    a3 = _mm256_add_epi64(a3, x3);
+                } else {
+                    // lanes hold zero-extended u32s, so mul_epu32's
+                    // low-32 × low-32 semantics give the exact product
+                    let cs = _mm256_set1_epi64x(c.0 as i64);
+                    a0 = _mm256_add_epi64(a0, fold(_mm256_mul_epu32(x0, cs), mask32));
+                    a1 = _mm256_add_epi64(a1, fold(_mm256_mul_epu32(x1, cs), mask32));
+                    a2 = _mm256_add_epi64(a2, fold(_mm256_mul_epu32(x2, cs), mask32));
+                    a3 = _mm256_add_epi64(a3, fold(_mm256_mul_epu32(x3, cs), mask32));
+                }
+                terms += 1;
+            }
+            // reduce and narrow all four quarters, then two 8×u32 stores
+            let w0 = _mm256_permutevar8x32_epi32(reduce_vec(a0, mask32, p), idx);
+            let w1 = _mm256_permutevar8x32_epi32(reduce_vec(a1, mask32, p), idx);
+            let w2 = _mm256_permutevar8x32_epi32(reduce_vec(a2, mask32, p), idx);
+            let w3 = _mm256_permutevar8x32_epi32(reduce_vec(a3, mask32, p), idx);
+            let lo = _mm256_inserti128_si256::<1>(w0, _mm256_castsi256_si128(w1));
+            let hi = _mm256_inserti128_si256::<1>(w2, _mm256_castsi256_si128(w3));
+            _mm256_storeu_si256(block.as_mut_ptr().add(k) as *mut __m256i, lo);
+            _mm256_storeu_si256(block.as_mut_ptr().add(k + 8) as *mut __m256i, hi);
+            k += 16;
+        }
+        // scalar tail (< 16 elements) on the `Wide` oracle path
+        while k < n {
+            let mut acc = block[k].to_wide();
+            let mut terms: u64 = 1;
+            for (&c, v) in coeffs.iter().zip(inputs) {
+                if c == Fp32::ZERO {
+                    continue;
+                }
+                if terms == Fp32::WIDE_CAPACITY {
+                    acc = Fp32::wide_reduce(acc).to_wide();
+                    terms = 1;
+                }
+                let x = v[offset + k];
+                acc = if c == Fp32::ONE {
+                    Fp32::wide_add(acc, x)
+                } else {
+                    Fp32::wide_mul_add(acc, c, x)
+                };
+                terms += 1;
+            }
+            block[k] = Fp32::wide_reduce(acc);
+            k += 1;
+        }
+    }
+
+    /// Inner product: four parallel lane accumulators with the scalar
+    /// re-fold cadence per lane, collapsed exactly at the end.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure AVX2 is available.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn dot(x: &[Fp32], y: &[Fp32]) -> Fp32 {
+        debug_assert_eq!(x.len(), y.len());
+        let n = x.len();
+        let mask32 = _mm256_set1_epi64x(0xFFFF_FFFF);
+        let mut acc = _mm256_setzero_si256();
+        let mut terms: u64 = 0;
+        let mut k = 0;
+        while k + 4 <= n {
+            if terms == Fp32::WIDE_CAPACITY {
+                // lanewise canonical re-fold, mirroring the scalar kernel
+                let mut lanes = [0u64; 4];
+                _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, acc);
+                for l in lanes.iter_mut() {
+                    *l = Fp32::wide_reduce(*l).to_wide();
+                }
+                acc = _mm256_loadu_si256(lanes.as_ptr() as *const __m256i);
+                terms = 1;
+            }
+            let xs = _mm256_cvtepu32_epi64(_mm_loadu_si128(x.as_ptr().add(k) as *const __m128i));
+            let ys = _mm256_cvtepu32_epi64(_mm_loadu_si128(y.as_ptr().add(k) as *const __m128i));
+            let t = _mm256_mul_epu32(xs, ys);
+            acc = _mm256_add_epi64(acc, fold(t, mask32));
+            terms += 1;
+            k += 4;
+        }
+        let mut lanes = [0u64; 4];
+        _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, acc);
+        // canonical per-lane residues sum to < 4·2^32; tail terms are
+        // each < 6·2^32, so the u64 accumulator has ample headroom
+        let mut wide: u64 = lanes.iter().map(|&l| Fp32::wide_reduce(l).residue()).sum();
+        while k < n {
+            wide = Fp32::wide_mul_add(wide, x[k], y[k]);
+            k += 1;
+        }
+        Fp32::wide_reduce(wide)
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use crate::simd::{detected, Backend};
+
+        fn worst() -> Fp32 {
+            Fp32(P32 as u32 - 1)
+        }
+
+        #[test]
+        fn weighted_block_worst_case_matches_scalar() {
+            if detected() != Backend::Avx2 {
+                return;
+            }
+            // all-(q−1) coefficients and inputs with a non-multiple-of-4
+            // block length, so both the lane loop and the tail run
+            let terms = 24;
+            let len = 19;
+            let coeffs = vec![worst(); terms];
+            let owned: Vec<Vec<Fp32>> = vec![vec![worst(); len]; terms];
+            let inputs: Vec<&[Fp32]> = owned.iter().map(Vec::as_slice).collect();
+            let mut simd_out = vec![worst(); len];
+            let mut scalar_out = simd_out.clone();
+            // SAFETY: detection checked above.
+            unsafe { weighted_block(&mut simd_out, &coeffs, &inputs, 0) };
+            crate::ops::reference::weighted_sum_into(&mut scalar_out, &coeffs, &inputs);
+            assert_eq!(simd_out, scalar_out);
+        }
+
+        #[test]
+        fn dot_worst_case_matches_scalar() {
+            if detected() != Backend::Avx2 {
+                return;
+            }
+            // 4·k + 3 so a 3-element scalar tail follows the lane loop
+            let len = 4 * 25 + 3;
+            let x = vec![worst(); len];
+            let y = vec![worst(); len];
+            // SAFETY: detection checked above.
+            let got = unsafe { dot(&x, &y) };
+            assert_eq!(got, crate::ops::reference::dot(&x, &y));
         }
     }
 }

@@ -19,6 +19,7 @@ pub const P61: u64 = (1u64 << 61) - 1;
 /// (`hi*2^61 + lo ≡ hi + lo (mod 2^61 − 1)`), which is branch-light and
 /// noticeably faster than a generic `%`.
 #[derive(Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(transparent)]
 pub struct Fp61(u64);
 
 #[inline]
@@ -121,6 +122,340 @@ impl Field for Fp61 {
             if v < P61 {
                 return Self(v);
             }
+        }
+    }
+
+    fn simd_weighted_block(
+        backend: crate::simd::Backend,
+        block: &mut [Self],
+        coeffs: &[Self],
+        inputs: &[&[Self]],
+        offset: usize,
+    ) -> bool {
+        #[cfg(target_arch = "x86_64")]
+        if backend == crate::simd::Backend::Avx2 {
+            // SAFETY: `Backend::Avx2` is only ever produced by
+            // `crate::simd` after `is_x86_feature_detected!("avx2")`.
+            unsafe { avx2::weighted_block(block, coeffs, inputs, offset) };
+            return true;
+        }
+        let _ = (backend, block, coeffs, inputs, offset);
+        false
+    }
+
+    fn simd_dot(backend: crate::simd::Backend, x: &[Self], y: &[Self]) -> Option<Self> {
+        #[cfg(target_arch = "x86_64")]
+        if backend == crate::simd::Backend::Avx2 {
+            // SAFETY: as in `simd_weighted_block`.
+            return Some(unsafe { avx2::dot(x, y) });
+        }
+        let _ = (backend, x, y);
+        None
+    }
+}
+
+/// AVX2 kernels over four `u64` lanes.
+///
+/// The scalar path accumulates **unfolded 122-bit products** in a
+/// `u128` — a representation with no 4-lane AVX2 analogue. The SIMD
+/// path therefore uses its own exact-mod-`q` representation (the
+/// [`Field::simd_weighted_block`] contract demands bit-identical
+/// *outputs*, not matching accumulators): each `c·x` product is built
+/// from 32-bit limbs and folded to `< 2^61 + 4` immediately, and a
+/// `u64` lane absorbs [`LANE_CAPACITY`] such terms between re-folds.
+///
+/// With `c = c₀ + c₁·2^32`, `x = x₀ + x₁·2^32` (`c₀,x₀ < 2^32`;
+/// `c₁,x₁ < 2^29`):
+///
+/// * `p₀₀ = c₀·x₀ < 2^64` folds as `(p₀₀ >> 61) + (p₀₀ & q)`;
+/// * `pₘ = c₀·x₁ + c₁·x₀ < 2^62` carries a `2^32` factor, and since
+///   `v·2^32 ≡ (v mod 2^29)·2^32 + (v >> 29) (mod q)` it folds as
+///   `((pₘ & (2^29−1)) << 32) + (pₘ >> 29) < 2^61 + 2^33`;
+/// * `p₁₁ = c₁·x₁ < 2^58` carries `2^64 ≡ 2^3`, i.e. `p₁₁ << 3 < 2^61`.
+///
+/// Their sum is `< 3·2^61 + 2^34 < 2^63`, and one more fold brings the
+/// finished term below `2^61 + 4`.
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::{Fp61, P61};
+    use crate::ops::BLOCK;
+    use crate::Field;
+    use core::arch::x86_64::*;
+
+    /// Terms of size `< 2^61 + 8` a `u64` lane absorbs before a re-fold
+    /// (`7·(2^61 + 8) < 2^64`; an eighth term could overflow).
+    const LANE_CAPACITY: u64 = 7;
+
+    // Pin the bound proofs the kernels rely on.
+    #[allow(clippy::assertions_on_constants)]
+    const _: () = {
+        // product-term fold output and re-folded lane both fit the
+        // "< 2^61 + 8" budget LANE_CAPACITY assumes
+        assert!((LANE_CAPACITY as u128) * ((1u128 << 61) + 8) < (1u128 << 64));
+        // the three folded limb contributions sum below 2^63, so the
+        // final per-term fold's shift sees no truncated bits
+        assert!((1u128 << 61) + 8 + (1u128 << 61) + (1u128 << 33) + (1u128 << 61) < (1u128 << 63));
+    };
+
+    /// One Mersenne fold `(t >> 61) + (t & q)`, lanewise.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn fold(t: __m256i, p: __m256i) -> __m256i {
+        _mm256_add_epi64(_mm256_srli_epi64::<61>(t), _mm256_and_si256(t, p))
+    }
+
+    /// Lanewise `c·x mod`-folded term, `< 2^61 + 4`, via the limb
+    /// decomposition described on the module.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn mul_term(c: __m256i, c_hi: __m256i, x: __m256i, p: __m256i) -> __m256i {
+        let x_hi = _mm256_srli_epi64::<32>(x);
+        let p00 = _mm256_mul_epu32(c, x); // c0·x0, exact
+        let pm = _mm256_add_epi64(_mm256_mul_epu32(c, x_hi), _mm256_mul_epu32(c_hi, x));
+        let p11 = _mm256_mul_epu32(c_hi, x_hi);
+        let mask29 = _mm256_set1_epi64x((1 << 29) - 1);
+        let f00 = fold(p00, p);
+        let fm = _mm256_add_epi64(
+            _mm256_slli_epi64::<32>(_mm256_and_si256(pm, mask29)),
+            _mm256_srli_epi64::<29>(pm),
+        );
+        let f11 = _mm256_slli_epi64::<3>(p11);
+        let term = _mm256_add_epi64(f00, _mm256_add_epi64(fm, f11));
+        fold(term, p)
+    }
+
+    /// Re-fold every lane of a scratch back under `2^61 + 8` (each
+    /// folded lane thereafter counts as one absorbed term).
+    #[inline]
+    fn refold(wide: &mut [u64]) {
+        for w in wide.iter_mut() {
+            *w = (*w >> 61) + (*w & P61);
+        }
+    }
+
+    /// Collapse a lane accumulator to its canonical residue.
+    #[inline]
+    fn lane_reduce(acc: u64) -> u64 {
+        let s = (acc >> 61) + (acc & P61);
+        let mut t = (s >> 61) + (s & P61);
+        if t >= P61 {
+            t -= P61;
+        }
+        t
+    }
+
+    /// Canonical lanewise reduction: two folds, then one conditional
+    /// subtraction (values stay far below `2^63`, so the signed compare
+    /// is exact).
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn reduce_vec(acc: __m256i, p: __m256i) -> __m256i {
+        let v = fold(acc, p); // < 2^61 + 8
+        let w = fold(v, p); // <= 2^61
+        let lt = _mm256_cmpgt_epi64(p, w);
+        let sub = _mm256_andnot_si256(lt, p); // p where w >= p
+        _mm256_sub_epi64(w, sub)
+    }
+
+    /// Scalar replica of [`mul_term`] for loop tails — same limb
+    /// decomposition, same `< 2^61 + 4` output bound.
+    #[inline]
+    fn scalar_term(c: u64, x: u64) -> u64 {
+        let (c0, c1) = (c & 0xFFFF_FFFF, c >> 32);
+        let (x0, x1) = (x & 0xFFFF_FFFF, x >> 32);
+        let p00 = c0 * x0;
+        let pm = c0 * x1 + c1 * x0;
+        let p11 = c1 * x1;
+        let f00 = (p00 >> 61) + (p00 & P61);
+        let fm = ((pm & ((1 << 29) - 1)) << 32) + (pm >> 29);
+        let f11 = p11 << 3;
+        let term = f00 + fm + f11;
+        (term >> 61) + (term & P61)
+    }
+
+    /// The fused weighted-sum block kernel
+    /// (see [`Field::simd_weighted_block`] for the contract).
+    ///
+    /// Strip-major: each 8-element strip keeps its accumulators in two
+    /// registers across *all* terms, so the only per-term memory traffic
+    /// is the input load — the scalar path's widened scratch (and its
+    /// per-term load/store of the accumulator) disappears entirely.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure AVX2 is available.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn weighted_block(
+        block: &mut [Fp61],
+        coeffs: &[Fp61],
+        inputs: &[&[Fp61]],
+        offset: usize,
+    ) {
+        let n = block.len();
+        debug_assert!(n <= BLOCK);
+        let p = _mm256_set1_epi64x(P61 as i64);
+        let mut k = 0;
+        while k + 8 <= n {
+            let base = block.as_ptr().add(k);
+            let mut a0 = _mm256_loadu_si256(base as *const __m256i);
+            let mut a1 = _mm256_loadu_si256(base.add(4) as *const __m256i);
+            // the seed residue counts as one absorbed term
+            let mut terms: u64 = 1;
+            for (&c, v) in coeffs.iter().zip(inputs) {
+                if c == Fp61::ZERO {
+                    continue;
+                }
+                if terms == LANE_CAPACITY {
+                    a0 = fold(a0, p);
+                    a1 = fold(a1, p);
+                    terms = 1;
+                }
+                let src = v.as_ptr().add(offset + k);
+                let x0 = _mm256_loadu_si256(src as *const __m256i);
+                let x1 = _mm256_loadu_si256(src.add(4) as *const __m256i);
+                if c == Fp61::ONE {
+                    a0 = _mm256_add_epi64(a0, x0);
+                    a1 = _mm256_add_epi64(a1, x1);
+                } else {
+                    let cs = _mm256_set1_epi64x(c.0 as i64);
+                    let cs_hi = _mm256_srli_epi64::<32>(cs);
+                    a0 = _mm256_add_epi64(a0, mul_term(cs, cs_hi, x0, p));
+                    a1 = _mm256_add_epi64(a1, mul_term(cs, cs_hi, x1, p));
+                }
+                terms += 1;
+            }
+            _mm256_storeu_si256(block.as_mut_ptr().add(k) as *mut __m256i, reduce_vec(a0, p));
+            _mm256_storeu_si256(
+                block.as_mut_ptr().add(k + 4) as *mut __m256i,
+                reduce_vec(a1, p),
+            );
+            k += 8;
+        }
+        // scalar tail (< 8 elements) on the same lane representation
+        while k < n {
+            let mut acc = block[k].0;
+            let mut terms: u64 = 1;
+            for (&c, v) in coeffs.iter().zip(inputs) {
+                if c == Fp61::ZERO {
+                    continue;
+                }
+                if terms == LANE_CAPACITY {
+                    acc = (acc >> 61) + (acc & P61);
+                    terms = 1;
+                }
+                let x = v[offset + k].0;
+                acc += if c == Fp61::ONE {
+                    x
+                } else {
+                    scalar_term(c.0, x)
+                };
+                terms += 1;
+            }
+            block[k] = Fp61(lane_reduce(acc));
+            k += 1;
+        }
+    }
+
+    /// Inner product: four parallel lane accumulators on the
+    /// [`LANE_CAPACITY`] cadence, collapsed exactly at the end.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure AVX2 is available.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn dot(x: &[Fp61], y: &[Fp61]) -> Fp61 {
+        debug_assert_eq!(x.len(), y.len());
+        let n = x.len();
+        let p = _mm256_set1_epi64x(P61 as i64);
+        let mut acc = _mm256_setzero_si256();
+        let mut terms: u64 = 0;
+        let mut k = 0;
+        while k + 4 <= n {
+            if terms == LANE_CAPACITY {
+                let mut lanes = [0u64; 4];
+                _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, acc);
+                refold(&mut lanes);
+                acc = _mm256_loadu_si256(lanes.as_ptr() as *const __m256i);
+                terms = 1;
+            }
+            let xs = _mm256_loadu_si256(x.as_ptr().add(k) as *const __m256i);
+            let xs_hi = _mm256_srli_epi64::<32>(xs);
+            let ys = _mm256_loadu_si256(y.as_ptr().add(k) as *const __m256i);
+            acc = _mm256_add_epi64(acc, mul_term(xs, xs_hi, ys, p));
+            terms += 1;
+            k += 4;
+        }
+        let mut lanes = [0u64; 4];
+        _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, acc);
+        // canonical lane residues sum below 2^63; tail products ride the
+        // scalar unfolded-u128 path, which has capacity to spare
+        let mut wide: u128 = lanes.iter().map(|&l| lane_reduce(l) as u128).sum();
+        while k < n {
+            wide = Fp61::wide_mul_add(wide, x[k], y[k]);
+            k += 1;
+        }
+        Fp61::wide_reduce(wide)
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use crate::simd::{detected, Backend};
+
+        fn worst() -> Fp61 {
+            Fp61(P61 - 1)
+        }
+
+        #[test]
+        fn scalar_term_is_exact_mod_q() {
+            for (c, x) in [
+                (P61 - 1, P61 - 1),
+                (P61 - 1, 1),
+                (0xFFFF_FFFF, P61 - 1),
+                (1 << 60, 1 << 60),
+                (123_456_789_012_345, 987_654_321_098_765),
+            ] {
+                let term = scalar_term(c, x);
+                assert!(term < (1 << 61) + 8, "fold bound violated");
+                assert_eq!(
+                    Fp61::from_u64(lane_reduce(term)),
+                    Fp61(c % P61) * Fp61(x % P61)
+                );
+            }
+        }
+
+        #[test]
+        fn weighted_block_worst_case_matches_scalar() {
+            if detected() != Backend::Avx2 {
+                return;
+            }
+            // 2·LANE_CAPACITY + 3 all-(q−1) terms: crosses the re-fold
+            // cadence twice, with a non-multiple-of-4 block length
+            let terms = (2 * LANE_CAPACITY + 3) as usize;
+            let len = 19;
+            let coeffs = vec![worst(); terms];
+            let owned: Vec<Vec<Fp61>> = vec![vec![worst(); len]; terms];
+            let inputs: Vec<&[Fp61]> = owned.iter().map(Vec::as_slice).collect();
+            let mut simd_out = vec![worst(); len];
+            let mut scalar_out = simd_out.clone();
+            // SAFETY: detection checked above.
+            unsafe { weighted_block(&mut simd_out, &coeffs, &inputs, 0) };
+            crate::ops::reference::weighted_sum_into(&mut scalar_out, &coeffs, &inputs);
+            assert_eq!(simd_out, scalar_out);
+        }
+
+        #[test]
+        fn dot_worst_case_matches_scalar() {
+            if detected() != Backend::Avx2 {
+                return;
+            }
+            // long enough to re-fold, with a 3-element scalar tail
+            let len = 4 * (LANE_CAPACITY as usize) * 3 + 3;
+            let x = vec![worst(); len];
+            let y = vec![worst(); len];
+            // SAFETY: detection checked above.
+            let got = unsafe { dot(&x, &y) };
+            assert_eq!(got, crate::ops::reference::dot(&x, &y));
         }
     }
 }

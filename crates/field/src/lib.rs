@@ -28,6 +28,7 @@ mod fp32;
 mod fp61;
 pub mod ops;
 pub mod par;
+pub mod simd;
 
 pub use fp32::Fp32;
 pub use fp61::Fp61;
@@ -115,6 +116,40 @@ pub trait Field:
     /// Collapse an accumulator to its canonical residue (the one full
     /// reduction per output element).
     fn wide_reduce(acc: Self::Wide) -> Self;
+
+    /// SIMD implementation of the fused weighted-sum kernel over one
+    /// cache block:
+    /// `block[k] = reduce(block[k] + Σ_i coeffs[i] · inputs[i][offset + k])`,
+    /// with the same zero/one-coefficient fast paths as the scalar path
+    /// in [`ops::weighted_sum_into`]. `block.len()` is at most
+    /// [`ops::BLOCK`] and each `inputs[i]` extends at least
+    /// `offset + block.len()` elements.
+    ///
+    /// Returns `false` when this field has no kernel for `backend` (the
+    /// caller then runs the portable scalar path). Implementations are
+    /// free to pick their own internal accumulator representation and
+    /// re-fold cadence, but the output residues must be **bit-identical**
+    /// to the scalar path on every input — field arithmetic is exact,
+    /// so any representation that is exact mod `q` and reduces to the
+    /// canonical residue qualifies.
+    fn simd_weighted_block(
+        backend: simd::Backend,
+        block: &mut [Self],
+        coeffs: &[Self],
+        inputs: &[&[Self]],
+        offset: usize,
+    ) -> bool {
+        let _ = (backend, block, coeffs, inputs, offset);
+        false
+    }
+
+    /// SIMD inner product `Σ x[k]·y[k]`, or `None` when this field has
+    /// no kernel for `backend`. Same bit-identical contract as
+    /// [`Field::simd_weighted_block`].
+    fn simd_dot(backend: simd::Backend, x: &[Self], y: &[Self]) -> Option<Self> {
+        let _ = (backend, x, y);
+        None
+    }
 
     /// Construct an element from an unsigned integer, reducing mod `q`.
     fn from_u64(value: u64) -> Self;

@@ -28,13 +28,15 @@
 //! [`reference`] as the oracle for equivalence tests and the baseline
 //! for the `field_kernels` bench.
 
-use crate::{par, Field};
+use crate::{par, simd, Field};
 use rand::Rng;
 
 /// Elements per cache-sized block inside the fused kernels: the widened
 /// scratch buffer stays within L1 (8–16 KiB) while amortising the outer
-/// per-input-vector loop.
-const BLOCK: usize = 1024;
+/// per-input-vector loop. This is also the maximum block length handed
+/// to [`Field::simd_weighted_block`], so SIMD kernels can size their
+/// stack scratch statically.
+pub const BLOCK: usize = 1024;
 
 /// `acc[k] += x[k]` for all `k`.
 ///
@@ -133,6 +135,13 @@ pub fn scale_assign<F: Field>(x: &mut [F], c: F) {
 /// Panics if the slices have different lengths.
 pub fn dot<F: Field>(x: &[F], y: &[F]) -> F {
     assert_eq!(x.len(), y.len(), "vector length mismatch");
+    // one dispatch per bulk call, never per element
+    let backend = simd::backend();
+    if backend != simd::Backend::Scalar {
+        if let Some(r) = F::simd_dot(backend, x, y) {
+            return r;
+        }
+    }
     let mut acc = F::ZERO.to_wide();
     let mut terms: u64 = 0;
     for (&a, &b) in x.iter().zip(y) {
@@ -167,12 +176,23 @@ pub fn weighted_sum_into<F: Field>(out: &mut [F], coeffs: &[F], inputs: &[&[F]])
     if inputs.is_empty() {
         return;
     }
+    // one dispatch per bulk call: the chosen backend is captured here
+    // and threaded through every forked chunk and cache block
+    let backend = simd::backend();
     par::par_chunks_mut(out, |offset, range| {
-        let mut wide: Vec<F::Wide> = Vec::with_capacity(BLOCK.min(range.len()));
+        // grown on the first scalar-path block; stays empty when the
+        // SIMD kernel (with its own stack scratch) handles every block
+        let mut wide: Vec<F::Wide> = Vec::new();
         let mut start = 0;
         while start < range.len() {
             let end = (start + BLOCK).min(range.len());
             let block = &mut range[start..end];
+            if backend != simd::Backend::Scalar
+                && F::simd_weighted_block(backend, block, coeffs, inputs, offset + start)
+            {
+                start = end;
+                continue;
+            }
             wide.clear();
             wide.extend(block.iter().map(|x| x.to_wide()));
             // terms already absorbed per accumulator (the seed residue

@@ -86,6 +86,15 @@ fn mark_worker() {
     IN_POOL.with(|c| c.set(true));
 }
 
+/// Thread state a forked worker inherits from the forking thread: the
+/// worker flag (suppresses nested forking) plus the caller's scoped
+/// [`crate::simd::with_backend`] pin, so a kernel forced onto one
+/// backend stays on it across the pool.
+fn mark_worker_from(simd_pin: Option<crate::simd::Backend>) {
+    mark_worker();
+    crate::simd::set_override(simd_pin);
+}
+
 /// Apply `f(start_offset, sub_slice)` over contiguous partitions of
 /// `data`, forked across the configured worker count.
 ///
@@ -106,6 +115,7 @@ where
     let n = data.len();
     let base = n / workers;
     let extra = n % workers;
+    let simd_pin = crate::simd::current_override();
     std::thread::scope(|s| {
         let mut rest = data;
         let mut offset = 0;
@@ -116,7 +126,7 @@ where
             let f = &f;
             let start = offset;
             s.spawn(move || {
-                mark_worker();
+                mark_worker_from(simd_pin);
                 f(start, head);
             });
             offset += take;
@@ -142,6 +152,7 @@ where
     let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
     let base = items.len() / workers;
     let extra = items.len() % workers;
+    let simd_pin = crate::simd::current_override();
     std::thread::scope(|s| {
         let mut items_rest = items;
         let mut out_rest = &mut out[..];
@@ -153,7 +164,7 @@ where
             out_rest = ot;
             let f = &f;
             s.spawn(move || {
-                mark_worker();
+                mark_worker_from(simd_pin);
                 for (item, slot) in ih.iter().zip(oh) {
                     *slot = Some(f(item));
                 }
@@ -182,6 +193,7 @@ where
     let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
     let base = n / workers;
     let extra = n % workers;
+    let simd_pin = crate::simd::current_override();
     std::thread::scope(|s| {
         let mut items_rest = items;
         let mut out_rest = &mut out[..];
@@ -193,7 +205,7 @@ where
             out_rest = ot;
             let f = &f;
             s.spawn(move || {
-                mark_worker();
+                mark_worker_from(simd_pin);
                 for (item, slot) in ih.iter_mut().zip(oh) {
                     *slot = Some(f(item));
                 }

@@ -6,9 +6,22 @@
 //! the optimisation never changes a single residue — including at the
 //! all-`(q−1)` worst case that stresses the accumulator overflow
 //! bounds, and across serial vs forked execution.
+//!
+//! Every oracle comparison runs once per compiled-in SIMD backend
+//! (forced through [`simd::with_backend`]), so the scalar path and each
+//! hand-written kernel are held to the identical-residue contract on
+//! the same inputs. On hosts without AVX2 the sweep degenerates to the
+//! scalar backend alone.
 
-use lsa_field::{ops, par, Field, Fp32, Fp61};
+use lsa_field::{ops, par, simd, Field, Fp32, Fp61};
 use proptest::prelude::*;
+
+/// Run `f` once per backend this host can execute, pinned.
+fn for_each_backend(mut f: impl FnMut(simd::Backend)) {
+    for b in simd::available() {
+        simd::with_backend(b, || f(b));
+    }
+}
 
 fn fp32() -> impl Strategy<Value = Fp32> {
     any::<u64>().prop_map(Fp32::from_u64)
@@ -37,18 +50,23 @@ macro_rules! kernel_equivalence {
                     acc in $vector(1..200),
                     c in $scalar(),
                 ) {
-                    let mut acc = acc;
                     let x: Vec<$F> = acc.iter().map(|&v| v + c).collect();
-                    let mut expect = acc.clone();
-                    ops::axpy(&mut acc, c, &x);
-                    ops::reference::axpy(&mut expect, c, &x);
-                    prop_assert_eq!(acc, expect);
+                    for_each_backend(|b| {
+                        let mut lazy = acc.clone();
+                        let mut expect = acc.clone();
+                        ops::axpy(&mut lazy, c, &x);
+                        ops::reference::axpy(&mut expect, c, &x);
+                        assert_eq!(lazy, expect, "backend {}", b.name());
+                    });
                 }
 
                 #[test]
                 fn dot_matches_reference(x in $vector(1..200), seed in $scalar()) {
                     let y: Vec<$F> = x.iter().map(|&v| v * seed + seed).collect();
-                    prop_assert_eq!(ops::dot(&x, &y), ops::reference::dot(&x, &y));
+                    let expect = ops::reference::dot(&x, &y);
+                    for_each_backend(|b| {
+                        assert_eq!(ops::dot(&x, &y), expect, "backend {}", b.name());
+                    });
                 }
 
                 #[test]
@@ -67,11 +85,13 @@ macro_rules! kernel_equivalence {
                         })
                         .collect();
                     let refs: Vec<&[$F]> = inputs.iter().map(Vec::as_slice).collect();
-                    let mut fused = base.clone();
                     let mut sweep = base.clone();
-                    ops::weighted_sum_into(&mut fused, &coeffs, &refs);
                     ops::reference::weighted_sum_into(&mut sweep, &coeffs, &refs);
-                    prop_assert_eq!(fused, sweep);
+                    for_each_backend(|b| {
+                        let mut fused = base.clone();
+                        ops::weighted_sum_into(&mut fused, &coeffs, &refs);
+                        assert_eq!(fused, sweep, "backend {}", b.name());
+                    });
                 }
 
                 #[test]
@@ -87,12 +107,14 @@ macro_rules! kernel_equivalence {
                                 .collect()
                         })
                         .collect();
-                    let lazy =
-                        ops::sum_vectors(vecs.iter().map(Vec::as_slice)).unwrap();
                     let eager =
                         ops::reference::sum_vectors(vecs.iter().map(Vec::as_slice))
                             .unwrap();
-                    prop_assert_eq!(lazy, eager);
+                    for_each_backend(|b| {
+                        let lazy =
+                            ops::sum_vectors(vecs.iter().map(Vec::as_slice)).unwrap();
+                        assert_eq!(lazy, eager, "backend {}", b.name());
+                    });
                 }
 
                 #[test]
@@ -109,10 +131,15 @@ macro_rules! kernel_equivalence {
                                 .collect()
                         })
                         .collect();
-                    prop_assert_eq!(
-                        ops::horner_eval(&segs, point),
-                        ops::reference::horner_eval(&segs, point)
-                    );
+                    let expect = ops::reference::horner_eval(&segs, point);
+                    for_each_backend(|b| {
+                        assert_eq!(
+                            ops::horner_eval(&segs, point),
+                            expect,
+                            "backend {}",
+                            b.name()
+                        );
+                    });
                 }
 
                 #[test]
@@ -127,15 +154,24 @@ macro_rules! kernel_equivalence {
                                 .collect()
                         })
                         .collect();
-                    let mut wide = ops::wide_zeros::<$F>(base.len());
                     let mut eager = vec![<$F>::ZERO; base.len()];
                     for v in &vecs {
-                        ops::wide_accumulate::<$F>(&mut wide, v);
                         for (a, b) in eager.iter_mut().zip(v) {
                             *a += *b;
                         }
                     }
-                    prop_assert_eq!(ops::wide_collapse::<$F>(&wide), eager);
+                    for_each_backend(|b| {
+                        let mut wide = ops::wide_zeros::<$F>(base.len());
+                        for v in &vecs {
+                            ops::wide_accumulate::<$F>(&mut wide, v);
+                        }
+                        assert_eq!(
+                            ops::wide_collapse::<$F>(&wide),
+                            eager,
+                            "backend {}",
+                            b.name()
+                        );
+                    });
                 }
 
                 #[test]
@@ -150,11 +186,13 @@ macro_rules! kernel_equivalence {
                         .collect();
                     let acc0: Vec<$F> =
                         (0..len).map(|i| c * <$F>::from_u64(i as u64)).collect();
-                    let mut serial = acc0.clone();
-                    let mut forked = acc0;
-                    par::with_threads(1, || ops::axpy(&mut serial, c, &x));
-                    par::with_threads(4, || ops::axpy(&mut forked, c, &x));
-                    prop_assert_eq!(serial, forked);
+                    for_each_backend(|b| {
+                        let mut serial = acc0.clone();
+                        let mut forked = acc0.clone();
+                        par::with_threads(1, || ops::axpy(&mut serial, c, &x));
+                        par::with_threads(4, || ops::axpy(&mut forked, c, &x));
+                        assert_eq!(serial, forked, "backend {}", b.name());
+                    });
                 }
             }
 
@@ -170,32 +208,37 @@ macro_rules! kernel_equivalence {
                 let x = vec![q1; len];
                 let coeffs = vec![q1; terms];
                 let inputs: Vec<&[$F]> = (0..terms).map(|_| x.as_slice()).collect();
-                let mut fused = vec![q1; len];
-                let mut sweep = vec![q1; len];
-                ops::weighted_sum_into(&mut fused, &coeffs, &inputs);
-                ops::reference::weighted_sum_into(&mut sweep, &coeffs, &inputs);
-                assert_eq!(fused, sweep);
-                // closed form: q−1 ≡ −1, so out = −1 + terms·(−1)(−1) = terms − 1
-                assert_eq!(fused[0], <$F>::from_u64(terms as u64 - 1));
+                for_each_backend(|b| {
+                    let mut fused = vec![q1; len];
+                    let mut sweep = vec![q1; len];
+                    ops::weighted_sum_into(&mut fused, &coeffs, &inputs);
+                    ops::reference::weighted_sum_into(&mut sweep, &coeffs, &inputs);
+                    assert_eq!(fused, sweep, "backend {}", b.name());
+                    // closed form: q−1 ≡ −1, so
+                    // out = −1 + terms·(−1)(−1) = terms − 1
+                    assert_eq!(fused[0], <$F>::from_u64(terms as u64 - 1));
 
-                // dot of all-(q−1) vectors: Σ (−1)(−1) = len
-                let y = vec![q1; len];
-                assert_eq!(ops::dot(&x, &y), <$F>::from_u64(len as u64));
-                assert_eq!(ops::dot(&x, &y), ops::reference::dot(&x, &y));
+                    // dot of all-(q−1) vectors: Σ (−1)(−1) = len
+                    let y = vec![q1; len];
+                    assert_eq!(ops::dot(&x, &y), <$F>::from_u64(len as u64));
+                    assert_eq!(ops::dot(&x, &y), ops::reference::dot(&x, &y));
 
-                // widened running sum of all-(q−1) uploads
-                let mut wide = ops::wide_zeros::<$F>(len);
-                let rounds = 513usize;
-                for _ in 0..rounds {
-                    ops::wide_accumulate::<$F>(&mut wide, &x);
-                }
-                let collapsed = ops::wide_collapse::<$F>(&wide);
-                // Σ (−1) over `rounds` terms = −rounds
-                assert_eq!(collapsed[0], <$F>::from_i64(-(rounds as i64)));
+                    // widened running sum of all-(q−1) uploads
+                    let mut wide = ops::wide_zeros::<$F>(len);
+                    let rounds = 513usize;
+                    for _ in 0..rounds {
+                        ops::wide_accumulate::<$F>(&mut wide, &x);
+                    }
+                    let collapsed = ops::wide_collapse::<$F>(&wide);
+                    // Σ (−1) over `rounds` terms = −rounds
+                    assert_eq!(collapsed[0], <$F>::from_i64(-(rounds as i64)));
+                });
             }
 
             /// Many max-magnitude terms through the fused kernel stay
-            /// exact (the closed form makes wrap-around visible).
+            /// exact (the closed form makes wrap-around visible); on the
+            /// SIMD path this crosses the lane re-fold cadence hundreds
+            /// of times.
             #[test]
             fn many_max_terms_stay_exact() {
                 let q1 = <$F>::from_u64(<$F>::MODULUS - 1);
@@ -203,9 +246,11 @@ macro_rules! kernel_equivalence {
                 let terms = 1200usize;
                 let coeffs = vec![q1; terms];
                 let inputs: Vec<&[$F]> = (0..terms).map(|_| x.as_slice()).collect();
-                let mut out = vec![<$F>::ZERO; 8];
-                ops::weighted_sum_into(&mut out, &coeffs, &inputs);
-                assert_eq!(out[0], <$F>::from_u64(terms as u64));
+                for_each_backend(|b| {
+                    let mut out = vec![<$F>::ZERO; 8];
+                    ops::weighted_sum_into(&mut out, &coeffs, &inputs);
+                    assert_eq!(out[0], <$F>::from_u64(terms as u64), "backend {}", b.name());
+                });
             }
         }
     };
@@ -246,28 +291,45 @@ fn fp61_accumulator_bounds_hold_at_extremes() {
 kernel_equivalence!(fp32_kernels, fp32, vec32, Fp32);
 kernel_equivalence!(fp61_kernels, fp61, vec61, Fp61);
 
-/// Serial and forked grouped execution must agree element-for-element on
-/// the fused decode-shaped workload (many coefficients, long vectors).
-#[test]
-fn parallel_weighted_sum_bit_identical_across_thread_counts() {
+/// Serial and forked execution must agree element-for-element on the
+/// fused decode-shaped workload (many coefficients, long vectors), for
+/// every thread count × backend combination — one answer no matter how
+/// the work is split across cores or lanes. This also exercises the
+/// backend-pin propagation into [`par`] workers: the whole matrix runs
+/// under scoped `with_backend` overrides that must survive the fork.
+fn parallel_matrix_bit_identical<F: Field>(seed: u64) {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    let mut rng = StdRng::seed_from_u64(99);
+    let mut rng = StdRng::seed_from_u64(seed);
     let len = par::MIN_PAR_LEN + 7;
-    let inputs: Vec<Vec<Fp61>> = (0..16).map(|_| ops::random_vector(len, &mut rng)).collect();
-    let coeffs: Vec<Fp61> = (0..16).map(|_| Fp61::random(&mut rng)).collect();
-    let refs: Vec<&[Fp61]> = inputs.iter().map(Vec::as_slice).collect();
+    let inputs: Vec<Vec<F>> = (0..16).map(|_| ops::random_vector(len, &mut rng)).collect();
+    let coeffs: Vec<F> = (0..16).map(|_| F::random(&mut rng)).collect();
+    let refs: Vec<&[F]> = inputs.iter().map(Vec::as_slice).collect();
 
-    let mut outputs = Vec::new();
-    for threads in [1usize, 2, 4, 7] {
-        let mut out = vec![Fp61::ZERO; len];
-        par::with_threads(threads, || {
-            ops::weighted_sum_into(&mut out, &coeffs, &refs);
-        });
-        outputs.push(out);
-    }
-    for out in &outputs[1..] {
-        assert_eq!(out, &outputs[0]);
-    }
+    let mut baseline: Option<Vec<F>> = None;
+    for_each_backend(|b| {
+        for threads in [1usize, 2, 4, 7] {
+            let mut out = vec![F::ZERO; len];
+            par::with_threads(threads, || {
+                ops::weighted_sum_into(&mut out, &coeffs, &refs);
+            });
+            match &baseline {
+                None => baseline = Some(out),
+                Some(base) => {
+                    assert_eq!(&out, base, "backend {} threads {threads}", b.name())
+                }
+            }
+        }
+    });
+}
+
+#[test]
+fn parallel_weighted_sum_bit_identical_across_thread_counts_fp32() {
+    parallel_matrix_bit_identical::<Fp32>(98);
+}
+
+#[test]
+fn parallel_weighted_sum_bit_identical_across_thread_counts_fp61() {
+    parallel_matrix_bit_identical::<Fp61>(99);
 }

@@ -293,13 +293,15 @@ impl RoundReport {
             .and_then(|s| s.trim().parse::<usize>().ok())
             .filter(|&n| n >= 1)
             .unwrap_or(cores);
+        let simd_backend = lsa_field::simd::backend().name();
         let e = &self.events;
         format!(
             "{{\"name\":{},\"round\":{},\"rounds\":{rounds},\"phases\":{phases},\
              \"payload_bytes\":{},\"framing_bytes\":{},\"envelopes\":{},\
              \"events\":{{\"dropouts\":{},\"requeues\":{},\"ratchets\":{},\
              \"fallbacks\":{},\"rejections\":{},\"quarantined\":{}}},\
-             \"available_parallelism\":{cores},\"lsa_threads\":{lsa_threads}}}",
+             \"available_parallelism\":{cores},\"lsa_threads\":{lsa_threads},\
+             \"simd_backend\":\"{simd_backend}\"}}",
             json_string(name),
             self.round,
             self.payload_bytes,
@@ -551,6 +553,7 @@ mod tests {
             "\"events\":",
             "\"available_parallelism\":",
             "\"lsa_threads\":",
+            "\"simd_backend\":\"",
         ] {
             assert!(line.contains(key), "missing {key} in {line}");
         }

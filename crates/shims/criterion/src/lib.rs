@@ -333,8 +333,9 @@ impl Criterion {
             .and_then(|s| s.trim().parse::<usize>().ok())
             .filter(|&n| n >= 1)
             .unwrap_or(cores);
+        let simd_backend = resolved_simd_backend();
         let line = format!(
-            "{{\"name\":\"{name}\",\"ns_per_iter\":{ns:.1},\"elements_per_iter\":{elements},\"bytes_per_iter\":{bytes},\"available_parallelism\":{cores},\"lsa_threads\":{lsa_threads}}}\n",
+            "{{\"name\":\"{name}\",\"ns_per_iter\":{ns:.1},\"elements_per_iter\":{elements},\"bytes_per_iter\":{bytes},\"available_parallelism\":{cores},\"lsa_threads\":{lsa_threads},\"simd_backend\":\"{simd_backend}\"}}\n",
         );
         if let Ok(mut file) = std::fs::OpenOptions::new()
             .create(true)
@@ -343,6 +344,28 @@ impl Criterion {
         {
             let _ = file.write_all(line.as_bytes());
         }
+    }
+}
+
+/// The process-level SIMD backend resolution, duplicated from
+/// `lsa_field::simd` so the shim stays dependency-free (the same
+/// precedent as the `LSA_THREADS` resolution above): `LSA_SIMD` wins
+/// when set, else the best feature the CPU reports. Scoped
+/// `with_backend` overrides are per-row and live in the benchmark
+/// *name*; this field says what the knob-level default was.
+fn resolved_simd_backend() -> &'static str {
+    #[cfg(target_arch = "x86_64")]
+    let detected = if std::arch::is_x86_feature_detected!("avx2") {
+        "avx2"
+    } else {
+        "scalar"
+    };
+    #[cfg(not(target_arch = "x86_64"))]
+    let detected = "scalar";
+    match std::env::var("LSA_SIMD").ok().as_deref().map(str::trim) {
+        None | Some("auto") | Some("") => detected,
+        Some("avx2") if detected == "avx2" => "avx2",
+        _ => "scalar",
     }
 }
 
