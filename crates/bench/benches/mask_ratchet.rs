@@ -22,19 +22,27 @@
 //! reduction ratio.
 //!
 //! The ratcheted round's bytes are tiny but its CPU is PRG-bound: each
-//! member expands `n_g − 1` full-length ChaCha20 pads locally. The
-//! `ratchet` rows therefore carry a SIMD-backend axis
-//! (`steady_round/ratchet_N{n}/{backend}`), and on hosts where a SIMD
-//! backend is detected the bench additionally asserts the CPU side:
-//! the ratcheted round's wall-clock at N = 1024 under the SIMD backend
-//! must beat the forced-scalar run (skipped, with a stderr note, on
-//! scalar-only hosts).
+//! member expands one full-length ChaCha20 pad per pad-topology edge
+//! locally — `n_g − 1` under the clique, `⌈log₂ n_g⌉` under the
+//! hypercube. The `ratchet` rows therefore carry a SIMD-backend axis
+//! (`steady_round/ratchet_N{n}/{backend}`) plus a pad-topology ×
+//! commit-window axis (`steady_round/ratchet_N{n}/{topology}/W{w}`),
+//! and on capable hosts the bench asserts both CPU sides:
+//!
+//! * the ratcheted round's wall-clock at N = 1024 under the detected
+//!   SIMD backend must beat the forced-scalar run (skipped, with a
+//!   stderr note, on scalar-only hosts), and
+//! * the hypercube windowed round at N = 1024 leaf-16 must be ≥ 2×
+//!   faster than the full-clique baseline on the same backend (4 pads
+//!   vs 15 per member; skipped with a stderr note when `LSA_RATCHET`
+//!   is off).
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use lsa_field::{simd, Fp61};
 use lsa_protocol::federation::SecureAggregator;
 use lsa_protocol::topology::{GroupTopology, GroupedFederation};
 use lsa_protocol::transport::MemTransport;
+use lsa_protocol::PadTopology;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::{Duration, Instant};
@@ -64,8 +72,14 @@ struct SteadyFed {
 
 impl SteadyFed {
     fn new(topology: &GroupTopology, seed: u64) -> Self {
-        let fed = GroupedFederation::new(topology.clone(), MemTransport::new(), seed)
+        Self::with_ratchet(topology, lsa_protocol::pad_topology(), 1, seed)
+    }
+
+    fn with_ratchet(topology: &GroupTopology, pad: PadTopology, window: usize, seed: u64) -> Self {
+        let mut fed = GroupedFederation::new(topology.clone(), MemTransport::new(), seed)
             .expect("valid sweep point");
+        fed.set_pad_topology(pad);
+        fed.set_commit_window(window);
         let mut rng = StdRng::seed_from_u64(seed ^ 0x5aa5);
         let updates = (0..topology.n())
             .map(|_| lsa_field::ops::random_vector(D, &mut rng))
@@ -145,6 +159,25 @@ fn bench_steady_rounds(c: &mut Criterion) {
                         );
                     });
                 }
+                // Pad-topology × commit-window axis under the default
+                // backend: the clique expands n_g − 1 pads per member
+                // per round, the hypercube ⌈log₂ n_g⌉; W amortizes the
+                // commit/ack handshake.
+                for (pad, w) in [
+                    (PadTopology::Clique, 1),
+                    (PadTopology::Clique, 8),
+                    (PadTopology::Hypercube, 1),
+                    (PadTopology::Hypercube, 8),
+                ] {
+                    let mut steady = SteadyFed::with_ratchet(&topology, pad, w, 5);
+                    group.bench_function(
+                        BenchmarkId::new(
+                            "steady_round",
+                            format!("{mode}_N{n}/{}/W{w}", pad.name()),
+                        ),
+                        |b| b.iter(|| black_box(steady.round())),
+                    );
+                }
             }
         }
         let ratio = offline_by_mode[0] as f64 / offline_by_mode[1].max(1) as f64;
@@ -159,6 +192,7 @@ fn bench_steady_rounds(c: &mut Criterion) {
         std::env::set_var("LSA_RATCHET", "on");
         if n == 1024 {
             assert_simd_beats_scalar(&topology, n);
+            assert_hypercube_beats_clique(&topology, n);
         }
     }
     group.finish();
@@ -169,17 +203,18 @@ fn bench_steady_rounds(c: &mut Criterion) {
 /// scheduler noise on shared CI hosts). Called with `LSA_RATCHET=on`
 /// in force, so every timed round takes the mask-re-derivation path.
 fn best_ratchet_round(topology: &GroupTopology, backend: simd::Backend) -> Duration {
-    simd::with_backend(backend, || {
-        let mut steady = SteadyFed::new(topology, 7);
-        (0..ROUNDS)
-            .map(|_| {
-                let start = Instant::now();
-                black_box(steady.round());
-                start.elapsed()
-            })
-            .min()
-            .expect("ROUNDS > 0")
-    })
+    simd::with_backend(backend, || best_steady_round(SteadyFed::new(topology, 7)))
+}
+
+fn best_steady_round(mut steady: SteadyFed) -> Duration {
+    (0..ROUNDS)
+        .map(|_| {
+            let start = Instant::now();
+            black_box(steady.round());
+            start.elapsed()
+        })
+        .min()
+        .expect("ROUNDS > 0")
 }
 
 /// The CPU side of the ratchet acceptance: the PRG-bound ratcheted
@@ -209,6 +244,38 @@ fn assert_simd_beats_scalar(topology: &GroupTopology, n: usize) {
             );
         }
     }
+}
+
+/// The tentpole acceptance: the ratcheted round's PRG work drops from
+/// `n_g − 1` pads per member (clique) to `⌈log₂ n_g⌉` (hypercube), so
+/// at N = 1024 leaf-16 the hypercube windowed round must be ≥ 2×
+/// faster wall-clock than the full-clique baseline on the same
+/// backend. Guarded — with `LSA_RATCHET=off` every round re-keys and
+/// the comparison is meaningless, so it is skipped with a stderr note.
+fn assert_hypercube_beats_clique(topology: &GroupTopology, n: usize) {
+    if std::env::var("LSA_RATCHET").is_ok_and(|v| v == "off") {
+        eprintln!(
+            "mask_ratchet/N{n}: LSA_RATCHET=off; \
+             skipping the hypercube-vs-clique wall-clock assert"
+        );
+        return;
+    }
+    let clique = best_steady_round(SteadyFed::with_ratchet(topology, PadTopology::Clique, 1, 7));
+    let hypercube = best_steady_round(SteadyFed::with_ratchet(
+        topology,
+        PadTopology::Hypercube,
+        8,
+        7,
+    ));
+    eprintln!(
+        "mask_ratchet/N{n}: ratcheted round wall-clock {hypercube:?} \
+         (hypercube, W=8) vs {clique:?} (clique, W=1)"
+    );
+    assert!(
+        hypercube * 2 <= clique,
+        "the hypercube windowed round at N={n} must be at least 2x faster than \
+         the full-clique baseline (got {hypercube:?} vs {clique:?})"
+    );
 }
 
 criterion_group! {

@@ -6,11 +6,16 @@
 //!
 //! The matrix covers {sync, buffered} × {flat, grouped, hierarchical}
 //! × {ratchet on/off} × {partial recovery on/off} × {Fp32, Fp61} — 48
-//! cells — plus the `lsa-baselines` SecAgg reference. Axes that do not
-//! apply to a cell (partial recovery needs a tree; a flat cohort has
-//! no subtree to skip) still run: the cell is then behaviourally
-//! identical to its `partial=off` twin, which keeps the matrix a full
-//! cross-product a reviewer can diff PR-over-PR without holes.
+//! cells — plus one log-topology cell (the hypercube pad graph with an
+//! 8-round commit window over the grouped sync shape) and the
+//! `lsa-baselines` SecAgg reference. The 48 cross-product cells pin
+//! the clique pad topology at `W = 1` so their records stay
+//! PR-over-PR comparable; the log cell is where the hypercube numbers
+//! land. Axes that do not apply to a cell (partial recovery needs a
+//! tree; a flat cohort has no subtree to skip) still run: the cell is
+//! then behaviourally identical to its `partial=off` twin, which keeps
+//! the matrix a full cross-product a reviewer can diff PR-over-PR
+//! without holes.
 //!
 //! Rounds run over [`SimTransport`], so per-phase wall clock is priced
 //! from the actual serialized envelope bytes crossing the
@@ -82,12 +87,17 @@ pub struct Mode {
     pub partial: bool,
     /// Field arithmetic.
     pub field: FieldKind,
+    /// Logarithmic pad topology: the hypercube edge graph with an
+    /// 8-round commit window (`LSA_PAD_TOPOLOGY`/`LSA_COMMIT_WINDOW`).
+    /// The cross-product cells pin the clique at `W = 1`.
+    pub log_pads: bool,
 }
 
 impl Mode {
-    /// Every cell of the cross-product, in a fixed canonical order.
+    /// Every cell of the cross-product, in a fixed canonical order,
+    /// plus the appended log-topology cell.
     pub fn all() -> Vec<Mode> {
-        let mut out = Vec::with_capacity(48);
+        let mut out = Vec::with_capacity(49);
         for variant in [Variant::Sync, Variant::Buffered] {
             for topo in [Topo::Flat, Topo::Grouped, Topo::Hierarchical] {
                 for ratchet in [true, false] {
@@ -99,18 +109,30 @@ impl Mode {
                                 ratchet,
                                 partial,
                                 field,
+                                log_pads: false,
                             });
                         }
                     }
                 }
             }
         }
+        // the hypercube + windowed-commit showcase: grouped sync,
+        // ratchet on, where the leaf cohorts are big enough for the
+        // edge graphs to differ
+        out.push(Mode {
+            variant: Variant::Sync,
+            topo: Topo::Grouped,
+            ratchet: true,
+            partial: false,
+            field: FieldKind::Fp61,
+            log_pads: true,
+        });
         out
     }
 
     /// Canonical cell name, used as the JSON record's `name` field.
     pub fn name(&self) -> String {
-        format!(
+        let mut name = format!(
             "matrix/{}/{}/{}/ratchet={}/partial={}",
             match self.variant {
                 Variant::Sync => "sync",
@@ -127,7 +149,11 @@ impl Mode {
             },
             if self.ratchet { "on" } else { "off" },
             if self.partial { "on" } else { "off" },
-        )
+        );
+        if self.log_pads {
+            name.push_str("/pads=log");
+        }
+        name
     }
 
     /// Deterministic construction seed for repetition `rep` of this
@@ -306,6 +332,28 @@ pub fn with_ratchet<R>(enabled: bool, f: impl FnOnce() -> R) -> R {
     out
 }
 
+/// Run `f` with the pad-topology and commit-window knobs forced,
+/// restoring the caller's values afterwards. Pinning through the env
+/// (rather than the programmatic setters) keeps the `pad_topology` /
+/// `commit_window` fields of the emitted JSON truthful. Process-global
+/// like [`with_ratchet`].
+pub fn with_pads<R>(topology: &str, window: usize, f: impl FnOnce() -> R) -> R {
+    let saved_topo = std::env::var_os("LSA_PAD_TOPOLOGY");
+    let saved_window = std::env::var_os("LSA_COMMIT_WINDOW");
+    std::env::set_var("LSA_PAD_TOPOLOGY", topology);
+    std::env::set_var("LSA_COMMIT_WINDOW", window.to_string());
+    let out = f();
+    match saved_topo {
+        Some(v) => std::env::set_var("LSA_PAD_TOPOLOGY", v),
+        None => std::env::remove_var("LSA_PAD_TOPOLOGY"),
+    }
+    match saved_window {
+        Some(v) => std::env::set_var("LSA_COMMIT_WINDOW", v),
+        None => std::env::remove_var("LSA_COMMIT_WINDOW"),
+    }
+    out
+}
+
 /// One repetition of one cell: the per-round telemetry and aggregates.
 #[derive(Debug, Clone)]
 pub struct CellRun<F> {
@@ -362,27 +410,34 @@ pub struct CellSummary {
 ///
 /// Propagates any [`ProtocolError`] from the runs.
 pub fn run_cell(mode: &Mode, p: &MatrixParams) -> Result<CellSummary, ProtocolError> {
-    with_ratchet(mode.ratchet, || {
-        let mut reports = Vec::with_capacity(p.rounds * p.reps);
-        for rep in 0..p.reps {
-            let seed = mode.seed(rep);
-            match mode.field {
-                FieldKind::Fp32 => {
-                    reports.extend(run_cell_typed::<Fp32>(mode, p, seed)?.reports);
-                }
-                FieldKind::Fp61 => {
-                    reports.extend(run_cell_typed::<Fp61>(mode, p, seed)?.reports);
+    let (pad, window) = if mode.log_pads {
+        ("hypercube", 8)
+    } else {
+        ("clique", 1)
+    };
+    with_pads(pad, window, || {
+        with_ratchet(mode.ratchet, || {
+            let mut reports = Vec::with_capacity(p.rounds * p.reps);
+            for rep in 0..p.reps {
+                let seed = mode.seed(rep);
+                match mode.field {
+                    FieldKind::Fp32 => {
+                        reports.extend(run_cell_typed::<Fp32>(mode, p, seed)?.reports);
+                    }
+                    FieldKind::Fp61 => {
+                        reports.extend(run_cell_typed::<Fp61>(mode, p, seed)?.reports);
+                    }
                 }
             }
-        }
-        let name = mode.name();
-        let report = RoundReport::average(&reports);
-        let json = report.to_json(&name, reports.len());
-        Ok(CellSummary {
-            name,
-            report,
-            rounds: reports.len(),
-            json,
+            let name = mode.name();
+            let report = RoundReport::average(&reports);
+            let json = report.to_json(&name, reports.len());
+            Ok(CellSummary {
+                name,
+                report,
+                rounds: reports.len(),
+                json,
+            })
         })
     })
 }
@@ -495,10 +550,13 @@ pub fn validate_json_line(line: &str) -> Result<(), String> {
         "\"envelopes\":",
         "\"events\":",
         "\"dropouts\":",
+        "\"windowed_ratchets\":",
         "\"quarantined\":",
         "\"available_parallelism\":",
         "\"lsa_threads\":",
         "\"simd_backend\":\"",
+        "\"pad_topology\":\"",
+        "\"commit_window\":",
     ] {
         if !trimmed.contains(key) {
             return Err(format!("missing key {key}"));
@@ -514,11 +572,13 @@ mod tests {
     #[test]
     fn the_matrix_is_the_full_cross_product() {
         let all = Mode::all();
-        assert_eq!(all.len(), 48);
+        assert_eq!(all.len(), 49, "48 cross-product cells + the log cell");
         let mut names: Vec<String> = all.iter().map(Mode::name).collect();
         names.sort();
         names.dedup();
-        assert_eq!(names.len(), 48, "cell names must be unique");
+        assert_eq!(names.len(), 49, "cell names must be unique");
+        assert_eq!(all.iter().filter(|m| m.log_pads).count(), 1);
+        assert!(all.last().unwrap().name().ends_with("/pads=log"));
     }
 
     #[test]

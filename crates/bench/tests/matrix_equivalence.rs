@@ -6,10 +6,10 @@
 //! arithmetic or its entropy consumption, the two sides diverge and
 //! this test names the cell.
 //!
-//! All 48 cells run inside ONE `#[test]` in this dedicated binary: the
-//! ratchet axis toggles the process-global `LSA_RATCHET` variable, so
-//! the cells must not run concurrently with each other or with other
-//! env-sensitive tests.
+//! All 49 cells (48 cross-product + the log-topology cell) run inside
+//! ONE `#[test]` in this dedicated binary: the ratchet axis toggles
+//! the process-global `LSA_RATCHET` variable, so the cells must not
+//! run concurrently with each other or with other env-sensitive tests.
 
 use lsa_bench::scenario::{
     run_cell_typed, with_ratchet, workload, FieldKind, MatrixParams, Mode, Topo, Variant,

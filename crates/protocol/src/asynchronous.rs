@@ -84,6 +84,10 @@ pub struct AsyncClient<F> {
     /// from the share material both edge endpoints already hold
     /// ([`crate::ratchet`]).
     sent: BTreeMap<(usize, u64), Vec<F>>,
+    /// Pad-derivation epoch mixed into every ratchet pad seed; bumped
+    /// in lockstep across a cohort when seats are permuted without a
+    /// fresh exchange ([`crate::ratchet::reseat_epoch`]).
+    pad_epoch: u64,
 }
 
 impl<F: Field> AsyncClient<F> {
@@ -107,7 +111,14 @@ impl<F: Field> AsyncClient<F> {
             masks: BTreeMap::new(),
             received: BTreeMap::new(),
             sent: BTreeMap::new(),
+            pad_epoch: 0,
         })
+    }
+
+    /// Advance the pad-derivation epoch (cohort reseat without a fresh
+    /// exchange); every cohort member must apply the same `seed`.
+    pub fn bump_pad_epoch(&mut self, seed: u64) {
+        self.pad_epoch = crate::ratchet::reseat_epoch(self.pad_epoch, seed);
     }
 
     /// This client's user index.
@@ -300,24 +311,27 @@ impl<F: Field> AsyncClient<F> {
 
     /// Derive the mask for `round` by ratcheting `base_round`'s retained
     /// state under `nonce` ([`crate::ratchet`]): the new mask is the
-    /// base mask plus pairwise-cancelling PRG pads, and the base round's
-    /// coded shares are re-filed under `round` so aggregation requests
-    /// naming `(who, round)` resolve to the base shares. No share
-    /// traffic is produced. State from earlier *ratcheted* rounds
-    /// (between the base and `round`) is dropped — only the base must
-    /// stay resident.
+    /// base mask plus pairwise-cancelling PRG pads over the edges
+    /// `topology` assigns this member, and the base round's coded
+    /// shares are re-filed under `round` so aggregation requests
+    /// naming `(who, round)` resolve to the base shares (re-filing
+    /// covers *every* peer regardless of topology — recovery still
+    /// needs the full share set). No share traffic is produced. State
+    /// from earlier *ratcheted* rounds (between the base and `round`)
+    /// is dropped — only the base must stay resident.
     ///
     /// # Errors
     ///
     /// * [`ProtocolError::DuplicateMessage`] if `round` already has a
     ///   mask;
     /// * [`ProtocolError::RatchetMismatch`] if the base round's mask or
-    ///   any peer's base share material is missing.
+    ///   any edge peer's base share material is missing.
     pub fn ratchet_round_mask(
         &mut self,
         round: u64,
         base_round: u64,
         nonce: u64,
+        topology: crate::ratchet::PadTopology,
     ) -> Result<(), ProtocolError> {
         if self.masks.contains_key(&round) {
             return Err(ProtocolError::DuplicateMessage(self.id));
@@ -332,7 +346,7 @@ impl<F: Field> AsyncClient<F> {
             .map(|&(j, _)| j)
             .collect();
         let mut mask = base_mask.clone();
-        for &j in &peers {
+        for j in topology.partners(&peers, self.id) {
             if j == self.id {
                 continue;
             }
@@ -340,7 +354,17 @@ impl<F: Field> AsyncClient<F> {
                 return Err(ProtocolError::RatchetMismatch);
             };
             let recv = &self.received[&(j, base_round)];
-            crate::ratchet::add_pair_pad(&mut mask, 0, base_round, nonce, self.id, j, sent, recv);
+            crate::ratchet::add_pair_pad(
+                &mut mask,
+                0,
+                base_round,
+                self.pad_epoch,
+                nonce,
+                self.id,
+                j,
+                sent,
+                recv,
+            );
         }
         for &j in &peers {
             let share = self.received[&(j, base_round)].clone();
@@ -798,7 +822,8 @@ mod tests {
             acc
         };
         for c in clients.iter_mut() {
-            c.ratchet_round_mask(1, 0, 0xfeed).unwrap();
+            c.ratchet_round_mask(1, 0, 0xfeed, crate::ratchet::PadTopology::Clique)
+                .unwrap();
             // shares re-filed under the new round, none sent
             assert_eq!(c.shares_stored(), 8);
         }
@@ -814,7 +839,8 @@ mod tests {
         // until eviction; discard_before_keeping then retires the
         // intermediate ratcheted round while pinning the base
         for c in clients.iter_mut() {
-            c.ratchet_round_mask(2, 0, 0xbeef).unwrap();
+            c.ratchet_round_mask(2, 0, 0xbeef, crate::ratchet::PadTopology::Hypercube)
+                .unwrap();
             c.discard_before_keeping(2, 0);
             assert!(!c.masks.contains_key(&1));
             assert!(c.masks.contains_key(&0), "base stays resident");
@@ -822,11 +848,11 @@ mod tests {
         }
         // duplicate and missing-base cases are typed
         assert!(matches!(
-            clients[0].ratchet_round_mask(2, 0, 1),
+            clients[0].ratchet_round_mask(2, 0, 1, crate::ratchet::PadTopology::Clique),
             Err(ProtocolError::DuplicateMessage(0))
         ));
         assert!(matches!(
-            clients[0].ratchet_round_mask(5, 3, 1),
+            clients[0].ratchet_round_mask(5, 3, 1, crate::ratchet::PadTopology::Clique),
             Err(ProtocolError::RatchetMismatch)
         ));
     }

@@ -46,6 +46,10 @@ pub struct Client<F> {
     coded_for: Vec<Vec<F>>,
     /// Received coded segments `[~z_j]_i`, keyed by sender `j`.
     received: BTreeMap<usize, Vec<F>>,
+    /// Pad epoch for ratchet pads derived from this state: 0 at the
+    /// base exchange, evolved in lockstep across the cohort by
+    /// [`Client::bump_pad_epoch`] on a reseat ([`crate::ratchet`]).
+    pad_epoch: u64,
 }
 
 impl<F: Field> Client<F> {
@@ -129,6 +133,7 @@ impl<F: Field> Client<F> {
             mask,
             coded_for,
             received,
+            pad_epoch: 0,
         })
     }
 
@@ -140,24 +145,33 @@ impl<F: Field> Client<F> {
     /// so recovery decodes `Σ m_i` exactly as it did then.
     ///
     /// The cohort is implicit: every peer the base client exchanged
-    /// shares with (its `received` keys) contributes one pad, which is
-    /// exactly the fingerprinted membership — callers must have
-    /// verified fingerprint agreement before ratcheting.
-    pub(crate) fn ratcheted_from(base: &Self, round: u64, nonce: u64) -> Self {
+    /// shares with (its `received` keys) is the fingerprinted
+    /// membership — callers must have verified fingerprint agreement
+    /// before ratcheting. `topology` selects which of those peers
+    /// contribute a pad ([`crate::ratchet::PadTopology`]): the clique
+    /// pads against all of them, the hypercube only along the
+    /// `⌈log₂ n_g⌉` edges of this member's cohort rank. The retained
+    /// share material (`coded_for` / `received`) is carried over
+    /// unchanged either way, so recovery still decodes `Σ m_i`.
+    pub(crate) fn ratcheted_from(
+        base: &Self,
+        round: u64,
+        nonce: u64,
+        topology: crate::ratchet::PadTopology,
+    ) -> Self {
+        let members: Vec<usize> = base.received.keys().copied().collect();
         let mut mask = base.mask.clone();
-        for (&peer, incoming) in &base.received {
-            if peer == base.id {
-                continue;
-            }
+        for peer in topology.partners(&members, base.id) {
             crate::ratchet::add_pair_pad(
                 &mut mask,
                 base.group,
                 base.round,
+                base.pad_epoch,
                 nonce,
                 base.id,
                 peer,
                 &base.coded_for[peer],
-                incoming,
+                &base.received[&peer],
             );
         }
         Self {
@@ -169,7 +183,17 @@ impl<F: Field> Client<F> {
             mask,
             coded_for: base.coded_for.clone(),
             received: base.received.clone(),
+            pad_epoch: base.pad_epoch,
         }
+    }
+
+    /// Evolve the pad epoch across a reseat ([`crate::ratchet`]): the
+    /// mask and share material — the recovery-critical state — are
+    /// untouched; only future ratchet pads derive under the new epoch.
+    /// Every member of a leaf must bump with the same `seed` so the
+    /// refreshed pads still cancel.
+    pub(crate) fn bump_pad_epoch(&mut self, seed: u64) {
+        self.pad_epoch = crate::ratchet::reseat_epoch(self.pad_epoch, seed);
     }
 
     /// The peers this client holds base shares from (its ratchetable
@@ -366,6 +390,10 @@ mod tests {
         LsaConfig::new(5, 1, 3, 10).unwrap()
     }
 
+    fn cfg4() -> LsaConfig {
+        LsaConfig::new(4, 1, 3, 6).unwrap()
+    }
+
     #[test]
     fn new_client_has_own_share() {
         let mut rng = StdRng::seed_from_u64(1);
@@ -438,7 +466,8 @@ mod tests {
     fn ratcheted_masks_sum_to_base_masks() {
         // full offline exchange among all 5 clients, then ratchet each:
         // the pairwise pads must telescope away, so Σ z_i^(r+1) = Σ m_i
-        // while every individual mask is fresh
+        // while every individual mask is fresh — under both topologies
+        use crate::ratchet::PadTopology;
         let mut rng = StdRng::seed_from_u64(8);
         let mut clients: Vec<Client<Fp61>> = (0..5)
             .map(|i| Client::new(i, cfg(), &mut rng).unwrap())
@@ -455,20 +484,59 @@ mod tests {
             acc
         };
         let base_sum = sum(&clients);
-        let ratcheted: Vec<Client<Fp61>> = clients
-            .iter()
-            .map(|c| Client::ratcheted_from(c, 1, 0xA5A5))
-            .collect();
-        assert_eq!(sum(&ratcheted), base_sum, "pads must cancel in the sum");
-        for (b, r) in clients.iter().zip(&ratcheted) {
-            assert_ne!(b.mask, r.mask, "client {}: mask must be refreshed", b.id);
-            assert_eq!(r.round, 1);
-            assert_eq!(r.shares_received(), b.shares_received());
+        for topology in [PadTopology::Clique, PadTopology::Hypercube] {
+            let ratcheted: Vec<Client<Fp61>> = clients
+                .iter()
+                .map(|c| Client::ratcheted_from(c, 1, 0xA5A5, topology))
+                .collect();
+            assert_eq!(sum(&ratcheted), base_sum, "pads must cancel in the sum");
+            for (b, r) in clients.iter().zip(&ratcheted) {
+                assert_ne!(b.mask, r.mask, "client {}: mask must be refreshed", b.id);
+                assert_eq!(r.round, 1);
+                assert_eq!(r.shares_received(), b.shares_received());
+            }
+            // a different nonce refreshes every mask again
+            let again = Client::ratcheted_from(&clients[0], 2, 0x5A5A, topology);
+            assert_ne!(again.mask, ratcheted[0].mask);
         }
-        // a different nonce refreshes every mask again
-        let again = Client::ratcheted_from(&clients[0], 2, 0x5A5A);
-        assert_ne!(again.mask, ratcheted[0].mask);
         assert_eq!(clients[0].share_peers(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn epoch_bumped_ratchets_still_cancel_and_differ() {
+        // a uniform epoch bump across the cohort keeps the pads
+        // cancelling while refreshing every edge secret
+        use crate::ratchet::PadTopology;
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut clients: Vec<Client<Fp61>> = (0..4)
+            .map(|i| Client::new(i, cfg4(), &mut rng).unwrap())
+            .collect();
+        let shares: Vec<_> = clients.iter().flat_map(|c| c.outgoing_shares()).collect();
+        for s in shares {
+            clients[s.to].receive_share(s).unwrap();
+        }
+        let before: Vec<Client<Fp61>> = clients
+            .iter()
+            .map(|c| Client::ratcheted_from(c, 1, 7, PadTopology::Hypercube))
+            .collect();
+        for c in clients.iter_mut() {
+            c.bump_pad_epoch(0xD00D);
+        }
+        let after: Vec<Client<Fp61>> = clients
+            .iter()
+            .map(|c| Client::ratcheted_from(c, 1, 7, PadTopology::Hypercube))
+            .collect();
+        let sum = |cs: &[Client<Fp61>]| {
+            let mut acc = vec![Fp61::ZERO; cfg4().padded_len()];
+            for c in cs {
+                lsa_field::ops::add_assign(&mut acc, &c.mask);
+            }
+            acc
+        };
+        assert_eq!(sum(&before), sum(&after), "both epochs cancel to Σ m_i");
+        for (b, a) in before.iter().zip(&after) {
+            assert_ne!(b.mask, a.mask, "epoch must refresh the edge secrets");
+        }
     }
 
     #[test]

@@ -57,7 +57,8 @@
 use crate::client::Client;
 use crate::config::LsaConfig;
 use crate::ratchet::{
-    ratchet_enabled, CohortFingerprint, RatchetAnnouncement, RATCHET_FROM_SERVER,
+    ratchet_enabled, CohortFingerprint, PadTopology, RatchetAnnouncement, RatchetWindowCommit,
+    RATCHET_FROM_SERVER,
 };
 use crate::session::{AsyncClientSession, AsyncServerSession, Outgoing, Recipient, Session};
 use crate::session::{ClientSession, ServerSession};
@@ -222,6 +223,35 @@ pub trait SecureAggregator<F: Field> {
     /// where the variant keeps no such state.
     fn clear_ratchet(&mut self) {}
 
+    /// Carry the ratchet *across* a seat permutation derived from
+    /// `seed`: keep the retained base masks and shares (recovery is
+    /// seat-based and untouched by the permute) but advance every
+    /// member's pad-derivation epoch in lockstep
+    /// ([`crate::ratchet::reseat_epoch`]) and drop any pre-committed
+    /// nonce window. Variants that cannot reseat fall back to
+    /// [`SecureAggregator::clear_ratchet`] — correct, just slower (the
+    /// next round pays a full exchange).
+    fn reseat_ratchet(&mut self, seed: u64) {
+        let _ = seed;
+        self.clear_ratchet();
+    }
+
+    /// Fix the pad topology ratcheted rounds derive pairwise pads over
+    /// ([`crate::ratchet::PadTopology`]), overriding the
+    /// `LSA_PAD_TOPOLOGY` environment knob resolved at construction.
+    /// Ignored by variants without a ratchet.
+    fn set_pad_topology(&mut self, topology: PadTopology) {
+        let _ = topology;
+    }
+
+    /// Fix the nonce commit window `W` (rounds amortized per ratchet
+    /// handshake), overriding the `LSA_COMMIT_WINDOW` environment knob
+    /// resolved at construction; `W = 1` reproduces the per-round
+    /// commit/ack flow exactly. Ignored by variants without a ratchet.
+    fn set_commit_window(&mut self, window: usize) {
+        let _ = window;
+    }
+
     /// The order-independent fingerprint of `cohort`'s current seating
     /// ([`crate::ratchet::CohortFingerprint`]), or `None` when the
     /// variant does not track one. A driver stamps this into its
@@ -292,6 +322,14 @@ pub struct FederationClient<F> {
     /// ([`crate::ratchet`]). Set after a full exchange completes,
     /// cleared on churn, reassignment or mismatch.
     ratchet: Option<(Client<F>, u64)>,
+    /// Pad topology for ratcheted rounds; a windowed commit carries the
+    /// server's choice and overwrites this, the per-round legacy commit
+    /// does not (both ends resolve the same knob).
+    topology: PadTopology,
+    /// Pre-committed window nonces, `round → nonce`
+    /// ([`crate::ratchet::RatchetWindowCommit`]): rounds here join via
+    /// [`Self::ratchet_join`] with zero wire traffic.
+    window: BTreeMap<u64, u64>,
 }
 
 impl<F: Field> FederationClient<F> {
@@ -354,7 +392,15 @@ impl<F: Field> FederationClient<F> {
             replies: VecDeque::new(),
             horizon: 0,
             ratchet: None,
+            topology: crate::ratchet::pad_topology(),
+            window: BTreeMap::new(),
         })
+    }
+
+    /// Override the pad topology used for ratcheted rounds (defaults to
+    /// the `LSA_PAD_TOPOLOGY` environment knob at construction).
+    pub fn set_pad_topology(&mut self, topology: PadTopology) {
+        self.topology = topology;
     }
 
     /// This client's user index (group-local in a grouped topology).
@@ -463,9 +509,59 @@ impl<F: Field> FederationClient<F> {
         }
     }
 
-    /// Forget the retained ratchet base (churn, reassignment, mismatch).
+    /// Forget the retained ratchet base (churn, reassignment, mismatch)
+    /// and every pre-committed window nonce — the nonces were bound to
+    /// the dead cohort and must never mask another one.
     pub(crate) fn clear_ratchet(&mut self) {
         self.ratchet = None;
+        self.window.clear();
+    }
+
+    /// Carry the retained base across a seat permutation: drop the
+    /// window (its rounds were committed under the old seating) and
+    /// advance the base's pad-derivation epoch — every cohort member
+    /// applies the same `seed`, so the permuted edges still cancel
+    /// ([`crate::ratchet::reseat_epoch`]).
+    pub(crate) fn reseat_ratchet(&mut self, seed: u64) {
+        self.window.clear();
+        if let Some((base, _)) = self.ratchet.as_mut() {
+            base.bump_pad_epoch(seed);
+        }
+    }
+
+    /// Join a round whose nonce was pre-committed in a window: derive
+    /// the round's session from the retained base, consuming the stored
+    /// nonce. Zero wire traffic — no ack is queued (the whole window
+    /// was acked when it was committed).
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::StaleRound`] / [`ProtocolError::DuplicateMessage`]
+    /// as for [`Self::prepare`]; [`ProtocolError::RatchetMismatch`] when
+    /// no base is retained or `round` is not in the committed window.
+    pub(crate) fn ratchet_join(&mut self, round: u64) -> Result<(), ProtocolError> {
+        if round < self.horizon {
+            return Err(ProtocolError::StaleRound {
+                got: round,
+                current: self.horizon,
+            });
+        }
+        if self.sessions.contains_key(&round) {
+            return Err(ProtocolError::DuplicateMessage(self.id));
+        }
+        let Some((base, _)) = self.ratchet.as_ref() else {
+            return Err(ProtocolError::RatchetMismatch);
+        };
+        let nonce = self
+            .window
+            .remove(&round)
+            .ok_or(ProtocolError::RatchetMismatch)?;
+        let mut session = ClientSession::ratcheted_quiet(base, round, nonce, self.topology);
+        for envelope in self.pending.remove(&round).unwrap_or_default() {
+            self.replies.extend(session.handle(envelope)?);
+        }
+        self.sessions.insert(round, session);
+        Ok(())
     }
 
     /// Corrupt the retained base's fingerprint — test hook for the
@@ -500,13 +596,64 @@ impl<F: Field> FederationClient<F> {
         if ann.fingerprint != *fingerprint {
             return Err(ProtocolError::RatchetMismatch);
         }
-        let mut session = ClientSession::ratcheted(base, ann.round, ann.nonce, ann.fingerprint);
+        let mut session =
+            ClientSession::ratcheted(base, ann.round, ann.nonce, ann.fingerprint, self.topology);
         let mut out = Vec::new();
         while let Some(outgoing) = session.poll_output() {
             out.push(outgoing);
         }
         self.sessions.insert(ann.round, session);
         Ok(out)
+    }
+
+    /// A server *window* commit: derive the first round's mask from the
+    /// retained base, bank the remaining nonces for zero-traffic joins,
+    /// and return one fingerprint-agreement ack covering the whole
+    /// window.
+    fn handle_window_commit(
+        &mut self,
+        commit: &RatchetWindowCommit,
+    ) -> Result<Vec<Outgoing<F>>, ProtocolError> {
+        if commit.nonces.is_empty() {
+            return Err(ProtocolError::UnexpectedEnvelope {
+                kind: EnvelopeKind::RatchetWindowCommit,
+            });
+        }
+        if commit.round < self.horizon {
+            return Err(ProtocolError::StaleRound {
+                got: commit.round,
+                current: self.horizon,
+            });
+        }
+        if self.sessions.contains_key(&commit.round) {
+            return Err(ProtocolError::DuplicateMessage(self.id));
+        }
+        let Some((base, fingerprint)) = self.ratchet.as_ref() else {
+            return Err(ProtocolError::RatchetMismatch);
+        };
+        if commit.fingerprint != *fingerprint {
+            return Err(ProtocolError::RatchetMismatch);
+        }
+        self.topology = commit.topology;
+        let session =
+            ClientSession::ratcheted_quiet(base, commit.round, commit.nonces[0], self.topology);
+        self.window.clear();
+        for (i, &nonce) in commit.nonces.iter().enumerate().skip(1) {
+            self.window.insert(commit.round + i as u64, nonce);
+        }
+        let ack = (
+            Recipient::Server,
+            Envelope::RatchetWindowCommit(RatchetWindowCommit {
+                from: self.id as u32,
+                group: self.group,
+                round: commit.round,
+                fingerprint: commit.fingerprint,
+                topology: commit.topology,
+                nonces: Vec::new(),
+            }),
+        );
+        self.sessions.insert(commit.round, session);
+        Ok(vec![ack])
     }
 }
 
@@ -534,6 +681,14 @@ impl<F: Field> Session<F> for FederationClient<F> {
                 });
             }
             return self.handle_ratchet_commit(ann);
+        }
+        if let Envelope::RatchetWindowCommit(commit) = &envelope {
+            if commit.from != RATCHET_FROM_SERVER {
+                return Err(ProtocolError::UnexpectedEnvelope {
+                    kind: EnvelopeKind::RatchetWindowCommit,
+                });
+            }
+            return self.handle_window_commit(commit);
         }
         let round = envelope.round();
         let current = self.current_round();
@@ -583,6 +738,9 @@ pub struct FederationServer<F: Field> {
     /// In-flight ratchet commit:
     /// `(round, nonce, fingerprint, acks, expected)`.
     ratchet: Option<InFlightCommit>,
+    /// In-flight windowed ratchet commit:
+    /// `(first round, fingerprint, acks, expected)`.
+    window: Option<InFlightWindow>,
     /// Rejected-envelope strikes per claimed sender, reset at each
     /// `open_round` — the per-round ingress quota state.
     strikes: BTreeMap<usize, usize>,
@@ -608,6 +766,10 @@ pub const DEFAULT_INGRESS_QUOTA: usize = 8;
 /// `(round, nonce, fingerprint, acks, expected)`.
 type InFlightCommit = (u64, u64, u64, BTreeSet<usize>, BTreeSet<usize>);
 
+/// A server's in-flight windowed ratchet commit:
+/// `(first round, fingerprint, acks, expected)`.
+type InFlightWindow = (u64, u64, BTreeSet<usize>, BTreeSet<usize>);
+
 impl<F: Field> FederationServer<F> {
     /// Create the server; no round is open yet.
     pub fn new(cfg: LsaConfig) -> Self {
@@ -625,6 +787,7 @@ impl<F: Field> FederationServer<F> {
             session: None,
             outbox: VecDeque::new(),
             ratchet: None,
+            window: None,
             strikes: BTreeMap::new(),
             quota: DEFAULT_INGRESS_QUOTA,
             rejections: 0,
@@ -792,7 +955,75 @@ impl<F: Field> FederationServer<F> {
     /// Forget any in-flight commit and its queued announcements.
     pub(crate) fn clear_ratchet(&mut self) {
         self.ratchet = None;
+        self.window = None;
         self.outbox.clear();
+    }
+
+    /// Commit a *window* of ratchet nonces starting at `round` and
+    /// queue one [`RatchetWindowCommit`] to every cohort member: one
+    /// handshake covers `nonces.len()` rounds ([`crate::ratchet`]).
+    pub(crate) fn commit_ratchet_window(
+        &mut self,
+        round: u64,
+        cohort: &BTreeSet<usize>,
+        fingerprint: u64,
+        topology: PadTopology,
+        nonces: &[u64],
+    ) {
+        self.window = Some((round, fingerprint, BTreeSet::new(), cohort.clone()));
+        for &id in cohort {
+            self.outbox.push_back((
+                Recipient::Client(id),
+                Envelope::RatchetWindowCommit(RatchetWindowCommit {
+                    from: RATCHET_FROM_SERVER,
+                    group: self.group,
+                    round,
+                    fingerprint,
+                    topology,
+                    nonces: nonces.to_vec(),
+                }),
+            ));
+        }
+    }
+
+    /// Consume the in-flight window commit: `Ok` iff every expected
+    /// cohort member acked fingerprint agreement for the window opening
+    /// at `round`.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::RatchetMismatch`] on a missing commit, a round
+    /// mismatch or an incomplete ack set.
+    pub(crate) fn ratchet_window_ready(&mut self, round: u64) -> Result<(), ProtocolError> {
+        match self.window.take() {
+            Some((r, _, acks, expected)) if r == round && acks == expected => Ok(()),
+            _ => Err(ProtocolError::RatchetMismatch),
+        }
+    }
+
+    /// A client's fingerprint-agreement ack for the in-flight window
+    /// commit.
+    fn handle_window_ack(&mut self, ack: &RatchetWindowCommit) -> Result<(), ProtocolError> {
+        let Some((round, fingerprint, acks, expected)) = self.window.as_mut() else {
+            return Err(ProtocolError::RatchetMismatch);
+        };
+        if ack.round != *round {
+            return Err(ProtocolError::StaleRound {
+                got: ack.round,
+                current: *round,
+            });
+        }
+        if ack.fingerprint != *fingerprint {
+            return Err(ProtocolError::RatchetMismatch);
+        }
+        let id = ack.from as usize;
+        if !expected.contains(&id) {
+            return Err(ProtocolError::UnknownUser(id));
+        }
+        if !acks.insert(id) {
+            return Err(ProtocolError::DuplicateMessage(id));
+        }
+        Ok(())
     }
 
     /// Group check → ratchet-ack routing → session routing, without the
@@ -807,6 +1038,9 @@ impl<F: Field> FederationServer<F> {
         }
         if let Envelope::RatchetAnnouncement(ann) = &envelope {
             return self.handle_ratchet_ack(ann).map(|()| Vec::new());
+        }
+        if let Envelope::RatchetWindowCommit(ack) = &envelope {
+            return self.handle_window_ack(ack).map(|()| Vec::new());
         }
         match self.session.as_mut() {
             Some(session) => session.handle(envelope),
@@ -901,6 +1135,10 @@ pub(crate) struct OpenRound {
     /// cohort, so `finish_round` requires every member to have
     /// submitted.
     pub(crate) ratcheted: bool,
+    /// Whether this ratcheted round was *joined* from a pre-committed
+    /// nonce window with zero wire traffic, rather than paying a
+    /// commit/ack handshake ([`crate::ratchet::RatchetWindowCommit`]).
+    pub(crate) windowed: bool,
 }
 
 impl OpenRound {
@@ -911,6 +1149,7 @@ impl OpenRound {
             submitted: BTreeSet::new(),
             dropped: BTreeSet::new(),
             ratcheted: false,
+            windowed: false,
         }
     }
 
@@ -1065,13 +1304,24 @@ pub struct SyncFederation<F: Field, T> {
     /// Rounds whose offline exchange already ran, with their cohorts.
     prepared: BTreeMap<u64, BTreeSet<usize>>,
     /// Prepared rounds whose masks came from the ratchet, not a full
-    /// exchange (dropped wholesale by [`SecureAggregator::clear_ratchet`]).
-    prepared_ratcheted: BTreeSet<u64>,
+    /// exchange (dropped wholesale by [`SecureAggregator::clear_ratchet`]);
+    /// the value records whether the round was joined from a window
+    /// with zero handshake traffic.
+    prepared_ratcheted: BTreeMap<u64, bool>,
     /// Driver-side nonce entropy for ratchet commits.
     entropy: StdRng,
     /// Fingerprint of the cohort whose base masks the clients retain,
     /// set after each successful round ([`crate::ratchet`]).
     ratchet_fp: Option<u64>,
+    /// Pad topology ratcheted rounds derive pairwise pads over.
+    topology: PadTopology,
+    /// Nonce commit window `W`: rounds amortized per ratchet handshake
+    /// (`1` = the per-round legacy flow).
+    commit_window: usize,
+    /// Driver-side mirror of the pre-committed window, `round → nonce`
+    /// — membership decides whether the next round joins with zero
+    /// traffic or opens a fresh window.
+    window: BTreeMap<u64, u64>,
     /// Transport counters snapshotted when the open round started (its
     /// traffic delta becomes the round's [`RoundReport`]). Traffic from
     /// an overlapped `prepare_next` is billed to the round it ran
@@ -1127,9 +1377,12 @@ impl<F: Field, T: Transport<F>> SyncFederation<F, T> {
             next_round: 0,
             open: None,
             prepared: BTreeMap::new(),
-            prepared_ratcheted: BTreeSet::new(),
+            prepared_ratcheted: BTreeMap::new(),
             entropy,
             ratchet_fp: None,
+            topology: crate::ratchet::pad_topology(),
+            commit_window: crate::ratchet::commit_window(),
+            window: BTreeMap::new(),
             mark: TrafficMark::default(),
             mark_rejections: (0, 0),
             last_report: None,
@@ -1153,7 +1406,11 @@ impl<F: Field, T: Transport<F>> SyncFederation<F, T> {
     fn cut_report(&mut self, open: &OpenRound) -> RoundReport {
         let mut report = self.mark.cut::<F, T>(&self.transport, open.round);
         report.events.dropouts = open.dropped.len();
-        report.events.ratchets = usize::from(open.ratcheted);
+        // a windowed join is counted apart from handshake-bearing
+        // ratchets so bench JSON can tell amortized rounds from
+        // commit/ack ones
+        report.events.ratchets = usize::from(open.ratcheted && !open.windowed);
+        report.events.windowed_ratchets = usize::from(open.windowed);
         report.events.rejections = self.server.rejections() - self.mark_rejections.0;
         report.events.quarantined = self.server.quarantined() - self.mark_rejections.1;
         report
@@ -1192,33 +1449,72 @@ impl<F: Field, T: Transport<F>> SyncFederation<F, T> {
         )
     }
 
-    /// Attempt the stable-cohort fast path for `round`: `true` iff the
-    /// cohort's fingerprint matches the retained bases and the full
-    /// commit → derive → ack handshake succeeded (zero share traffic).
-    /// On ineligibility *or any handshake failure* the half-built state
-    /// is rolled back and `false` is returned — the caller runs the
-    /// full offline exchange.
-    fn try_ratchet(&mut self, round: u64, cohort: &BTreeSet<usize>, label: &'static str) -> bool {
+    /// Attempt the stable-cohort fast path for `round`:
+    /// `Some(windowed)` iff the cohort's fingerprint matches the
+    /// retained bases and either the round joined a pre-committed nonce
+    /// window with zero traffic (`Some(true)`) or the commit → derive →
+    /// ack handshake succeeded (`Some(false)`; one commit covers the
+    /// next `W` rounds when the window is wider than 1). On
+    /// ineligibility *or any failure* the half-built state is rolled
+    /// back and `None` is returned — the caller runs the full offline
+    /// exchange.
+    fn try_ratchet(
+        &mut self,
+        round: u64,
+        cohort: &BTreeSet<usize>,
+        label: &'static str,
+    ) -> Option<bool> {
         if !ratchet_enabled() {
-            return false;
+            return None;
         }
         let members: Vec<usize> = cohort.iter().copied().collect();
         let fp = CohortFingerprint::of_flat(self.group, self.cfg, &members).raw();
         if self.ratchet_fp != Some(fp) {
-            return false;
+            // churn mid-window: the remaining nonces were committed to
+            // a cohort that no longer exists — purge them everywhere so
+            // the re-key below starts clean
+            if !self.window.is_empty() {
+                self.window.clear();
+                for client in &mut self.clients {
+                    client.clear_ratchet();
+                }
+            }
+            return None;
+        }
+        if self.window.contains_key(&round) {
+            match self.ratchet_join(round, cohort) {
+                Ok(()) => return Some(true),
+                Err(_) => {
+                    self.ratchet_rollback(round, cohort);
+                    return None;
+                }
+            }
         }
         match self.exchange_ratchet(round, cohort, fp, label) {
-            Ok(()) => true,
+            Ok(()) => Some(false),
             Err(_) => {
                 self.ratchet_rollback(round, cohort);
-                false
+                None
             }
         }
     }
 
-    /// The ratchet handshake: the server commits a fresh nonce, every
-    /// cohort member derives the round's mask from its retained base and
-    /// acks fingerprint agreement.
+    /// Join `round` from the pre-committed nonce window: every cohort
+    /// member derives the round's session driver-locally. Zero wire
+    /// traffic — the whole window was committed and acked up front.
+    fn ratchet_join(&mut self, round: u64, cohort: &BTreeSet<usize>) -> Result<(), ProtocolError> {
+        for &id in cohort {
+            self.clients[id].ratchet_join(round)?;
+        }
+        self.window.remove(&round);
+        Ok(())
+    }
+
+    /// The ratchet handshake: the server commits fresh nonces — one for
+    /// `round` alone when `commit_window == 1` (the wire-exact legacy
+    /// flow), or a window of `W` covering `round..round + W` — and
+    /// every cohort member derives the first round's mask from its
+    /// retained base and acks fingerprint agreement.
     fn exchange_ratchet(
         &mut self,
         round: u64,
@@ -1226,9 +1522,22 @@ impl<F: Field, T: Transport<F>> SyncFederation<F, T> {
         fingerprint: u64,
         label: &'static str,
     ) -> Result<(), ProtocolError> {
-        let nonce = self.entropy.gen();
-        self.server
-            .commit_ratchet(round, cohort, nonce, fingerprint);
+        let w = self.commit_window.max(1);
+        if w == 1 {
+            let nonce = self.entropy.gen();
+            self.server
+                .commit_ratchet(round, cohort, nonce, fingerprint);
+        } else {
+            let nonces: Vec<u64> = (0..w).map(|_| self.entropy.gen()).collect();
+            self.server
+                .commit_ratchet_window(round, cohort, fingerprint, self.topology, &nonces);
+            self.window = nonces
+                .iter()
+                .enumerate()
+                .skip(1)
+                .map(|(i, &n)| (round + i as u64, n))
+                .collect();
+        }
         drain_to(&mut self.server, &mut self.transport, cohort)?;
         self.transport.flush(label);
         pump(
@@ -1246,14 +1555,19 @@ impl<F: Field, T: Transport<F>> SyncFederation<F, T> {
             &mut self.clients,
             cohort,
         )?;
-        self.server.ratchet_ready(round)
+        if w == 1 {
+            self.server.ratchet_ready(round)
+        } else {
+            self.server.ratchet_window_ready(round)
+        }
     }
 
     /// Discard everything a failed ratchet handshake may have built:
-    /// retained bases, the server commit, half-built round sessions and
-    /// in-flight announcements.
+    /// retained bases, the server commit, pre-committed window nonces,
+    /// half-built round sessions and in-flight announcements.
     fn ratchet_rollback(&mut self, round: u64, cohort: &BTreeSet<usize>) {
         self.ratchet_fp = None;
+        self.window.clear();
         self.server.clear_ratchet();
         for &id in cohort {
             self.clients[id].clear_ratchet();
@@ -1289,13 +1603,19 @@ impl<F: Field, T: Transport<F>> SecureAggregator<F> for SyncFederation<F, T> {
         // telemetry baseline: everything from here to `finish_round`
         // (including an overlapped `prepare_next`) bills to this round
         self.mark_round_start();
-        let ratcheted = if claim_prepared(&mut self.prepared, round, &cohort)? {
-            self.prepared_ratcheted.remove(&round)
-        } else if self.try_ratchet(round, &cohort, "offline") {
-            true
+        let (ratcheted, windowed) = if claim_prepared(&mut self.prepared, round, &cohort)? {
+            match self.prepared_ratcheted.remove(&round) {
+                Some(windowed) => (true, windowed),
+                None => (false, false),
+            }
         } else {
-            self.exchange_masks(round, &cohort, "offline")?;
-            false
+            match self.try_ratchet(round, &cohort, "offline") {
+                Some(windowed) => (true, windowed),
+                None => {
+                    self.exchange_masks(round, &cohort, "offline")?;
+                    (false, false)
+                }
+            }
         };
         self.server.open_round(round)?;
         self.next_round = round + 1;
@@ -1305,6 +1625,7 @@ impl<F: Field, T: Transport<F>> SecureAggregator<F> for SyncFederation<F, T> {
             submitted: BTreeSet::new(),
             dropped: BTreeSet::new(),
             ratcheted,
+            windowed,
         });
         Ok(round)
     }
@@ -1313,10 +1634,11 @@ impl<F: Field, T: Transport<F>> SecureAggregator<F> for SyncFederation<F, T> {
         let round = self.next_round;
         ensure_unprepared(&self.prepared, round)?;
         let cohort = validate_cohort(&self.cfg, cohort)?;
-        if self.try_ratchet(round, &cohort, "offline-overlap") {
-            self.prepared_ratcheted.insert(round);
-        } else {
-            self.exchange_masks(round, &cohort, "offline-overlap")?;
+        match self.try_ratchet(round, &cohort, "offline-overlap") {
+            Some(windowed) => {
+                self.prepared_ratcheted.insert(round, windowed);
+            }
+            None => self.exchange_masks(round, &cohort, "offline-overlap")?,
         }
         self.prepared.insert(round, cohort);
         Ok(())
@@ -1418,6 +1740,7 @@ impl<F: Field, T: Transport<F>> SecureAggregator<F> for SyncFederation<F, T> {
             // an abort means the cohort did not complete the round:
             // conservatively forget the ratchet bases too
             self.ratchet_fp = None;
+            self.window.clear();
             self.server.clear_ratchet();
             // the aborted round's sessions can never complete; retire
             // them so envelopes for it surface as StaleRound, while any
@@ -1434,13 +1757,14 @@ impl<F: Field, T: Transport<F>> SecureAggregator<F> for SyncFederation<F, T> {
 
     fn clear_ratchet(&mut self) {
         self.ratchet_fp = None;
+        self.window.clear();
         self.server.clear_ratchet();
         for client in &mut self.clients {
             client.clear_ratchet();
         }
         // ratchet-derived preparations are as suspect as the base they
         // came from: drop them so a retry full-exchanges
-        let ratcheted: Vec<u64> = self.prepared_ratcheted.iter().copied().collect();
+        let ratcheted: Vec<u64> = self.prepared_ratcheted.keys().copied().collect();
         for round in ratcheted {
             self.prepared.remove(&round);
             for client in &mut self.clients {
@@ -1448,6 +1772,29 @@ impl<F: Field, T: Transport<F>> SecureAggregator<F> for SyncFederation<F, T> {
             }
         }
         self.prepared_ratcheted.clear();
+    }
+
+    fn reseat_ratchet(&mut self, seed: u64) {
+        // the leaf fingerprint is seat-based and unchanged by a global
+        // permute, so the retained bases stay valid — only the pad
+        // derivation must diverge from the pre-permute stretch (and any
+        // pre-committed window dies with the old seating)
+        self.window.clear();
+        self.server.clear_ratchet();
+        for client in &mut self.clients {
+            client.reseat_ratchet(seed);
+        }
+    }
+
+    fn set_pad_topology(&mut self, topology: PadTopology) {
+        self.topology = topology;
+        for client in &mut self.clients {
+            client.set_pad_topology(topology);
+        }
+    }
+
+    fn set_commit_window(&mut self, window: usize) {
+        self.commit_window = window.clamp(1, crate::ratchet::MAX_COMMIT_WINDOW);
     }
 
     fn cohort_fingerprint(&self, cohort: &[usize]) -> Option<CohortFingerprint> {
@@ -1481,12 +1828,19 @@ pub struct BufferedFederation<F, T> {
     open: Option<OpenRound>,
     prepared: BTreeMap<u64, BTreeSet<usize>>,
     /// Prepared rounds whose masks came from the ratchet, not a full
-    /// exchange.
-    prepared_ratcheted: BTreeSet<u64>,
+    /// exchange; the value records whether the round was joined from a
+    /// window with zero handshake traffic.
+    prepared_ratcheted: BTreeMap<u64, bool>,
     /// Driver-side nonce entropy for ratchet commits.
     entropy: StdRng,
     /// Fingerprint of the cohort whose base masks the clients retain.
     ratchet_fp: Option<u64>,
+    /// Pad topology ratcheted rounds derive pairwise pads over.
+    topology: PadTopology,
+    /// Nonce commit window `W` (`1` = the per-round legacy flow).
+    commit_window: usize,
+    /// Driver-side mirror of the pre-committed window, `round → nonce`.
+    window: BTreeMap<u64, u64>,
     /// Transport counters snapshotted when the open round started (see
     /// [`SyncFederation`]'s field of the same name).
     mark: TrafficMark,
@@ -1527,9 +1881,12 @@ impl<F: Field, T: Transport<F>> BufferedFederation<F, T> {
             next_round: 0,
             open: None,
             prepared: BTreeMap::new(),
-            prepared_ratcheted: BTreeSet::new(),
+            prepared_ratcheted: BTreeMap::new(),
             entropy,
             ratchet_fp: None,
+            topology: crate::ratchet::pad_topology(),
+            commit_window: crate::ratchet::commit_window(),
+            window: BTreeMap::new(),
             mark: TrafficMark::default(),
             last_report: None,
         })
@@ -1582,22 +1939,52 @@ impl<F: Field, T: Transport<F>> BufferedFederation<F, T> {
     }
 
     /// The stable-cohort fast path, buffered variant (see
-    /// [`SyncFederation::try_ratchet`]): commit a nonce, let every
-    /// cohort member re-expand its retained base, collect the acks.
-    fn try_ratchet(&mut self, round: u64, cohort: &BTreeSet<usize>, label: &'static str) -> bool {
+    /// [`SyncFederation::try_ratchet`]): join a pre-committed window
+    /// round driver-locally (`Some(true)`), or commit fresh nonces and
+    /// collect the acks (`Some(false)`); `None` falls back to the full
+    /// exchange.
+    fn try_ratchet(
+        &mut self,
+        round: u64,
+        cohort: &BTreeSet<usize>,
+        label: &'static str,
+    ) -> Option<bool> {
         if !ratchet_enabled() {
-            return false;
+            return None;
         }
         let members: Vec<usize> = cohort.iter().copied().collect();
         let fp = CohortFingerprint::of_flat(0, self.cfg, &members).raw();
         if self.ratchet_fp != Some(fp) {
-            return false;
+            // churn mid-window: purge the stale nonces so the re-key
+            // starts clean
+            if !self.window.is_empty() {
+                self.window.clear();
+                for client in &mut self.clients {
+                    client.clear_ratchet();
+                }
+            }
+            return None;
+        }
+        if self.window.contains_key(&round) {
+            let joined = cohort
+                .iter()
+                .try_for_each(|&id| self.clients[id].ratchet_join(round));
+            match joined {
+                Ok(()) => {
+                    self.window.remove(&round);
+                    return Some(true);
+                }
+                Err(_) => {
+                    self.ratchet_rollback(round, cohort);
+                    return None;
+                }
+            }
         }
         match self.exchange_ratchet(round, cohort, fp, label) {
-            Ok(()) => true,
+            Ok(()) => Some(false),
             Err(_) => {
                 self.ratchet_rollback(round, cohort);
-                false
+                None
             }
         }
     }
@@ -1609,8 +1996,21 @@ impl<F: Field, T: Transport<F>> BufferedFederation<F, T> {
         fingerprint: u64,
         label: &'static str,
     ) -> Result<(), ProtocolError> {
-        let nonce = self.entropy.gen();
-        self.server.commit_ratchet(round, nonce, fingerprint);
+        let w = self.commit_window.max(1);
+        if w == 1 {
+            let nonce = self.entropy.gen();
+            self.server.commit_ratchet(round, nonce, fingerprint);
+        } else {
+            let nonces: Vec<u64> = (0..w).map(|_| self.entropy.gen()).collect();
+            self.server
+                .commit_ratchet_window(round, fingerprint, self.topology, nonces.clone());
+            self.window = nonces
+                .iter()
+                .enumerate()
+                .skip(1)
+                .map(|(i, &n)| (round + i as u64, n))
+                .collect();
+        }
         drain_to(&mut self.server, &mut self.transport, cohort)?;
         self.transport.flush(label);
         pump(
@@ -1626,11 +2026,16 @@ impl<F: Field, T: Transport<F>> BufferedFederation<F, T> {
             &mut self.clients,
             cohort,
         )?;
-        self.server.ratchet_ready(round, cohort.len())
+        if w == 1 {
+            self.server.ratchet_ready(round, cohort.len())
+        } else {
+            self.server.ratchet_window_ready(round, cohort.len())
+        }
     }
 
     fn ratchet_rollback(&mut self, round: u64, cohort: &BTreeSet<usize>) {
         self.ratchet_fp = None;
+        self.window.clear();
         self.server.clear_ratchet();
         for &id in cohort {
             self.clients[id].clear_ratchet();
@@ -1659,13 +2064,19 @@ impl<F: Field, T: Transport<F>> SecureAggregator<F> for BufferedFederation<F, T>
         // telemetry baseline (see [`SyncFederation::open_round`])
         self.mark = TrafficMark::of::<F, T>(&self.transport);
         self.server.advance_to(round);
-        let ratcheted = if claim_prepared(&mut self.prepared, round, &cohort)? {
-            self.prepared_ratcheted.remove(&round)
-        } else if self.try_ratchet(round, &cohort, "offline") {
-            true
+        let (ratcheted, windowed) = if claim_prepared(&mut self.prepared, round, &cohort)? {
+            match self.prepared_ratcheted.remove(&round) {
+                Some(windowed) => (true, windowed),
+                None => (false, false),
+            }
         } else {
-            self.exchange_masks(round, &cohort, "offline")?;
-            false
+            match self.try_ratchet(round, &cohort, "offline") {
+                Some(windowed) => (true, windowed),
+                None => {
+                    self.exchange_masks(round, &cohort, "offline")?;
+                    (false, false)
+                }
+            }
         };
         self.next_round = round + 1;
         self.open = Some(OpenRound {
@@ -1674,6 +2085,7 @@ impl<F: Field, T: Transport<F>> SecureAggregator<F> for BufferedFederation<F, T>
             submitted: BTreeSet::new(),
             dropped: BTreeSet::new(),
             ratcheted,
+            windowed,
         });
         Ok(round)
     }
@@ -1682,10 +2094,13 @@ impl<F: Field, T: Transport<F>> SecureAggregator<F> for BufferedFederation<F, T>
         let round = self.next_round;
         ensure_unprepared(&self.prepared, round)?;
         let cohort = validate_cohort(&self.cfg, cohort)?;
-        if self.try_ratchet(round, &cohort, "offline-overlap") {
-            self.prepared_ratcheted.insert(round);
-        } else {
-            self.exchange_masks(round, &cohort, "offline-overlap")?;
+        match self.try_ratchet(round, &cohort, "offline-overlap") {
+            Some(windowed) => {
+                self.prepared_ratcheted.insert(round, windowed);
+            }
+            None => {
+                self.exchange_masks(round, &cohort, "offline-overlap")?;
+            }
         }
         self.prepared.insert(round, cohort);
         Ok(())
@@ -1774,7 +2189,8 @@ impl<F: Field, T: Transport<F>> SecureAggregator<F> for BufferedFederation<F, T>
         }
         let mut report = self.mark.cut::<F, T>(&self.transport, open.round);
         report.events.dropouts = open.dropped.len();
-        report.events.ratchets = usize::from(open.ratcheted);
+        report.events.ratchets = usize::from(open.ratcheted && !open.windowed);
+        report.events.windowed_ratchets = usize::from(open.windowed);
         self.last_report = Some(report);
         self.open = None;
         let mut contributors: Vec<usize> = recovered.entries.iter().map(|e| e.who).collect();
@@ -1793,6 +2209,7 @@ impl<F: Field, T: Transport<F>> SecureAggregator<F> for BufferedFederation<F, T>
             // an abort means the cohort did not complete the round:
             // conservatively forget the ratchet bases too
             self.ratchet_fp = None;
+            self.window.clear();
             self.server.clear_ratchet();
             for client in &mut self.clients {
                 client.clear_ratchet();
@@ -1806,11 +2223,12 @@ impl<F: Field, T: Transport<F>> SecureAggregator<F> for BufferedFederation<F, T>
 
     fn clear_ratchet(&mut self) {
         self.ratchet_fp = None;
+        self.window.clear();
         self.server.clear_ratchet();
         for client in &mut self.clients {
             client.clear_ratchet();
         }
-        let ratcheted: Vec<u64> = self.prepared_ratcheted.iter().copied().collect();
+        let ratcheted: Vec<u64> = self.prepared_ratcheted.keys().copied().collect();
         for round in ratcheted {
             self.prepared.remove(&round);
             for client in &mut self.clients {
@@ -1818,6 +2236,17 @@ impl<F: Field, T: Transport<F>> SecureAggregator<F> for BufferedFederation<F, T>
             }
         }
         self.prepared_ratcheted.clear();
+    }
+
+    fn set_pad_topology(&mut self, topology: PadTopology) {
+        self.topology = topology;
+        for client in &mut self.clients {
+            client.set_pad_topology(topology);
+        }
+    }
+
+    fn set_commit_window(&mut self, window: usize) {
+        self.commit_window = window.clamp(1, crate::ratchet::MAX_COMMIT_WINDOW);
     }
 
     fn cohort_fingerprint(&self, cohort: &[usize]) -> Option<CohortFingerprint> {

@@ -121,7 +121,11 @@ pub use federation::{
     RoundOutcome, RoundPlan, SecureAggregator, SyncFederation,
 };
 pub use messages::{wire_bytes, AggregatedShare, CodedMaskShare, MaskedModel};
-pub use ratchet::{ratchet_enabled, CohortFingerprint, RatchetAnnouncement, RATCHET_FROM_SERVER};
+pub use ratchet::{
+    commit_window, pad_topology, ratchet_enabled, CohortFingerprint, PadTopology,
+    RatchetAnnouncement, RatchetWindowCommit, DEFAULT_COMMIT_WINDOW, MAX_COMMIT_WINDOW,
+    RATCHET_FROM_SERVER,
+};
 pub use server::{ServerPhase, ServerRound};
 pub use session::{ClientSession, Recipient, ServerSession, Session};
 pub use telemetry::{EventCounters, RoundReport, TrafficMark};

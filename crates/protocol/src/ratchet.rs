@@ -51,6 +51,8 @@ use crate::config::LsaConfig;
 const FP_DOMAIN: &[u8] = b"lsa-ratchet-fp-v1";
 /// Domain tag for pairwise pad seeds.
 const PAIR_DOMAIN: &[u8] = b"lsa-ratchet-pair-v1";
+/// Domain tag for the pad-epoch evolution across reseats.
+const EPOCH_DOMAIN: &[u8] = b"lsa-ratchet-epoch-v1";
 
 /// Sender id the server stamps into a [`RatchetAnnouncement`]; client
 /// acks carry the client's own id, which is always `< n < u32::MAX`.
@@ -141,6 +143,42 @@ pub struct RatchetAnnouncement {
     pub fingerprint: u64,
 }
 
+/// The batched form of [`RatchetAnnouncement`]: one commit carries the
+/// nonces of `W` consecutive rounds, so a steady stretch pays the
+/// commit/ack round trip once per window instead of once per round.
+///
+/// Server → client: commits `nonces[k]` for round `round + k` under
+/// `fingerprint` and the pad `topology` both sides must use (`from` is
+/// [`RATCHET_FROM_SERVER`]). Client → server: echoes every field as an
+/// ack (`from` is the client id). The first window round is derived and
+/// acked immediately; later rounds are joined locally with **zero**
+/// wire traffic. Any churn, fingerprint or topology disagreement is
+/// [`ProtocolError::RatchetMismatch`](crate::ProtocolError::RatchetMismatch)
+/// and purges the remaining window nonces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RatchetWindowCommit {
+    /// [`RATCHET_FROM_SERVER`] for the commit, the client id for acks.
+    pub from: u32,
+    /// Group the window belongs to (wire group id).
+    pub group: usize,
+    /// First round the window covers.
+    pub round: u64,
+    /// [`CohortFingerprint::raw`] of the cohort both sides must agree on.
+    pub fingerprint: u64,
+    /// Pad topology every window round derives its pads under.
+    pub topology: PadTopology,
+    /// Per-round nonces: `nonces[k]` serves round `round + k`.
+    pub nonces: Vec<u64>,
+}
+
+impl RatchetWindowCommit {
+    /// The committed nonce for `round`, if this window covers it.
+    pub fn nonce_for(&self, round: u64) -> Option<u64> {
+        let offset = round.checked_sub(self.round)?;
+        self.nonces.get(usize::try_from(offset).ok()?).copied()
+    }
+}
+
 /// Is the stable-cohort ratchet enabled? Defaults to on; set
 /// `LSA_RATCHET=off` (or `0`) to force the full offline exchange every
 /// round — both paths must produce identical aggregates.
@@ -149,6 +187,159 @@ pub fn ratchet_enabled() -> bool {
         Ok(v) => !matches!(v.trim(), "off" | "0" | "false"),
         Err(_) => true,
     }
+}
+
+/// Which pairwise pads a ratcheted member derives per round.
+///
+/// The signed pads (`+PRG` at the lower endpoint, `−PRG` at the
+/// higher) cancel edge-by-edge, so the telescoping argument holds over
+/// **any** agreed edge set — not just the full clique. The topology is
+/// therefore a pure cost/privacy dial:
+///
+/// | topology  | pads per member | collusion threshold |
+/// |-----------|-----------------|---------------------|
+/// | clique    | `n_g − 1`       | `n_g − 2`           |
+/// | hypercube | `⌈log₂ n_g⌉`    | `⌈log₂ n_g⌉ − 1`*   |
+///
+/// *A member's ratchet pad is the sum of its edge pads; an adversary
+/// must corrupt **all** of a member's topology neighbours to strip its
+/// pad, so the per-member threshold drops from `n_g − 2` (clique) to
+/// `degree − 1`. The base masks `m_i` keep their information-theoretic
+/// `T`-privacy either way — only the *per-round refresh* weakens.
+///
+/// Selected via `LSA_PAD_TOPOLOGY` (`clique` | `hypercube`); the
+/// default is `hypercube`, which breaks the `O(n_g · d)` PRG bound of
+/// the ratcheted round down to `O(log n_g · d)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PadTopology {
+    /// Every pair derives a pad: `n_g − 1` PRG expansions per member.
+    Clique,
+    /// Pads only along the hypercube edges of the member's cohort rank:
+    /// `⌈log₂ n_g⌉` PRG expansions per member.
+    #[default]
+    Hypercube,
+}
+
+impl PadTopology {
+    /// Stable one-byte wire tag (carried in [`RatchetWindowCommit`]).
+    pub fn tag(self) -> u8 {
+        match self {
+            PadTopology::Clique => 0,
+            PadTopology::Hypercube => 1,
+        }
+    }
+
+    /// Decode a wire tag; `None` for an unknown byte.
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(PadTopology::Clique),
+            1 => Some(PadTopology::Hypercube),
+            _ => None,
+        }
+    }
+
+    /// Human-readable name (knob values, bench row labels, JSON).
+    pub fn name(self) -> &'static str {
+        match self {
+            PadTopology::Clique => "clique",
+            PadTopology::Hypercube => "hypercube",
+        }
+    }
+
+    /// The maximum pads any one member derives in a cohort of `m`.
+    pub fn max_degree(self, m: usize) -> usize {
+        match self {
+            PadTopology::Clique => m.saturating_sub(1),
+            PadTopology::Hypercube => {
+                // ⌈log₂ m⌉: the number of hypercube dimensions needed
+                // to address m seats
+                let mut bits = 0;
+                while (1usize << bits) < m {
+                    bits += 1;
+                }
+                bits
+            }
+        }
+    }
+
+    /// The peers member `id` pads against, given the ascending cohort
+    /// `members` (which contains `id`). Symmetric: `a ∈ partners(b)`
+    /// iff `b ∈ partners(a)`, so every edge pad appears exactly twice
+    /// with opposite signs and cancels in the cohort sum.
+    ///
+    /// Hypercube edges connect cohort *ranks* differing in one bit
+    /// (edges to ranks `≥ m` are simply absent — the incomplete
+    /// hypercube stays connected for any `m`), so the edge set depends
+    /// only on the agreed membership, never on raw id values.
+    pub(crate) fn partners(self, members: &[usize], id: usize) -> Vec<usize> {
+        debug_assert!(members.windows(2).all(|w| w[0] < w[1]), "sorted cohort");
+        match self {
+            PadTopology::Clique => members.iter().copied().filter(|&j| j != id).collect(),
+            PadTopology::Hypercube => {
+                let m = members.len();
+                let rank = members
+                    .binary_search(&id)
+                    .expect("member is in its own cohort");
+                let mut out = Vec::with_capacity(self.max_degree(m));
+                let mut bit = 1usize;
+                while bit < m {
+                    let peer = rank ^ bit;
+                    if peer < m {
+                        out.push(members[peer]);
+                    }
+                    bit <<= 1;
+                }
+                out
+            }
+        }
+    }
+}
+
+/// The pad topology in force, from `LSA_PAD_TOPOLOGY`
+/// (`clique` | `hypercube`); defaults to [`PadTopology::Hypercube`].
+/// Unrecognised values fall back to the default.
+pub fn pad_topology() -> PadTopology {
+    match std::env::var("LSA_PAD_TOPOLOGY") {
+        Ok(v) if v.trim().eq_ignore_ascii_case("clique") => PadTopology::Clique,
+        _ => PadTopology::Hypercube,
+    }
+}
+
+/// Default number of rounds a single [`RatchetWindowCommit`] covers.
+pub const DEFAULT_COMMIT_WINDOW: usize = 8;
+
+/// Hard cap on the commit-window knob (also the decode-side sanity
+/// bound on the nonce count a commit may carry).
+pub const MAX_COMMIT_WINDOW: usize = 1024;
+
+/// The batched-commit window size `W`, from `LSA_COMMIT_WINDOW`:
+/// one server commit carries `W` round nonces, amortizing the
+/// commit/ack handshake to `1/W` round trips over a steady stretch.
+/// `W = 1` reproduces the per-round [`RatchetAnnouncement`] handshake
+/// byte-for-byte. Defaults to [`DEFAULT_COMMIT_WINDOW`]; values are
+/// clamped to `1..=`[`MAX_COMMIT_WINDOW`].
+pub fn commit_window() -> usize {
+    match std::env::var("LSA_COMMIT_WINDOW") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(w) => w.clamp(1, MAX_COMMIT_WINDOW),
+            Err(_) => DEFAULT_COMMIT_WINDOW,
+        },
+        Err(_) => DEFAULT_COMMIT_WINDOW,
+    }
+}
+
+/// Evolve the pad epoch across a reseat ([`crate::topology`]'s
+/// `reassign`): every member of a leaf folds the same `(old epoch,
+/// reseat seed)` through SHA-256, so the refreshed edge secrets still
+/// agree pairwise and the pads keep cancelling — while pads from
+/// before the reseat become underivable without the new epoch.
+pub(crate) fn reseat_epoch(old: u64, seed: u64) -> u64 {
+    let mut buf = Vec::with_capacity(EPOCH_DOMAIN.len() + 16);
+    buf.extend_from_slice(EPOCH_DOMAIN);
+    buf.extend_from_slice(&old.to_le_bytes());
+    buf.extend_from_slice(&seed.to_le_bytes());
+    let digest = sha256::digest(&buf);
+    u64::from_le_bytes(digest[..8].try_into().expect("8-byte prefix"))
 }
 
 /// Derive the pairwise pad seed for the edge `lo ↔ hi` (ids with
@@ -188,12 +379,15 @@ pub(crate) fn pair_seed<F: Field>(
 /// into `mask` (in place): `+PRG` if `id` is the lower endpoint of the
 /// edge, `−PRG` if it is the higher one. `sent` is the share `id`
 /// encoded **for** `peer` in the base round, `recv` the share it
-/// received **from** `peer`.
+/// received **from** `peer`. `epoch` is the pad-epoch both endpoints
+/// evolved in lockstep across reseats ([`reseat_epoch`]; 0 until the
+/// first reseat).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn add_pair_pad<F: Field>(
     mask: &mut [F],
     group: usize,
     base_round: u64,
+    epoch: u64,
     nonce: u64,
     id: usize,
     peer: usize,
@@ -206,7 +400,9 @@ pub(crate) fn add_pair_pad<F: Field>(
     } else {
         (peer, id, recv, sent)
     };
-    let seed = pair_seed(group, base_round, lo, hi, lo_to_hi, hi_to_lo).derive(nonce);
+    let seed = pair_seed(group, base_round, lo, hi, lo_to_hi, hi_to_lo)
+        .derive(epoch)
+        .derive(nonce);
     let pad: Vec<F> = FieldPrg::new(seed).expand(mask.len());
     if id == lo {
         lsa_field::ops::add_assign(mask, &pad);
@@ -255,31 +451,122 @@ mod tests {
         let mut b = vec![Fp61::ZERO; 8];
         // endpoint 2 sent `sent` to 5 and received `recv` from it;
         // endpoint 5 saw the mirror image of the same two vectors
-        add_pair_pad(&mut a, 3, 7, 99, 2, 5, &sent, &recv);
-        add_pair_pad(&mut b, 3, 7, 99, 5, 2, &recv, &sent);
+        add_pair_pad(&mut a, 3, 7, 0, 99, 2, 5, &sent, &recv);
+        add_pair_pad(&mut b, 3, 7, 0, 99, 5, 2, &recv, &sent);
         assert!(a.iter().any(|x| *x != Fp61::ZERO), "pad must be non-zero");
         let sum: Vec<Fp61> = a.iter().zip(&b).map(|(x, y)| *x + *y).collect();
         assert!(sum.iter().all(|x| *x == Fp61::ZERO), "pads must cancel");
     }
 
     #[test]
-    fn pads_differ_across_nonces_and_rounds() {
+    fn pads_differ_across_nonces_rounds_and_epochs() {
         let sent: Vec<Fp61> = (0..3).map(Fp61::from_u64).collect();
         let recv: Vec<Fp61> = (4..7).map(Fp61::from_u64).collect();
         let mut n1 = vec![Fp61::ZERO; 6];
         let mut n2 = vec![Fp61::ZERO; 6];
         let mut r2 = vec![Fp61::ZERO; 6];
-        add_pair_pad(&mut n1, 0, 0, 1, 0, 1, &sent, &recv);
-        add_pair_pad(&mut n2, 0, 0, 2, 0, 1, &sent, &recv);
-        add_pair_pad(&mut r2, 0, 5, 1, 0, 1, &sent, &recv);
+        let mut e2 = vec![Fp61::ZERO; 6];
+        add_pair_pad(&mut n1, 0, 0, 0, 1, 0, 1, &sent, &recv);
+        add_pair_pad(&mut n2, 0, 0, 0, 2, 0, 1, &sent, &recv);
+        add_pair_pad(&mut r2, 0, 5, 0, 1, 0, 1, &sent, &recv);
+        add_pair_pad(&mut e2, 0, 0, 9, 1, 0, 1, &sent, &recv);
         assert_ne!(n1, n2, "nonce must refresh the pad");
         assert_ne!(n1, r2, "base round must domain-separate the pad");
+        assert_ne!(n1, e2, "pad epoch must refresh the pad");
     }
 
     #[test]
     fn ratchet_env_knob_parses() {
         // no env manipulation here (tests run in parallel); just the
-        // default path
+        // default paths
         assert!(ratchet_enabled() || !ratchet_enabled());
+        assert!(commit_window() >= 1);
+        let _ = pad_topology();
+    }
+
+    #[test]
+    fn hypercube_partners_are_symmetric_and_connected() {
+        // symmetry makes every edge pad cancel; connectivity keeps the
+        // incomplete hypercube a single privacy component for any m
+        for m in 2..=33usize {
+            // a non-contiguous id set: partners must work on ranks
+            let members: Vec<usize> = (0..m).map(|i| i * 3 + 1).collect();
+            let mut adj: Vec<Vec<usize>> = vec![Vec::new(); m];
+            for (r, &id) in members.iter().enumerate() {
+                let partners = PadTopology::Hypercube.partners(&members, id);
+                assert!(partners.len() <= PadTopology::Hypercube.max_degree(m));
+                assert!(!partners.contains(&id));
+                for p in partners {
+                    adj[r].push(members.binary_search(&p).unwrap());
+                }
+            }
+            for (r, peers) in adj.iter().enumerate() {
+                for &p in peers {
+                    assert!(adj[p].contains(&r), "m={m}: edge {r}<->{p} one-sided");
+                }
+            }
+            // BFS from rank 0
+            let mut seen = vec![false; m];
+            let mut queue = vec![0usize];
+            seen[0] = true;
+            while let Some(r) = queue.pop() {
+                for &p in &adj[r] {
+                    if !seen[p] {
+                        seen[p] = true;
+                        queue.push(p);
+                    }
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "m={m}: hypercube disconnected");
+        }
+    }
+
+    #[test]
+    fn clique_partners_are_everyone_else() {
+        let members = [2usize, 5, 9, 11];
+        assert_eq!(PadTopology::Clique.partners(&members, 5), vec![2, 9, 11]);
+        assert_eq!(PadTopology::Clique.max_degree(4), 3);
+    }
+
+    #[test]
+    fn hypercube_degree_is_logarithmic() {
+        assert_eq!(PadTopology::Hypercube.max_degree(16), 4);
+        assert_eq!(PadTopology::Hypercube.max_degree(17), 5);
+        assert_eq!(PadTopology::Hypercube.max_degree(1024), 10);
+        assert_eq!(PadTopology::Hypercube.max_degree(1), 0);
+    }
+
+    #[test]
+    fn topology_tags_roundtrip() {
+        for t in [PadTopology::Clique, PadTopology::Hypercube] {
+            assert_eq!(PadTopology::from_tag(t.tag()), Some(t));
+        }
+        assert_eq!(PadTopology::from_tag(2), None);
+        assert_eq!(PadTopology::default(), PadTopology::Hypercube);
+    }
+
+    #[test]
+    fn window_commit_maps_rounds_to_nonces() {
+        let wc = RatchetWindowCommit {
+            from: RATCHET_FROM_SERVER,
+            group: 0,
+            round: 10,
+            fingerprint: 7,
+            topology: PadTopology::Hypercube,
+            nonces: vec![100, 101, 102],
+        };
+        assert_eq!(wc.nonce_for(10), Some(100));
+        assert_eq!(wc.nonce_for(12), Some(102));
+        assert_eq!(wc.nonce_for(13), None);
+        assert_eq!(wc.nonce_for(9), None);
+    }
+
+    #[test]
+    fn reseat_epoch_moves_and_is_deterministic() {
+        let e1 = reseat_epoch(0, 42);
+        assert_eq!(e1, reseat_epoch(0, 42));
+        assert_ne!(e1, 0);
+        assert_ne!(e1, reseat_epoch(0, 43));
+        assert_ne!(e1, reseat_epoch(e1, 42));
     }
 }

@@ -62,7 +62,7 @@
 use crate::asynchronous::{AsyncClient, AsyncServer, WeightedAggregate};
 use crate::client::Client;
 use crate::config::LsaConfig;
-use crate::ratchet::{RatchetAnnouncement, RATCHET_FROM_SERVER};
+use crate::ratchet::{PadTopology, RatchetAnnouncement, RatchetWindowCommit, RATCHET_FROM_SERVER};
 use crate::server::{ServerPhase, ServerRound};
 use crate::wire::{BufferAnnouncement, Envelope, SurvivorAnnouncement};
 use crate::ProtocolError;
@@ -187,8 +187,14 @@ impl<F: Field> ClientSession<F> {
     /// state ([`crate::ratchet`]): no coded shares are queued — the
     /// only envelope the offline phase produces is the fingerprint ack
     /// to the server.
-    pub(crate) fn ratcheted(base: &Client<F>, round: u64, nonce: u64, fingerprint: u64) -> Self {
-        let inner = Client::ratcheted_from(base, round, nonce);
+    pub(crate) fn ratcheted(
+        base: &Client<F>,
+        round: u64,
+        nonce: u64,
+        fingerprint: u64,
+        topology: PadTopology,
+    ) -> Self {
+        let inner = Client::ratcheted_from(base, round, nonce, topology);
         let mut outbox = VecDeque::new();
         outbox.push_back((
             Recipient::Server,
@@ -203,6 +209,23 @@ impl<F: Field> ClientSession<F> {
         Self {
             inner,
             outbox,
+            uploaded: false,
+        }
+    }
+
+    /// As [`Self::ratcheted`], but without queueing an ack: the round's
+    /// nonce was already committed (and acked) as part of a
+    /// [`RatchetWindowCommit`] window, so joining it costs zero wire
+    /// traffic.
+    pub(crate) fn ratcheted_quiet(
+        base: &Client<F>,
+        round: u64,
+        nonce: u64,
+        topology: PadTopology,
+    ) -> Self {
+        Self {
+            inner: Client::ratcheted_from(base, round, nonce, topology),
+            outbox: VecDeque::new(),
             uploaded: false,
         }
     }
@@ -488,6 +511,12 @@ pub struct AsyncClientSession<F> {
     /// ratchet: set after a full offline exchange completes, cleared on
     /// any churn ([`crate::ratchet`]).
     ratchet: Option<(u64, u64)>,
+    /// Pad topology for ratcheted rounds (which edges get pairwise
+    /// pads); both endpoints of a cohort must agree.
+    topology: PadTopology,
+    /// Pre-committed window nonces, `round → nonce`: rounds here can be
+    /// joined via [`Self::ratchet_join`] with zero wire traffic.
+    window: std::collections::BTreeMap<u64, u64>,
 }
 
 impl<F: Field> AsyncClientSession<F> {
@@ -502,7 +531,15 @@ impl<F: Field> AsyncClientSession<F> {
             entropy,
             outbox: VecDeque::new(),
             ratchet: None,
+            topology: crate::ratchet::pad_topology(),
+            window: std::collections::BTreeMap::new(),
         })
+    }
+
+    /// Override the pad topology used for ratcheted rounds (defaults to
+    /// the `LSA_PAD_TOPOLOGY` environment knob at construction).
+    pub fn set_pad_topology(&mut self, topology: PadTopology) {
+        self.topology = topology;
     }
 
     /// Create with an entropy stream derived from `rng` (convenience for
@@ -576,9 +613,30 @@ impl<F: Field> AsyncClientSession<F> {
         self.ratchet = Some((base_round, fingerprint));
     }
 
-    /// Forget any retained ratchet base (churn, reassignment, mismatch).
+    /// Forget any retained ratchet base (churn, reassignment, mismatch),
+    /// along with every pre-committed window nonce: the nonces were
+    /// bound to the dead cohort and must never mask another one.
     pub(crate) fn clear_ratchet(&mut self) {
         self.ratchet = None;
+        self.window.clear();
+    }
+
+    /// Join a round whose nonce was pre-committed in a window: derive
+    /// the round mask locally, consuming the stored nonce. Zero wire
+    /// traffic.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::RatchetMismatch`] when no base is retained or
+    /// `round` is not in the committed window.
+    pub(crate) fn ratchet_join(&mut self, round: u64) -> Result<(), ProtocolError> {
+        let (base_round, _) = self.ratchet.ok_or(ProtocolError::RatchetMismatch)?;
+        let nonce = self
+            .window
+            .remove(&round)
+            .ok_or(ProtocolError::RatchetMismatch)?;
+        self.inner
+            .ratchet_round_mask(round, base_round, nonce, self.topology)
     }
 
     /// Drop exactly one round's mask and share state — rollback of a
@@ -637,7 +695,7 @@ impl<F: Field> Session<F> for AsyncClientSession<F> {
                     return Err(ProtocolError::RatchetMismatch);
                 }
                 self.inner
-                    .ratchet_round_mask(ann.round, base_round, ann.nonce)?;
+                    .ratchet_round_mask(ann.round, base_round, ann.nonce, self.topology)?;
                 Ok(vec![(
                     Recipient::Server,
                     Envelope::RatchetAnnouncement(RatchetAnnouncement {
@@ -646,6 +704,57 @@ impl<F: Field> Session<F> for AsyncClientSession<F> {
                         round: ann.round,
                         nonce: ann.nonce,
                         fingerprint,
+                    }),
+                )])
+            }
+            Envelope::RatchetWindowCommit(commit) => {
+                if commit.group != 0 {
+                    return Err(ProtocolError::WrongGroup {
+                        got: commit.group,
+                        expected: 0,
+                    });
+                }
+                if commit.from != RATCHET_FROM_SERVER || commit.nonces.is_empty() {
+                    return Err(ProtocolError::UnexpectedEnvelope {
+                        kind: crate::wire::EnvelopeKind::RatchetWindowCommit,
+                    });
+                }
+                if let Some(current) = self.inner.latest_mask_round() {
+                    if commit.round <= current {
+                        return Err(ProtocolError::StaleRound {
+                            got: commit.round,
+                            current,
+                        });
+                    }
+                }
+                let (base_round, fingerprint) =
+                    self.ratchet.ok_or(ProtocolError::RatchetMismatch)?;
+                if commit.fingerprint != fingerprint {
+                    return Err(ProtocolError::RatchetMismatch);
+                }
+                // the window replaces any previous one; the first round
+                // is derived (and acked) immediately, the rest join
+                // later via `ratchet_join` with zero wire traffic
+                self.topology = commit.topology;
+                self.inner.ratchet_round_mask(
+                    commit.round,
+                    base_round,
+                    commit.nonces[0],
+                    self.topology,
+                )?;
+                self.window.clear();
+                for (i, &nonce) in commit.nonces.iter().enumerate().skip(1) {
+                    self.window.insert(commit.round + i as u64, nonce);
+                }
+                Ok(vec![(
+                    Recipient::Server,
+                    Envelope::RatchetWindowCommit(RatchetWindowCommit {
+                        from: self.inner.id() as u32,
+                        group: 0,
+                        round: commit.round,
+                        fingerprint,
+                        topology: commit.topology,
+                        nonces: Vec::new(),
                     }),
                 )])
             }
@@ -672,6 +781,9 @@ pub struct AsyncServerSession<F> {
     outbox: VecDeque<Outgoing<F>>,
     /// In-flight ratchet commit: `(round, nonce, fingerprint, acks)`.
     ratchet: Option<(u64, u64, u64, std::collections::BTreeSet<usize>)>,
+    /// In-flight windowed ratchet commit:
+    /// `(first round, fingerprint, acks)`.
+    window: Option<(u64, u64, std::collections::BTreeSet<usize>)>,
 }
 
 impl<F: Field> AsyncServerSession<F> {
@@ -693,6 +805,7 @@ impl<F: Field> AsyncServerSession<F> {
             n: cfg.n(),
             outbox: VecDeque::new(),
             ratchet: None,
+            window: None,
         })
     }
 
@@ -797,13 +910,62 @@ impl<F: Field> AsyncServerSession<F> {
         }
     }
 
+    /// Local action: commit a *window* of ratchet nonces starting at
+    /// `round` and queue one [`RatchetWindowCommit`] to every user; one
+    /// handshake covers `nonces.len()` rounds ([`crate::ratchet`]).
+    pub(crate) fn commit_ratchet_window(
+        &mut self,
+        round: u64,
+        fingerprint: u64,
+        topology: PadTopology,
+        nonces: Vec<u64>,
+    ) {
+        self.window = Some((round, fingerprint, std::collections::BTreeSet::new()));
+        for id in 0..self.n {
+            self.outbox.push_back((
+                Recipient::Client(id),
+                Envelope::RatchetWindowCommit(RatchetWindowCommit {
+                    from: RATCHET_FROM_SERVER,
+                    group: 0,
+                    round,
+                    fingerprint,
+                    topology,
+                    nonces: nonces.clone(),
+                }),
+            ));
+        }
+    }
+
+    /// Whether every one of the `expect` cohort members acked the
+    /// in-flight window commit opening at `round`.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::RatchetMismatch`] when no window commit is in
+    /// flight for `round` or acks are missing.
+    pub(crate) fn ratchet_window_ready(
+        &mut self,
+        round: u64,
+        expect: usize,
+    ) -> Result<(), ProtocolError> {
+        match self.window.take() {
+            Some((r, _, acks)) if r == round && acks.len() == expect => Ok(()),
+            _ => Err(ProtocolError::RatchetMismatch),
+        }
+    }
+
     /// Forget any in-flight ratchet commit, including announcements not
     /// yet drained (a replayed commit after rollback would poison fresh
     /// sessions).
     pub(crate) fn clear_ratchet(&mut self) {
         self.ratchet = None;
-        self.outbox
-            .retain(|(_, e)| !matches!(e, Envelope::RatchetAnnouncement(_)));
+        self.window = None;
+        self.outbox.retain(|(_, e)| {
+            !matches!(
+                e,
+                Envelope::RatchetAnnouncement(_) | Envelope::RatchetWindowCommit(_)
+            )
+        });
     }
 }
 
@@ -837,6 +999,28 @@ impl<F: Field> Session<F> for AsyncServerSession<F> {
                     return Err(ProtocolError::RatchetMismatch);
                 }
                 let id = ann.from as usize;
+                if id >= self.n {
+                    return Err(ProtocolError::UnknownUser(id));
+                }
+                if !acks.insert(id) {
+                    return Err(ProtocolError::DuplicateMessage(id));
+                }
+                Ok(Vec::new())
+            }
+            Envelope::RatchetWindowCommit(ack) => {
+                let Some((round, fingerprint, acks)) = self.window.as_mut() else {
+                    return Err(ProtocolError::RatchetMismatch);
+                };
+                if ack.round != *round {
+                    return Err(ProtocolError::StaleRound {
+                        got: ack.round,
+                        current: *round,
+                    });
+                }
+                if ack.fingerprint != *fingerprint {
+                    return Err(ProtocolError::RatchetMismatch);
+                }
+                let id = ack.from as usize;
                 if id >= self.n {
                     return Err(ProtocolError::UnknownUser(id));
                 }

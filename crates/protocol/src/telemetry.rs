@@ -47,9 +47,12 @@ pub struct EventCounters {
     /// (partial recovery).
     pub requeues: usize,
     /// Rounds whose masks came from the stable-cohort ratchet instead
-    /// of a full offline exchange (0 or 1 per flat round; a tree sums
-    /// its children).
+    /// of a full offline exchange, paying a commit/ack handshake (0 or
+    /// 1 per flat round; a tree sums its children).
     pub ratchets: usize,
+    /// Ratcheted rounds joined from a pre-committed nonce window with
+    /// zero handshake traffic (disjoint from `ratchets`).
+    pub windowed_ratchets: usize,
     /// Ratchet fast-path failures that fell back to a full exchange
     /// (the driver's replayed-plan path).
     pub fallbacks: usize,
@@ -66,6 +69,7 @@ impl EventCounters {
         self.dropouts += other.dropouts;
         self.requeues += other.requeues;
         self.ratchets += other.ratchets;
+        self.windowed_ratchets += other.windowed_ratchets;
         self.fallbacks += other.fallbacks;
         self.rejections += other.rejections;
         self.quarantined += other.quarantined;
@@ -294,14 +298,18 @@ impl RoundReport {
             .filter(|&n| n >= 1)
             .unwrap_or(cores);
         let simd_backend = lsa_field::simd::backend().name();
+        let pad_topology = crate::ratchet::pad_topology().name();
+        let commit_window = crate::ratchet::commit_window();
         let e = &self.events;
         format!(
             "{{\"name\":{},\"round\":{},\"rounds\":{rounds},\"phases\":{phases},\
              \"payload_bytes\":{},\"framing_bytes\":{},\"envelopes\":{},\
              \"events\":{{\"dropouts\":{},\"requeues\":{},\"ratchets\":{},\
-             \"fallbacks\":{},\"rejections\":{},\"quarantined\":{}}},\
+             \"windowed_ratchets\":{},\"fallbacks\":{},\"rejections\":{},\
+             \"quarantined\":{}}},\
              \"available_parallelism\":{cores},\"lsa_threads\":{lsa_threads},\
-             \"simd_backend\":\"{simd_backend}\"}}",
+             \"simd_backend\":\"{simd_backend}\",\
+             \"pad_topology\":\"{pad_topology}\",\"commit_window\":{commit_window}}}",
             json_string(name),
             self.round,
             self.payload_bytes,
@@ -310,6 +318,7 @@ impl RoundReport {
             e.dropouts,
             e.requeues,
             e.ratchets,
+            e.windowed_ratchets,
             e.fallbacks,
             e.rejections,
             e.quarantined,
@@ -491,6 +500,7 @@ mod tests {
             envelopes: 2,
             events: EventCounters {
                 ratchets: 1,
+                windowed_ratchets: 3,
                 dropouts: 2,
                 ..EventCounters::default()
             },
@@ -502,6 +512,7 @@ mod tests {
         assert_eq!(avg.payload_bytes, 300);
         assert_eq!(avg.envelopes, 3);
         assert_eq!(avg.events.ratchets, 2);
+        assert_eq!(avg.events.windowed_ratchets, 3);
         assert_eq!(avg.events.dropouts, 2);
     }
 
@@ -551,9 +562,12 @@ mod tests {
             "\"framing_bytes\":0",
             "\"envelopes\":18",
             "\"events\":",
+            "\"windowed_ratchets\":",
             "\"available_parallelism\":",
             "\"lsa_threads\":",
             "\"simd_backend\":\"",
+            "\"pad_topology\":\"",
+            "\"commit_window\":",
         ] {
             assert!(line.contains(key), "missing {key} in {line}");
         }

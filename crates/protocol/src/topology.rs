@@ -1195,9 +1195,10 @@ impl<F: Field> SecureAggregator<F> for GroupedFederation<F> {
         self.topology.reassign(seed);
         // a leaf sees only local seat indices, which look identical
         // across a reassignment even though different clients now sit in
-        // them — its retained ratchet bases must not survive the permute
+        // them — freshen the pad-seed epoch under the retained bases so
+        // the ratchet stretches across the permute instead of re-keying
         for child in &mut self.children {
-            child.agg.clear_ratchet();
+            child.agg.reseat_ratchet(seed);
         }
         Ok(())
     }
@@ -1205,6 +1206,24 @@ impl<F: Field> SecureAggregator<F> for GroupedFederation<F> {
     fn clear_ratchet(&mut self) {
         for child in &mut self.children {
             child.agg.clear_ratchet();
+        }
+    }
+
+    fn reseat_ratchet(&mut self, seed: u64) {
+        for child in &mut self.children {
+            child.agg.reseat_ratchet(seed);
+        }
+    }
+
+    fn set_pad_topology(&mut self, topology: crate::ratchet::PadTopology) {
+        for child in &mut self.children {
+            child.agg.set_pad_topology(topology);
+        }
+    }
+
+    fn set_commit_window(&mut self, window: usize) {
+        for child in &mut self.children {
+            child.agg.set_commit_window(window);
         }
     }
 

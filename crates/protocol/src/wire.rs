@@ -56,7 +56,7 @@
 
 use crate::asynchronous::{BufferEntry, TimestampedShare, TimestampedUpdate};
 use crate::messages::{AggregatedShare, CodedMaskShare, MaskedModel};
-use crate::ratchet::RatchetAnnouncement;
+use crate::ratchet::{PadTopology, RatchetAnnouncement, RatchetWindowCommit};
 use core::fmt;
 use lsa_field::Field;
 
@@ -117,6 +117,9 @@ pub enum WireError {
         /// The raw group word read from the wire.
         raw: u32,
     },
+    /// A pad-topology byte does not name a known
+    /// [`crate::ratchet::PadTopology`].
+    InvalidTopology(u8),
 }
 
 impl fmt::Display for WireError {
@@ -144,6 +147,9 @@ impl fmt::Display for WireError {
                     "unsupported wire version {got} (group word {raw:#010x}); \
                      this endpoint speaks only v{WIRE_VERSION}"
                 )
+            }
+            WireError::InvalidTopology(t) => {
+                write!(f, "unknown pad-topology byte {t:#04x}")
             }
         }
     }
@@ -177,11 +183,15 @@ pub enum EnvelopeKind {
     /// variants). Appended to the frozen v2 layout: a new tag extends
     /// the namespace without moving any existing byte.
     RatchetAnnouncement,
+    /// Batched ratchet nonce commit covering a window of W rounds /
+    /// fingerprint ack. Appended to the frozen v2 layout as tag 0x09;
+    /// every pre-existing kind's bytes are untouched.
+    RatchetWindowCommit,
 }
 
 impl EnvelopeKind {
     /// All message kinds, in tag order.
-    pub const ALL: [EnvelopeKind; 8] = [
+    pub const ALL: [EnvelopeKind; 9] = [
         EnvelopeKind::CodedMaskShare,
         EnvelopeKind::MaskedModel,
         EnvelopeKind::SurvivorAnnouncement,
@@ -190,6 +200,7 @@ impl EnvelopeKind {
         EnvelopeKind::TimestampedUpdate,
         EnvelopeKind::BufferAnnouncement,
         EnvelopeKind::RatchetAnnouncement,
+        EnvelopeKind::RatchetWindowCommit,
     ];
 
     /// Stable wire tag.
@@ -203,6 +214,7 @@ impl EnvelopeKind {
             EnvelopeKind::TimestampedUpdate => 0x06,
             EnvelopeKind::BufferAnnouncement => 0x07,
             EnvelopeKind::RatchetAnnouncement => 0x08,
+            EnvelopeKind::RatchetWindowCommit => 0x09,
         }
     }
 
@@ -217,6 +229,7 @@ impl EnvelopeKind {
             EnvelopeKind::TimestampedUpdate => "TimestampedUpdate",
             EnvelopeKind::BufferAnnouncement => "BufferAnnouncement",
             EnvelopeKind::RatchetAnnouncement => "RatchetAnnouncement",
+            EnvelopeKind::RatchetWindowCommit => "RatchetWindowCommit",
         }
     }
 }
@@ -274,6 +287,8 @@ pub enum Envelope<F> {
     BufferAnnouncement(BufferAnnouncement),
     /// Stable-cohort ratchet nonce commit / fingerprint ack.
     RatchetAnnouncement(RatchetAnnouncement),
+    /// Batched ratchet nonce commit over a window of rounds / ack.
+    RatchetWindowCommit(RatchetWindowCommit),
 }
 
 impl<F: Field> Envelope<F> {
@@ -293,6 +308,7 @@ impl<F: Field> Envelope<F> {
             Envelope::TimestampedUpdate(_) => EnvelopeKind::TimestampedUpdate,
             Envelope::BufferAnnouncement(_) => EnvelopeKind::BufferAnnouncement,
             Envelope::RatchetAnnouncement(_) => EnvelopeKind::RatchetAnnouncement,
+            Envelope::RatchetWindowCommit(_) => EnvelopeKind::RatchetWindowCommit,
         }
     }
 
@@ -309,6 +325,7 @@ impl<F: Field> Envelope<F> {
             Envelope::TimestampedUpdate(m) => m.round,
             Envelope::BufferAnnouncement(a) => a.round,
             Envelope::RatchetAnnouncement(a) => a.round,
+            Envelope::RatchetWindowCommit(w) => w.round,
         }
     }
 
@@ -327,6 +344,7 @@ impl<F: Field> Envelope<F> {
             Envelope::TimestampedUpdate(m) => m.group,
             Envelope::BufferAnnouncement(a) => a.group,
             Envelope::RatchetAnnouncement(a) => a.group,
+            Envelope::RatchetWindowCommit(w) => w.group,
         }
     }
 
@@ -348,6 +366,9 @@ impl<F: Field> Envelope<F> {
             Envelope::RatchetAnnouncement(a) => {
                 (a.from != crate::ratchet::RATCHET_FROM_SERVER).then_some(a.from as usize)
             }
+            Envelope::RatchetWindowCommit(w) => {
+                (w.from != crate::ratchet::RATCHET_FROM_SERVER).then_some(w.from as usize)
+            }
         }
     }
 
@@ -365,6 +386,7 @@ impl<F: Field> Envelope<F> {
                 Envelope::TimestampedUpdate(m) => 4 + 8 + 4 + m.payload.len() * eb,
                 Envelope::BufferAnnouncement(a) => 8 + 4 + a.entries.len() * (4 + 8 + 8),
                 Envelope::RatchetAnnouncement(_) => 4 + 8 + 8 + 8,
+                Envelope::RatchetWindowCommit(w) => 4 + 8 + 8 + 1 + 4 + w.nonces.len() * 8,
             }
     }
 
@@ -427,6 +449,16 @@ impl<F: Field> Envelope<F> {
                 put_u64(&mut out, a.round);
                 put_u64(&mut out, a.nonce);
                 put_u64(&mut out, a.fingerprint);
+            }
+            Envelope::RatchetWindowCommit(w) => {
+                put_u32(&mut out, w.from);
+                put_u64(&mut out, w.round);
+                put_u64(&mut out, w.fingerprint);
+                out.push(w.topology.tag());
+                put_u32(&mut out, w.nonces.len() as u32);
+                for &n in &w.nonces {
+                    put_u64(&mut out, n);
+                }
             }
         }
         debug_assert_eq!(out.len(), self.wire_len());
@@ -520,6 +552,27 @@ impl<F: Field> Envelope<F> {
                 nonce: r.u64()?,
                 fingerprint: r.u64()?,
             }),
+            0x09 => {
+                let from = r.u32()?;
+                let round = r.u64()?;
+                let fingerprint = r.u64()?;
+                let topo = r.u8()?;
+                let topology =
+                    PadTopology::from_tag(topo).ok_or(WireError::InvalidTopology(topo))?;
+                let len = r.len_prefix(8)?;
+                let mut nonces = Vec::with_capacity(len);
+                for _ in 0..len {
+                    nonces.push(r.u64()?);
+                }
+                Envelope::RatchetWindowCommit(RatchetWindowCommit {
+                    from,
+                    group,
+                    round,
+                    fingerprint,
+                    topology,
+                    nonces,
+                })
+            }
             other => return Err(WireError::UnknownTag(other)),
         };
         if r.pos != bytes.len() {
@@ -809,7 +862,7 @@ mod tests {
         );
         // ...while clearing the version bit demotes the same bytes to a
         // rejected v1 envelope for every message kind
-        for tag in [0x01u8, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08] {
+        for tag in [0x01u8, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09] {
             let mut bad = vec![tag];
             bad.extend_from_slice(&MAX_GROUP_ID.to_le_bytes());
             assert!(
@@ -873,6 +926,50 @@ mod tests {
         assert_eq!(e.round(), 11);
         assert_eq!(e.group(), 3);
         assert_eq!(e.kind().tag(), 0x08);
+    }
+
+    #[test]
+    fn ratchet_window_commit_roundtrips_and_rejects_bad_topology() {
+        let e: Envelope<Fp61> = Envelope::RatchetWindowCommit(RatchetWindowCommit {
+            from: crate::ratchet::RATCHET_FROM_SERVER,
+            group: 5,
+            round: 40,
+            fingerprint: 0x1234_5678_9ABC_DEF0,
+            topology: PadTopology::Hypercube,
+            nonces: vec![1, 2, 3, 4],
+        });
+        let bytes = e.to_bytes();
+        // tag + group word + from + round + fingerprint + topology byte
+        // + u32 count + 4×u64 nonces
+        assert_eq!(bytes.len(), 1 + 4 + 4 + 8 + 8 + 1 + 4 + 4 * 8);
+        assert_eq!(bytes.len(), e.wire_len());
+        assert_eq!(Envelope::<Fp61>::from_bytes(&bytes).unwrap(), e);
+        assert_eq!(e.kind().tag(), 0x09);
+        assert_eq!(e.round(), 40);
+        assert_eq!(e.group(), 5);
+        assert_eq!(e.sender(), None, "server-stamped commits have no sender");
+
+        // a client ack carries its id as the sender
+        let ack: Envelope<Fp61> = Envelope::RatchetWindowCommit(RatchetWindowCommit {
+            from: 6,
+            group: 5,
+            round: 40,
+            fingerprint: 1,
+            topology: PadTopology::Clique,
+            nonces: Vec::new(),
+        });
+        assert_eq!(ack.sender(), Some(6));
+        let ack_bytes = ack.to_bytes();
+        assert_eq!(Envelope::<Fp61>::from_bytes(&ack_bytes).unwrap(), ack);
+
+        // an unknown topology byte is a typed rejection, not a panic
+        let topo_off = 1 + 4 + 4 + 8 + 8;
+        let mut bad = bytes.clone();
+        bad[topo_off] = 0x7F;
+        assert!(matches!(
+            Envelope::<Fp61>::from_bytes(&bad),
+            Err(WireError::InvalidTopology(0x7F))
+        ));
     }
 
     #[test]

@@ -11,7 +11,9 @@ use lsa_protocol::federation::{
 use lsa_protocol::topology::{GroupTopology, GroupedFederation};
 use lsa_protocol::transport::MemTransport;
 use lsa_protocol::wire::EnvelopeKind;
-use lsa_protocol::{ratchet_enabled, CohortFingerprint, Federation, LsaConfig, ProtocolError};
+use lsa_protocol::{
+    ratchet_enabled, CohortFingerprint, Federation, LsaConfig, PadTopology, ProtocolError,
+};
 
 fn cfg() -> LsaConfig {
     LsaConfig::new(8, 2, 6, 16).unwrap()
@@ -68,15 +70,23 @@ fn announcements(fed: &SyncFederation<Fp61, MemTransport>) -> usize {
         .kind_count(EnvelopeKind::RatchetAnnouncement)
 }
 
-/// A 12-round stable stretch: after the base round, not one more
-/// `CodedMaskShare` crosses the wire, the only offline traffic is the
-/// commit/ack handshake, and every aggregate is bit-identical to an
-/// always-rekey twin of the same seed.
+fn window_commits(fed: &SyncFederation<Fp61, MemTransport>) -> usize {
+    fed.transport()
+        .kind_count(EnvelopeKind::RatchetWindowCommit)
+}
+
+/// A 12-round stable stretch on the legacy per-round path (`W = 1`):
+/// after the base round, not one more `CodedMaskShare` crosses the
+/// wire, the only offline traffic is the commit/ack handshake, and
+/// every aggregate is bit-identical to an always-rekey twin of the
+/// same seed.
 #[test]
 fn stable_stretch_ratchets_with_zero_share_traffic() {
     requires_ratchet!();
     let mut fast = SyncFederation::<Fp61, _>::new(cfg(), MemTransport::new(), 7).unwrap();
     let mut rekey = SyncFederation::<Fp61, _>::new(cfg(), MemTransport::new(), 7).unwrap();
+    fast.set_commit_window(1);
+    rekey.set_commit_window(1);
     let cohort: Vec<usize> = (0..8).collect();
 
     let base_fast = run_round(&mut fast, &cohort, &[]).unwrap();
@@ -104,11 +114,70 @@ fn stable_stretch_ratchets_with_zero_share_traffic() {
     );
     // one commit + one ack per member per ratcheted round
     assert_eq!(announcements(&fast), ann_after_base + 12 * 2 * 8);
+    assert_eq!(window_commits(&fast), 0, "W = 1 must use the legacy path");
     assert!(
         coded_shares(&rekey) >= rekey_shares_after_base + 12 * 8 * 7,
         "the rekey twin must have paid the full exchange every round"
     );
     assert_eq!(announcements(&rekey), 0);
+}
+
+/// The same 12-round stretch under the hypercube topology with an
+/// 8-round commit window: aggregates stay bit-identical to an
+/// always-rekey twin, the stretch still moves zero coded shares, and
+/// the handshake collapses to ⌈12/8⌉ = 2 window commits — every other
+/// round joins its pre-committed nonce with *zero* offline envelopes.
+#[test]
+fn windowed_hypercube_stretch_matches_rekey_twin() {
+    requires_ratchet!();
+    let mut fast = SyncFederation::<Fp61, _>::new(cfg(), MemTransport::new(), 7).unwrap();
+    let mut rekey = SyncFederation::<Fp61, _>::new(cfg(), MemTransport::new(), 7).unwrap();
+    fast.set_pad_topology(PadTopology::Hypercube);
+    fast.set_commit_window(8);
+    let cohort: Vec<usize> = (0..8).collect();
+
+    let base_fast = run_round(&mut fast, &cohort, &[]).unwrap();
+    let base_rekey = run_round(&mut rekey, &cohort, &[]).unwrap();
+    assert_eq!(base_fast.aggregate, base_rekey.aggregate);
+    let shares_after_base = coded_shares(&fast);
+
+    let mut joined = 0usize;
+    for r in 1..=12u64 {
+        rekey.clear_ratchet(); // the twin re-keys every round
+        let bytes_before = fast.bytes_sent();
+        let round = fast.open_round(&cohort).unwrap();
+        let offline_bytes = fast.bytes_sent() - bytes_before;
+        for &id in &cohort {
+            fast.submit(id, &update(id, round)).unwrap();
+        }
+        let a = fast.finish_round().unwrap();
+        let b = run_round(&mut rekey, &cohort, &[]).unwrap();
+        assert_eq!(a.aggregate, b.aggregate, "round {r} diverged from rekey");
+        assert_eq!(a.aggregate, expected_sum(&cohort, r));
+        let report = fast.round_report().unwrap();
+        if report.events.windowed_ratchets == 1 {
+            joined += 1;
+            assert_eq!(report.events.ratchets, 0);
+            assert_eq!(
+                offline_bytes, 0,
+                "a window-joined round must move zero offline bytes"
+            );
+        } else {
+            assert_eq!(report.events.ratchets, 1);
+            assert!(offline_bytes > 0, "a window-opening round pays the commit");
+        }
+    }
+
+    assert_eq!(
+        coded_shares(&fast),
+        shares_after_base,
+        "a windowed stretch must exchange zero coded mask shares"
+    );
+    // rounds 1 and 9 open a window (commit + ack per member); the other
+    // ten rounds join driver-locally
+    assert_eq!(joined, 10);
+    assert_eq!(window_commits(&fast), 2 * 2 * 8);
+    assert_eq!(announcements(&fast), 0);
 }
 
 /// Cohort churn mid-stretch: the changed round silently falls back to a
@@ -201,7 +270,10 @@ fn after_upload_dropout_in_ratcheted_round_decodes_exactly() {
 #[test]
 fn before_upload_dropout_falls_back_via_typed_mismatch() {
     requires_ratchet!();
-    let sync = SyncFederation::<Fp61, _>::new(cfg(), MemTransport::new(), 19).unwrap();
+    let mut sync = SyncFederation::<Fp61, _>::new(cfg(), MemTransport::new(), 19).unwrap();
+    // explicitly hypercube: the sparse edge set must fall back exactly
+    // like the clique when a member vanishes before uploading
+    sync.set_pad_topology(PadTopology::Hypercube);
     let mut fed = Federation::new(Box::new(sync));
     let cohort: Vec<usize> = (0..8).collect();
 
@@ -266,6 +338,8 @@ fn buffered_variant_ratchets_stable_stretch() {
         BufferedFederation::<Fp61, _>::unit_weight(cfg(), MemTransport::new(), 29).unwrap();
     let mut rekey =
         BufferedFederation::<Fp61, _>::unit_weight(cfg(), MemTransport::new(), 29).unwrap();
+    fast.set_commit_window(1);
+    rekey.set_commit_window(1);
     let cohort: Vec<usize> = (0..8).collect();
 
     let a = run_round(&mut fast, &cohort, &[]).unwrap();
@@ -292,6 +366,101 @@ fn buffered_variant_ratchets_stable_stretch() {
     );
 }
 
+/// The buffered variant joins pre-committed windows too: with `W = 4`
+/// a 10-round stretch pays ⌈10/4⌉ = 3 window commits and no legacy
+/// announcements, with aggregates identical to the rekey twin.
+#[test]
+fn buffered_variant_joins_windows() {
+    requires_ratchet!();
+    let mut fast =
+        BufferedFederation::<Fp61, _>::unit_weight(cfg(), MemTransport::new(), 29).unwrap();
+    let mut rekey =
+        BufferedFederation::<Fp61, _>::unit_weight(cfg(), MemTransport::new(), 29).unwrap();
+    fast.set_pad_topology(PadTopology::Hypercube);
+    fast.set_commit_window(4);
+    let cohort: Vec<usize> = (0..8).collect();
+
+    let a = run_round(&mut fast, &cohort, &[]).unwrap();
+    let b = run_round(&mut rekey, &cohort, &[]).unwrap();
+    assert_eq!(a.aggregate, b.aggregate);
+    let shares = fast.transport().kind_count(EnvelopeKind::TimestampedShare);
+
+    let mut joined = 0usize;
+    for r in 1..=10u64 {
+        rekey.clear_ratchet();
+        let a = run_round(&mut fast, &cohort, &[]).unwrap();
+        let b = run_round(&mut rekey, &cohort, &[]).unwrap();
+        assert_eq!(a.aggregate, b.aggregate, "round {r} diverged from rekey");
+        assert_eq!(a.aggregate, expected_sum(&cohort, r));
+        joined += fast.round_report().unwrap().events.windowed_ratchets;
+    }
+    assert_eq!(
+        fast.transport().kind_count(EnvelopeKind::TimestampedShare),
+        shares,
+        "windowed buffered rounds must move zero mask shares"
+    );
+    // windows open at rounds 1, 5 and 9; the other seven rounds join
+    assert_eq!(joined, 7);
+    assert_eq!(
+        fast.transport()
+            .kind_count(EnvelopeKind::RatchetWindowCommit),
+        3 * 2 * 8
+    );
+    assert_eq!(
+        fast.transport()
+            .kind_count(EnvelopeKind::RatchetAnnouncement),
+        0
+    );
+}
+
+/// Churn in the middle of a commit window: the banked nonces for the
+/// old cohort must be purged — the churned round re-keys with a full
+/// exchange, the reduced cohort opens a *fresh* window, and every
+/// aggregate stays exact.
+#[test]
+fn churn_mid_window_purges_banked_nonces_and_rekeys() {
+    requires_ratchet!();
+    let mut fed = SyncFederation::<Fp61, _>::new(cfg(), MemTransport::new(), 43).unwrap();
+    fed.set_pad_topology(PadTopology::Hypercube);
+    fed.set_commit_window(6);
+    let full: Vec<usize> = (0..8).collect();
+    let reduced: Vec<usize> = (0..7).collect();
+
+    run_round(&mut fed, &full, &[]).unwrap();
+    // round 1 opens a window banking nonces for rounds 2..=6
+    run_round(&mut fed, &full, &[]).unwrap();
+    assert_eq!(fed.round_report().unwrap().events.ratchets, 1);
+    let s0 = coded_shares(&fed);
+
+    // member 7 churns away mid-window: the banked nonces are dead
+    let out = run_round(&mut fed, &reduced, &[]).unwrap();
+    assert!(
+        coded_shares(&fed) > s0,
+        "a churned round inside a window must re-key with a full exchange"
+    );
+    let report = fed.round_report().unwrap();
+    assert_eq!(report.events.ratchets + report.events.windowed_ratchets, 0);
+    assert_eq!(out.aggregate, expected_sum(&reduced, 2));
+
+    // the reduced cohort opens a fresh window...
+    let commits_before = window_commits(&fed);
+    let out = run_round(&mut fed, &reduced, &[]).unwrap();
+    assert_eq!(fed.round_report().unwrap().events.ratchets, 1);
+    assert_eq!(window_commits(&fed), commits_before + 2 * 7);
+    assert_eq!(out.aggregate, expected_sum(&reduced, 3));
+
+    // ...and the round after joins it with zero offline traffic
+    let bytes_before = fed.bytes_sent();
+    let round = fed.open_round(&reduced).unwrap();
+    assert_eq!(fed.bytes_sent(), bytes_before, "window join is wire-silent");
+    for &id in &reduced {
+        fed.submit(id, &update(id, round)).unwrap();
+    }
+    let out = fed.finish_round().unwrap();
+    assert_eq!(fed.round_report().unwrap().events.windowed_ratchets, 1);
+    assert_eq!(out.aggregate, expected_sum(&reduced, 4));
+}
+
 /// In an aggregator tree, a stable subtree keeps ratcheting even while
 /// a sibling leaf churns and re-keys.
 #[test]
@@ -314,27 +483,42 @@ fn grouped_stable_subtree_ratchets_while_sibling_churns() {
         offline
     };
 
+    fed.set_commit_window(8);
     let b_full = offline(&mut fed, &full);
-    let b_stable = offline(&mut fed, &full);
+    // round 1 opens a window in both leaves: cheap, but not free
+    let b_commit = offline(&mut fed, &full);
     assert!(
-        b_stable * 5 < b_full,
-        "a fully stable tree must ratchet everywhere ({b_stable} vs {b_full})"
+        0 < b_commit && b_commit * 2 < b_full,
+        "a fully stable tree must ratchet everywhere ({b_commit} vs {b_full})"
     );
-    // churn confined to one leaf: only that leaf re-keys
+    // round 2 joins the banked window: completely wire-silent
+    let b_join = offline(&mut fed, &full);
+    assert_eq!(
+        b_join, 0,
+        "window-joined rounds must move zero offline bytes"
+    );
+    // churn confined to one leaf: only that leaf re-keys, the sibling
+    // keeps joining its window
     let b_mixed = offline(&mut fed, &reduced);
     assert!(
-        b_stable < b_mixed && b_mixed < b_full,
-        "a lone churned leaf must re-key alone ({b_stable} < {b_mixed} < {b_full})"
+        0 < b_mixed && b_mixed < b_full,
+        "a lone churned leaf must re-key alone ({b_mixed} vs {b_full})"
     );
-    // both leaves are stable again on the reduced cohort
+    // the churned leaf opens a fresh window on the reduced cohort
     let b_again = offline(&mut fed, &reduced);
-    assert!(b_again * 5 < b_full, "post-churn cohort must ratchet");
+    assert!(
+        b_again * 3 < b_full,
+        "post-churn cohort must ratchet ({b_again} vs {b_full})"
+    );
 }
 
-/// Reassigning the tree's seating permutes local seat indices: every
-/// retained base is cleared and the next round pays a full exchange.
+/// Reassigning the tree's seating permutes local seat indices, but a
+/// leaf's retained bases are seat-indexed and survive: the ratchet
+/// *stretches across* the permute on a freshened pad-seed epoch. The
+/// post-permute round pays only a new window commit — never a full
+/// share exchange — and every aggregate stays exact.
 #[test]
-fn reassignment_clears_ratchet_state() {
+fn reassignment_mid_stretch_ratchets_through() {
     requires_ratchet!();
     let topology = GroupTopology::uniform(16, 2, 0.25, 0.75, 16).unwrap();
     let mut fed = GroupedFederation::<Fp61>::new(topology, MemTransport::new(), 37).unwrap();
@@ -352,17 +536,29 @@ fn reassignment_clears_ratchet_state() {
         offline
     };
 
+    fed.set_commit_window(8);
     let b_full = offline(&mut fed, &full);
-    let b_stable = offline(&mut fed, &full);
-    assert!(b_stable * 5 < b_full);
+    let b_commit = offline(&mut fed, &full);
+    assert!(0 < b_commit && b_commit * 2 < b_full);
 
     fed.reassign(99).unwrap();
+    // the permute dropped the banked window (its nonces were derived
+    // for the old seating) but kept the bases: the next round re-commits
+    // a window over the new epoch instead of re-exchanging shares
     let b_permuted = offline(&mut fed, &full);
     assert!(
-        b_stable * 5 < b_permuted,
-        "a reassigned tree must not reuse pre-permutation bases \
-         ({b_permuted} vs stable {b_stable})"
+        0 < b_permuted && b_permuted * 2 < b_full,
+        "a reassigned tree must ratchet through, not re-key \
+         ({b_permuted} vs full {b_full})"
     );
+    // and the round after joins the fresh window wire-silently
+    let b_join = offline(&mut fed, &full);
+    assert_eq!(b_join, 0, "post-permute window must bank as usual");
+
+    // a second permute back-to-back behaves the same
+    fed.reassign(123).unwrap();
+    let b_again = offline(&mut fed, &full);
+    assert!(0 < b_again && b_again * 2 < b_full);
 }
 
 /// The grouped fingerprint pins the *seating*: after a reassignment the

@@ -15,7 +15,8 @@ use lsa_field::{Field, Fp32, Fp61};
 use lsa_protocol::asynchronous::{BufferEntry, TimestampedShare, TimestampedUpdate};
 use lsa_protocol::wire::{BufferAnnouncement, Envelope, SurvivorAnnouncement, MAX_GROUP_ID};
 use lsa_protocol::{
-    AggregatedShare, CodedMaskShare, MaskedModel, RatchetAnnouncement, RATCHET_FROM_SERVER,
+    AggregatedShare, CodedMaskShare, MaskedModel, PadTopology, RatchetAnnouncement,
+    RatchetWindowCommit, RATCHET_FROM_SERVER,
 };
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -158,6 +159,32 @@ fn golden<F: Field>() -> Vec<(String, Envelope<F>)> {
                 round: u64::MAX,
                 nonce: u64::MAX,
                 fingerprint: 0,
+            }),
+        ),
+        // Tag 0x09, appended by the batched-nonce-commit PR: a server
+        // window commit carrying W derived nonces plus the pad topology,
+        // and a client ack (empty nonce vector). The pre-existing
+        // entries above must stay byte-identical.
+        (
+            name("ratchet_window_commit"),
+            Envelope::RatchetWindowCommit(RatchetWindowCommit {
+                from: RATCHET_FROM_SERVER,
+                group: 4,
+                round: 77,
+                fingerprint: 0x9ABC_DEF0_1122_3344,
+                topology: PadTopology::Hypercube,
+                nonces: vec![0xC0FF_EE00_1234_5678, 1, 0, u64::MAX],
+            }),
+        ),
+        (
+            name("ratchet_window_ack"),
+            Envelope::RatchetWindowCommit(RatchetWindowCommit {
+                from: 12,
+                group: MAX_GROUP_ID as usize,
+                round: u64::MAX,
+                fingerprint: 0,
+                topology: PadTopology::Clique,
+                nonces: Vec::new(),
             }),
         ),
     ]

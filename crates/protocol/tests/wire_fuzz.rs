@@ -13,7 +13,8 @@ use lsa_field::{Field, Fp32, Fp61};
 use lsa_protocol::asynchronous::{BufferEntry, TimestampedShare, TimestampedUpdate};
 use lsa_protocol::wire::{BufferAnnouncement, Envelope, SurvivorAnnouncement, WireError};
 use lsa_protocol::{
-    AggregatedShare, CodedMaskShare, MaskedModel, RatchetAnnouncement, RATCHET_FROM_SERVER,
+    AggregatedShare, CodedMaskShare, MaskedModel, PadTopology, RatchetAnnouncement,
+    RatchetWindowCommit, RATCHET_FROM_SERVER,
 };
 use proptest::collection::vec;
 use proptest::prelude::*;
@@ -82,6 +83,20 @@ fn envelopes<F: Field>(group: usize, round: u64, seed: u64, len: usize) -> Vec<E
             nonce: seed,
             fingerprint: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15),
         }),
+        Envelope::RatchetWindowCommit(RatchetWindowCommit {
+            from: RATCHET_FROM_SERVER,
+            group,
+            round,
+            fingerprint: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            topology: if seed.is_multiple_of(2) {
+                PadTopology::Clique
+            } else {
+                PadTopology::Hypercube
+            },
+            nonces: (0..(len as u64).min(4))
+                .map(|i| seed.wrapping_add(i))
+                .collect(),
+        }),
     ]
 }
 
@@ -101,7 +116,8 @@ fn assert_decode_total<F: Field>(bytes: &[u8]) {
             | WireError::NonCanonicalElement { .. }
             | WireError::TrailingBytes { .. }
             | WireError::ImplausibleLength { .. }
-            | WireError::UnsupportedVersion { .. },
+            | WireError::UnsupportedVersion { .. }
+            | WireError::InvalidTopology(_),
         ) => {}
     }
 }
@@ -146,7 +162,7 @@ proptest! {
         round in any::<u64>(),
         seed in any::<u64>(),
         len in 0usize..12,
-        kind in 0usize..8,
+        kind in 0usize..9,
         flip_seed in any::<u64>(),
     ) {
         let e = envelopes::<Fp61>(group, round, seed, len).swap_remove(kind);
@@ -203,13 +219,13 @@ fn seeded_corpus_is_rejected_typed() {
         corpus.push(b);
     }
     // v1 group words under every real tag
-    for tag in 1..=8u8 {
+    for tag in 1..=9u8 {
         let mut b = vec![tag];
         b.extend_from_slice(&0x0000_0007u32.to_le_bytes());
         corpus.push(b);
     }
     // maximal length claims on tiny buffers, all vector-bearing kinds
-    for tag in [0x01u8, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07] {
+    for tag in [0x01u8, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x09] {
         for claim in [u32::MAX, 1 << 26, (1 << 26) + 1, 1 << 31] {
             let mut b = vec![tag];
             b.extend_from_slice(&0x8000_0000u32.to_le_bytes());
